@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the Grid substrate: simulator event-loop
+//! throughput, NWS forecaster updates, and small end-to-end GridSAT runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsat::{experiment, GridConfig};
+use gridsat_grid::Testbed;
+use gridsat_nws::{Adaptive, Forecaster, LoadTrace, TraceConfig};
+use gridsat_satgen as satgen;
+use std::hint::black_box;
+
+/// End-to-end simulated GridSAT runs at several testbed sizes.
+fn grid_run(c: &mut Criterion) {
+    let f = satgen::php::php(8, 7);
+    let mut g = c.benchmark_group("grid_run_php87");
+    for workers in [2usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let config = GridConfig {
+                min_split_timeout: 5.0,
+                ..GridConfig::default()
+            };
+            b.iter(|| {
+                let r = experiment::run(
+                    black_box(&f),
+                    Testbed::uniform(w, 1000.0, 3 << 20),
+                    config.clone(),
+                );
+                black_box(r.seconds)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// NWS forecaster battery update throughput.
+fn nws_update(c: &mut Criterion) {
+    c.bench_function("nws_adaptive_1k_updates", |b| {
+        let mut trace = LoadTrace::new(TraceConfig::default(), 7);
+        let samples: Vec<f64> = trace.take(1000);
+        b.iter(|| {
+            let mut fc = Adaptive::standard();
+            for &s in &samples {
+                fc.update(s);
+            }
+            black_box(fc.predict())
+        })
+    });
+}
+
+/// Load-trace generation throughput.
+fn trace_gen(c: &mut Criterion) {
+    c.bench_function("load_trace_10k_samples", |b| {
+        b.iter(|| {
+            let mut t = LoadTrace::new(TraceConfig::default(), 42);
+            black_box(t.take(10_000))
+        })
+    });
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = grid_run, nws_update, trace_gen
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmark for the paper's clause-share-length parameter
+//! (Section 3.2: "GridSAT takes the maximum clause length as a
+//! parameter... the lengths we use in this investigation are 10 and 3").
+//!
+//! Measures simulated time-to-solution on a fixed instance across share
+//! limits; the `ablate_share` binary prints the full sweep table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsat::{experiment, GridConfig};
+use gridsat_grid::Testbed;
+use gridsat_satgen as satgen;
+use std::hint::black_box;
+
+fn share_limits(c: &mut Criterion) {
+    let f = satgen::xor::urquhart(12, 7);
+    let mut g = c.benchmark_group("share_limit_urq12");
+    for (name, limit) in [
+        ("off", None),
+        ("3", Some(3)),
+        ("10", Some(10)),
+        ("all", Some(10_000)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &limit, |b, &limit| {
+            let config = GridConfig {
+                share_len_limit: limit,
+                min_split_timeout: 10.0,
+                ..GridConfig::default()
+            };
+            b.iter(|| {
+                let r = experiment::run(
+                    black_box(&f),
+                    Testbed::uniform(8, 1000.0, 3 << 20),
+                    config.clone(),
+                );
+                black_box(r.seconds)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = share_limits
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the CDCL core: BCP throughput, full
+//! solves per family, conflict analysis, and the level-0 pruning
+//! optimization the paper retro-fitted into sequential zChaff.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsat_satgen as satgen;
+use gridsat_solver::{driver, Solver, SolverConfig};
+use std::hint::black_box;
+
+/// Full solves across the benchmark families (small sizes).
+fn family_solves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve");
+    let instances = [
+        ("php-7-6", satgen::php::php(7, 6)),
+        ("urq-10", satgen::xor::urquhart(10, 7)),
+        (
+            "rand3sat-100",
+            satgen::random_ksat::random_ksat(100, 426, 3, 1),
+        ),
+        ("parity-sat", satgen::xor::parity(60, 52, 5, true, 3)),
+        ("factoring-2491", satgen::factoring::factoring(2491, 7, 12)),
+        ("hanoi-3-7", satgen::hanoi::hanoi(3, 7)),
+    ];
+    for (name, f) in &instances {
+        g.bench_with_input(BenchmarkId::from_parameter(name), f, |b, f| {
+            b.iter(|| {
+                let r = driver::solve(
+                    black_box(f),
+                    SolverConfig::default(),
+                    driver::Limits::default(),
+                );
+                black_box(r.stats.conflicts)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// BCP throughput: propagations per second on a fixed instance, measured
+/// by running a bounded number of work units. The paper notes BCP is
+/// ">90% of execution time", which is why Chaff's two-watched-literal
+/// scheme matters.
+fn bcp_throughput(c: &mut Criterion) {
+    let f = satgen::random_ksat::random_ksat(300, 1278, 3, 7);
+    c.bench_function("bcp_100k_work_units", |b| {
+        b.iter(|| {
+            let mut s = Solver::new(black_box(&f), SolverConfig::default());
+            let _ = s.step(100_000);
+            black_box(s.stats().propagations)
+        })
+    });
+}
+
+/// The level-0 pruning optimization: solve with and without it.
+fn level0_pruning(c: &mut Criterion) {
+    let f = satgen::php::php(8, 7);
+    let mut g = c.benchmark_group("level0_pruning");
+    for (name, pruning) in [("off", false), ("on", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &pruning, |b, &p| {
+            let config = SolverConfig {
+                level0_pruning: p,
+                ..SolverConfig::default()
+            };
+            b.iter(|| {
+                let r = driver::solve(black_box(&f), config.clone(), driver::Limits::default());
+                black_box(r.stats.pruned)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Split cost as the clause database grows.
+fn split_cost(c: &mut Criterion) {
+    let f = satgen::php::php(9, 8);
+    let mut g = c.benchmark_group("split_off");
+    for work in [10_000u64, 100_000, 400_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(work), &work, |b, &w| {
+            b.iter_batched(
+                || {
+                    let mut s = Solver::new(&f, SolverConfig::default());
+                    let _ = s.step(w);
+                    s
+                },
+                |mut s| {
+                    if s.can_split() {
+                        black_box(s.split_off());
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// DIMACS parsing throughput.
+fn dimacs_parse(c: &mut Criterion) {
+    let f = satgen::random_ksat::random_ksat(2000, 8520, 3, 3);
+    let text = gridsat_cnf::to_dimacs_string(&f);
+    c.bench_function("parse_dimacs_8520_clauses", |b| {
+        b.iter(|| black_box(gridsat_cnf::parse_dimacs_str(black_box(&text)).unwrap()))
+    });
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = family_solves, bcp_throughput, level0_pruning, split_cost, dimacs_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Extension ablation: CNF preprocessing (unit propagation, subsumption,
+//! self-subsuming resolution) before search. Reports the size reduction
+//! and the effect on sequential solve cost per family.
+//!
+//! Usage: cargo run --release -p gridsat-bench --bin ablate_preprocess
+
+use gridsat_cnf::Formula;
+use gridsat_satgen as satgen;
+use gridsat_solver::{driver, preprocess, SolverConfig};
+
+fn main() {
+    let instances: Vec<Formula> = vec![
+        satgen::php::php(8, 7),
+        satgen::xor::urquhart(11, 31),
+        satgen::counter::counter(8, 100, 60),
+        satgen::factoring::factoring(176_399, 10, 18),
+        satgen::hanoi::hanoi(4, 17),
+        satgen::qg::qg_sat(8, 10, 3),
+    ];
+    println!(
+        "{:<22} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "instance", "clauses", "after", "fixed", "work plain", "work prep"
+    );
+    for f in &instances {
+        let plain = driver::solve(
+            f,
+            SolverConfig::default(),
+            driver::Limits::with_max_work(60_000_000),
+        );
+        let p = preprocess::preprocess(f);
+        let prep_work = if p.unsat {
+            0
+        } else {
+            driver::solve_with_assumptions(
+                &p.formula,
+                &p.fixed,
+                SolverConfig::default(),
+                driver::Limits::with_max_work(60_000_000),
+            )
+            .stats
+            .work
+        };
+        println!(
+            "{:<22} {:>9} {:>9} {:>10} {:>12} {:>12}",
+            f.name().unwrap_or("?"),
+            f.num_clauses(),
+            p.formula.num_clauses(),
+            p.stats.units_fixed,
+            plain.stats.work,
+            prep_work
+        );
+    }
+}

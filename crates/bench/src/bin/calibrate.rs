@@ -1,0 +1,59 @@
+//! Hardness calibration for the Table 1/2 suite: run the sequential
+//! baseline (the paper's zChaff stand-in: 18M-work cap at the reference
+//! 1000 work-units/second host, 3 MB model-memory budget) over every
+//! instance and report work, peak database bytes and outcome.
+//!
+//! Usage: `cargo run --release -p gridsat-bench --bin calibrate [max_work] [filter]`
+
+use gridsat_satgen::suite;
+use gridsat_solver::{driver, SolverConfig};
+use std::time::Instant;
+
+use gridsat_bench::{ZCHAFF_MEM_BUDGET, ZCHAFF_WORK_CAP};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_work: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ZCHAFF_WORK_CAP);
+    let filter = args.get(2).cloned().unwrap_or_default();
+
+    println!(
+        "{:<34} {:>8} {:>9} {:>12} {:>9} {:>8} {:>10} {:>8}",
+        "instance", "vars", "clauses", "work", "conflicts", "peakKB", "outcome", "secs"
+    );
+    for spec in suite::table1_suite() {
+        if !spec.paper_name.contains(&filter) {
+            continue;
+        }
+        let f = spec.formula();
+        let t0 = Instant::now();
+        let report = driver::solve(
+            &f,
+            SolverConfig::sequential_baseline(ZCHAFF_MEM_BUDGET),
+            driver::Limits::with_max_work(max_work),
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<34} {:>8} {:>9} {:>12} {:>9} {:>8} {:>10} {:>8.2}",
+            spec.paper_name,
+            f.num_vars(),
+            f.num_clauses(),
+            report.stats.work,
+            report.stats.conflicts,
+            report.stats.peak_db_bytes / 1024,
+            report.outcome.table_cell(),
+            secs
+        );
+        match (&report.outcome, spec.status) {
+            (driver::Outcome::Sat(_), suite::Status::Unsat) => {
+                panic!("{}: got SAT, suite says UNSAT", spec.paper_name)
+            }
+            (driver::Outcome::Unsat, suite::Status::Sat) => {
+                panic!("{}: got UNSAT, suite says SAT", spec.paper_name)
+            }
+            _ => {}
+        }
+    }
+}

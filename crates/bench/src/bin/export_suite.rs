@@ -1,0 +1,25 @@
+//! Write the whole Table 1 suite to DIMACS files, so the instances can be
+//! fed to external solvers or archived.
+//!
+//! Usage: `cargo run --release -p gridsat-bench --bin export_suite [DIR]`
+
+use gridsat_satgen::suite;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "suite-cnf".into());
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for spec in suite::table1_suite() {
+        let f = spec.formula();
+        let path = format!("{dir}/{}", spec.paper_name);
+        let mut out = std::fs::File::create(&path).expect("create file");
+        gridsat_cnf::write_dimacs(&mut out, &f).expect("write");
+        println!(
+            "{path}: {} vars, {} clauses ({})",
+            f.num_vars(),
+            f.num_clauses(),
+            spec.status
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Parameter sweeps for suite calibration (development tool).
+//! Usage: `cargo run --release -p gridsat-bench --bin tune FAMILY [args...]`
+
+use gridsat_cnf::Formula;
+use gridsat_satgen as satgen;
+use gridsat_solver::{driver, SolverConfig};
+use std::time::Instant;
+
+fn run(f: &Formula, cap: u64) {
+    let t0 = Instant::now();
+    let r = driver::solve(
+        f,
+        SolverConfig::sequential_baseline(usize::MAX / 2),
+        driver::Limits::with_max_work(cap),
+    );
+    println!(
+        "{:<40} vars={:<6} cl={:<7} work={:<12} conf={:<8} peakKB={:<8} {:<9} {:.2}s",
+        f.name().unwrap_or("?"),
+        f.num_vars(),
+        f.num_clauses(),
+        r.stats.work,
+        r.stats.conflicts,
+        r.stats.peak_db_bytes / 1024,
+        r.outcome.table_cell(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let family = args.get(1).map(String::as_str).unwrap_or("all");
+    let cap: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000_000);
+
+    match family {
+        "php" => {
+            for n in 8..=12 {
+                run(&satgen::php::php(n, n - 1), cap);
+            }
+        }
+        "urq" => {
+            for r in [6, 8, 10, 12, 14, 16, 18] {
+                run(&satgen::xor::urquhart(r, 7), cap);
+            }
+        }
+        "miter" => {
+            for w in 4..=8 {
+                run(&satgen::pipe::mult_miter(w, false), cap);
+            }
+        }
+        "qg" => {
+            for (n, c) in [(12, 20), (14, 30), (16, 40), (18, 60), (20, 80)] {
+                run(&satgen::qg::qg_sat(n, c, 42), cap);
+            }
+        }
+        "counter" => {
+            for (w, steps) in [(8, 140), (9, 200), (10, 300), (10, 420), (11, 600)] {
+                run(
+                    &satgen::counter::counter(w, steps, (1 << (w - 1)) as u64 + 1),
+                    cap,
+                );
+            }
+        }
+        "hanoi" => {
+            run(&satgen::hanoi::hanoi(4, 17), cap);
+            run(&satgen::hanoi::hanoi(4, 21), cap);
+            run(&satgen::hanoi::hanoi(5, 31), cap);
+            run(&satgen::hanoi::hanoi(5, 35), cap);
+            run(&satgen::hanoi::hanoi(6, 63), cap);
+        }
+        "parity" => {
+            for (n, r, w) in [
+                (40, 34, 4),
+                (48, 42, 4),
+                (56, 48, 4),
+                (64, 56, 5),
+                (80, 70, 5),
+            ] {
+                run(&satgen::xor::parity(n, r, w, false, 7), cap);
+            }
+        }
+        "paritysat" => {
+            for (n, r, w) in [(90, 80, 5), (110, 98, 5), (130, 116, 6)] {
+                run(&satgen::xor::parity(n, r, w, true, 7), cap);
+            }
+        }
+        "factor" => {
+            // semiprimes (SAT) and primes (UNSAT) of growing size
+            for (n, a, b) in [
+                (2491u64, 7, 12), // 47*53
+                (10961, 8, 14),   // 97*113
+                (42781, 9, 16),   // 179*239
+                (176399, 10, 18), // 419*421
+                (721801, 11, 20), // 849... check below
+            ] {
+                run(&satgen::factoring::factoring(n, a, b), cap);
+            }
+            for (n, a, b) in [
+                (4093u64, 7, 12),
+                (16381, 8, 14),
+                (65521, 9, 16),
+                (262139, 10, 18),
+            ] {
+                run(&satgen::factoring::factoring(n, a, b), cap);
+            }
+        }
+        "randsat" => {
+            // find SAT seeds at ratio 4.2
+            let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(150);
+            for seed in 0..12u64 {
+                let m = (n as f64 * 4.2) as usize;
+                run(&satgen::random_ksat::random_ksat(n, m, 3, seed), cap);
+            }
+        }
+        "randunsat" => {
+            let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(150);
+            for seed in 0..8u64 {
+                let m = (n as f64 * 4.5) as usize;
+                run(&satgen::random_ksat::random_ksat(n, m, 3, seed), cap);
+            }
+        }
+        "coloring" => {
+            for (n, p, k) in [(40, 0.35, 5), (50, 0.30, 5), (60, 0.25, 5), (45, 0.40, 6)] {
+                for seed in 0..3u64 {
+                    run(
+                        &satgen::coloring::coloring(
+                            &satgen::coloring::Graph::random(n, p, seed),
+                            k,
+                            format!("col-{n}-{p}-{k}-{seed}"),
+                        ),
+                        cap,
+                    );
+                }
+            }
+        }
+        "colsat" => {
+            for (n, p, k) in [(120, 0.25, 5), (150, 0.22, 5), (180, 0.20, 5)] {
+                for seed in 0..2u64 {
+                    run(
+                        &satgen::coloring::coloring(
+                            &satgen::coloring::Graph::random_colorable(n, p, k, seed),
+                            k,
+                            format!("colsat-{n}-{p}-{k}-{seed}"),
+                        ),
+                        cap,
+                    );
+                }
+            }
+        }
+        other => eprintln!("unknown family {other}"),
+    }
+}

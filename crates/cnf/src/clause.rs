@@ -1,0 +1,215 @@
+//! Clauses: disjunctions of literals.
+
+use crate::{Assignment, Lit, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A clause: a disjunction (logical OR) of literals.
+///
+/// This is the *interchange* representation used by formulas, generators,
+/// messages and checkpoints. The solver keeps its own packed clause arena
+/// internally and converts at the boundary.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Build a clause from literals, preserving order and duplicates.
+    pub fn new(lits: impl IntoIterator<Item = Lit>) -> Clause {
+        Clause {
+            lits: lits.into_iter().collect(),
+        }
+    }
+
+    /// The empty clause (always false; its presence makes a formula UNSAT).
+    pub fn empty() -> Clause {
+        Clause { lits: Vec::new() }
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` iff this is the empty clause.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// `true` iff this is a unit clause (exactly one literal).
+    #[inline]
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// The literals.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Mutable access to the literals (used by normalization passes).
+    #[inline]
+    pub fn lits_mut(&mut self) -> &mut Vec<Lit> {
+        &mut self.lits
+    }
+
+    /// Iterate over the literals.
+    pub fn iter(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.lits.iter().copied()
+    }
+
+    /// `true` iff the clause contains the literal.
+    pub fn contains(&self, l: Lit) -> bool {
+        self.lits.contains(&l)
+    }
+
+    /// Evaluate under a (possibly partial) assignment.
+    ///
+    /// Returns [`Value::True`] if any literal is true, [`Value::False`] if
+    /// all literals are false, and [`Value::Unassigned`] otherwise. The
+    /// empty clause evaluates to false.
+    pub fn eval(&self, a: &Assignment) -> Value {
+        let mut any_unassigned = false;
+        for &l in &self.lits {
+            match a.lit_value(l) {
+                Value::True => return Value::True,
+                Value::Unassigned => any_unassigned = true,
+                Value::False => {}
+            }
+        }
+        if any_unassigned {
+            Value::Unassigned
+        } else {
+            Value::False
+        }
+    }
+
+    /// Normalize: sort literals, drop duplicates, and report tautology.
+    ///
+    /// Returns `true` iff the clause is a tautology (contains both `V` and
+    /// `~V`), in which case callers typically discard it.
+    pub fn normalize(&mut self) -> bool {
+        self.lits.sort_unstable();
+        self.lits.dedup();
+        self.lits.windows(2).any(|w| w[0].var() == w[1].var())
+    }
+
+    /// A normalized copy: sorted, deduplicated. `None` for tautologies.
+    pub fn normalized(&self) -> Option<Clause> {
+        let mut c = self.clone();
+        if c.normalize() {
+            None
+        } else {
+            Some(c)
+        }
+    }
+
+    /// Approximate heap size in bytes, used for memory accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Clause>() + self.lits.capacity() * std::mem::size_of::<Lit>()
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<T: IntoIterator<Item = Lit>>(iter: T) -> Clause {
+        Clause::new(iter)
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Clause {
+        Clause { lits }
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = Lit;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Lit>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter().copied()
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Formula, Var};
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn basic_properties() {
+        let c = Clause::new([lit(1), lit(-2), lit(3)]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(!c.is_unit());
+        assert!(c.contains(lit(-2)));
+        assert!(!c.contains(lit(2)));
+        assert!(Clause::new([lit(5)]).is_unit());
+        assert!(Clause::empty().is_empty());
+    }
+
+    #[test]
+    fn eval_cases() {
+        let f = Formula::new(3);
+        let mut a = f.empty_assignment();
+        let c = Clause::new([lit(1), lit(-2)]);
+
+        assert_eq!(c.eval(&a), Value::Unassigned);
+        a.set(Var(1), Value::True); // makes ~x2 false
+        assert_eq!(c.eval(&a), Value::Unassigned);
+        a.set(Var(0), Value::False); // makes x1 false
+        assert_eq!(c.eval(&a), Value::False);
+        a.set(Var(0), Value::True);
+        assert_eq!(c.eval(&a), Value::True);
+
+        assert_eq!(Clause::empty().eval(&a), Value::False);
+    }
+
+    #[test]
+    fn normalize_dedups_and_detects_tautology() {
+        let mut c = Clause::new([lit(3), lit(1), lit(3), lit(-2)]);
+        assert!(!c.normalize());
+        assert_eq!(c.lits().len(), 3);
+        assert!(c.lits().windows(2).all(|w| w[0] < w[1]));
+
+        let mut t = Clause::new([lit(1), lit(-1)]);
+        assert!(t.normalize());
+        assert!(Clause::new([lit(2), lit(-2), lit(5)])
+            .normalized()
+            .is_none());
+        assert!(Clause::new([lit(2), lit(5)]).normalized().is_some());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let c = Clause::new([Var(9).negative(), Var(6).negative(), Var(7).positive()]);
+        assert_eq!(format!("{c}"), "(~V10 + ~V7 + V8)");
+    }
+}

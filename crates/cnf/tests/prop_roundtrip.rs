@@ -1,0 +1,135 @@
+//! Property tests for the CNF interchange types.
+
+use gridsat_cnf::{parse_dimacs_str, to_dimacs_string, Assignment, Clause, Formula, Lit, Value};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary formula over up to `max_vars` variables.
+fn arb_formula(
+    max_vars: u32,
+    max_clauses: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Formula> {
+    (1..=max_vars).prop_flat_map(move |nv| {
+        let lit = (0..nv, any::<bool>()).prop_map(|(v, neg)| Lit::new(v.into(), neg));
+        let clause = prop::collection::vec(lit, 0..=max_len);
+        prop::collection::vec(clause, 0..=max_clauses).prop_map(move |cls| {
+            let mut f = Formula::new(nv as usize);
+            for c in cls {
+                f.add_clause(c);
+            }
+            f
+        })
+    })
+}
+
+/// Strategy: a total assignment for `n` variables.
+fn arb_total_assignment(n: usize) -> impl Strategy<Value = Assignment> {
+    prop::collection::vec(any::<bool>(), n).prop_map(|bits| {
+        let mut a = Assignment::new(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            a.set((i as u32).into(), Value::from_bool(*b));
+        }
+        a
+    })
+}
+
+proptest! {
+    /// Writing then parsing DIMACS is the identity on clauses and variables.
+    #[test]
+    fn dimacs_roundtrip(f in arb_formula(20, 30, 6)) {
+        let s = to_dimacs_string(&f);
+        let g = parse_dimacs_str(&s).unwrap();
+        prop_assert_eq!(f.num_vars(), g.num_vars());
+        prop_assert_eq!(f.clauses(), g.clauses());
+    }
+
+    /// A total assignment always gives a definite (non-Unassigned) verdict.
+    #[test]
+    fn total_assignment_decides(f in arb_formula(10, 20, 4)) {
+        let a = {
+            let mut a = f.empty_assignment();
+            for i in 0..f.num_vars() {
+                a.set((i as u32).into(), Value::True);
+            }
+            a
+        };
+        prop_assert_ne!(f.eval(&a), Value::Unassigned);
+    }
+
+    /// Clause evaluation agrees with the naive definition.
+    #[test]
+    fn clause_eval_matches_naive(
+        lits in prop::collection::vec((0u32..8, any::<bool>()), 0..6),
+        a in arb_total_assignment(8),
+    ) {
+        let c = Clause::new(lits.iter().map(|&(v, neg)| Lit::new(v.into(), neg)));
+        let naive = c.iter().any(|l| a.satisfies(l));
+        prop_assert_eq!(c.eval(&a) == Value::True, naive);
+    }
+
+    /// `reduce_under` never changes the truth value under any extension of
+    /// the reducing assignment.
+    #[test]
+    fn reduce_preserves_truth(
+        f in arb_formula(8, 15, 4),
+        fixed in prop::collection::vec(any::<Option<bool>>(), 8),
+        rest in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        // A partial "level 0" assignment...
+        let mut level0 = f.empty_assignment();
+        for (i, v) in fixed.iter().enumerate().take(f.num_vars()) {
+            if let Some(b) = v {
+                level0.set((i as u32).into(), Value::from_bool(*b));
+            }
+        }
+        // ...and a total extension of it.
+        let mut total = level0.clone();
+        for (i, b) in rest.iter().enumerate().take(f.num_vars()) {
+            if total.value((i as u32).into()) == Value::Unassigned {
+                total.set((i as u32).into(), Value::from_bool(*b));
+            }
+        }
+
+        let before = f.eval(&total);
+        let mut g = f.clone();
+        g.reduce_under(&level0);
+        let after = g.eval(&total);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Normalization preserves truth under every total assignment.
+    #[test]
+    fn normalize_preserves_truth(
+        lits in prop::collection::vec((0u32..6, any::<bool>()), 1..8),
+        a in arb_total_assignment(6),
+    ) {
+        let c = Clause::new(lits.iter().map(|&(v, neg)| Lit::new(v.into(), neg)));
+        match c.normalized() {
+            None => {
+                // Tautologies are true under every total assignment.
+                prop_assert_eq!(c.eval(&a), Value::True);
+            }
+            Some(n) => prop_assert_eq!(n.eval(&a), c.eval(&a)),
+        }
+    }
+}
+
+proptest! {
+    /// The parser never panics on arbitrary input — it returns a formula
+    /// or a structured error.
+    #[test]
+    fn parser_is_total_on_junk(input in "\\PC{0,300}") {
+        let _ = gridsat_cnf::parse_dimacs_str(&input);
+    }
+
+    /// ...including junk that starts with a plausible header.
+    #[test]
+    fn parser_is_total_on_headed_junk(
+        nv in 0usize..50,
+        nc in 0usize..50,
+        body in "[-0-9a-z %\\n]{0,200}",
+    ) {
+        let input = format!("p cnf {nv} {nc}\n{body}");
+        let _ = gridsat_cnf::parse_dimacs_str(&input);
+    }
+}

@@ -1,0 +1,540 @@
+//! Deterministic discrete-event Grid engine.
+//!
+//! Nodes run [`Process`] state machines; the engine delivers messages with
+//! link latency + bandwidth delays, charges solver work against per-host
+//! speed and background-load traces, and brings batch nodes up and down on
+//! their windows. Event ties are broken by sequence number, and all
+//! stochastic inputs come from seeded traces, so whole runs are
+//! reproducible bit-for-bit.
+
+use crate::process::{Action, Ctx, MessageSize, NodeInfo, Process};
+use crate::topology::{NodeId, Testbed};
+use gridsat_nws::LoadTrace;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One network event recorded when tracing is on (used to reproduce the
+/// paper's Figure 3 message diagram).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub time_s: f64,
+    pub from: NodeId,
+    pub to: NodeId,
+    pub label: String,
+    pub bytes: usize,
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    pub messages_delivered: u64,
+    pub bytes_delivered: u64,
+    pub messages_dropped: u64,
+    pub ticks: u64,
+    pub events: u64,
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Tick { node: NodeId },
+    NodeUp { node: NodeId },
+    NodeDown { node: NodeId },
+}
+
+struct Event<M> {
+    time_us: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_us, self.seq).cmp(&(other.time_us, other.seq))
+    }
+}
+
+struct Node<P: Process> {
+    proc: P,
+    up: bool,
+    /// Earliest requested tick; stale tick events are skipped.
+    next_tick_us: Option<u64>,
+    load: Option<LoadTrace>,
+    last_availability: f64,
+}
+
+/// The simulator. Construct with a [`Testbed`] and one process per host.
+pub struct Sim<P: Process> {
+    testbed: Testbed,
+    nodes: Vec<Node<P>>,
+    events: BinaryHeap<Reverse<Event<P::Msg>>>,
+    seq: u64,
+    now_us: u64,
+    shutdown: bool,
+    pub stats: SimStats,
+    trace: Option<Vec<TraceEvent>>,
+    /// Per-(from, to) last delivery time: messages between a pair are
+    /// FIFO, as on the TCP streams of the paper's messaging layer.
+    last_delivery: HashMap<(NodeId, NodeId), u64>,
+}
+
+const US: f64 = 1_000_000.0;
+
+impl<P: Process> Sim<P> {
+    /// Build a simulation: `make` constructs the process for each node.
+    pub fn new(testbed: Testbed, mut make: impl FnMut(NodeId) -> P) -> Sim<P> {
+        let mut nodes = Vec::with_capacity(testbed.num_hosts());
+        let mut events = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, host) in testbed.hosts.iter().enumerate() {
+            let id = NodeId(i as u32);
+            nodes.push(Node {
+                proc: make(id),
+                up: false,
+                next_tick_us: None,
+                load: host
+                    .load
+                    .map(|cfg| LoadTrace::new(cfg, testbed.load_seed.wrapping_add(i as u64))),
+                last_availability: host.load.map(|cfg| cfg.mean_availability).unwrap_or(1.0),
+            });
+            events.push(Reverse(Event {
+                time_us: (host.up_at * US) as u64,
+                seq,
+                kind: EventKind::NodeUp { node: id },
+            }));
+            seq += 1;
+            if host.down_at.is_finite() {
+                events.push(Reverse(Event {
+                    time_us: (host.down_at * US) as u64,
+                    seq,
+                    kind: EventKind::NodeDown { node: id },
+                }));
+                seq += 1;
+            }
+        }
+        Sim {
+            testbed,
+            nodes,
+            events,
+            seq,
+            now_us: 0,
+            shutdown: false,
+            stats: SimStats::default(),
+            trace: None,
+            last_delivery: HashMap::new(),
+        }
+    }
+
+    /// Record every message delivery (for the Figure 3 reproduction).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded message trace.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now_us as f64 / US
+    }
+
+    /// Did a process request shutdown?
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Immutable access to a node's process (for result extraction).
+    pub fn process(&self, id: NodeId) -> &P {
+        &self.nodes[id.0 as usize].proc
+    }
+
+    /// Number of nodes in the testbed.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Run until shutdown, event exhaustion, or `max_time_s`.
+    pub fn run_until(&mut self, max_time_s: f64) {
+        let deadline_us = (max_time_s * US) as u64;
+        while !self.shutdown {
+            let Some(Reverse(ev)) = self.events.pop() else {
+                break;
+            };
+            if ev.time_us > deadline_us {
+                // push back so a later run_until() can resume
+                self.events.push(Reverse(ev));
+                self.now_us = deadline_us;
+                break;
+            }
+            self.now_us = ev.time_us;
+            self.stats.events += 1;
+            self.dispatch(ev);
+        }
+    }
+
+    fn info(&self, id: NodeId) -> NodeInfo {
+        let host = &self.testbed.hosts[id.0 as usize];
+        NodeInfo {
+            id,
+            speed: host.speed,
+            memory: host.memory,
+            now: self.now_us as f64 / US,
+            availability: self.nodes[id.0 as usize].last_availability,
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<P::Msg>) {
+        match ev.kind {
+            EventKind::NodeUp { node } => {
+                self.nodes[node.0 as usize].up = true;
+                let mut ctx = Ctx::new(self.info(node));
+                self.nodes[node.0 as usize].proc.on_start(&mut ctx);
+                self.apply_actions(node, &mut ctx);
+            }
+            EventKind::NodeDown { node } => {
+                if !self.nodes[node.0 as usize].up {
+                    return;
+                }
+                self.nodes[node.0 as usize].up = false;
+                self.nodes[node.0 as usize].next_tick_us = None;
+                // peers learn about the loss (EveryWare connection teardown)
+                for i in 0..self.nodes.len() {
+                    if i == node.0 as usize || !self.nodes[i].up {
+                        continue;
+                    }
+                    let id = NodeId(i as u32);
+                    let mut ctx = Ctx::new(self.info(id));
+                    self.nodes[i].proc.on_node_down(node, &mut ctx);
+                    self.apply_actions(id, &mut ctx);
+                }
+            }
+            EventKind::Deliver { from, to, msg } => {
+                let n = &mut self.nodes[to.0 as usize];
+                if !n.up {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                self.stats.bytes_delivered += msg.size_bytes() as u64;
+                let mut ctx = Ctx::new(self.info(to));
+                self.nodes[to.0 as usize]
+                    .proc
+                    .on_message(from, msg, &mut ctx);
+                self.apply_actions(to, &mut ctx);
+            }
+            EventKind::Tick { node } => {
+                let n = &mut self.nodes[node.0 as usize];
+                if !n.up || n.next_tick_us != Some(ev.time_us) {
+                    return; // stale or dead tick
+                }
+                n.next_tick_us = None;
+                self.stats.ticks += 1;
+                let mut ctx = Ctx::new(self.info(node));
+                self.nodes[node.0 as usize].proc.on_tick(&mut ctx);
+                self.apply_actions(node, &mut ctx);
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, node: NodeId, ctx: &mut Ctx<P::Msg>) {
+        let actions = ctx.take_actions();
+        // first pass: total work charged in this activation
+        let mut work_units = 0u64;
+        for a in &actions {
+            if let Action::Work { units } = a {
+                work_units += units;
+            }
+        }
+        let elapsed_us = if work_units > 0 {
+            let host = &self.testbed.hosts[node.0 as usize];
+            let availability = self.nodes[node.0 as usize]
+                .load
+                .as_mut()
+                .map(|t| t.next_sample())
+                .unwrap_or(1.0);
+            self.nodes[node.0 as usize].last_availability = availability;
+            let dt_s = work_units as f64 / (host.speed * availability);
+            (dt_s * US).max(1.0) as u64
+        } else {
+            0
+        };
+        let end_us = self.now_us + elapsed_us;
+
+        for a in actions {
+            match a {
+                Action::Work { .. } => {}
+                Action::Idle => {
+                    self.nodes[node.0 as usize].next_tick_us = None;
+                }
+                Action::Shutdown => self.shutdown = true,
+                Action::ScheduleTick { delay_s } => {
+                    let t = end_us + (delay_s * US) as u64;
+                    let n = &mut self.nodes[node.0 as usize];
+                    let t = match n.next_tick_us {
+                        Some(existing) if existing <= t => existing,
+                        _ => t,
+                    };
+                    n.next_tick_us = Some(t);
+                    self.events.push(Reverse(Event {
+                        time_us: t,
+                        seq: self.seq,
+                        kind: EventKind::Tick { node },
+                    }));
+                    self.seq += 1;
+                }
+                Action::Send { to, msg } => {
+                    let from_site = self.testbed.hosts[node.0 as usize].site;
+                    let to_site = self.testbed.hosts[to.0 as usize].site;
+                    let link = self.testbed.net.link(from_site, to_site);
+                    let bytes = msg.size_bytes();
+                    let mut arrival = end_us + (link.transfer_time(bytes) * US) as u64;
+                    // FIFO per link: never overtake an earlier message
+                    let slot = self.last_delivery.entry((node, to)).or_insert(0);
+                    arrival = arrival.max(*slot + 1);
+                    *slot = arrival;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEvent {
+                            time_s: self.now_us as f64 / US,
+                            from: node,
+                            to,
+                            label: msg.label(),
+                            bytes,
+                        });
+                    }
+                    self.events.push(Reverse(Event {
+                        time_us: arrival,
+                        seq: self.seq,
+                        kind: EventKind::Deliver {
+                            from: node,
+                            to,
+                            msg,
+                        },
+                    }));
+                    self.seq += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::HostSpec;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+    impl MessageSize for Msg {
+        fn size_bytes(&self) -> usize {
+            64
+        }
+        fn label(&self) -> String {
+            match self {
+                Msg::Ping(_) => "ping".into(),
+                Msg::Pong(_) => "pong".into(),
+            }
+        }
+    }
+
+    /// Node 0 pings node 1 `rounds` times, charging work per round.
+    struct PingPong {
+        rounds: u64,
+        received: Vec<(f64, u64)>,
+        is_master: bool,
+    }
+
+    impl Process for PingPong {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+            if self.is_master {
+                ctx.send(NodeId(1), Msg::Ping(0));
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<Msg>) {
+            match msg {
+                Msg::Ping(i) => {
+                    ctx.work(1000);
+                    ctx.send(NodeId(0), Msg::Pong(i));
+                }
+                Msg::Pong(i) => {
+                    self.received.push((ctx.now(), i));
+                    if i + 1 < self.rounds {
+                        ctx.send(NodeId(1), Msg::Ping(i + 1));
+                    } else {
+                        ctx.shutdown();
+                    }
+                }
+            }
+        }
+        fn on_tick(&mut self, _ctx: &mut Ctx<Msg>) {}
+    }
+
+    fn tiny_testbed() -> Testbed {
+        Testbed {
+            hosts: vec![
+                HostSpec::new("m", crate::topology::Site::Ucsd, 1000.0, 1 << 20).dedicated(),
+                HostSpec::new("w", crate::topology::Site::Utk, 1000.0, 1 << 20).dedicated(),
+            ],
+            net: Default::default(),
+            load_seed: 1,
+        }
+    }
+
+    #[test]
+    fn ping_pong_timing_and_shutdown() {
+        let mut sim = Sim::new(tiny_testbed(), |id| PingPong {
+            rounds: 3,
+            received: Vec::new(),
+            is_master: id == NodeId(0),
+        });
+        sim.enable_trace();
+        sim.run_until(1e9);
+        assert!(sim.is_shutdown());
+        let master = sim.process(NodeId(0));
+        assert_eq!(master.received.len(), 3);
+        // each round: WAN latency 0.07 + 64/4000 bytes each way, plus 1 s
+        // of work (1000 units at 1000 u/s) on the worker
+        let per_round = 2.0 * (0.070 + 64.0 / 4000.0) + 1.0;
+        let t0 = master.received[0].0;
+        assert!((t0 - per_round).abs() < 0.01, "t0 = {t0}");
+        let t2 = master.received[2].0;
+        assert!((t2 - 3.0 * per_round).abs() < 0.03, "t2 = {t2}");
+        // trace captured all six messages in order
+        let labels: Vec<&str> = sim
+            .trace_events()
+            .iter()
+            .map(|e| e.label.as_str())
+            .collect();
+        assert_eq!(labels, ["ping", "pong", "ping", "pong", "ping", "pong"]);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sim = Sim::new(tiny_testbed(), |id| PingPong {
+                rounds: 5,
+                received: Vec::new(),
+                is_master: id == NodeId(0),
+            });
+            sim.run_until(1e9);
+            sim.process(NodeId(0)).received.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A process that ticks forever, counting ticks.
+    struct Ticker {
+        ticks: u64,
+        quantum_work: u64,
+    }
+    impl Process for Ticker {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+            ctx.schedule_tick(0.0);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Msg, _ctx: &mut Ctx<Msg>) {}
+        fn on_tick(&mut self, ctx: &mut Ctx<Msg>) {
+            self.ticks += 1;
+            ctx.work(self.quantum_work);
+            ctx.schedule_tick(0.0);
+        }
+    }
+
+    #[test]
+    fn work_charging_controls_tick_rate() {
+        // 1000 units/tick at 1000 u/s (dedicated) => 1 tick per second
+        let mut sim = Sim::new(tiny_testbed(), |_| Ticker {
+            ticks: 0,
+            quantum_work: 1000,
+        });
+        sim.run_until(10.0);
+        let t = sim.process(NodeId(1)).ticks;
+        assert!((9..=11).contains(&t), "{t} ticks in 10 s");
+    }
+
+    #[test]
+    fn shared_host_runs_slower_than_dedicated() {
+        let mut tb = tiny_testbed();
+        tb.hosts[1].load = Some(gridsat_nws::TraceConfig {
+            mean_availability: 0.5,
+            ..Default::default()
+        });
+        let mut sim = Sim::new(tb, |_| Ticker {
+            ticks: 0,
+            quantum_work: 1000,
+        });
+        sim.run_until(100.0);
+        let dedicated = sim.process(NodeId(0)).ticks;
+        let shared = sim.process(NodeId(1)).ticks;
+        assert!(
+            (shared as f64) < dedicated as f64 * 0.75,
+            "shared {shared} vs dedicated {dedicated}"
+        );
+    }
+
+    #[test]
+    fn late_node_up_and_down_window() {
+        let mut tb = tiny_testbed();
+        tb.hosts[1] = tb.hosts[1].clone().with_window(5.0, 8.0);
+        let mut sim = Sim::new(tb, |_| Ticker {
+            ticks: 0,
+            quantum_work: 1000,
+        });
+        sim.run_until(20.0);
+        let t = sim.process(NodeId(1)).ticks;
+        // only alive from t=5 to t=8
+        assert!((2..=4).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn messages_to_down_nodes_are_dropped() {
+        struct Spammer;
+        impl Process for Spammer {
+            type Msg = Msg;
+            fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+                if ctx.me() == NodeId(0) {
+                    for i in 0..5 {
+                        ctx.send(NodeId(1), Msg::Ping(i));
+                    }
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Msg, _c: &mut Ctx<Msg>) {}
+            fn on_tick(&mut self, _c: &mut Ctx<Msg>) {}
+        }
+        let mut tb = tiny_testbed();
+        tb.hosts[1] = tb.hosts[1].clone().with_window(100.0, 200.0); // not up yet
+        let mut sim = Sim::new(tb, |_| Spammer);
+        sim.run_until(10.0);
+        assert_eq!(sim.stats.messages_dropped, 5);
+        assert_eq!(sim.stats.messages_delivered, 0);
+    }
+
+    #[test]
+    fn run_until_deadline_pauses_and_resumes() {
+        let mut sim = Sim::new(tiny_testbed(), |_| Ticker {
+            ticks: 0,
+            quantum_work: 1000,
+        });
+        sim.run_until(3.0);
+        let a = sim.process(NodeId(0)).ticks;
+        sim.run_until(6.0);
+        let b = sim.process(NodeId(0)).ticks;
+        assert!(b > a);
+        assert!((sim.now() - 6.0).abs() < 0.01);
+    }
+}

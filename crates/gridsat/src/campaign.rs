@@ -1,0 +1,125 @@
+//! Campaign helper: run the paper's methodology — a sequential baseline
+//! against a GridSAT run — over any instance, as a library call.
+//!
+//! This is the comparison the paper's Table 1 performs per row; the
+//! `table1` binary in `gridsat-bench` is a thin loop over this.
+
+use crate::config::GridConfig;
+use crate::experiment;
+use crate::master::GridOutcome;
+use gridsat_cnf::Formula;
+use gridsat_grid::Testbed;
+use gridsat_solver::{driver, Outcome, SolverConfig};
+
+/// One instance's paper-style comparison row.
+#[derive(Debug)]
+pub struct ComparisonRow {
+    /// Instance name.
+    pub name: String,
+    /// Sequential outcome (SAT/UNSAT/TIME_OUT/MEM_OUT).
+    pub sequential: Outcome,
+    /// Sequential cost in seconds at the reference speed.
+    pub sequential_seconds: f64,
+    /// Grid outcome.
+    pub grid: GridOutcome,
+    /// Grid time-to-solution in simulated seconds (the cap if unsolved).
+    pub grid_seconds: f64,
+    /// Speed-up when both solved (the paper's column).
+    pub speedup: Option<f64>,
+    /// The paper's "Max # of clients" column.
+    pub max_clients: usize,
+    /// Splits brokered during the grid run.
+    pub splits: u64,
+}
+
+/// Parameters of a comparison.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Sequential solver configuration (the zChaff baseline).
+    pub sequential_config: SolverConfig,
+    /// Sequential work cap.
+    pub sequential_max_work: u64,
+    /// Work units per second on the reference host (for converting the
+    /// sequential work cost to the paper's "seconds on the fastest
+    /// dedicated machine").
+    pub reference_speed: f64,
+    /// The Grid testbed.
+    pub testbed: Testbed,
+    /// GridSAT configuration (caps, share limit, scheduler, ...).
+    pub grid_config: GridConfig,
+}
+
+impl Comparison {
+    /// Run the comparison on one instance.
+    pub fn run(&self, formula: &Formula) -> ComparisonRow {
+        let seq = driver::solve(
+            formula,
+            self.sequential_config.clone(),
+            driver::Limits::with_max_work(self.sequential_max_work),
+        );
+        let sequential_seconds = seq.stats.work as f64 / self.reference_speed;
+        let grid = experiment::run(formula, self.testbed.clone(), self.grid_config.clone());
+        let speedup = match (&seq.outcome, &grid.outcome) {
+            (Outcome::Sat(_) | Outcome::Unsat, GridOutcome::Sat(_) | GridOutcome::Unsat) => {
+                Some(sequential_seconds / grid.seconds)
+            }
+            _ => None,
+        };
+        ComparisonRow {
+            name: formula.name().unwrap_or("?").to_string(),
+            sequential: seq.outcome,
+            sequential_seconds,
+            grid: grid.outcome,
+            grid_seconds: grid.seconds,
+            speedup,
+            max_clients: grid.master.max_active_clients,
+            splits: grid.master.splits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_row_on_a_small_instance() {
+        let cmp = Comparison {
+            sequential_config: SolverConfig::sequential_baseline(4 << 20),
+            sequential_max_work: 18_000_000,
+            reference_speed: 1000.0,
+            testbed: Testbed::uniform(4, 1000.0, 3 << 20),
+            grid_config: GridConfig {
+                min_split_timeout: 5.0,
+                ..GridConfig::default()
+            },
+        };
+        let f = gridsat_satgen::php::php(8, 7);
+        let row = cmp.run(&f);
+        assert_eq!(row.sequential, Outcome::Unsat);
+        assert!(matches!(row.grid, GridOutcome::Unsat));
+        assert!(row.speedup.is_some());
+        assert!(row.sequential_seconds > 0.0);
+        assert!(row.max_clients >= 1);
+        assert_eq!(row.name, "php-8-7");
+    }
+
+    #[test]
+    fn unsolved_rows_have_no_speedup() {
+        let cmp = Comparison {
+            sequential_config: SolverConfig::sequential_baseline(4 << 20),
+            sequential_max_work: 2_000, // absurdly small: TIME_OUT
+            reference_speed: 1000.0,
+            testbed: Testbed::uniform(2, 1000.0, 3 << 20),
+            grid_config: GridConfig {
+                overall_timeout: 1.0,
+                ..GridConfig::default()
+            },
+        };
+        let f = gridsat_satgen::php::php(9, 8);
+        let row = cmp.run(&f);
+        assert_eq!(row.sequential, Outcome::TimeOut);
+        assert!(matches!(row.grid, GridOutcome::TimeOut));
+        assert!(row.speedup.is_none());
+    }
+}

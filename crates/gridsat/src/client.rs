@@ -1,0 +1,807 @@
+//! The GridSAT client: solves subproblems, monitors its own resources,
+//! requests splits, shares clauses, and hands halves of its search space
+//! to peers (paper Sections 3.1-3.3).
+
+use crate::config::{CheckpointMode, GridConfig, ShareTuning};
+use crate::msg::{Checkpoint, GridMsg, ProblemId, SubResult};
+use gridsat_grid::{Ctx, NodeId, Process};
+use gridsat_solver::{Solver, SolverConfig, SplitSpec, Step};
+use serde::{Deserialize, Serialize};
+
+/// Client-side counters, aggregated into the experiment report.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Subproblems this client received (initial problem counts too).
+    pub subproblems: u64,
+    /// Splits this client performed (as the requester).
+    pub splits: u64,
+    /// Split requests sent to the master.
+    pub split_requests: u64,
+    /// Clause batches sent to peers.
+    pub share_batches_sent: u64,
+    /// Clauses received from peers.
+    pub clauses_received: u64,
+    /// Solver work executed.
+    pub work: u64,
+    /// Results reported (SAT or UNSAT subproblems).
+    pub results: u64,
+    /// Migrations performed (sent own problem away).
+    pub migrations: u64,
+    /// Adaptive share-limit adjustments (extension).
+    pub share_limit_changes: u64,
+}
+
+enum State {
+    /// No problem assigned.
+    Idle,
+    /// Solving a subproblem.
+    Solving,
+    /// Run over.
+    Done,
+}
+
+/// The client process. One per Grid host.
+pub struct Client {
+    master: NodeId,
+    config: GridConfig,
+    state: State,
+    solver: Option<Solver>,
+    peers: Vec<NodeId>,
+    /// When the current subproblem started (for the split time-out).
+    problem_started: f64,
+    /// Transfer time of the problem we received; the split time-out is
+    /// twice this (floored at the configured minimum): "a client records
+    /// the time it required to send or receive a problem. When twice this
+    /// time period expires, the client requests more resource".
+    transfer_time: f64,
+    /// Pending split request (avoid flooding the master).
+    split_requested_at: Option<f64>,
+    last_load_report: f64,
+    last_checkpoint: f64,
+    /// Identity of the subproblem currently held.
+    current_problem: Option<ProblemId>,
+    /// Adaptive share-limit state: current limit and the merge counters
+    /// at the last adjustment.
+    share_limit_now: Option<usize>,
+    tuning_mark: (u64, u64),
+    last_tuning: f64,
+    /// Counter for subproblem ids minted by this client's splits.
+    minted: u32,
+    pub stats: ClientStats,
+}
+
+impl Client {
+    pub fn new(master: NodeId, config: GridConfig) -> Client {
+        let share_limit_now = config.share_len_limit;
+        Client {
+            master,
+            config,
+            state: State::Idle,
+            solver: None,
+            peers: Vec::new(),
+            problem_started: 0.0,
+            transfer_time: 0.0,
+            split_requested_at: None,
+            last_load_report: 0.0,
+            last_checkpoint: 0.0,
+            share_limit_now,
+            tuning_mark: (0, 0),
+            last_tuning: 0.0,
+            current_problem: None,
+            minted: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    fn split_timeout(&self) -> f64 {
+        (2.0 * self.transfer_time).max(self.config.min_split_timeout)
+    }
+
+    fn solver_config(&self, host_memory: usize) -> SolverConfig {
+        let budget = (host_memory as f64 * self.config.mem_fraction) as usize;
+        let mut cfg = match self.share_limit_now {
+            Some(limit) => SolverConfig::grid_client(limit, budget),
+            None => SolverConfig::sequential_baseline(budget),
+        };
+        cfg.mem_budget = Some(budget);
+        cfg
+    }
+
+    /// The adaptive share-tuning extension: when merged foreign clauses
+    /// rarely produce implications the limit tightens (sharing is mostly
+    /// overhead); when most of them do, it widens.
+    fn maybe_tune_share_limit(&mut self, ctx: &Ctx<GridMsg>) {
+        let ShareTuning::Adaptive { min, max } = self.config.share_tuning else {
+            return;
+        };
+        if ctx.now() - self.last_tuning < self.config.load_report_period {
+            return;
+        }
+        self.last_tuning = ctx.now();
+        let Some(solver) = &mut self.solver else {
+            return;
+        };
+        let st = solver.stats();
+        let (m0, i0) = self.tuning_mark;
+        let merged = st.merged_in - m0;
+        let implications = st.merge_implications - i0;
+        self.tuning_mark = (st.merged_in, st.merge_implications);
+        if merged < 10 {
+            return; // not enough evidence this window
+        }
+        let rate = implications as f64 / merged as f64;
+        let current = self.share_limit_now.unwrap_or(max);
+        let next = if rate < 0.05 {
+            current.saturating_sub(1).max(min)
+        } else if rate > 0.25 {
+            (current + 1).min(max)
+        } else {
+            current
+        };
+        if next != current {
+            self.share_limit_now = Some(next);
+            solver.set_share_len_limit(Some(next));
+            self.stats.share_limit_changes += 1;
+        }
+    }
+
+    fn mint_problem_id(&mut self, ctx: &Ctx<GridMsg>) -> ProblemId {
+        self.minted += 1;
+        ProblemId::new(ctx.me(), self.minted)
+    }
+
+    fn adopt_problem(&mut self, spec: &SplitSpec, problem: ProblemId, ctx: &mut Ctx<GridMsg>) {
+        debug_assert!(
+            (ctx.info.memory as f64 * self.config.mem_fraction) as usize >= self.config.min_memory,
+            "master must not assign work to under-provisioned hosts"
+        );
+        let solver = Solver::from_split(spec, self.solver_config(ctx.info.memory));
+        self.solver = Some(solver);
+        self.current_problem = Some(problem);
+        self.state = State::Solving;
+        self.problem_started = ctx.now();
+        self.split_requested_at = None;
+        self.stats.subproblems += 1;
+        ctx.schedule_tick(0.0);
+    }
+
+    fn report_result(&mut self, result: SubResult, ctx: &mut Ctx<GridMsg>) {
+        let problem = self.current_problem.take().expect("solving a problem");
+        ctx.send(self.master, GridMsg::Result { result, problem });
+        self.stats.results += 1;
+        self.solver = None;
+        self.state = State::Idle;
+        self.split_requested_at = None;
+        ctx.idle();
+    }
+
+    fn drain_shares(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let Some(solver) = &mut self.solver else {
+            return;
+        };
+        let clauses = solver.take_shared();
+        if clauses.is_empty() {
+            return;
+        }
+        let me = ctx.me();
+        let mut sent = false;
+        for &peer in &self.peers {
+            if peer != me && peer != self.master {
+                ctx.send(peer, GridMsg::Share(clauses.clone()));
+                sent = true;
+            }
+        }
+        if sent {
+            self.stats.share_batches_sent += 1;
+        }
+    }
+
+    fn maybe_request_split(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let now = ctx.now();
+        let since_request = self
+            .split_requested_at
+            .map(|t| now - t)
+            .unwrap_or(f64::INFINITY);
+        // don't flood: at most one outstanding request per timeout window
+        if since_request < self.split_timeout() {
+            return;
+        }
+        let can = self.solver.as_ref().is_some_and(Solver::can_split);
+        if !can {
+            return;
+        }
+        let problem = self.current_problem.expect("solving a problem");
+        ctx.send(self.master, GridMsg::SplitRequest { problem });
+        self.split_requested_at = Some(now);
+        self.stats.split_requests += 1;
+    }
+
+    fn maybe_checkpoint(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if self.config.checkpoint == CheckpointMode::Off {
+            return;
+        }
+        let now = ctx.now();
+        if now - self.last_checkpoint < self.config.checkpoint_period {
+            return;
+        }
+        let Some(solver) = &self.solver else { return };
+        self.last_checkpoint = now;
+        let level0 = solver.level0_assignment();
+        let cp = match self.config.checkpoint {
+            CheckpointMode::Light => Checkpoint::Light { level0 },
+            CheckpointMode::Heavy => Checkpoint::Heavy {
+                level0,
+                learned: solver.export_clauses(),
+            },
+            CheckpointMode::Off => unreachable!(),
+        };
+        ctx.send(self.master, GridMsg::CheckpointMsg(Box::new(cp)));
+    }
+
+    /// Export the full current subproblem (for migration).
+    fn export_subproblem(&self) -> Option<SplitSpec> {
+        let solver = self.solver.as_ref()?;
+        Some(SplitSpec {
+            num_vars: solver.num_vars(),
+            assumptions: solver.level0_assignment(),
+            clauses: solver.export_clauses(),
+        })
+    }
+
+    /// Is this client currently solving? (test/driver introspection)
+    pub fn is_solving(&self) -> bool {
+        matches!(self.state, State::Solving)
+    }
+}
+
+impl Process for Client {
+    type Msg = GridMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<GridMsg>) {
+        // the paper's clients terminate if the host is under-provisioned;
+        // they register otherwise and wait for work
+        let usable = (ctx.info.memory as f64 * self.config.mem_fraction) as usize;
+        if usable < self.config.min_memory {
+            self.state = State::Done;
+            return;
+        }
+        ctx.send(
+            self.master,
+            GridMsg::Register {
+                memory: ctx.info.memory,
+                availability: ctx.info.availability,
+            },
+        );
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        if matches!(self.state, State::Done) {
+            return;
+        }
+        match msg {
+            GridMsg::Solve { spec, problem } => {
+                self.transfer_time = 0.0; // master-local dispatch, no estimate yet
+                self.adopt_problem(&spec, problem, ctx);
+            }
+            GridMsg::Subproblem {
+                spec,
+                sent_at,
+                problem,
+            } => {
+                self.transfer_time = (ctx.now() - sent_at).max(0.0);
+                self.adopt_problem(&spec, problem, ctx);
+                // Figure 3 message (4): receiver confirms the transfer
+                ctx.send(
+                    self.master,
+                    GridMsg::SplitDone {
+                        requester: from,
+                        peer: ctx.me(),
+                        ok: true,
+                        problem: Some(problem),
+                    },
+                );
+            }
+            GridMsg::SplitGrant { peer, problem } => {
+                self.split_requested_at = None;
+                let me = ctx.me();
+                let done = |ok| GridMsg::SplitDone {
+                    requester: me,
+                    peer,
+                    ok,
+                    problem: None,
+                };
+                // stale grant: meant for a subproblem we no longer hold
+                if self.current_problem != Some(problem) {
+                    ctx.send(self.master, done(false));
+                    return;
+                }
+                let new_id = self.mint_problem_id(ctx);
+                let Some(solver) = &mut self.solver else {
+                    unreachable!("current_problem implies a solver");
+                };
+                match solver.split_off() {
+                    Some(spec) => {
+                        // "a client records the time it required to SEND or
+                        // receive a problem": estimate the send cost so the
+                        // split time-out backs off as the database grows
+                        let est =
+                            spec.approx_message_bytes() as f64 / self.config.assumed_bw_bytes_per_s;
+                        self.transfer_time = self.transfer_time.max(est);
+                        ctx.send(
+                            peer,
+                            GridMsg::Subproblem {
+                                spec: Box::new(spec),
+                                sent_at: ctx.now(),
+                                problem: new_id,
+                            },
+                        );
+                        // Figure 3 message (5): requester reports success
+                        ctx.send(self.master, done(true));
+                        self.stats.splits += 1;
+                        // the remaining half is a fresh, smaller problem
+                        self.problem_started = ctx.now();
+                    }
+                    None => {
+                        ctx.send(self.master, done(false));
+                    }
+                }
+            }
+            GridMsg::Migrate { peer, problem } => {
+                let me = ctx.me();
+                let done = |ok| GridMsg::SplitDone {
+                    requester: me,
+                    peer,
+                    ok,
+                    problem: None,
+                };
+                if self.current_problem != Some(problem) {
+                    // stale: this migration was meant for a previous problem
+                    ctx.send(self.master, done(false));
+                    return;
+                }
+                if let Some(spec) = self.export_subproblem() {
+                    // the subproblem keeps its identity when it moves
+                    ctx.send(
+                        peer,
+                        GridMsg::Subproblem {
+                            spec: Box::new(spec),
+                            sent_at: ctx.now(),
+                            problem,
+                        },
+                    );
+                    self.solver = None;
+                    self.current_problem = None;
+                    self.state = State::Idle;
+                    self.stats.migrations += 1;
+                    ctx.send(self.master, done(true));
+                    ctx.idle();
+                } else {
+                    ctx.send(self.master, done(false));
+                }
+            }
+            GridMsg::Share(clauses) => {
+                if let Some(solver) = &mut self.solver {
+                    self.stats.clauses_received += clauses.len() as u64;
+                    for c in clauses {
+                        solver.queue_foreign(c);
+                    }
+                }
+            }
+            GridMsg::Peers(p) => self.peers = p,
+            GridMsg::Terminate(_) => {
+                self.state = State::Done;
+                self.solver = None;
+                self.current_problem = None;
+                ctx.idle();
+            }
+            // master-bound messages are not for us
+            GridMsg::Register { .. }
+            | GridMsg::SplitRequest { .. }
+            | GridMsg::SplitDone { .. }
+            | GridMsg::Result { .. }
+            | GridMsg::LoadReport { .. }
+            | GridMsg::CheckpointMsg(_) => {
+                debug_assert!(
+                    false,
+                    "client {:?} got master message from {from}",
+                    ctx.me()
+                );
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if !matches!(self.state, State::Solving) {
+            ctx.idle();
+            return;
+        }
+        let quantum = (ctx.info.speed * self.config.work_quantum_s).max(1.0) as u64;
+        let step = {
+            let solver = self.solver.as_mut().expect("solving state has a solver");
+            let before = solver.stats().work;
+            let step = solver.step(quantum);
+            let done = solver.stats().work - before;
+            self.stats.work += done;
+            ctx.work(done);
+            step
+        };
+
+        // share fresh clauses even on the final quantum
+        self.drain_shares(ctx);
+
+        match step {
+            Step::Sat => {
+                let solver = self.solver.as_ref().expect("solver");
+                let lits = solver.assignment().to_lits();
+                self.report_result(SubResult::Sat(lits), ctx);
+                return;
+            }
+            Step::Unsat => {
+                self.report_result(SubResult::Unsat, ctx);
+                return;
+            }
+            Step::MemoryPressure => {
+                // the paper's way out of memory pressure is a split
+                self.maybe_request_split(ctx);
+            }
+            Step::Running => {
+                if ctx.now() - self.problem_started > self.split_timeout() {
+                    // long-running subproblem: probably hard, ask for help
+                    self.maybe_request_split(ctx);
+                }
+            }
+        }
+
+        self.maybe_tune_share_limit(ctx);
+
+        // periodic NWS measurement for the master's forecasters
+        if ctx.now() - self.last_load_report >= self.config.load_report_period {
+            self.last_load_report = ctx.now();
+            ctx.send(
+                self.master,
+                GridMsg::LoadReport {
+                    availability: ctx.info.availability,
+                },
+            );
+        }
+        self.maybe_checkpoint(ctx);
+        ctx.schedule_tick(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsat_grid::NodeInfo;
+
+    fn ctx(now: f64) -> Ctx<GridMsg> {
+        Ctx::new(NodeInfo {
+            id: NodeId(1),
+            speed: 1000.0,
+            memory: 3 << 20,
+            now,
+            availability: 1.0,
+        })
+    }
+
+    fn whole_problem() -> SplitSpec {
+        let f = gridsat_cnf::paper::fig1_formula();
+        SplitSpec {
+            num_vars: f.num_vars(),
+            assumptions: vec![],
+            clauses: f.clauses().to_vec(),
+        }
+    }
+
+    #[test]
+    fn registers_on_start() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        c.on_start(&mut cx);
+        let actions = cx.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::Register { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn under_provisioned_host_refuses_to_register() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = Ctx::new(NodeInfo {
+            id: NodeId(1),
+            speed: 250.0,
+            memory: 100 << 10, // 60% of this is below the 400 KB minimum
+            now: 0.0,
+            availability: 1.0,
+        });
+        c.on_start(&mut cx);
+        assert!(cx.take_actions().is_empty());
+        assert!(matches!(c.state, State::Done));
+    }
+
+    #[test]
+    fn solves_the_whole_problem_and_reports_sat() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: Box::new(whole_problem()),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert!(c.is_solving());
+        let _ = cx.take_actions();
+
+        // tick until it reports
+        for i in 0..100 {
+            let mut cx = ctx(i as f64);
+            c.on_tick(&mut cx);
+            let actions = cx.take_actions();
+            if let Some(gridsat_grid::Action::Send {
+                msg:
+                    GridMsg::Result {
+                        result: SubResult::Sat(lits),
+                        ..
+                    },
+                ..
+            }) = actions.iter().find(|a| {
+                matches!(
+                    a,
+                    gridsat_grid::Action::Send {
+                        msg: GridMsg::Result { .. },
+                        ..
+                    }
+                )
+            }) {
+                // model verifies against the original
+                let f = gridsat_cnf::paper::fig1_formula();
+                let mut a = f.empty_assignment();
+                for &l in lits {
+                    a.assign_lit(l);
+                }
+                assert!(f.is_satisfied_by(&a));
+                assert!(!c.is_solving());
+                return;
+            }
+        }
+        panic!("client never reported a result");
+    }
+
+    #[test]
+    fn split_timeout_uses_twice_transfer_time_with_floor() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        assert_eq!(c.split_timeout(), 100.0, "floor applies");
+        c.transfer_time = 120.0;
+        assert_eq!(c.split_timeout(), 240.0);
+    }
+
+    #[test]
+    fn grant_produces_figure3_messages() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        // a hard-ish problem so decisions exist
+        let f = gridsat_satgen::php::php(6, 5);
+        let spec = SplitSpec {
+            num_vars: f.num_vars(),
+            assumptions: vec![],
+            clauses: f.clauses().to_vec(),
+        };
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: Box::new(spec),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        // a little work so the solver has an open decision
+        let mut cx = ctx(1.0);
+        c.on_tick(&mut cx);
+        let _ = cx.take_actions();
+
+        let mut cx = ctx(2.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::SplitGrant {
+                peer: NodeId(5),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let actions = cx.take_actions();
+        // message (3) to the peer, message (5) to the master
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(5),
+                msg: GridMsg::Subproblem { .. }
+            }
+        )));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::SplitDone { ok: true, .. }
+            }
+        )));
+        assert_eq!(c.stats.splits, 1);
+    }
+
+    #[test]
+    fn grant_when_idle_reports_failure() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::SplitGrant {
+                peer: NodeId(5),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let actions = cx.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::SplitDone { ok: false, .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn foreign_clauses_are_queued() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: Box::new(whole_problem()),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        let clause = gridsat_cnf::Clause::new([gridsat_cnf::Lit::pos(0)]);
+        let mut cx = ctx(0.5);
+        c.on_message(NodeId(2), GridMsg::Share(vec![clause]), &mut cx);
+        assert_eq!(c.stats.clauses_received, 1);
+        assert_eq!(c.solver.as_ref().unwrap().pending_foreign(), 1);
+    }
+
+    #[test]
+    fn terminate_stops_everything() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: Box::new(whole_problem()),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        let mut cx = ctx(1.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Terminate(crate::msg::EndReason::Sat),
+            &mut cx,
+        );
+        assert!(matches!(c.state, State::Done));
+        // ticks are inert afterwards
+        let mut cx = ctx(2.0);
+        c.on_tick(&mut cx);
+        let actions = cx.take_actions();
+        assert_eq!(actions.len(), 1); // just the Idle
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use crate::config::ShareTuning;
+    use gridsat_grid::NodeInfo;
+    use gridsat_solver::SplitSpec;
+
+    fn ctx(now: f64) -> Ctx<GridMsg> {
+        Ctx::new(NodeInfo {
+            id: NodeId(1),
+            speed: 1000.0,
+            memory: 3 << 20,
+            now,
+            availability: 1.0,
+        })
+    }
+
+    fn adaptive_client() -> Client {
+        Client::new(
+            NodeId(0),
+            GridConfig {
+                share_len_limit: Some(6),
+                share_tuning: ShareTuning::Adaptive { min: 2, max: 16 },
+                load_report_period: 1.0,
+                ..GridConfig::default()
+            },
+        )
+    }
+
+    fn give_problem(c: &mut Client, now: f64) {
+        let f = gridsat_satgen::php::php(7, 6);
+        let spec = SplitSpec {
+            num_vars: f.num_vars(),
+            assumptions: vec![],
+            clauses: f.clauses().to_vec(),
+        };
+        let mut cx = ctx(now);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: Box::new(spec),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+    }
+
+    #[test]
+    fn useless_foreign_clauses_tighten_the_limit() {
+        let mut c = adaptive_client();
+        give_problem(&mut c, 0.0);
+        // feed tautologies: merged (skipped) clauses with zero implications
+        // won't count as merges, so use satisfied/unknown clauses instead:
+        // long clauses of fresh unassigned literals merge as "added" (no
+        // implication) — rate 0 => tighten
+        for i in 0..40u32 {
+            let lits: Vec<gridsat_cnf::Lit> = (0..3)
+                .map(|j| gridsat_cnf::Lit::new((((i * 3 + j) % 40) + 1).into(), j % 2 == 0))
+                .collect();
+            let mut cx = ctx(0.5);
+            c.on_message(
+                NodeId(2),
+                GridMsg::Share(vec![gridsat_cnf::Clause::new(lits)]),
+                &mut cx,
+            );
+        }
+        // tick to merge (level 0) and then tune after the period
+        let mut cx = ctx(0.6);
+        c.on_tick(&mut cx);
+        let _ = cx.take_actions();
+        let before = c.share_limit_now.unwrap();
+        let mut cx = ctx(2.0);
+        c.on_tick(&mut cx);
+        let _ = cx.take_actions();
+        let after = c.share_limit_now.unwrap();
+        assert!(after <= before, "limit should not widen on useless merges");
+    }
+
+    #[test]
+    fn fixed_tuning_never_changes_the_limit() {
+        let mut c = Client::new(
+            NodeId(0),
+            GridConfig {
+                share_len_limit: Some(6),
+                share_tuning: ShareTuning::Fixed,
+                load_report_period: 1.0,
+                ..GridConfig::default()
+            },
+        );
+        give_problem(&mut c, 0.0);
+        for t in 1..10 {
+            let mut cx = ctx(t as f64);
+            c.on_tick(&mut cx);
+            let _ = cx.take_actions();
+        }
+        assert_eq!(c.share_limit_now, Some(6));
+        assert_eq!(c.stats.share_limit_changes, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! GridSAT run configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the master picks the idle resource for a split (the scheduler
+/// ablation; the paper uses NWS-style ranking).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Rank by forecast availability x speed, memory as tie-break
+    /// (paper Section 3.3).
+    NwsRank,
+    /// Uniform random among idle resources (seeded).
+    Random(u64),
+    /// Deliberately pick the worst-ranked resource (ablation lower bound).
+    WorstRank,
+}
+
+/// How the share-length limit is chosen (the paper leaves automatic
+/// determination as an open problem: "we do not yet have a way of
+/// determining the length of the clauses to share automatically").
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ShareTuning {
+    /// Use the configured limit as-is (the paper's mode).
+    Fixed,
+    /// Adapt the limit between `min` and `max`: when merged foreign
+    /// clauses rarely produce implications, tighten; when most do, widen
+    /// (extension implementing the paper's future-work item).
+    Adaptive { min: usize, max: usize },
+}
+
+/// Checkpointing mode (paper Section 3.4; extension, off by default).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CheckpointMode {
+    Off,
+    /// Level-0 assignments only.
+    Light,
+    /// Level 0 plus learned clauses.
+    Heavy,
+}
+
+/// Tunables of a GridSAT run. Defaults reproduce the paper's first
+/// experiment set (share limit 10, 100-second split time-out floor).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Maximum length of shared learned clauses (10 in experiment set 1,
+    /// 3 in set 2). `None` disables sharing (ablation).
+    pub share_len_limit: Option<usize>,
+    /// Floor for the client's split time-out ("set to 100 seconds").
+    pub min_split_timeout: f64,
+    /// Overall execution cap in simulated seconds (6000 solvable /
+    /// 12000 challenge in the paper).
+    pub overall_timeout: f64,
+    /// Fraction of host memory a client's solver may use ("only use up
+    /// to 60% of it").
+    pub mem_fraction: f64,
+    /// Minimum usable memory for a client to participate (the paper's
+    /// 128 MB, scaled to model bytes).
+    pub min_memory: usize,
+    /// Seconds of solver work per client tick (scheduling granularity).
+    pub work_quantum_s: f64,
+    /// Period of NWS load reports from clients, seconds.
+    pub load_report_period: f64,
+    /// Master housekeeping period, seconds.
+    pub master_period: f64,
+    /// Scheduler policy.
+    pub scheduler: SchedPolicy,
+    /// Allow the master to migrate subproblems to better resources.
+    pub migration: bool,
+    /// A migration must improve the host rank by at least this factor.
+    pub migration_factor: f64,
+    /// Checkpointing (fault-tolerance extension).
+    pub checkpoint: CheckpointMode,
+    /// Checkpoint upload period, seconds.
+    pub checkpoint_period: f64,
+    /// Bandwidth a client assumes when estimating the cost of a
+    /// subproblem it *sends* (the receive side measures directly).
+    pub assumed_bw_bytes_per_s: f64,
+    /// Share-limit tuning policy (extension; `Fixed` = paper behaviour).
+    pub share_tuning: ShareTuning,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            share_len_limit: Some(10),
+            min_split_timeout: 100.0,
+            overall_timeout: 6000.0,
+            mem_fraction: 0.6,
+            min_memory: 400 << 10, // scaled 128 MB
+            work_quantum_s: 5.0,
+            load_report_period: 60.0,
+            master_period: 5.0,
+            scheduler: SchedPolicy::NwsRank,
+            migration: true,
+            migration_factor: 2.0,
+            checkpoint: CheckpointMode::Off,
+            checkpoint_period: 300.0,
+            assumed_bw_bytes_per_s: 4_000.0,
+            share_tuning: ShareTuning::Fixed,
+        }
+    }
+}
+
+impl GridConfig {
+    /// The paper's first experiment set: share limit 10, 6000 s cap.
+    pub fn experiment1() -> GridConfig {
+        GridConfig::default()
+    }
+
+    /// First set, challenge benchmarks: 12000 s cap.
+    pub fn experiment1_challenge() -> GridConfig {
+        GridConfig {
+            overall_timeout: 12000.0,
+            ..GridConfig::default()
+        }
+    }
+
+    /// The paper's second experiment set: share limit 3.
+    pub fn experiment2(overall_timeout: f64) -> GridConfig {
+        GridConfig {
+            share_len_limit: Some(3),
+            overall_timeout,
+            ..GridConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let e1 = GridConfig::experiment1();
+        assert_eq!(e1.share_len_limit, Some(10));
+        assert_eq!(e1.min_split_timeout, 100.0);
+        assert_eq!(e1.overall_timeout, 6000.0);
+        assert_eq!(e1.mem_fraction, 0.6);
+
+        assert_eq!(GridConfig::experiment1_challenge().overall_timeout, 12000.0);
+
+        let e2 = GridConfig::experiment2(200_000.0);
+        assert_eq!(e2.share_len_limit, Some(3));
+        assert_eq!(e2.overall_timeout, 200_000.0);
+    }
+}

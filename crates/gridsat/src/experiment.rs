@@ -1,0 +1,247 @@
+//! End-to-end experiment driver: wire a formula, a testbed and a
+//! configuration into the discrete-event engine, run, and report.
+
+use crate::client::{Client, ClientStats};
+use crate::config::GridConfig;
+use crate::master::{GridOutcome, Master, MasterStats};
+use crate::msg::GridMsg;
+use gridsat_cnf::Formula;
+use gridsat_grid::{Ctx, NodeId, Process, Sim, SimStats, Testbed};
+use std::collections::BTreeMap;
+
+/// Either role, so one `Sim` hosts both process kinds.
+pub enum GridNode {
+    Master(Box<Master>),
+    Client(Box<Client>),
+}
+
+impl Process for GridNode {
+    type Msg = GridMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<GridMsg>) {
+        match self {
+            GridNode::Master(m) => m.on_start(ctx),
+            GridNode::Client(c) => c.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        match self {
+            GridNode::Master(m) => m.on_message(from, msg, ctx),
+            GridNode::Client(c) => c.on_message(from, msg, ctx),
+        }
+    }
+    fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
+        match self {
+            GridNode::Master(m) => m.on_tick(ctx),
+            GridNode::Client(c) => c.on_tick(ctx),
+        }
+    }
+    fn on_node_down(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
+        match self {
+            GridNode::Master(m) => m.on_node_down(node, ctx),
+            GridNode::Client(c) => c.on_node_down(node, ctx),
+        }
+    }
+}
+
+/// A finished GridSAT run.
+#[derive(Debug)]
+pub struct GridReport {
+    pub outcome: GridOutcome,
+    /// Simulated seconds until the outcome was decided (or the cap).
+    pub seconds: f64,
+    pub master: MasterStats,
+    /// Aggregated client counters.
+    pub clients: ClientStats,
+    pub sim: SimStats,
+}
+
+impl GridReport {
+    /// Paper-style table cell: time in seconds, or the failure mode.
+    pub fn table_cell(&self) -> String {
+        match self.outcome {
+            GridOutcome::Sat(_) | GridOutcome::Unsat => format!("{:.0}", self.seconds),
+            GridOutcome::TimeOut => "TIME_OUT".into(),
+            GridOutcome::ClientLost => "CLIENT_LOST".into(),
+        }
+    }
+}
+
+/// Build the simulation for a run (exposed so figures and tests can
+/// inspect the sim mid-flight).
+pub fn build_sim(formula: &Formula, testbed: Testbed, config: GridConfig) -> Sim<GridNode> {
+    let master_id = NodeId(0);
+    let speeds: BTreeMap<NodeId, (f64, gridsat_grid::Site)> = testbed
+        .hosts
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (NodeId(i as u32), (h.speed, h.site)))
+        .collect();
+    let formula = formula.clone();
+    Sim::new(testbed, move |id| {
+        if id == master_id {
+            GridNode::Master(Box::new(Master::new(
+                formula.clone(),
+                config.clone(),
+                speeds.clone(),
+            )))
+        } else {
+            GridNode::Client(Box::new(Client::new(master_id, config.clone())))
+        }
+    })
+}
+
+/// Run GridSAT on a formula over a testbed. Deterministic.
+pub fn run(formula: &Formula, testbed: Testbed, config: GridConfig) -> GridReport {
+    let cap = config.overall_timeout;
+    let mut sim = build_sim(formula, testbed, config);
+    // slack so the master's timeout tick can fire after the cap
+    sim.run_until(cap + 60.0);
+    report(&sim, cap)
+}
+
+/// Extract the report from a finished (or capped) simulation.
+pub fn report(sim: &Sim<GridNode>, cap: f64) -> GridReport {
+    let GridNode::Master(master) = sim.process(NodeId(0)) else {
+        panic!("node 0 is the master");
+    };
+    let outcome = master.outcome().cloned().unwrap_or(GridOutcome::TimeOut);
+    let seconds = match outcome {
+        GridOutcome::TimeOut => cap,
+        _ => master.finished_at(),
+    };
+    let mut clients = ClientStats::default();
+    for i in 1..sim_num_nodes(sim) {
+        if let GridNode::Client(c) = sim.process(NodeId(i as u32)) {
+            let s = c.stats;
+            clients.subproblems += s.subproblems;
+            clients.splits += s.splits;
+            clients.split_requests += s.split_requests;
+            clients.share_batches_sent += s.share_batches_sent;
+            clients.clauses_received += s.clauses_received;
+            clients.work += s.work;
+            clients.results += s.results;
+            clients.migrations += s.migrations;
+            clients.share_limit_changes += s.share_limit_changes;
+        }
+    }
+    GridReport {
+        outcome,
+        seconds,
+        master: master.stats,
+        clients,
+        sim: sim.stats,
+    }
+}
+
+fn sim_num_nodes(sim: &Sim<GridNode>) -> usize {
+    sim.num_nodes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsat_satgen as satgen;
+
+    fn tb(workers: usize) -> Testbed {
+        Testbed::uniform(workers, 1000.0, 3 << 20)
+    }
+
+    #[test]
+    fn solves_a_tiny_sat_instance() {
+        let f = gridsat_cnf::paper::fig1_formula();
+        let r = run(&f, tb(3), GridConfig::default());
+        match r.outcome {
+            GridOutcome::Sat(model) => assert!(f.is_satisfied_by(&model)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        assert!(r.seconds < 100.0);
+        assert_eq!(r.master.verification_failures, 0);
+    }
+
+    #[test]
+    fn refutes_a_tiny_unsat_instance() {
+        let f = satgen::php::php(5, 4);
+        let r = run(&f, tb(3), GridConfig::default());
+        assert_eq!(r.outcome, GridOutcome::Unsat);
+    }
+
+    #[test]
+    fn splits_happen_on_harder_instances() {
+        let f = satgen::php::php(9, 8);
+        let config = GridConfig {
+            min_split_timeout: 0.5, // force early splitting
+            work_quantum_s: 0.25,
+            ..GridConfig::default()
+        };
+        let r = run(&f, tb(6), config);
+        assert_eq!(r.outcome, GridOutcome::Unsat);
+        assert!(r.master.splits > 0, "expected at least one split");
+        assert!(r.master.max_active_clients >= 2);
+        assert!(r.clients.results >= 2, "both halves report");
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let f = satgen::php::php(8, 7);
+        let config = GridConfig {
+            min_split_timeout: 0.5,
+            work_quantum_s: 0.25,
+            ..GridConfig::default()
+        };
+        let a = run(&f, tb(4), config.clone());
+        let b = run(&f, tb(4), config);
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.master.splits, b.master.splits);
+        assert_eq!(a.clients.work, b.clients.work);
+        assert_eq!(a.sim.messages_delivered, b.sim.messages_delivered);
+    }
+
+    #[test]
+    fn timeout_gives_unknown() {
+        let f = satgen::php::php(9, 8);
+        let config = GridConfig {
+            overall_timeout: 2.0, // absurdly short
+            ..GridConfig::default()
+        };
+        let r = run(&f, tb(2), config);
+        assert_eq!(r.outcome, GridOutcome::TimeOut);
+        assert_eq!(r.seconds, 2.0);
+    }
+
+    #[test]
+    fn clause_sharing_traffic_flows() {
+        let f = satgen::php::php(9, 8);
+        let config = GridConfig {
+            min_split_timeout: 0.5,
+            work_quantum_s: 0.25,
+            share_len_limit: Some(10),
+            ..GridConfig::default()
+        };
+        let r = run(&f, tb(6), config);
+        assert_eq!(r.outcome, GridOutcome::Unsat);
+        assert!(r.clients.share_batches_sent > 0);
+        assert!(r.clients.clauses_received > 0);
+    }
+
+    #[test]
+    fn sat_answers_match_sequential_on_random_instances() {
+        for seed in 0..8 {
+            let f = satgen::random_ksat::random_ksat(30, 126, 3, seed);
+            let seq = gridsat_solver::driver::decide(&f);
+            let config = GridConfig {
+                min_split_timeout: 0.2,
+                work_quantum_s: 0.1,
+                ..GridConfig::default()
+            };
+            let r = run(&f, tb(4), config);
+            match (seq, r.outcome) {
+                (gridsat_solver::SolveStatus::Sat, GridOutcome::Sat(m)) => {
+                    assert!(f.is_satisfied_by(&m), "seed {seed}");
+                }
+                (gridsat_solver::SolveStatus::Unsat, GridOutcome::Unsat) => {}
+                (want, got) => panic!("seed {seed}: sequential {want:?}, grid {got:?}"),
+            }
+        }
+    }
+}

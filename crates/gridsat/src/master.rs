@@ -1,0 +1,1073 @@
+//! The GridSAT master: resource manager, client manager and scheduler
+//! (paper Section 3.3), work backlog and migration (Section 3.4).
+//!
+//! The master never solves; it reads the problem, hands it to the first
+//! registered client, brokers splits toward the best-ranked idle
+//! resources, keeps a backlog when everything is busy, verifies reported
+//! models against the original formula, and declares UNSAT when every
+//! client has gone idle.
+
+use crate::config::{CheckpointMode, GridConfig, SchedPolicy};
+use crate::msg::{Checkpoint, EndReason, GridMsg, ProblemId, SubResult};
+use gridsat_cnf::{Assignment, Formula};
+use gridsat_grid::{Ctx, NodeId, Process, Site};
+use gridsat_nws::{Adaptive, Forecaster};
+use gridsat_solver::SplitSpec;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Final outcome of a GridSAT run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GridOutcome {
+    /// Verified satisfying assignment.
+    Sat(Assignment),
+    /// Every subproblem refuted ("all the clients are idle").
+    Unsat,
+    /// Overall cap expired.
+    TimeOut,
+    /// A busy client was lost without checkpointing.
+    ClientLost,
+}
+
+impl GridOutcome {
+    pub fn table_cell(&self) -> String {
+        match self {
+            GridOutcome::Sat(_) => "SAT".into(),
+            GridOutcome::Unsat => "UNSAT".into(),
+            GridOutcome::TimeOut => "TIME_OUT".into(),
+            GridOutcome::ClientLost => "CLIENT_LOST".into(),
+        }
+    }
+}
+
+/// Master-side counters for the experiment report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MasterStats {
+    /// Peak number of simultaneously busy clients (the paper's
+    /// "Max # of clients" column).
+    pub max_active_clients: usize,
+    /// Splits successfully brokered.
+    pub splits: u64,
+    /// Split requests that had to wait in the backlog.
+    pub backlogged: u64,
+    /// Migrations directed.
+    pub migrations: u64,
+    /// SAT reports whose verification failed (must stay 0).
+    pub verification_failures: u64,
+    /// Subproblem results received.
+    pub results: u64,
+    /// Recoveries from checkpoints (extension).
+    pub recoveries: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ClientState {
+    /// Registered, no work.
+    Idle,
+    /// A subproblem transfer to this client is in flight.
+    Receiving,
+    /// Solving a subproblem.
+    Busy,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GrantKind {
+    Split,
+    Migrate,
+}
+
+struct ClientInfo {
+    state: ClientState,
+    memory: usize,
+    speed: f64,
+    forecast: Adaptive,
+    /// When the client's current subproblem was assigned.
+    problem_since: f64,
+    /// Identity of the client's current subproblem, as far as the master
+    /// knows (refreshed by dispatches, split confirmations and requests).
+    problem: Option<ProblemId>,
+    /// Last checkpoint uploaded by this client (extension).
+    checkpoint: Option<Checkpoint>,
+}
+
+/// The master process. Lives on node 0 of the testbed.
+pub struct Master {
+    formula: Formula,
+    config: GridConfig,
+    /// Static host information from the Grid information service
+    /// (MDS-style): peak speed and site.
+    host_info: BTreeMap<NodeId, (f64, Site)>,
+    clients: BTreeMap<NodeId, ClientInfo>,
+    backlog: VecDeque<NodeId>,
+    /// requester -> (peer, kind) for in-flight grants.
+    grants: BTreeMap<NodeId, (NodeId, GrantKind)>,
+    first_problem_sent: bool,
+    /// Counter for subproblem ids minted by the master (dispatches).
+    minted: u32,
+    outcome: Option<GridOutcome>,
+    finished_at: f64,
+    rng_state: u64,
+    last_migration: f64,
+    /// Subproblems recovered from checkpoints of lost clients, awaiting
+    /// an idle client (extension).
+    pending_recovery: VecDeque<SplitSpec>,
+    pub stats: MasterStats,
+}
+
+impl Master {
+    /// `host_info` is the static per-host information (speed, site) the
+    /// paper's master culls from the Grid information system.
+    pub fn new(
+        formula: Formula,
+        config: GridConfig,
+        host_info: BTreeMap<NodeId, (f64, Site)>,
+    ) -> Master {
+        let rng_state = match config.scheduler {
+            SchedPolicy::Random(seed) => seed | 1,
+            _ => 1,
+        };
+        Master {
+            formula,
+            config,
+            host_info,
+            clients: BTreeMap::new(),
+            backlog: VecDeque::new(),
+            grants: BTreeMap::new(),
+            first_problem_sent: false,
+            minted: 0,
+            outcome: None,
+            finished_at: 0.0,
+            rng_state,
+            last_migration: f64::NEG_INFINITY,
+            pending_recovery: VecDeque::new(),
+            stats: MasterStats::default(),
+        }
+    }
+
+    /// The run's outcome, once decided.
+    pub fn outcome(&self) -> Option<&GridOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// Simulated second at which the outcome was decided.
+    pub fn finished_at(&self) -> f64 {
+        self.finished_at
+    }
+
+    /// Human-readable dump of scheduler state (debugging aid).
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (id, c) in &self.clients {
+            if c.state != ClientState::Idle {
+                let _ = writeln!(out, "{id}: {:?} since {:.0}", c.state, c.problem_since);
+            }
+        }
+        let _ = writeln!(out, "backlog: {:?}", self.backlog);
+        let _ = writeln!(out, "grants: {:?}", self.grants);
+        out
+    }
+
+    fn rank(&self, id: NodeId, info: &ClientInfo) -> f64 {
+        let availability = info.forecast.predict().unwrap_or(1.0).clamp(0.01, 1.0);
+        let speed = self
+            .host_info
+            .get(&id)
+            .map(|(s, _)| *s)
+            .unwrap_or(info.speed);
+        // memory as a small tie-break so better-provisioned hosts win
+        speed * availability + info.memory as f64 * 1e-9
+    }
+
+    fn site_of(&self, id: NodeId) -> Option<Site> {
+        self.host_info.get(&id).map(|(_, site)| *site)
+    }
+
+    /// Rank discounted by transfer locality: subproblem transfers are
+    /// large, so a same-site target is worth more than a slightly faster
+    /// remote one ("the master [can] select machines that are near the
+    /// splitting client, leading to more efficient use of the available
+    /// bandwidth", Section 3.4).
+    fn placement_score(&self, id: NodeId, info: &ClientInfo, near: Option<Site>) -> f64 {
+        let base = self.rank(id, info);
+        match (near, self.site_of(id)) {
+            (Some(a), Some(b)) if a != b => base * 0.4,
+            _ => base,
+        }
+    }
+
+    fn xorshift(&mut self) -> u64 {
+        // deterministic scheduler randomness for the Random policy
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Pick an idle client per the configured policy; `near` biases the
+    /// NWS policy toward transfer locality.
+    fn pick_idle(&mut self, exclude: NodeId, near: Option<Site>) -> Option<NodeId> {
+        let idle: Vec<NodeId> = self
+            .clients
+            .iter()
+            .filter(|(id, c)| **id != exclude && c.state == ClientState::Idle)
+            .map(|(id, _)| *id)
+            .collect();
+        if idle.is_empty() {
+            return None;
+        }
+        match self.config.scheduler {
+            SchedPolicy::NwsRank => idle.into_iter().max_by(|a, b| {
+                let ra = self.placement_score(*a, &self.clients[a], near);
+                let rb = self.placement_score(*b, &self.clients[b], near);
+                ra.total_cmp(&rb).then(b.cmp(a)) // deterministic ties: lower id
+            }),
+            SchedPolicy::WorstRank => idle.into_iter().min_by(|a, b| {
+                let ra = self.rank(*a, &self.clients[a]);
+                let rb = self.rank(*b, &self.clients[b]);
+                ra.total_cmp(&rb).then(a.cmp(b))
+            }),
+            SchedPolicy::Random(_) => {
+                let i = (self.xorshift() % idle.len() as u64) as usize;
+                Some(idle[i])
+            }
+        }
+    }
+
+    /// The longest-running busy client with a backlogged request
+    /// ("the master splits clients which have been running the longest").
+    fn pop_backlog(&mut self) -> Option<NodeId> {
+        if self.backlog.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, id) in self.backlog.iter().enumerate() {
+            let Some(info) = self.clients.get(id) else {
+                continue;
+            };
+            if info.state != ClientState::Busy {
+                continue;
+            }
+            match best {
+                Some((_, t)) if info.problem_since >= t => {}
+                _ => best = Some((i, info.problem_since)),
+            }
+        }
+        let (i, _) = best?;
+        self.backlog.remove(i)
+    }
+
+    fn grant_split(&mut self, requester: NodeId, ctx: &mut Ctx<GridMsg>) -> bool {
+        if self.grants.contains_key(&requester) {
+            return false;
+        }
+        let Some(problem) = self.clients.get(&requester).and_then(|c| c.problem) else {
+            return false;
+        };
+        let near = self.site_of(requester);
+        let Some(peer) = self.pick_idle(requester, near) else {
+            if !self.backlog.contains(&requester) {
+                self.backlog.push_back(requester);
+                self.stats.backlogged += 1;
+            }
+            return false;
+        };
+        self.clients.get_mut(&peer).expect("picked idle").state = ClientState::Receiving;
+        self.grants.insert(requester, (peer, GrantKind::Split));
+        ctx.send(requester, GridMsg::SplitGrant { peer, problem });
+        true
+    }
+
+    /// Serve backlog entries while idle clients remain.
+    fn drain_backlog(&mut self, ctx: &mut Ctx<GridMsg>) {
+        while let Some(requester) = self.pop_backlog() {
+            if !self.grant_split(requester, ctx) {
+                break; // no idle peers left (requester went back to backlog)
+            }
+        }
+    }
+
+    /// Migration policy: if a busy client sits on a much weaker host
+    /// than the best idle one, move its problem (paper Section 3.4).
+    fn maybe_migrate(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if !self.config.migration || !self.backlog.is_empty() {
+            return;
+        }
+        // Migration is a coarse, rare event in the paper ("when the
+        // cluster becomes free"): require a field of idle resources and
+        // space out transfers, which are expensive.
+        let cooldown = (2.0 * self.config.min_split_timeout).max(200.0);
+        if ctx.now() - self.last_migration < cooldown {
+            return;
+        }
+        // Only rescue stragglers during the drain phase: a migrated
+        // subproblem restarts its search (keeping learned clauses), so
+        // mid-run migration costs more than it saves.
+        let idle_count = self
+            .clients
+            .values()
+            .filter(|c| c.state == ClientState::Idle)
+            .count();
+        let busy = self.busy_count();
+        if idle_count < 3 || busy * 4 > self.clients.len() {
+            return;
+        }
+        // weakest busy client, not already involved in a grant and old
+        // enough on its subproblem that moving it is worth the transfer
+        let min_age = (2.0 * self.config.min_split_timeout).max(200.0);
+        let mut weakest: Option<(NodeId, f64)> = None;
+        for (id, c) in &self.clients {
+            if c.state != ClientState::Busy || self.grants.contains_key(id) {
+                continue;
+            }
+            if ctx.now() - c.problem_since < min_age {
+                continue;
+            }
+            let r = self.rank(*id, c);
+            if weakest.map(|(_, wr)| r < wr).unwrap_or(true) {
+                weakest = Some((*id, r));
+            }
+        }
+        let Some((weak_id, weak_rank)) = weakest else {
+            return;
+        };
+        // migration targets are always rank-picked (even under the
+        // Random/Worst scheduler ablations): moving a hard subproblem to a
+        // weak host would defeat the point
+        let near = self.site_of(weak_id);
+        let best_idle = self
+            .clients
+            .iter()
+            .filter(|(id, c)| **id != weak_id && c.state == ClientState::Idle)
+            .max_by(|(a, ca), (b, cb)| {
+                let ra = self.placement_score(**a, ca, near);
+                let rb = self.placement_score(**b, cb, near);
+                ra.total_cmp(&rb).then(b.cmp(a))
+            })
+            .map(|(id, _)| *id);
+        let Some(best_idle) = best_idle else { return };
+        let idle_rank = self.rank(best_idle, &self.clients[&best_idle]);
+        let Some(problem) = self.clients.get(&weak_id).and_then(|c| c.problem) else {
+            return;
+        };
+        if idle_rank >= weak_rank * self.config.migration_factor {
+            self.clients.get_mut(&best_idle).expect("idle").state = ClientState::Receiving;
+            self.grants.insert(weak_id, (best_idle, GrantKind::Migrate));
+            ctx.send(
+                weak_id,
+                GridMsg::Migrate {
+                    peer: best_idle,
+                    problem,
+                },
+            );
+            self.last_migration = ctx.now();
+            self.stats.migrations += 1;
+        }
+    }
+
+    fn busy_count(&self) -> usize {
+        self.clients
+            .values()
+            .filter(|c| matches!(c.state, ClientState::Busy | ClientState::Receiving))
+            .count()
+    }
+
+    fn note_activity(&mut self) {
+        self.stats.max_active_clients = self.stats.max_active_clients.max(self.busy_count());
+    }
+
+    fn finish(&mut self, outcome: GridOutcome, reason: EndReason, ctx: &mut Ctx<GridMsg>) {
+        if self.outcome.is_some() {
+            return;
+        }
+        self.finished_at = ctx.now();
+        self.outcome = Some(outcome);
+        for id in self.clients.keys().copied().collect::<Vec<_>>() {
+            ctx.send(id, GridMsg::Terminate(reason));
+        }
+        ctx.shutdown();
+    }
+
+    fn check_termination(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if self.outcome.is_some() {
+            return;
+        }
+        if ctx.now() >= self.config.overall_timeout {
+            self.finish(GridOutcome::TimeOut, EndReason::TimeOut, ctx);
+            return;
+        }
+        // "All the clients are idle" => unsatisfiable. Guard against
+        // in-flight transfers via the Receiving state, open grants, and
+        // queued recoveries.
+        if self.first_problem_sent
+            && self.busy_count() == 0
+            && self.grants.is_empty()
+            && self.pending_recovery.is_empty()
+        {
+            self.finish(GridOutcome::Unsat, EndReason::Unsat, ctx);
+        }
+    }
+
+    /// Broadcast the registered-client list (clause-sharing fan-out).
+    fn broadcast_peers(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let peers: Vec<NodeId> = self.clients.keys().copied().collect();
+        for id in &peers {
+            ctx.send(*id, GridMsg::Peers(peers.clone()));
+        }
+    }
+
+    fn whole_problem(&self) -> SplitSpec {
+        SplitSpec {
+            num_vars: self.formula.num_vars(),
+            assumptions: Vec::new(),
+            clauses: self.formula.clauses().to_vec(),
+        }
+    }
+
+    /// Recover a lost busy client from its checkpoint (extension).
+    /// Returns `false` when no checkpoint exists (recovery impossible).
+    fn recover(&mut self, lost: NodeId, ctx: &mut Ctx<GridMsg>) -> bool {
+        let Some(info) = self.clients.get(&lost) else {
+            return false;
+        };
+        let Some(cp) = info.checkpoint.clone() else {
+            return false;
+        };
+        let spec = match cp {
+            Checkpoint::Light { level0 } => {
+                // original clauses + recorded level-0 assignment
+                let mut spec = self.whole_problem();
+                spec.assumptions = level0;
+                spec
+            }
+            Checkpoint::Heavy { level0, learned } => SplitSpec {
+                num_vars: self.formula.num_vars(),
+                assumptions: level0,
+                clauses: learned, // export_clauses() includes originals
+            },
+        };
+        self.pending_recovery.push_back(spec);
+        self.stats.recoveries += 1;
+        self.dispatch_recoveries(ctx);
+        true
+    }
+
+    /// Hand queued recovered subproblems to idle clients.
+    fn dispatch_recoveries(&mut self, ctx: &mut Ctx<GridMsg>) {
+        while !self.pending_recovery.is_empty() {
+            let Some(target) = self.pick_idle(NodeId(u32::MAX), None) else {
+                return;
+            };
+            let spec = self.pending_recovery.pop_front().expect("non-empty");
+            self.minted += 1;
+            let problem = ProblemId::new(NodeId(0), self.minted);
+            ctx.send(
+                target,
+                GridMsg::Solve {
+                    spec: Box::new(spec),
+                    problem,
+                },
+            );
+            let info = self.clients.get_mut(&target).expect("idle");
+            info.state = ClientState::Busy;
+            info.problem_since = ctx.now();
+            info.problem = Some(problem);
+        }
+    }
+}
+
+impl Process for Master {
+    type Msg = GridMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<GridMsg>) {
+        ctx.schedule_tick(self.config.master_period);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        if self.outcome.is_some() {
+            return;
+        }
+        match msg {
+            GridMsg::Register {
+                memory,
+                availability,
+            } => {
+                let mut forecast = Adaptive::standard();
+                forecast.update(availability);
+                let speed = self.host_info.get(&from).map(|(s, _)| *s).unwrap_or(1.0);
+                self.clients.insert(
+                    from,
+                    ClientInfo {
+                        state: ClientState::Idle,
+                        memory,
+                        speed,
+                        forecast,
+                        problem_since: 0.0,
+                        problem: None,
+                        checkpoint: None,
+                    },
+                );
+                self.broadcast_peers(ctx);
+                if !self.first_problem_sent {
+                    // "The first client to register with the master is
+                    // sent the entire problem to solve."
+                    self.first_problem_sent = true;
+                    let spec = self.whole_problem();
+                    self.minted += 1;
+                    let problem = ProblemId::new(NodeId(0), self.minted);
+                    let info = self.clients.get_mut(&from).expect("registered");
+                    info.state = ClientState::Busy;
+                    info.problem_since = ctx.now();
+                    info.problem = Some(problem);
+                    ctx.send(
+                        from,
+                        GridMsg::Solve {
+                            spec: Box::new(spec),
+                            problem,
+                        },
+                    );
+                } else {
+                    // a fresh resource may unblock the backlog
+                    self.drain_backlog(ctx);
+                }
+                self.note_activity();
+            }
+            GridMsg::SplitRequest { problem } => {
+                // refresh our notion of the requester's current subproblem
+                let busy = self
+                    .clients
+                    .get(&from)
+                    .map(|c| c.state == ClientState::Busy)
+                    .unwrap_or(false);
+                if busy {
+                    self.clients.get_mut(&from).expect("busy").problem = Some(problem);
+                    self.grant_split(from, ctx);
+                }
+            }
+            GridMsg::SplitDone {
+                requester,
+                peer,
+                ok,
+                problem,
+            } => {
+                let grant = self.grants.get(&requester).copied();
+                if from == requester {
+                    // Figure 3 message (5): the requester's report
+                    match (ok, grant) {
+                        (false, Some((granted_peer, _))) => {
+                            // transfer never happened; free the peer
+                            debug_assert_eq!(granted_peer, peer);
+                            if let Some(p) = self.clients.get_mut(&granted_peer) {
+                                if p.state == ClientState::Receiving {
+                                    p.state = ClientState::Idle;
+                                }
+                            }
+                            self.grants.remove(&requester);
+                        }
+                        (true, Some((_, GrantKind::Split))) => {
+                            // requester keeps its half on a fresh clock
+                            if let Some(r) = self.clients.get_mut(&requester) {
+                                r.problem_since = ctx.now();
+                            }
+                            self.stats.splits += 1;
+                        }
+                        (true, Some((_, GrantKind::Migrate))) => {
+                            if let Some(r) = self.clients.get_mut(&requester) {
+                                r.state = ClientState::Idle;
+                            }
+                        }
+                        // peer's confirmation already closed the grant
+                        (_, None) => {}
+                    }
+                } else if from == peer {
+                    // Figure 3 message (4): the receiving peer's report
+                    if ok {
+                        let info = self.clients.get_mut(&from).expect("peer");
+                        info.state = ClientState::Busy;
+                        info.problem_since = ctx.now();
+                        info.problem = problem;
+                    }
+                    self.grants.remove(&requester);
+                }
+                self.note_activity();
+                self.drain_backlog(ctx);
+            }
+            GridMsg::Result { result, problem } => {
+                self.stats.results += 1;
+                if let Some(info) = self.clients.get_mut(&from) {
+                    info.state = ClientState::Idle;
+                    info.checkpoint = None;
+                    if info.problem == Some(problem) {
+                        info.problem = None;
+                    }
+                }
+                self.backlog.retain(|id| *id != from);
+                match result {
+                    SubResult::Sat(lits) => {
+                        // the paper's master verifies the assignment stack
+                        let mut a = self.formula.empty_assignment();
+                        for l in lits {
+                            a.assign_lit(l);
+                        }
+                        // variables eliminated by clause reduction may be
+                        // unassigned; any value satisfies (they occur only
+                        // in already-satisfied clauses)
+                        for v in 0..self.formula.num_vars() {
+                            let var = gridsat_cnf::Var(v as u32);
+                            if a.value(var) == gridsat_cnf::Value::Unassigned {
+                                a.set(var, gridsat_cnf::Value::False);
+                            }
+                        }
+                        if self.formula.is_satisfied_by(&a) {
+                            self.finish(GridOutcome::Sat(a), EndReason::Sat, ctx);
+                        } else {
+                            self.stats.verification_failures += 1;
+                        }
+                    }
+                    SubResult::Unsat => {
+                        self.dispatch_recoveries(ctx);
+                        self.drain_backlog(ctx);
+                        self.maybe_migrate(ctx);
+                        self.check_termination(ctx);
+                    }
+                }
+            }
+            GridMsg::LoadReport { availability } => {
+                if let Some(info) = self.clients.get_mut(&from) {
+                    info.forecast.update(availability);
+                }
+            }
+            GridMsg::CheckpointMsg(cp) => {
+                if self.config.checkpoint != CheckpointMode::Off {
+                    if let Some(info) = self.clients.get_mut(&from) {
+                        info.checkpoint = Some(*cp);
+                    }
+                }
+            }
+            // client-bound messages
+            GridMsg::Solve { .. }
+            | GridMsg::SplitGrant { .. }
+            | GridMsg::Migrate { .. }
+            | GridMsg::Peers(_)
+            | GridMsg::Terminate(_)
+            | GridMsg::Subproblem { .. }
+            | GridMsg::Share(_) => {
+                debug_assert!(false, "master got client message from {from}");
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if self.outcome.is_some() {
+            ctx.idle();
+            return;
+        }
+        self.dispatch_recoveries(ctx);
+        self.drain_backlog(ctx);
+        self.maybe_migrate(ctx);
+        self.check_termination(ctx);
+        self.note_activity();
+        if self.outcome.is_none() {
+            ctx.schedule_tick(self.config.master_period);
+        }
+    }
+
+    fn on_node_down(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let Some(info) = self.clients.get(&node) else {
+            return;
+        };
+        match info.state {
+            ClientState::Idle => {
+                // "When an idle client is killed ... the master becomes
+                // aware of it and marks the resource as free."
+                self.clients.remove(&node);
+                self.broadcast_peers(ctx);
+            }
+            ClientState::Busy | ClientState::Receiving => {
+                // try checkpoint recovery; without it, the paper's current
+                // implementation "will not tolerate a machine crash"
+                if self.config.checkpoint != CheckpointMode::Off && self.recover(node, ctx) {
+                    self.clients.remove(&node);
+                    self.grants.retain(|r, (p, _)| *r != node && *p != node);
+                    self.broadcast_peers(ctx);
+                } else {
+                    self.finish(GridOutcome::ClientLost, EndReason::ClientLost, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsat_grid::{Action, NodeInfo};
+
+    fn ctx(now: f64) -> Ctx<GridMsg> {
+        Ctx::new(NodeInfo {
+            id: NodeId(0),
+            speed: 500.0,
+            memory: 3 << 20,
+            now,
+            availability: 1.0,
+        })
+    }
+
+    fn speeds(n: u32) -> BTreeMap<NodeId, (f64, Site)> {
+        (1..=n)
+            .map(|i| (NodeId(i), (100.0 * f64::from(i), Site::Ucsd)))
+            .collect()
+    }
+
+    fn master() -> Master {
+        Master::new(
+            gridsat_cnf::paper::fig1_formula(),
+            GridConfig::default(),
+            speeds(4),
+        )
+    }
+
+    fn register(m: &mut Master, id: u32, t: f64) -> Vec<Action<GridMsg>> {
+        let mut cx = ctx(t);
+        m.on_message(
+            NodeId(id),
+            GridMsg::Register {
+                memory: 3 << 20,
+                availability: 1.0,
+            },
+            &mut cx,
+        );
+        cx.take_actions()
+    }
+
+    #[test]
+    fn first_registrant_gets_the_whole_problem() {
+        let mut m = master();
+        let actions = register(&mut m, 2, 0.0);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to: NodeId(2), msg: GridMsg::Solve { spec, .. } }
+                if spec.assumptions.is_empty() && spec.clauses.len() == 9
+        )));
+        // second registrant gets peers but no problem
+        let actions = register(&mut m, 3, 1.0);
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: GridMsg::Solve { .. },
+                ..
+            }
+        )));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: GridMsg::Peers(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn split_request_grants_best_ranked_idle_peer() {
+        let mut m = master();
+        register(&mut m, 1, 0.0); // gets the problem (busy)
+        register(&mut m, 2, 0.0);
+        register(&mut m, 3, 0.0);
+        register(&mut m, 4, 0.0);
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let actions = cx.take_actions();
+        // rank = speed * availability: node 4 is fastest idle
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: NodeId(1),
+                msg: GridMsg::SplitGrant {
+                    peer: NodeId(4),
+                    ..
+                }
+            }
+        )));
+    }
+
+    #[test]
+    fn no_idle_peer_means_backlog() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().is_empty());
+        assert_eq!(m.backlog.len(), 1);
+        assert_eq!(m.stats.backlogged, 1);
+
+        // a registering client frees the backlog
+        let actions = register(&mut m, 2, 2.0);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: NodeId(1),
+                msg: GridMsg::SplitGrant {
+                    peer: NodeId(2),
+                    ..
+                }
+            }
+        )));
+        assert!(m.backlog.is_empty());
+    }
+
+    #[test]
+    fn failed_split_frees_the_peer() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        register(&mut m, 2, 0.0);
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Receiving);
+        let mut cx = ctx(2.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitDone {
+                requester: NodeId(1),
+                peer: NodeId(2),
+                ok: false,
+                problem: None,
+            },
+            &mut cx,
+        );
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Idle);
+        assert!(m.grants.is_empty());
+    }
+
+    #[test]
+    fn successful_split_protocol_transitions() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        register(&mut m, 2, 0.0);
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        // message (5) from requester
+        let mut cx = ctx(2.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitDone {
+                requester: NodeId(1),
+                peer: NodeId(2),
+                ok: true,
+                problem: Some(ProblemId::new(NodeId(1), 1)),
+            },
+            &mut cx,
+        );
+        assert_eq!(m.stats.splits, 1);
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Receiving);
+        // message (4) from the peer completes the grant
+        let mut cx = ctx(3.0);
+        m.on_message(
+            NodeId(2),
+            GridMsg::SplitDone {
+                requester: NodeId(1),
+                peer: NodeId(2),
+                ok: true,
+                problem: Some(ProblemId::new(NodeId(1), 1)),
+            },
+            &mut cx,
+        );
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
+        assert!(m.grants.is_empty());
+        assert_eq!(m.stats.max_active_clients, 2);
+    }
+
+    #[test]
+    fn sat_result_is_verified_and_ends_the_run() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        // a genuine model of the fig1 formula
+        let f = gridsat_cnf::paper::fig1_formula();
+        let model = gridsat_solver::driver::solve(
+            &f,
+            gridsat_solver::SolverConfig::default(),
+            gridsat_solver::Limits::default(),
+        );
+        let lits = match model.outcome {
+            gridsat_solver::Outcome::Sat(a) => a.to_lits(),
+            _ => panic!(),
+        };
+        let mut cx = ctx(5.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::Result {
+                result: SubResult::Sat(lits),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert!(matches!(m.outcome(), Some(GridOutcome::Sat(_))));
+        assert_eq!(m.stats.verification_failures, 0);
+        let actions = cx.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: GridMsg::Terminate(EndReason::Sat),
+                ..
+            }
+        )));
+        assert!(actions.iter().any(|a| matches!(a, Action::Shutdown)));
+    }
+
+    #[test]
+    fn bogus_sat_result_is_rejected() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        let mut cx = ctx(5.0);
+        // V14 false violates clause 9
+        m.on_message(
+            NodeId(1),
+            GridMsg::Result {
+                result: SubResult::Sat(vec![gridsat_cnf::Var(13).negative()]),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert_eq!(m.stats.verification_failures, 1);
+        assert!(m.outcome().is_none());
+    }
+
+    #[test]
+    fn all_idle_means_unsat() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        let mut cx = ctx(5.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::Result {
+                result: SubResult::Unsat,
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert_eq!(m.outcome(), Some(&GridOutcome::Unsat));
+        assert_eq!(m.finished_at(), 5.0);
+    }
+
+    #[test]
+    fn overall_timeout_fires_on_tick() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        let mut cx = ctx(6001.0);
+        m.on_tick(&mut cx);
+        assert_eq!(m.outcome(), Some(&GridOutcome::TimeOut));
+    }
+
+    #[test]
+    fn busy_client_loss_without_checkpoint_ends_the_run() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        let mut cx = ctx(3.0);
+        m.on_node_down(NodeId(1), &mut cx);
+        assert_eq!(m.outcome(), Some(&GridOutcome::ClientLost));
+    }
+
+    #[test]
+    fn idle_client_loss_is_tolerated() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        register(&mut m, 2, 0.0);
+        let mut cx = ctx(3.0);
+        m.on_node_down(NodeId(2), &mut cx);
+        assert!(m.outcome().is_none());
+        assert!(!m.clients.contains_key(&NodeId(2)));
+    }
+
+    #[test]
+    fn backlog_prefers_longest_running_requester() {
+        let mut m = master();
+        register(&mut m, 1, 0.0); // busy since 0
+                                  // make 2 and 3 busy via manual state (simulating earlier splits)
+        register(&mut m, 2, 0.0);
+        register(&mut m, 3, 0.0);
+        m.clients.get_mut(&NodeId(2)).unwrap().state = ClientState::Busy;
+        m.clients.get_mut(&NodeId(2)).unwrap().problem_since = 10.0;
+        m.clients.get_mut(&NodeId(3)).unwrap().state = ClientState::Busy;
+        m.clients.get_mut(&NodeId(3)).unwrap().problem_since = 20.0;
+        // all busy: requests back up
+        for id in [2u32, 3, 1] {
+            let mut cx = ctx(30.0);
+            m.on_message(
+                NodeId(id),
+                GridMsg::SplitRequest {
+                    problem: ProblemId::new(NodeId(id), 1),
+                },
+                &mut cx,
+            );
+        }
+        assert_eq!(m.backlog.len(), 3);
+        // node 1 has been running longest (since 0.0)
+        assert_eq!(m.pop_backlog(), Some(NodeId(1)));
+        assert_eq!(m.pop_backlog(), Some(NodeId(2)));
+        assert_eq!(m.pop_backlog(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn worst_rank_policy_picks_slowest() {
+        let mut m = Master::new(
+            gridsat_cnf::paper::fig1_formula(),
+            GridConfig {
+                scheduler: SchedPolicy::WorstRank,
+                ..GridConfig::default()
+            },
+            speeds(4),
+        );
+        register(&mut m, 1, 0.0);
+        register(&mut m, 2, 0.0);
+        register(&mut m, 3, 0.0);
+        register(&mut m, 4, 0.0);
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let actions = cx.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: GridMsg::SplitGrant {
+                    peer: NodeId(2),
+                    ..
+                },
+                ..
+            }
+        )));
+    }
+}

@@ -1,0 +1,240 @@
+//! The GridSAT wire protocol (paper Section 3.3 and Figure 3).
+//!
+//! Control messages are small; the [`GridMsg::Subproblem`] transfer is the
+//! big one ("from 10 KBytes to 500 MBytes ... 100s of MBytes on average"),
+//! which is why it travels client-to-client rather than through the
+//! master.
+
+use gridsat_cnf::{Clause, Lit};
+use gridsat_grid::{MessageSize, NodeId};
+use gridsat_solver::SplitSpec;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique subproblem identity: creator node in the high bits,
+/// per-creator counter in the low bits. Control messages carry it so the
+/// master and clients never act on a stale grant, result or migration —
+/// subproblems move between nodes asynchronously, and timestamps alone
+/// cannot identify them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ProblemId(pub u64);
+
+impl ProblemId {
+    pub fn new(creator: NodeId, counter: u32) -> ProblemId {
+        ProblemId((u64::from(creator.0) << 32) | u64::from(counter))
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EndReason {
+    Sat,
+    Unsat,
+    /// Overall execution cap expired without an answer.
+    TimeOut,
+    /// A busy client was lost and recovery was not enabled.
+    ClientLost,
+}
+
+/// The result a client reports for its subproblem.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SubResult {
+    /// Satisfying assignment, as the list of true literals
+    /// ("this client sends the assignment stack to the master which
+    /// verifies that the stack satisfies the problem").
+    Sat(Vec<Lit>),
+    /// The subproblem is unsatisfiable.
+    Unsat,
+}
+
+/// Checkpoint payloads (paper Section 3.4, implemented as an extension).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Checkpoint {
+    /// Level-0 assignment only ("light checkpoint").
+    Light { level0: Vec<(Lit, bool)> },
+    /// Level 0 plus the learned clauses ("heavy checkpoint").
+    Heavy {
+        level0: Vec<(Lit, bool)>,
+        learned: Vec<Clause>,
+    },
+}
+
+/// All GridSAT messages.
+#[derive(Clone, Debug)]
+pub enum GridMsg {
+    // ---- client -> master ----
+    /// A client came up and registered (paper: clients "contact the
+    /// master and register with it"). Carries the host memory so the
+    /// master can rank, and the initial availability measurement.
+    Register { memory: usize, availability: f64 },
+    /// Figure 3 message (1): "client A notifies the master that it
+    /// wishes to split its subproblem".
+    SplitRequest { problem: ProblemId },
+    /// Figure 3 messages (4)/(5): peers report the success or failure of
+    /// the split transfer. `requester`/`peer` identify the transfer, so
+    /// the master never misattributes a completion when a node is
+    /// involved in several grants over its lifetime.
+    SplitDone {
+        requester: NodeId,
+        peer: NodeId,
+        ok: bool,
+        /// For the peer's confirmation: the subproblem it now holds.
+        problem: Option<ProblemId>,
+    },
+    /// Subproblem finished.
+    Result {
+        result: SubResult,
+        problem: ProblemId,
+    },
+    /// Periodic NWS-style load measurement feeding the master's
+    /// forecasters.
+    LoadReport { availability: f64 },
+    /// Checkpoint upload (extension).
+    CheckpointMsg(Box<Checkpoint>),
+
+    // ---- master -> client ----
+    /// Assign a (sub)problem; the first registered client receives the
+    /// entire problem this way.
+    Solve {
+        spec: Box<SplitSpec>,
+        problem: ProblemId,
+    },
+    /// Figure 3 message (2): the master grants a split and names the
+    /// idle peer to split with. `issued_at` guards against the grant
+    /// arriving after the requester's subproblem has changed.
+    /// The grant names the subproblem it applies to; the client rejects
+    /// it if its current subproblem differs.
+    SplitGrant { peer: NodeId, problem: ProblemId },
+    /// Move the current subproblem to `peer` (backlog/migration).
+    Migrate { peer: NodeId, problem: ProblemId },
+    /// Current set of registered clients (for clause-sharing fan-out).
+    Peers(Vec<NodeId>),
+    /// End of run.
+    Terminate(EndReason),
+
+    // ---- client -> client ----
+    /// Figure 3 message (3): the subproblem transfer, "by far the
+    /// largest message sent". `sent_at` lets the receiver compute its
+    /// transfer time, which seeds the split time-out heuristic.
+    /// `problem` is the subproblem's identity, minted by its creator
+    /// (splits mint a fresh id; migrations keep the old one).
+    Subproblem {
+        spec: Box<SplitSpec>,
+        sent_at: f64,
+        problem: ProblemId,
+    },
+    /// Learned clauses broadcast to peers (paper Section 3.2).
+    Share(Vec<Clause>),
+}
+
+impl MessageSize for GridMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            GridMsg::Register { .. } => 64,
+            GridMsg::SplitRequest { .. } => 40,
+            GridMsg::SplitDone { .. } => 48,
+            GridMsg::Result {
+                result: SubResult::Unsat,
+                ..
+            } => 40,
+            GridMsg::Result {
+                result: SubResult::Sat(lits),
+                ..
+            } => 40 + lits.len() * 5,
+            GridMsg::LoadReport { .. } => 32,
+            GridMsg::CheckpointMsg(cp) => match cp.as_ref() {
+                Checkpoint::Light { level0 } => 32 + level0.len() * 5,
+                Checkpoint::Heavy { level0, learned } => {
+                    32 + level0.len() * 5 + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
+                }
+            },
+            GridMsg::Solve { spec, .. } => spec.approx_message_bytes(),
+            GridMsg::SplitGrant { .. } => 32,
+            GridMsg::Migrate { .. } => 32,
+            GridMsg::Peers(p) => 16 + p.len() * 4,
+            GridMsg::Terminate(_) => 32,
+            GridMsg::Subproblem { spec, .. } => spec.approx_message_bytes(),
+            GridMsg::Share(clauses) => 16 + clauses.iter().map(|c| 8 + c.len() * 4).sum::<usize>(),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            GridMsg::Register { .. } => "register".into(),
+            GridMsg::SplitRequest { .. } => "split-request(1)".into(),
+            GridMsg::SplitDone { ok, .. } => {
+                format!("split-done({})", if *ok { "ok" } else { "fail" })
+            }
+            GridMsg::Result {
+                result: SubResult::Sat(_),
+                ..
+            } => "result(SAT)".into(),
+            GridMsg::Result {
+                result: SubResult::Unsat,
+                ..
+            } => "result(UNSAT)".into(),
+            GridMsg::LoadReport { .. } => "load-report".into(),
+            GridMsg::CheckpointMsg(_) => "checkpoint".into(),
+            GridMsg::Solve { .. } => "solve".into(),
+            GridMsg::SplitGrant { .. } => "split-grant(2)".into(),
+            GridMsg::Migrate { .. } => "migrate".into(),
+            GridMsg::Peers(_) => "peers".into(),
+            GridMsg::Terminate(_) => "terminate".into(),
+            GridMsg::Subproblem { .. } => "subproblem(3)".into(),
+            GridMsg::Share(_) => "share".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let small = GridMsg::Share(vec![Clause::new([Lit::pos(0)])]);
+        let big = GridMsg::Share(vec![
+            Clause::new((0..50).map(Lit::pos)),
+            Clause::new((0..50).map(Lit::neg)),
+        ]);
+        assert!(big.size_bytes() > small.size_bytes());
+
+        let spec = SplitSpec {
+            num_vars: 10,
+            assumptions: vec![(Lit::pos(0), true)],
+            clauses: vec![Clause::new([Lit::pos(1), Lit::pos(2)])],
+        };
+        let sub = GridMsg::Subproblem {
+            spec: Box::new(spec.clone()),
+            sent_at: 0.0,
+            problem: ProblemId::new(NodeId(1), 1),
+        };
+        assert_eq!(sub.size_bytes(), spec.approx_message_bytes());
+    }
+
+    #[test]
+    fn labels_carry_figure3_numbers() {
+        assert!(GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(1), 0)
+        }
+        .label()
+        .contains("(1)"));
+        assert!(GridMsg::SplitGrant {
+            peer: NodeId(2),
+            problem: ProblemId::new(NodeId(0), 0)
+        }
+        .label()
+        .contains("(2)"));
+        let spec = SplitSpec {
+            num_vars: 1,
+            assumptions: vec![],
+            clauses: vec![],
+        };
+        assert!(GridMsg::Subproblem {
+            spec: Box::new(spec),
+            sent_at: 0.0,
+            problem: ProblemId::new(NodeId(1), 2)
+        }
+        .label()
+        .contains("(3)"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Bounded-model-checking style counter instances (`cnt09`/`cnt10`-like).
+//!
+//! A `w`-bit binary counter starts at 0; each unrolled step has a free
+//! *enable* input that either increments or holds the state. The property
+//! asserts the counter equals `target` after `steps` transitions, so the
+//! solver must choose which steps to enable — SAT iff some number of
+//! enabled steps `k <= steps` satisfies `k mod 2^w == target`. Unrolled
+//! transition relations like this dominate the industrial BMC benchmarks
+//! in SAT2002.
+
+use crate::circuit::CircuitBuilder;
+use gridsat_cnf::{Formula, Lit};
+
+/// Counter BMC instance: `w`-bit counter, `steps` unrolled transitions with
+/// free enables, "counter == target after the last step" as the property.
+pub fn counter(w: usize, steps: usize, target: u64) -> Formula {
+    assert!((1..=62).contains(&w));
+    assert!(target < 1u64 << w, "target must fit in {w} bits");
+    let mut c = CircuitBuilder::new();
+
+    let zero = c.constant(false);
+    let one = c.constant(true);
+    let mut state: Vec<Lit> = vec![zero; w];
+
+    for _ in 0..steps {
+        let en = c.input();
+        // inc = state + 1
+        let mut carry = one;
+        let mut inc = Vec::with_capacity(w);
+        for &b in &state {
+            let (s, cy) = c.half_adder(b, carry);
+            inc.push(s);
+            carry = cy;
+        }
+        // state' = en ? inc : state
+        state = state
+            .iter()
+            .zip(&inc)
+            .map(|(&old, &new)| c.mux(en, new, old))
+            .collect();
+    }
+
+    let target_bits: Vec<Lit> = (0..w)
+        .map(|i| if target >> i & 1 == 1 { one } else { zero })
+        .collect();
+    let eq = c.equals(&state, &target_bits);
+    c.assert_true(eq);
+    c.finish(format!("cnt-w{w}-t{steps}-v{target}"))
+}
+
+/// Expected status of [`counter`]: SAT iff some `k <= steps` enabled
+/// increments land on `target` modulo `2^w`.
+pub fn counter_is_sat(w: usize, steps: usize, target: u64) -> bool {
+    let modulus = 1u64 << w;
+    if target >= modulus {
+        return false;
+    }
+    (0..=steps as u64).any(|k| k % modulus == target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::brute_force_sat;
+
+    #[test]
+    fn reachable_targets_are_sat() {
+        assert!(brute_force_sat(&counter(2, 3, 0)));
+        assert!(brute_force_sat(&counter(2, 3, 2)));
+        assert!(brute_force_sat(&counter(2, 3, 3)));
+        assert!(counter_is_sat(2, 3, 3));
+    }
+
+    #[test]
+    fn unreachable_targets_are_unsat() {
+        // 3-bit counter cannot reach 6 in 4 steps
+        assert!(!brute_force_sat(&counter(3, 4, 6)));
+        assert!(!counter_is_sat(3, 4, 6));
+    }
+
+    #[test]
+    fn wraparound_is_reachable() {
+        // 2-bit counter: 5 increments pass through 4 mod 4 == 0 at k=4
+        assert!(counter_is_sat(2, 5, 0));
+        assert!(brute_force_sat(&counter(2, 5, 0)));
+    }
+
+    #[test]
+    fn status_oracle_matches_brute_force() {
+        for w in 1..=2usize {
+            for steps in 0..=4usize {
+                for target in 0..(1u64 << w) {
+                    assert_eq!(
+                        brute_force_sat(&counter(w, steps, target)),
+                        counter_is_sat(w, steps, target),
+                        "w={w} steps={steps} target={target}"
+                    );
+                }
+            }
+        }
+    }
+}

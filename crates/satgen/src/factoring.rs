@@ -1,0 +1,91 @@
+//! Factoring instances via a multiplier circuit
+//! (`pyhala-braun-*`/`ezfact*`-like).
+//!
+//! Encode `a * b == N` with `a, b > 1` over a Tseitin-encoded array
+//! multiplier: SAT iff `N` is composite, and a satisfying assignment reads
+//! off the factors. These circuit-factoring instances are exactly the
+//! construction behind the `pyhala-braun` and `ezfact` SAT2002 families,
+//! and their hardness is tuned by the bit width.
+
+use crate::circuit::CircuitBuilder;
+use gridsat_cnf::Formula;
+
+/// Factoring instance: does `n` have a factorization `a * b = n` with both
+/// factors greater than 1? `a` gets `a_bits` bits, `b` gets `b_bits`.
+///
+/// The caller chooses widths that can represent candidate factors;
+/// `factoring_auto` picks balanced widths.
+pub fn factoring(n: u64, a_bits: usize, b_bits: usize) -> Formula {
+    assert!(n >= 2);
+    assert!(a_bits >= 2 && b_bits >= 2);
+    assert!(a_bits + b_bits <= 120);
+    let mut c = CircuitBuilder::new();
+    let a = c.inputs(a_bits);
+    let b = c.inputs(b_bits);
+    let product = c.multiply(&a, &b);
+    c.assert_value(&product, n as u128);
+
+    // exclude the trivial factors: a > 1 and b > 1, i.e. some bit above
+    // bit 0 is set, or... a >= 2 <=> at least one of bits 1.. is set.
+    let a_hi = c.or_many(&a[1..]);
+    c.assert_true(a_hi);
+    let b_hi = c.or_many(&b[1..]);
+    c.assert_true(b_hi);
+
+    c.finish(format!("fact-{n}-{a_bits}x{b_bits}"))
+}
+
+/// Factoring instance with balanced bit widths sized to `n`.
+pub fn factoring_auto(n: u64) -> Formula {
+    let bits = 64 - n.leading_zeros() as usize;
+    let a_bits = (bits / 2 + 1).max(2);
+    let b_bits = bits.max(2);
+    factoring(n, a_bits, b_bits)
+}
+
+/// Expected status: SAT iff `n` is composite (given adequate bit widths).
+pub fn is_composite(n: u64) -> bool {
+    if n < 4 {
+        return false;
+    }
+    (2..=n.isqrt()).any(|d| n.is_multiple_of(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::brute_force_sat;
+
+    #[test]
+    fn small_composites_are_sat() {
+        assert!(brute_force_sat(&factoring(6, 2, 2)));
+        assert!(brute_force_sat(&factoring(9, 2, 2)));
+    }
+
+    #[test]
+    fn small_primes_are_unsat() {
+        assert!(!brute_force_sat(&factoring(5, 2, 2)));
+        assert!(!brute_force_sat(&factoring(7, 2, 2)));
+    }
+
+    #[test]
+    fn trivial_factorization_excluded() {
+        // 4 = 2*2 is fine, but 2 = 1*2 has no nontrivial split
+        assert!(brute_force_sat(&factoring(4, 2, 2)));
+        assert!(!brute_force_sat(&factoring(2, 2, 2)));
+    }
+
+    #[test]
+    fn composite_oracle() {
+        assert!(is_composite(4));
+        assert!(is_composite(91)); // 7 * 13
+        assert!(!is_composite(2));
+        assert!(!is_composite(97));
+    }
+
+    #[test]
+    fn auto_widths() {
+        let f = factoring_auto(15);
+        assert_eq!(f.name(), Some("fact-15-3x4"));
+    }
+}

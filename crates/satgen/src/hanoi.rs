@@ -1,0 +1,156 @@
+//! Towers-of-Hanoi planning instances (`hanoi5`/`hanoi6`-like).
+//!
+//! Classic SAT-planning encoding: state variables `on(d, p, t)` ("disk d is
+//! on peg p at time t") plus one move per step chosen by `move(d, p, t)`
+//! action variables. The instance asks for a plan of exactly `horizon`
+//! moves from all-disks-on-peg-0 to all-disks-on-peg-2; the optimal plan
+//! has `2^disks - 1` moves, and any longer horizon is also satisfiable
+//! (the smallest disk can always take a detour through the third peg to
+//! absorb extra moves), so the instance is SAT iff
+//! `horizon >= 2^disks - 1`.
+
+use gridsat_cnf::{Formula, Var};
+
+const PEGS: usize = 3;
+
+struct Enc {
+    disks: usize,
+    horizon: usize,
+}
+
+impl Enc {
+    /// `on(d, p, t)`: disk `d` on peg `p` at time `t` (t in 0..=horizon).
+    fn on(&self, d: usize, p: usize, t: usize) -> Var {
+        Var((t * self.disks * PEGS + d * PEGS + p) as u32)
+    }
+
+    /// `mv(d, p, t)`: move disk `d` to peg `p` at step `t` (t in 0..horizon).
+    fn mv(&self, d: usize, p: usize, t: usize) -> Var {
+        let base = (self.horizon + 1) * self.disks * PEGS;
+        Var((base + t * self.disks * PEGS + d * PEGS + p) as u32)
+    }
+
+    fn num_vars(&self) -> usize {
+        (2 * self.horizon + 1) * self.disks * PEGS
+    }
+}
+
+/// Generate the Hanoi planning instance: `disks` disks, exactly `horizon`
+/// moves. Disk 0 is the smallest.
+pub fn hanoi(disks: usize, horizon: usize) -> Formula {
+    assert!(disks >= 1);
+    let e = Enc { disks, horizon };
+    let mut f = Formula::new(e.num_vars());
+    f.set_name(format!("hanoi-{disks}-h{horizon}"));
+
+    // Initial state: all disks on peg 0. Goal: all on peg 2.
+    for d in 0..disks {
+        f.add_clause([e.on(d, 0, 0).positive()]);
+        f.add_clause([e.on(d, 2, horizon).positive()]);
+    }
+
+    for t in 0..=horizon {
+        for d in 0..disks {
+            // each disk is on at least one peg...
+            f.add_clause((0..PEGS).map(|p| e.on(d, p, t).positive()));
+            // ...and at most one
+            for p1 in 0..PEGS {
+                for p2 in (p1 + 1)..PEGS {
+                    f.add_clause([e.on(d, p1, t).negative(), e.on(d, p2, t).negative()]);
+                }
+            }
+        }
+    }
+
+    for t in 0..horizon {
+        // exactly one move per step
+        let all_moves: Vec<Var> = (0..disks)
+            .flat_map(|d| (0..PEGS).map(move |p| (d, p)))
+            .map(|(d, p)| e.mv(d, p, t))
+            .collect();
+        f.add_clause(all_moves.iter().map(|v| v.positive()));
+        for i in 0..all_moves.len() {
+            for j in (i + 1)..all_moves.len() {
+                f.add_clause([all_moves[i].negative(), all_moves[j].negative()]);
+            }
+        }
+
+        for d in 0..disks {
+            for p in 0..PEGS {
+                let m = e.mv(d, p, t);
+                // effect: disk d is on peg p afterwards
+                f.add_clause([m.negative(), e.on(d, p, t + 1).positive()]);
+                // precondition: d is not already on p
+                f.add_clause([m.negative(), e.on(d, p, t).negative()]);
+                // precondition: no smaller disk on top of d (same peg), and
+                // no smaller disk on the destination peg
+                for s in 0..d {
+                    for q in 0..PEGS {
+                        // if d sits on peg q now, smaller disk s must not be there
+                        f.add_clause([
+                            m.negative(),
+                            e.on(d, q, t).negative(),
+                            e.on(s, q, t).negative(),
+                        ]);
+                    }
+                    f.add_clause([m.negative(), e.on(s, p, t).negative()]);
+                }
+                // frame: every other disk stays put
+                for d2 in 0..disks {
+                    if d2 == d {
+                        continue;
+                    }
+                    for q in 0..PEGS {
+                        f.add_clause([
+                            m.negative(),
+                            e.on(d2, q, t).negative(),
+                            e.on(d2, q, t + 1).positive(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Expected status: SAT iff a plan of exactly `horizon` moves exists,
+/// i.e. iff `horizon >= 2^disks - 1` (longer plans pad with detours of the
+/// smallest disk).
+pub fn hanoi_is_sat(disks: usize, horizon: usize) -> bool {
+    horizon >= (1usize << disks) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::brute_force_sat;
+
+    #[test]
+    fn one_disk() {
+        assert!(brute_force_sat(&hanoi(1, 1)));
+        assert!(!brute_force_sat(&hanoi(1, 0)));
+        // two moves with one disk: 0 -> 1 -> 2 works
+        assert!(brute_force_sat(&hanoi(1, 2)));
+    }
+
+    #[test]
+    fn two_disks_optimal_is_three() {
+        assert!(!brute_force_sat(&hanoi(2, 2)));
+        assert!(brute_force_sat(&hanoi(2, 3)));
+        assert!(hanoi_is_sat(2, 3));
+        assert!(!hanoi_is_sat(2, 2));
+    }
+
+    #[test]
+    fn any_horizon_at_least_optimal_is_sat() {
+        // 1 disk: 0->1, 1->0, 0->2 pads to 3 moves; 0->1, 1->2 pads to 2.
+        assert!(hanoi_is_sat(1, 2));
+        assert!(brute_force_sat(&hanoi(1, 2)));
+        assert!(hanoi_is_sat(1, 3));
+        assert!(brute_force_sat(&hanoi(1, 3)));
+        // 2 disks: optimal 3, horizon 4 pads with a small-disk detour
+        assert!(hanoi_is_sat(2, 4));
+        assert!(brute_force_sat(&hanoi(2, 4)));
+    }
+}

@@ -1,0 +1,61 @@
+//! Pigeonhole instances (`hole`/`php` family).
+//!
+//! `php(p, h)`: can `p` pigeons fit into `h` holes, one pigeon per hole?
+//! Satisfiable iff `p <= h`; `php(n+1, n)` is the classic resolution-hard
+//! UNSAT family, a staple of the hand-made SAT2002 category.
+
+use gridsat_cnf::{Formula, Var};
+
+/// Variable `x(i, j)` = "pigeon i sits in hole j".
+fn x(p: usize, h: usize, holes: usize) -> Var {
+    Var((p * holes + h) as u32)
+}
+
+/// Generate the pigeonhole principle instance `php(pigeons, holes)`.
+pub fn php(pigeons: usize, holes: usize) -> Formula {
+    assert!(pigeons >= 1 && holes >= 1);
+    let mut f = Formula::new(pigeons * holes);
+    f.set_name(format!("php-{pigeons}-{holes}"));
+
+    // Every pigeon sits somewhere.
+    for p in 0..pigeons {
+        f.add_clause((0..holes).map(|h| x(p, h, holes).positive()));
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                f.add_clause([x(p1, h, holes).negative(), x(p2, h, holes).negative()]);
+            }
+        }
+    }
+    f
+}
+
+/// Expected status: SAT iff `pigeons <= holes`.
+pub fn php_is_sat(pigeons: usize, holes: usize) -> bool {
+    pigeons <= holes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::brute_force_sat;
+
+    #[test]
+    fn counts() {
+        let f = php(4, 3);
+        assert_eq!(f.num_vars(), 12);
+        // 4 "somewhere" clauses + 3 holes * C(4,2)=6 pairs = 4 + 18
+        assert_eq!(f.num_clauses(), 22);
+        assert_eq!(f.name(), Some("php-4-3"));
+    }
+
+    #[test]
+    fn small_status_matches() {
+        assert!(brute_force_sat(&php(2, 2)));
+        assert!(brute_force_sat(&php(3, 4)));
+        assert!(!brute_force_sat(&php(3, 2)));
+        assert!(!brute_force_sat(&php(4, 3)));
+    }
+}

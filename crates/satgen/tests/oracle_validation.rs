@@ -1,0 +1,165 @@
+//! Generator-oracle validation at medium scale: every family's claimed
+//! SAT/UNSAT status is checked against the real CDCL solver across a
+//! parameter grid (larger than the in-module brute-force tests can reach).
+
+use gridsat_satgen as satgen;
+use gridsat_solver::{driver, SolveStatus};
+
+#[test]
+fn php_oracle_grid() {
+    for holes in 3..=7 {
+        for extra in 0..=1 {
+            let pigeons = holes + extra;
+            let f = satgen::php::php(pigeons, holes);
+            let want = if satgen::php::php_is_sat(pigeons, holes) {
+                SolveStatus::Sat
+            } else {
+                SolveStatus::Unsat
+            };
+            assert_eq!(driver::decide(&f), want, "php({pigeons},{holes})");
+        }
+    }
+}
+
+#[test]
+fn counter_oracle_grid() {
+    for steps in [10usize, 30] {
+        for target in [0u64, 7, 15, 20] {
+            let f = satgen::counter::counter(4, steps, target % 16);
+            let want = if satgen::counter::counter_is_sat(4, steps, target % 16) {
+                SolveStatus::Sat
+            } else {
+                SolveStatus::Unsat
+            };
+            assert_eq!(driver::decide(&f), want, "cnt(4,{steps},{})", target % 16);
+        }
+    }
+}
+
+#[test]
+fn hanoi_oracle_grid() {
+    for (disks, horizon) in [
+        (2usize, 2usize),
+        (2, 3),
+        (2, 4),
+        (3, 6),
+        (3, 7),
+        (3, 8),
+        (4, 14),
+        (4, 15),
+    ] {
+        let f = satgen::hanoi::hanoi(disks, horizon);
+        let want = if satgen::hanoi::hanoi_is_sat(disks, horizon) {
+            SolveStatus::Sat
+        } else {
+            SolveStatus::Unsat
+        };
+        assert_eq!(driver::decide(&f), want, "hanoi({disks},{horizon})");
+    }
+}
+
+#[test]
+fn factoring_oracle_grid() {
+    for n in [15u64, 21, 35, 77, 91, 97, 101, 143, 221, 899, 907] {
+        let f = satgen::factoring::factoring(n, 6, 10);
+        let want = if satgen::factoring::is_composite(n) {
+            SolveStatus::Sat
+        } else {
+            SolveStatus::Unsat
+        };
+        assert_eq!(driver::decide(&f), want, "factoring({n})");
+    }
+}
+
+#[test]
+fn parity_oracle_medium() {
+    for seed in 0..4 {
+        for (n, rows, w) in [(24usize, 20usize, 3usize), (30, 26, 4)] {
+            let sat = satgen::xor::parity(n, rows, w, true, seed);
+            assert_eq!(driver::decide(&sat), SolveStatus::Sat, "sat s{seed}");
+            let unsat = satgen::xor::parity(n, rows, w, false, seed);
+            assert_eq!(driver::decide(&unsat), SolveStatus::Unsat, "unsat s{seed}");
+        }
+    }
+}
+
+#[test]
+fn urquhart_oracle_medium() {
+    for (rungs, seed) in [(6usize, 0u64), (8, 1), (10, 2), (12, 3)] {
+        let f = satgen::xor::urquhart(rungs, seed);
+        assert_eq!(
+            driver::decide(&f),
+            SolveStatus::Unsat,
+            "urq({rungs},{seed})"
+        );
+    }
+}
+
+#[test]
+fn planted_oracle_medium() {
+    for seed in 0..4 {
+        let f = satgen::random_ksat::planted_ksat(100, 426, 3, seed);
+        match driver::solve(
+            &f,
+            gridsat_solver::SolverConfig::default(),
+            driver::Limits::default(),
+        )
+        .outcome
+        {
+            driver::Outcome::Sat(m) => assert!(f.is_satisfied_by(&m), "s{seed}"),
+            other => panic!("s{seed}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn coloring_oracle_medium() {
+    // planted-colorable graphs are SAT at their plant count
+    for seed in 0..3 {
+        let g = satgen::coloring::Graph::random_colorable(40, 0.3, 4, seed);
+        let f = satgen::coloring::coloring(&g, 4, format!("colS-{seed}"));
+        assert_eq!(driver::decide(&f), SolveStatus::Sat, "s{seed}");
+    }
+    // odd wheels need 4 colours
+    let c7 = satgen::coloring::Graph::cycle(7);
+    assert_eq!(
+        driver::decide(&satgen::coloring::coloring(&c7, 2, "c7-2")),
+        SolveStatus::Unsat
+    );
+}
+
+#[test]
+fn qg_oracle_medium() {
+    for n in [5usize, 6, 7] {
+        assert_eq!(
+            driver::decide(&satgen::qg::qg_sat(n, n, 3)),
+            SolveStatus::Sat,
+            "qg_sat({n})"
+        );
+        assert_eq!(
+            driver::decide(&satgen::qg::qg_unsat(n, n, 3)),
+            SolveStatus::Unsat,
+            "qg_unsat({n})"
+        );
+    }
+}
+
+#[test]
+fn miter_oracle_medium() {
+    for w in [4usize, 6, 8] {
+        assert_eq!(
+            driver::decide(&satgen::pipe::adder_miter(w, 2, false)),
+            SolveStatus::Unsat,
+            "adder w{w}"
+        );
+        assert_eq!(
+            driver::decide(&satgen::pipe::adder_miter(w, 2, true)),
+            SolveStatus::Sat,
+            "adder-bug w{w}"
+        );
+    }
+    assert_eq!(
+        driver::decide(&satgen::pipe::mult_miter(5, false)),
+        SolveStatus::Unsat
+    );
+}

@@ -1,0 +1,293 @@
+//! The clause database: stable-index storage with a freelist.
+//!
+//! Clause references ([`ClauseRef`]) are indices into a slot vector and
+//! remain valid until the clause is explicitly deleted — there is no
+//! relocating garbage collector, so watch lists and antecedent pointers
+//! never need remapping. Deleted slots are recycled through a freelist.
+//!
+//! The database also carries the *memory model*: every live clause is
+//! charged `bytes_per_clause + len * bytes_per_lit`, which is what the
+//! solver compares against its budget and what a GridSAT client's memory
+//! monitor watches (paper Section 3.3).
+
+use gridsat_cnf::{Clause, Lit};
+
+/// Reference to a clause in the database. Stable until deletion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    /// Sentinel: "no clause". Used for unassigned variables.
+    pub const NONE: ClauseRef = ClauseRef(u32::MAX);
+
+    /// Sentinel: "decision". The paper gives decision variables the
+    /// fictitious antecedent "clause 0".
+    pub const DECISION: ClauseRef = ClauseRef(u32::MAX - 1);
+
+    /// `true` for real clause references (not a sentinel).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        self.0 < u32::MAX - 1
+    }
+}
+
+/// A stored clause.
+#[derive(Debug)]
+pub(crate) struct DbClause {
+    /// Literals; positions 0 and 1 are the watched literals.
+    pub lits: Vec<Lit>,
+    /// Activity for reduction ordering (bumped when used in analysis).
+    pub activity: f32,
+    /// Learned (vs. problem) clause.
+    pub learned: bool,
+    /// Derivable from the original formula alone (no split assumptions)?
+    /// Only global clauses may be shared with peers.
+    pub global: bool,
+    /// 1-based display index in the paper's numbering scheme
+    /// (decision antecedents display as clause 0).
+    pub display_id: u32,
+}
+
+enum Slot {
+    Live(DbClause),
+    Free,
+}
+
+/// Clause storage. See module docs.
+pub struct ClauseDb {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    learned: usize,
+    bytes: usize,
+    next_display_id: u32,
+    clause_activity_inc: f32,
+    bytes_per_lit: usize,
+    bytes_per_clause: usize,
+}
+
+impl ClauseDb {
+    /// Empty database with the given memory-model parameters.
+    pub fn new(bytes_per_lit: usize, bytes_per_clause: usize) -> ClauseDb {
+        ClauseDb {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            learned: 0,
+            bytes: 0,
+            next_display_id: 1,
+            clause_activity_inc: 1.0,
+            bytes_per_lit,
+            bytes_per_clause,
+        }
+    }
+
+    fn clause_bytes(&self, len: usize) -> usize {
+        self.bytes_per_clause + len * self.bytes_per_lit
+    }
+
+    /// Insert a clause; returns its reference.
+    pub fn insert(&mut self, lits: Vec<Lit>, learned: bool, global: bool) -> ClauseRef {
+        debug_assert!(!lits.is_empty());
+        self.bytes += self.clause_bytes(lits.len());
+        self.live += 1;
+        if learned {
+            self.learned += 1;
+        }
+        let clause = DbClause {
+            lits,
+            activity: 0.0,
+            learned,
+            global,
+            display_id: self.next_display_id,
+        };
+        self.next_display_id += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Slot::Live(clause);
+            ClauseRef(idx)
+        } else {
+            self.slots.push(Slot::Live(clause));
+            ClauseRef((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Delete a clause, recycling its slot. The caller must already have
+    /// detached its watches.
+    pub fn delete(&mut self, cref: ClauseRef) {
+        debug_assert!(cref.is_real());
+        let slot = &mut self.slots[cref.0 as usize];
+        match std::mem::replace(slot, Slot::Free) {
+            Slot::Live(c) => {
+                self.bytes -= self.clause_bytes(c.lits.len());
+                self.live -= 1;
+                if c.learned {
+                    self.learned -= 1;
+                }
+                self.free.push(cref.0);
+            }
+            Slot::Free => panic!("double delete of {cref:?}"),
+        }
+    }
+
+    /// Access a clause.
+    #[inline]
+    pub(crate) fn get(&self, cref: ClauseRef) -> &DbClause {
+        match &self.slots[cref.0 as usize] {
+            Slot::Live(c) => c,
+            Slot::Free => panic!("use of deleted {cref:?}"),
+        }
+    }
+
+    /// Mutable access to a clause.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut DbClause {
+        match &mut self.slots[cref.0 as usize] {
+            Slot::Live(c) => c,
+            Slot::Free => panic!("use of deleted {cref:?}"),
+        }
+    }
+
+    /// The literals of a clause.
+    #[inline]
+    pub fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        &self.get(cref).lits
+    }
+
+    /// The 1-based display id of a clause (paper numbering).
+    pub fn display_id(&self, cref: ClauseRef) -> u32 {
+        self.get(cref).display_id
+    }
+
+    /// Is the clause learned?
+    pub fn is_learned(&self, cref: ClauseRef) -> bool {
+        self.get(cref).learned
+    }
+
+    /// Is the clause derivable from the original formula alone?
+    pub fn is_global(&self, cref: ClauseRef) -> bool {
+        self.get(cref).global
+    }
+
+    /// Live clause count.
+    pub fn num_live(&self) -> usize {
+        self.live
+    }
+
+    /// Live learned-clause count.
+    pub fn num_learned(&self) -> usize {
+        self.learned
+    }
+
+    /// Current footprint under the memory model, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterate over live clause references.
+    pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Live(_) => Some(ClauseRef(i as u32)),
+            Slot::Free => None,
+        })
+    }
+
+    /// Bump a clause's activity (used during conflict analysis); rescales
+    /// all activities when they grow too large.
+    pub fn bump_activity(&mut self, cref: ClauseRef) {
+        let inc = self.clause_activity_inc;
+        let c = self.get_mut(cref);
+        c.activity += inc;
+        if c.activity > 1e20 {
+            for slot in &mut self.slots {
+                if let Slot::Live(c) = slot {
+                    c.activity *= 1e-20;
+                }
+            }
+            self.clause_activity_inc *= 1e-20;
+        }
+    }
+
+    /// Decay clause activities by inflating the increment (MiniSat trick).
+    pub fn decay_activity(&mut self, factor: f32) {
+        debug_assert!(factor > 0.0 && factor < 1.0);
+        self.clause_activity_inc /= factor;
+    }
+
+    /// Export a clause to the interchange representation.
+    pub fn export(&self, cref: ClauseRef) -> Clause {
+        Clause::new(self.lits(cref).iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsat_cnf::Lit;
+
+    fn lits(v: &[i64]) -> Vec<Lit> {
+        v.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    #[test]
+    fn insert_get_delete_recycle() {
+        let mut db = ClauseDb::new(4, 48);
+        let a = db.insert(lits(&[1, 2, 3]), false, true);
+        let b = db.insert(lits(&[-1, 4]), true, true);
+        assert_eq!(db.num_live(), 2);
+        assert_eq!(db.num_learned(), 1);
+        assert_eq!(db.lits(a), lits(&[1, 2, 3]).as_slice());
+        assert_eq!(db.display_id(a), 1);
+        assert_eq!(db.display_id(b), 2);
+        assert_eq!(db.bytes(), (48 + 12) + (48 + 8));
+
+        db.delete(b);
+        assert_eq!(db.num_live(), 1);
+        assert_eq!(db.num_learned(), 0);
+        assert_eq!(db.bytes(), 48 + 12);
+
+        // slot is recycled but display ids keep counting
+        let c = db.insert(lits(&[5]), false, false);
+        assert_eq!(c, b);
+        assert_eq!(db.display_id(c), 3);
+        assert!(!db.is_global(c));
+        assert_eq!(db.iter_refs().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double delete")]
+    fn double_delete_panics() {
+        let mut db = ClauseDb::new(4, 48);
+        let a = db.insert(lits(&[1]), false, true);
+        db.delete(a);
+        db.delete(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "use of deleted")]
+    fn use_after_delete_panics() {
+        let mut db = ClauseDb::new(4, 48);
+        let a = db.insert(lits(&[1]), false, true);
+        db.delete(a);
+        let _ = db.lits(a);
+    }
+
+    #[test]
+    fn sentinels() {
+        assert!(!ClauseRef::NONE.is_real());
+        assert!(!ClauseRef::DECISION.is_real());
+        assert!(ClauseRef(0).is_real());
+        assert_ne!(ClauseRef::NONE, ClauseRef::DECISION);
+    }
+
+    #[test]
+    fn activity_bump_and_rescale() {
+        let mut db = ClauseDb::new(4, 48);
+        let a = db.insert(lits(&[1, 2]), true, true);
+        db.bump_activity(a);
+        let before = db.get(a).activity;
+        assert!(before > 0.0);
+        db.decay_activity(0.5);
+        db.bump_activity(a);
+        assert!(db.get(a).activity > before * 1.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Solver configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Restart policy (off by default; zChaff-era restarts are geometric).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RestartConfig {
+    /// Conflicts before the first restart.
+    pub first_interval: u64,
+    /// Multiplier applied to the interval after each restart.
+    pub geometric_factor: f64,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        RestartConfig {
+            first_interval: 700,
+            geometric_factor: 1.5,
+        }
+    }
+}
+
+/// Tunables for the CDCL core.
+///
+/// Defaults follow the paper's zChaff description: original per-literal
+/// VSIDS with periodic division, FirstUIP learning without minimization,
+/// no restarts, no phase saving. The post-2003 refinements are available
+/// behind flags for the ablation benches.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Conflicts between VSIDS decays ("periodically all counts are
+    /// divided by a constant", Section 2.4).
+    pub vsids_decay_interval: u32,
+    /// Right-shift applied to every literal counter at decay (1 = halve).
+    pub vsids_decay_shift: u32,
+    /// Collect learned clauses no longer than this into the share outbox
+    /// (the paper uses 10 and 3). `None` disables collection.
+    pub share_len_limit: Option<usize>,
+    /// Clause-database byte budget. Exceeding it (after a reduction
+    /// attempt) makes [`crate::Solver::step`] report memory pressure.
+    pub mem_budget: Option<usize>,
+    /// Learned clauses kept before a database reduction is attempted,
+    /// as a multiple of the original clause count.
+    pub max_learned_factor: f64,
+    /// Growth applied to the learned-clause cap after each reduction.
+    pub max_learned_growth: f64,
+    /// Restart policy; `None` (default) never restarts.
+    pub restart: Option<RestartConfig>,
+    /// The paper's "pruning optimization": on new level-0 facts, delete
+    /// clauses already satisfied at level 0.
+    pub level0_pruning: bool,
+    /// Conflict-clause minimization (post-2003 extension; default off).
+    pub minimize_learned: bool,
+    /// Phase saving (post-2003 extension; default off). When off, VSIDS
+    /// picks the highest-count *literal* exactly as Chaff describes.
+    pub phase_saving: bool,
+    /// Bytes charged per stored literal in the memory model.
+    pub bytes_per_lit: usize,
+    /// Fixed bytes charged per stored clause in the memory model.
+    pub bytes_per_clause: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            vsids_decay_interval: 256,
+            vsids_decay_shift: 1,
+            share_len_limit: None,
+            mem_budget: None,
+            max_learned_factor: 3.0,
+            max_learned_growth: 1.1,
+            restart: None,
+            level0_pruning: false,
+            minimize_learned: false,
+            phase_saving: false,
+            bytes_per_lit: 4,
+            bytes_per_clause: 48,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The configuration used for the paper's *sequential zChaff* baseline:
+    /// defaults plus the level-0 pruning optimization the authors
+    /// retro-fitted for fairness, and a memory budget. Count-based database
+    /// reduction is effectively disabled, matching zChaff's conservative
+    /// relevance deletion ("a sequential solver cannot delete antecedent
+    /// clauses and might have no memory space to store new clauses",
+    /// Section 4.2): the learned database grows until it overflows.
+    pub fn sequential_baseline(mem_budget: usize) -> SolverConfig {
+        SolverConfig {
+            level0_pruning: true,
+            mem_budget: Some(mem_budget),
+            max_learned_factor: 1e18,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// The configuration used by GridSAT clients: the sequential baseline
+    /// plus sharing with the given length limit. Memory pressure is
+    /// resolved by splitting, not by deletion, per the paper.
+    pub fn grid_client(share_len_limit: usize, mem_budget: usize) -> SolverConfig {
+        SolverConfig {
+            share_len_limit: Some(share_len_limit),
+            ..SolverConfig::sequential_baseline(mem_budget)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_era() {
+        let c = SolverConfig::default();
+        assert!(c.restart.is_none());
+        assert!(!c.minimize_learned);
+        assert!(!c.phase_saving);
+        assert!(!c.level0_pruning);
+        assert_eq!(c.vsids_decay_shift, 1);
+    }
+
+    #[test]
+    fn presets() {
+        let s = SolverConfig::sequential_baseline(1 << 20);
+        assert!(s.level0_pruning);
+        assert_eq!(s.mem_budget, Some(1 << 20));
+        assert!(s.share_len_limit.is_none());
+
+        let g = SolverConfig::grid_client(10, 1 << 20);
+        assert_eq!(g.share_len_limit, Some(10));
+        assert!(g.level0_pruning);
+    }
+}

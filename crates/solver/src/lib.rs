@@ -1,0 +1,51 @@
+//! A zChaff-style CDCL SAT solver core for the GridSAT reproduction.
+//!
+//! This crate rebuilds the solver the paper uses as its sequential core
+//! (Section 2): the DPLL search with two-watched-literal Boolean constraint
+//! propagation, VSIDS decision heuristic, FirstUIP conflict-driven clause
+//! learning and non-chronological backjumping — plus the hooks GridSAT
+//! needs on top (Section 3): bounded *steppable* execution, a byte-budgeted
+//! clause database with memory-pressure reporting, guiding-path splitting,
+//! and clause-sharing outbox/inbox with the paper's four merge cases.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gridsat_cnf::paper;
+//! use gridsat_solver::{driver, SolveStatus};
+//!
+//! let formula = paper::fig1_formula();
+//! assert_eq!(driver::decide(&formula), SolveStatus::Sat);
+//! ```
+//!
+//! # Architecture
+//!
+//! * [`Solver`] — the CDCL engine; drive it with [`Solver::step`].
+//! * [`driver`] — run-to-completion sequential driver with the paper's
+//!   `TIME_OUT` / `MEM_OUT` semantics.
+//! * [`SolverConfig`] — paper-era defaults, post-2003 refinements gated
+//!   behind flags for ablations.
+//! * [`SplitSpec`] — a serialized subproblem, produced by
+//!   [`Solver::split_off`] and consumed by [`Solver::from_split`].
+//! * [`proof`] — DRAT proof logging with a built-in independent RUP
+//!   checker (extension).
+//! * [`preprocess`] — unit propagation, subsumption and self-subsuming
+//!   resolution before search (extension).
+
+mod clausedb;
+mod config;
+pub mod driver;
+pub mod preprocess;
+pub mod proof;
+mod solver;
+mod stats;
+mod vsids;
+
+pub use clausedb::ClauseRef;
+pub use config::{RestartConfig, SolverConfig};
+pub use driver::{Limits, Outcome, Report};
+pub use proof::{Proof, ProofError, ProofStep};
+pub use solver::{
+    ConflictAnalysis, GraphNode, ResolutionStep, SolveStatus, Solver, SplitSpec, Step,
+};
+pub use stats::Stats;

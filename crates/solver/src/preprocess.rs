@@ -1,0 +1,310 @@
+//! CNF preprocessing: unit propagation, subsumption and self-subsuming
+//! resolution (clause strengthening), run to fixpoint before search.
+//!
+//! An extension beyond the paper's zChaff core (systematic preprocessing
+//! arrived with SatELite-era solvers); off by default, exercised by the
+//! ablation benches. All transformations are equivalence-preserving for
+//! satisfiability, and models of the simplified formula extend to models
+//! of the original via the eliminated unit assignments.
+
+use gridsat_cnf::{Clause, Formula, Lit, Value};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Result of preprocessing.
+#[derive(Debug)]
+pub struct Preprocessed {
+    /// The simplified formula (same variable universe).
+    pub formula: Formula,
+    /// Literals fixed by unit propagation (must be part of any model).
+    pub fixed: Vec<Lit>,
+    /// `true` if preprocessing already refuted the formula.
+    pub unsat: bool,
+    /// Counters for reporting.
+    pub stats: PreprocessStats,
+}
+
+/// What preprocessing accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    pub units_fixed: usize,
+    pub clauses_subsumed: usize,
+    pub literals_strengthened: usize,
+    pub clauses_removed_satisfied: usize,
+}
+
+/// Preprocess a formula: returns the simplified clauses plus the fixed
+/// (unit-implied) literals.
+pub fn preprocess(formula: &Formula) -> Preprocessed {
+    let n = formula.num_vars();
+    let mut stats = PreprocessStats::default();
+
+    // working set: sorted-deduped clauses, tautologies dropped
+    let mut clauses: Vec<Option<Vec<Lit>>> = Vec::with_capacity(formula.num_clauses());
+    for c in formula.iter() {
+        match c.normalized() {
+            None => {} // tautology
+            Some(nc) => clauses.push(Some(nc.lits().to_vec())),
+        }
+    }
+
+    let mut value: Vec<Value> = vec![Value::Unassigned; n];
+    let mut queue: VecDeque<Lit> = VecDeque::new();
+    let mut unsat = false;
+
+    // seed the unit queue
+    for c in clauses.iter().flatten() {
+        if c.len() == 1 {
+            queue.push_back(c[0]);
+        }
+        if c.is_empty() {
+            unsat = true;
+        }
+    }
+
+    // unit propagation + clause rewriting to fixpoint
+    'outer: while let Some(l) = queue.pop_front() {
+        match l.value_under(value[l.var().index()]) {
+            Value::True => continue,
+            Value::False => {
+                unsat = true;
+                break;
+            }
+            Value::Unassigned => {}
+        }
+        value[l.var().index()] = l.satisfying_value();
+        stats.units_fixed += 1;
+        for slot in clauses.iter_mut() {
+            let Some(c) = slot else { continue };
+            if c.contains(&l) {
+                stats.clauses_removed_satisfied += 1;
+                *slot = None;
+                continue;
+            }
+            if let Some(pos) = c.iter().position(|&q| q == !l) {
+                c.remove(pos);
+                match c.len() {
+                    0 => {
+                        unsat = true;
+                        break 'outer;
+                    }
+                    1 => queue.push_back(c[0]),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    if !unsat {
+        // subsumption + self-subsuming resolution to fixpoint
+        loop {
+            let mut changed = false;
+            let live: Vec<usize> = (0..clauses.len())
+                .filter(|&i| clauses[i].is_some())
+                .collect();
+            for &i in &live {
+                let Some(ci) = clauses[i].clone() else {
+                    continue;
+                };
+                let ci_set: BTreeSet<Lit> = ci.iter().copied().collect();
+                for &j in &live {
+                    if i == j {
+                        continue;
+                    }
+                    let Some(cj) = clauses[j].clone() else {
+                        continue;
+                    };
+                    if cj.len() < ci.len() {
+                        continue; // cj cannot be subsumed by... handled sym.
+                    }
+                    // subsumption: ci ⊆ cj  =>  drop cj
+                    if ci.iter().all(|l| cj.contains(l)) {
+                        clauses[j] = None;
+                        stats.clauses_subsumed += 1;
+                        changed = true;
+                        continue;
+                    }
+                    // self-subsuming resolution: ci \ {x} ⊆ cj and ¬x ∈ cj
+                    // => remove ¬x from cj
+                    for &x in &ci {
+                        if !cj.contains(&!x) {
+                            continue;
+                        }
+                        let rest_ok = ci_set.iter().all(|&l| l == x || cj.contains(&l));
+                        if rest_ok {
+                            let mut strengthened = cj.clone();
+                            strengthened.retain(|&q| q != !x);
+                            stats.literals_strengthened += 1;
+                            changed = true;
+                            if strengthened.len() == 1 {
+                                // re-run the unit pipeline by recursing on
+                                // the rewritten formula
+                                clauses[j] = Some(strengthened);
+                                let mut f2 = Formula::new(n);
+                                for c in clauses.iter().flatten() {
+                                    f2.add_clause(c.iter().copied());
+                                }
+                                for (v, &val) in value.iter().enumerate() {
+                                    if val.is_assigned() {
+                                        f2.add_clause([
+                                            gridsat_cnf::Var(v as u32).lit(val == Value::False)
+                                        ]);
+                                    }
+                                }
+                                let mut inner = preprocess(&f2);
+                                // inner re-fixes the already-fixed units
+                                // (they are unit clauses of f2), so only
+                                // the rewrite counters accumulate
+                                inner.stats.clauses_subsumed += stats.clauses_subsumed;
+                                inner.stats.literals_strengthened += stats.literals_strengthened;
+                                inner.stats.clauses_removed_satisfied +=
+                                    stats.clauses_removed_satisfied;
+                                return inner;
+                            }
+                            clauses[j] = Some(strengthened);
+                            break;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    let mut out = Formula::new(n);
+    if let Some(name) = formula.name() {
+        out.set_name(format!("{name}+pre"));
+    }
+    let mut fixed = Vec::new();
+    for (v, &val) in value.iter().enumerate() {
+        if val.is_assigned() {
+            fixed.push(gridsat_cnf::Var(v as u32).lit(val == Value::False));
+        }
+    }
+    if unsat {
+        out.push_clause(Clause::empty());
+    } else {
+        for c in clauses.iter().flatten() {
+            out.add_clause(c.iter().copied());
+        }
+    }
+    Preprocessed {
+        formula: out,
+        fixed,
+        unsat,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn formula(clauses: &[&[i64]]) -> Formula {
+        let mut f = Formula::new(0);
+        for c in clauses {
+            f.add_dimacs_clause(c.iter().copied());
+        }
+        f
+    }
+
+    #[test]
+    fn units_propagate_and_simplify() {
+        // (x1) & (~x1 + x2) & (~x2 + x3 + x4)
+        let f = formula(&[&[1], &[-1, 2], &[-2, 3, 4]]);
+        let p = preprocess(&f);
+        assert!(!p.unsat);
+        assert_eq!(p.stats.units_fixed, 2); // x1, x2
+        assert!(p.fixed.contains(&Lit::from_dimacs(1)));
+        assert!(p.fixed.contains(&Lit::from_dimacs(2)));
+        // only (x3 + x4) remains
+        assert_eq!(p.formula.num_clauses(), 1);
+        assert_eq!(p.formula.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let f = formula(&[&[1], &[-1]]);
+        let p = preprocess(&f);
+        assert!(p.unsat);
+    }
+
+    #[test]
+    fn subsumption_removes_supersets() {
+        // (x1 + x2) subsumes (x1 + x2 + x3)
+        let f = formula(&[&[1, 2], &[1, 2, 3]]);
+        let p = preprocess(&f);
+        assert_eq!(p.stats.clauses_subsumed, 1);
+        assert_eq!(p.formula.num_clauses(), 1);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (x1 + x2) with (x1 + ~x2 + x3): resolving on x2 strengthens the
+        // second clause to (x1 + x3)
+        let f = formula(&[&[1, 2], &[1, -2, 3]]);
+        let p = preprocess(&f);
+        assert!(p.stats.literals_strengthened >= 1);
+        assert!(p
+            .formula
+            .clauses()
+            .iter()
+            .any(|c| c.len() == 2 && c.contains(Lit::from_dimacs(3))));
+    }
+
+    #[test]
+    fn strengthening_to_unit_cascades() {
+        // (x1 + x2) and (x1 + ~x2) strengthen to the unit (x1)
+        let f = formula(&[&[1, 2], &[1, -2], &[-1, 3]]);
+        let p = preprocess(&f);
+        assert!(p.fixed.contains(&Lit::from_dimacs(1)));
+        assert!(p.fixed.contains(&Lit::from_dimacs(3)));
+    }
+
+    #[test]
+    fn satisfiability_is_preserved() {
+        use crate::{driver, SolverConfig};
+        for seed in 0..20u64 {
+            let f = gridsat_satgen::random_ksat::random_ksat(14, 60, 3, seed);
+            let before = driver::decide(&f);
+            let p = preprocess(&f);
+            let after = if p.unsat {
+                crate::SolveStatus::Unsat
+            } else {
+                // solve the simplified formula under the fixed literals
+                match driver::solve_with_assumptions(
+                    &p.formula,
+                    &p.fixed,
+                    SolverConfig::default(),
+                    driver::Limits::default(),
+                )
+                .outcome
+                {
+                    driver::Outcome::Sat(model) => {
+                        // the extended model must satisfy the ORIGINAL
+                        let mut a = f.empty_assignment();
+                        for (v, val) in model.iter_assigned() {
+                            a.set(v, val);
+                        }
+                        for l in &p.fixed {
+                            a.assign_lit(*l);
+                        }
+                        // free leftovers default to false
+                        for v in 0..f.num_vars() {
+                            let var = gridsat_cnf::Var(v as u32);
+                            if a.value(var) == Value::Unassigned {
+                                a.set(var, Value::False);
+                            }
+                        }
+                        assert!(f.is_satisfied_by(&a), "seed {seed}");
+                        crate::SolveStatus::Sat
+                    }
+                    driver::Outcome::Unsat => crate::SolveStatus::Unsat,
+                    other => panic!("{other:?}"),
+                }
+            };
+            assert_eq!(before, after, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,1357 @@
+//! The CDCL core: two-watched-literal BCP, VSIDS decisions, FirstUIP
+//! learning, non-chronological backjumping, bounded learned-clause
+//! database, clause sharing hooks and guiding-path splitting.
+//!
+//! # Decision levels (paper Section 2.1)
+//!
+//! Level 0 holds assignments required for the (sub)problem to be
+//! satisfiable: original unit clauses, split assumptions, and learned
+//! facts. Decisions open levels 1, 2, ... and carry the fictitious
+//! antecedent "clause 0" ([`ClauseRef::DECISION`]).
+//!
+//! # Split assumptions and clause sharing (paper Sections 3.1-3.2)
+//!
+//! A subproblem is the original formula plus *assumption* literals pinned
+//! at level 0. Conflict analysis skips a level-0 variable only when its
+//! assignment is derivable from the original formula alone
+//! (`level0_global`); assumption-derived level-0 literals are *kept* in
+//! learned clauses instead. Every learned clause is therefore valid for
+//! the original problem, which is what makes GridSAT's global clause
+//! sharing sound. Splitting removes only clauses already *satisfied* at
+//! level 0 (it never strips false literals), so transferred clauses stay
+//! globally valid too.
+
+use crate::clausedb::{ClauseDb, ClauseRef};
+use crate::config::SolverConfig;
+use crate::proof::{Proof, ProofStep};
+use crate::stats::Stats;
+use crate::vsids::Vsids;
+use gridsat_cnf::{Assignment, Clause, Formula, Lit, Value, Var};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Terminal status of a (sub)problem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// A satisfying assignment was found (valid for the subproblem;
+    /// the GridSAT master re-verifies against the original formula).
+    Sat,
+    /// The subproblem is unsatisfiable under its assumptions.
+    Unsat,
+}
+
+/// Result of one bounded step of search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Budget exhausted; search can continue.
+    Running,
+    /// Satisfiable; a model is available via [`Solver::model`].
+    Sat,
+    /// The subproblem is unsatisfiable.
+    Unsat,
+    /// The clause database exceeds the memory budget even after
+    /// reduction. Search can continue, but a GridSAT client reacts by
+    /// requesting a split (paper Section 3.3).
+    MemoryPressure,
+}
+
+/// A subproblem produced by [`Solver::split_off`], shippable to a peer.
+///
+/// Contains the level-0 assignment (with per-literal "globally derivable"
+/// flags) and every clause not already satisfied at level 0. Clauses are
+/// transferred *unstripped* so they remain valid for the original problem.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SplitSpec {
+    /// Variable universe size (shared by all clients).
+    pub num_vars: usize,
+    /// Level-0 literals: `(lit, globally_derivable)`.
+    pub assumptions: Vec<(Lit, bool)>,
+    /// Clauses (original + learned) not satisfied at level 0.
+    pub clauses: Vec<Clause>,
+}
+
+impl SplitSpec {
+    /// Message size under the paper's transfer-cost model (the split
+    /// message "varies in size from 10 KBytes to 500 MBytes").
+    pub fn approx_message_bytes(&self) -> usize {
+        let lits: usize = self.clauses.iter().map(Clause::len).sum();
+        16 + self.assumptions.len() * 5 + self.clauses.len() * 8 + lits * 4
+    }
+}
+
+/// One resolution step of a conflict analysis (for the Figure 1 trace).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolutionStep {
+    /// Variable resolved on.
+    pub var: Var,
+    /// Display id (paper numbering) of its antecedent clause.
+    pub antecedent_id: u32,
+}
+
+/// The outcome of analyzing one conflict.
+#[derive(Clone, Debug)]
+pub struct ConflictAnalysis {
+    /// The learned clause; index 0 is the asserting literal.
+    pub learned: Clause,
+    /// Level to backjump to.
+    pub backjump: usize,
+    /// The FirstUIP variable (the asserting literal's variable).
+    pub uip: Var,
+    /// Display id of the conflicting clause.
+    pub conflict_id: u32,
+    /// Resolution steps (recorded only when tracing is enabled).
+    pub steps: Vec<ResolutionStep>,
+    /// Whether the learned clause is derivable from the original formula
+    /// alone (with the include-assumptions policy this is always true).
+    pub global: bool,
+}
+
+/// A node of the implication graph (paper Section 2.2 / Figure 1).
+#[derive(Clone, Debug)]
+pub struct GraphNode {
+    /// The assigned (true) literal.
+    pub lit: Lit,
+    /// Its decision level.
+    pub level: usize,
+    /// Display id of the antecedent clause; 0 for decisions
+    /// ("we use clause 0 as antecedent for decision variables").
+    pub antecedent_id: u32,
+    /// Predecessor variables (sources of the incident edges).
+    pub preds: Vec<Var>,
+}
+
+#[derive(Clone, Copy)]
+struct Watch {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// The CDCL solver. See module docs.
+pub struct Solver {
+    config: SolverConfig,
+    num_vars: usize,
+    db: ClauseDb,
+    watches: Vec<Vec<Watch>>,
+    value: Vec<Value>,
+    var_level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    /// Valid for level-0 assigned vars: derivable from the original
+    /// formula alone (not via split assumptions).
+    level0_global: Vec<bool>,
+    /// Saved phase for the phase-saving extension.
+    saved_phase: Vec<bool>,
+    trail: Vec<Lit>,
+    /// `level_start[l]` = trail index where level `l` begins;
+    /// `level_start[0] == 0` always.
+    level_start: Vec<usize>,
+    qhead: usize,
+    vsids: Vsids,
+    stats: Stats,
+    status: Option<SolveStatus>,
+    assumptions: Vec<Lit>,
+    /// Learned clauses awaiting pickup for sharing.
+    outbox: Vec<Clause>,
+    /// Foreign clauses awaiting merge at level 0.
+    inbox: VecDeque<Clause>,
+    seen: Vec<bool>,
+    max_learned: f64,
+    next_restart: Option<u64>,
+    restart_interval: f64,
+    conflicts_since_decay: u32,
+    /// Trail length at level 0 when pruning last ran.
+    pruned_at: usize,
+    trace: bool,
+    /// DRAT trace, when enabled. `proof_complete` drops to false if the
+    /// derivation stops being locally checkable (foreign clauses merged).
+    proof: Option<Proof>,
+    proof_complete: bool,
+}
+
+impl Solver {
+    /// Build a solver for a whole formula (no assumptions).
+    pub fn new(formula: &Formula, config: SolverConfig) -> Solver {
+        Solver::from_parts(
+            formula.num_vars(),
+            formula.clauses().iter().cloned(),
+            &[],
+            config,
+        )
+    }
+
+    /// Build a solver for a subproblem received from a peer.
+    pub fn from_split(spec: &SplitSpec, config: SolverConfig) -> Solver {
+        let mut s = Solver::from_parts(spec.num_vars, spec.clauses.iter().cloned(), &[], config);
+        for &(lit, global) in &spec.assumptions {
+            s.add_assumption(lit, global);
+        }
+        s.initial_propagate();
+        s
+    }
+
+    /// Build from raw parts. `assumptions` are pinned at level 0 and
+    /// treated as non-global (split prefix).
+    pub fn from_parts(
+        num_vars: usize,
+        clauses: impl IntoIterator<Item = Clause>,
+        assumptions: &[Lit],
+        config: SolverConfig,
+    ) -> Solver {
+        let mut s = Solver {
+            db: ClauseDb::new(config.bytes_per_lit, config.bytes_per_clause),
+            watches: vec![Vec::new(); num_vars * 2],
+            value: vec![Value::Unassigned; num_vars],
+            var_level: vec![0; num_vars],
+            reason: vec![ClauseRef::NONE; num_vars],
+            level0_global: vec![false; num_vars],
+            saved_phase: vec![false; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            level_start: vec![0],
+            qhead: 0,
+            vsids: Vsids::new(num_vars),
+            stats: Stats::default(),
+            status: None,
+            assumptions: Vec::new(),
+            outbox: Vec::new(),
+            inbox: VecDeque::new(),
+            seen: vec![false; num_vars],
+            max_learned: 0.0,
+            next_restart: config.restart.map(|r| r.first_interval),
+            restart_interval: config
+                .restart
+                .map(|r| r.first_interval as f64)
+                .unwrap_or(0.0),
+            conflicts_since_decay: 0,
+            pruned_at: 0,
+            num_vars,
+            config,
+            trace: false,
+            proof: None,
+            proof_complete: true,
+        };
+        for lit in assumptions {
+            s.add_assumption(*lit, false);
+        }
+        let mut original = 0usize;
+        for clause in clauses {
+            s.add_original_clause(clause);
+            original += 1;
+        }
+        s.max_learned = (original as f64 * s.config.max_learned_factor).max(1000.0);
+        s.initial_propagate();
+        s
+    }
+
+    fn add_assumption(&mut self, lit: Lit, global: bool) {
+        if self.status.is_some() {
+            return;
+        }
+        self.assumptions.push(lit);
+        match self.lit_value(lit) {
+            Value::True => {}
+            Value::False => self.mark_unsat(),
+            Value::Unassigned => {
+                self.enqueue_with_global(lit, ClauseRef::DECISION, global);
+            }
+        }
+    }
+
+    fn add_original_clause(&mut self, clause: Clause) {
+        if self.status.is_some() {
+            return;
+        }
+        let normalized = match clause.normalized() {
+            // tautologies still consume a display id slot so the paper
+            // numbering stays aligned with the input formula
+            None => {
+                let _ = self.db.insert(clause.lits().to_vec(), false, true);
+                let cref = self.last_inserted();
+                self.db.delete(cref);
+                return;
+            }
+            Some(c) => c,
+        };
+        if normalized.is_empty() {
+            self.mark_unsat();
+            return;
+        }
+        let lits = normalized.lits().to_vec();
+        for &l in &lits {
+            self.vsids.bump(l);
+        }
+        let cref = self.db.insert(lits, false, true);
+        if self.db.lits(cref).len() >= 2 {
+            self.attach(cref);
+        } else {
+            let unit = self.db.lits(cref)[0];
+            match self.lit_value(unit) {
+                Value::True => {}
+                Value::False => self.mark_unsat(),
+                Value::Unassigned => self.enqueue(unit, cref),
+            }
+        }
+        self.note_db_peak();
+    }
+
+    fn last_inserted(&self) -> ClauseRef {
+        // only used immediately after an insert in add_original_clause;
+        // the freelist means we cannot predict the index, so re-derive it
+        // from the iterator (cheap: construction-time only).
+        self.db
+            .iter_refs()
+            .max_by_key(|&c| self.db.display_id(c))
+            .expect("just inserted")
+    }
+
+    fn initial_propagate(&mut self) {
+        if self.status.is_none() && self.propagate().is_some() {
+            self.mark_unsat();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of currently assigned variables.
+    pub fn num_assigned(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Current decision level (0 = no open decisions).
+    pub fn decision_level(&self) -> usize {
+        self.level_start.len() - 1
+    }
+
+    /// Terminal status, if the (sub)problem is decided.
+    pub fn status(&self) -> Option<SolveStatus> {
+        self.status
+    }
+
+    /// Current (possibly partial) assignment.
+    pub fn assignment(&self) -> Assignment {
+        let mut a = Assignment::new(self.num_vars);
+        for (i, &v) in self.value.iter().enumerate() {
+            if v.is_assigned() {
+                a.set(Var(i as u32), v);
+            }
+        }
+        a
+    }
+
+    /// The model, when status is [`SolveStatus::Sat`].
+    pub fn model(&self) -> Option<Assignment> {
+        if self.status == Some(SolveStatus::Sat) {
+            Some(self.assignment())
+        } else {
+            None
+        }
+    }
+
+    /// Search statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Clause-database footprint under the memory model, in bytes.
+    pub fn db_bytes(&self) -> usize {
+        self.db.bytes()
+    }
+
+    /// Live clause count (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_live()
+    }
+
+    /// Live learned-clause count.
+    pub fn num_learned(&self) -> usize {
+        self.db.num_learned()
+    }
+
+    /// The split assumptions this solver was created with.
+    pub fn split_assumptions(&self) -> &[Lit] {
+        &self.assumptions
+    }
+
+    /// The truth value of a literal under the current assignment.
+    #[inline]
+    pub fn lit_value(&self, l: Lit) -> Value {
+        l.value_under(self.value[l.var().index()])
+    }
+
+    /// The truth value of a variable.
+    #[inline]
+    pub fn var_value(&self, v: Var) -> Value {
+        self.value[v.index()]
+    }
+
+    /// The decision level of an assigned variable.
+    pub fn var_decision_level(&self, v: Var) -> Option<usize> {
+        if self.value[v.index()].is_assigned() {
+            Some(self.var_level[v.index()] as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Enable resolution-trace recording in [`ConflictAnalysis::steps`].
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Start recording a DRAT proof trace (sequential path; merging
+    /// foreign clauses makes the local trace uncheckable and voids it).
+    pub fn enable_proof(&mut self) {
+        self.proof = Some(Proof::default());
+        self.proof_complete = true;
+    }
+
+    /// Take the recorded proof, if one was enabled and remained locally
+    /// checkable.
+    pub fn take_proof(&mut self) -> Option<Proof> {
+        if !self.proof_complete {
+            self.proof = None;
+        }
+        self.proof.take()
+    }
+
+    fn log_proof(&mut self, step: ProofStep) {
+        if let Some(p) = &mut self.proof {
+            p.steps.push(step);
+        }
+    }
+
+    /// Record UNSAT: sets the status and closes the proof trace with the
+    /// empty clause.
+    fn mark_unsat(&mut self) {
+        if self.status.is_none() {
+            self.status = Some(SolveStatus::Unsat);
+            self.log_proof(ProofStep::Add(Vec::new()));
+        }
+    }
+
+    /// The current VSIDS counter of a literal (introspection for the
+    /// heuristic ablations).
+    pub fn vsids_score(&self, l: Lit) -> u64 {
+        self.vsids.score(l)
+    }
+
+    // ------------------------------------------------------------------
+    // Assignment plumbing
+    // ------------------------------------------------------------------
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        let global = if self.decision_level() == 0 {
+            self.compute_level0_global(l, reason)
+        } else {
+            false
+        };
+        self.enqueue_with_global(l, reason, global);
+    }
+
+    fn compute_level0_global(&self, l: Lit, reason: ClauseRef) -> bool {
+        if !reason.is_real() {
+            // level-0 decisions are assumptions: not globally derivable
+            return false;
+        }
+        if !self.db.is_global(reason) {
+            return false;
+        }
+        self.db
+            .lits(reason)
+            .iter()
+            .all(|&q| q == l || self.level0_global[q.var().index()])
+    }
+
+    fn enqueue_with_global(&mut self, l: Lit, reason: ClauseRef, global: bool) {
+        let v = l.var().index();
+        debug_assert_eq!(self.value[v], Value::Unassigned);
+        self.value[v] = l.satisfying_value();
+        self.var_level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        if self.decision_level() == 0 {
+            self.level0_global[v] = global;
+        }
+        self.trail.push(l);
+        self.stats.propagations += 1;
+        self.stats.work += 1;
+    }
+
+    fn decide(&mut self, l: Lit) {
+        debug_assert_eq!(self.lit_value(l), Value::Unassigned);
+        self.level_start.push(self.trail.len());
+        self.enqueue(l, ClauseRef::DECISION);
+        self.stats.decisions += 1;
+        self.stats.max_level = self.stats.max_level.max(self.decision_level() as u64);
+    }
+
+    /// Backtrack to `to_level`, keeping levels `0..=to_level`.
+    fn backtrack(&mut self, to_level: usize) {
+        if to_level >= self.decision_level() {
+            return;
+        }
+        let keep = self.level_start[to_level + 1];
+        for i in (keep..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            if self.config.phase_saving {
+                self.saved_phase[v] = self.value[v] == Value::True;
+            }
+            self.value[v] = Value::Unassigned;
+            self.reason[v] = ClauseRef::NONE;
+            self.vsids.reinsert(l);
+            self.vsids.reinsert(!l);
+        }
+        self.trail.truncate(keep);
+        self.level_start.truncate(to_level + 1);
+        self.qhead = keep;
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        debug_assert!(lits.len() >= 2);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[l0.code()].push(Watch { cref, blocker: l1 });
+        self.watches[l1.code()].push(Watch { cref, blocker: l0 });
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        for code in [l0.code(), l1.code()] {
+            let ws = &mut self.watches[code];
+            if let Some(p) = ws.iter().position(|w| w.cref == cref) {
+                ws.swap_remove(p);
+            }
+        }
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let l0 = self.db.lits(cref)[0];
+        self.lit_value(l0) == Value::True && self.reason[l0.var().index()] == cref
+    }
+
+    /// Delete a clause (detaching watches if it has them).
+    ///
+    /// `log_deletion` is false for level-0 pruning: pruned clauses are
+    /// satisfied at level 0 and may include units that support later RUP
+    /// steps, so the proof trace keeps them live (extra live clauses
+    /// never invalidate a DRAT check).
+    fn delete_clause(&mut self, cref: ClauseRef, log_deletion: bool) {
+        if log_deletion && self.proof.is_some() {
+            let lits = self.db.lits(cref).to_vec();
+            self.log_proof(ProofStep::Delete(lits));
+        }
+        if self.db.lits(cref).len() >= 2 {
+            self.detach(cref);
+        }
+        self.db.delete(cref);
+    }
+
+    // ------------------------------------------------------------------
+    // BCP
+    // ------------------------------------------------------------------
+
+    /// Propagate to fixpoint; `Some(conflicting clause)` on conflict.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let code = false_lit.code();
+            let mut ws = std::mem::take(&mut self.watches[code]);
+            let mut j = 0;
+            let mut i = 0;
+            let mut conflict = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                self.stats.work += 1;
+                if self.lit_value(w.blocker) == Value::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                // normalize: put the false watched literal at position 1
+                {
+                    let c = self.db.get_mut(w.cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.lits(w.cref)[0];
+                if self.lit_value(first) == Value::True {
+                    ws[j] = Watch {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // search for a replacement watch
+                let len = self.db.lits(w.cref).len();
+                for k in 2..len {
+                    let lk = self.db.lits(w.cref)[k];
+                    if self.lit_value(lk) != Value::False {
+                        let c = self.db.get_mut(w.cref);
+                        c.lits.swap(1, k);
+                        let new_watch = c.lits[1];
+                        self.watches[new_watch.code()].push(Watch {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watches;
+                    }
+                }
+                // no replacement: unit or conflict
+                ws[j] = Watch {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == Value::False {
+                    conflict = Some(w.cref);
+                    // keep the remaining watches
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    break;
+                }
+                self.enqueue(first, w.cref);
+            }
+            ws.truncate(j);
+            debug_assert!(self.watches[code].is_empty());
+            self.watches[code] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis (FirstUIP, paper Section 2.2)
+    // ------------------------------------------------------------------
+
+    /// Analyze a conflict at a positive decision level. Does not mutate
+    /// the trail; the caller applies the result via [`Solver::learn`].
+    pub fn analyze(&mut self, confl: ClauseRef) -> ConflictAnalysis {
+        debug_assert!(self.decision_level() > 0);
+        let current = self.decision_level() as u32;
+        let mut learned: Vec<Lit> = vec![Lit::pos(0)]; // slot 0 = asserting lit
+        let mut steps: Vec<ResolutionStep> = Vec::new();
+        // every var whose `seen` flag we set, so all flags are cleared at
+        // the end even when minimization drops literals from the clause
+        let mut touched: Vec<usize> = Vec::new();
+        let mut counter = 0usize;
+        let mut global = true;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let mut cref = confl;
+        let conflict_id = self.db.display_id(confl);
+
+        loop {
+            global &= self.db.is_global(cref);
+            if self.db.is_learned(cref) {
+                self.db.bump_activity(cref);
+            }
+            let start = usize::from(p.is_some());
+            let len = self.db.lits(cref).len();
+            for k in start..len {
+                let q = self.db.lits(cref)[k];
+                let v = q.var().index();
+                if self.seen[v] {
+                    continue;
+                }
+                debug_assert_eq!(self.lit_value(q), Value::False);
+                let lvl = self.var_level[v];
+                if lvl == 0 {
+                    if self.level0_global[v] {
+                        // globally true fact: sound to drop
+                        continue;
+                    }
+                    // assumption-derived: keep so the clause stays valid
+                    // for the original problem
+                    self.seen[v] = true;
+                    touched.push(v);
+                    learned.push(q);
+                } else if lvl == current {
+                    self.seen[v] = true;
+                    touched.push(v);
+                    counter += 1;
+                } else {
+                    self.seen[v] = true;
+                    touched.push(v);
+                    learned.push(q);
+                }
+            }
+            self.stats.work += len as u64;
+
+            // next seen literal on the trail at the current level
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = !pl;
+                p = Some(pl);
+                break;
+            }
+            cref = self.reason[pl.var().index()];
+            debug_assert!(cref.is_real(), "non-UIP literal must be implied");
+            if self.trace {
+                steps.push(ResolutionStep {
+                    var: pl.var(),
+                    antecedent_id: self.db.display_id(cref),
+                });
+            }
+            p = Some(pl);
+        }
+        let uip = p.expect("loop sets p").var();
+
+        if self.config.minimize_learned {
+            self.minimize(&mut learned);
+        }
+
+        // place a literal of the backjump level at index 1 (watch invariant)
+        let mut backjump = 0usize;
+        if learned.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.var_level[learned[i].var().index()]
+                    > self.var_level[learned[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            backjump = self.var_level[learned[1].var().index()] as usize;
+        }
+
+        // clear every flag we set (minimization may have removed literals
+        // from `learned`, so the clause itself is not a complete record)
+        for v in touched {
+            self.seen[v] = false;
+        }
+
+        ConflictAnalysis {
+            learned: Clause::new(learned),
+            backjump,
+            uip,
+            conflict_id,
+            steps,
+            global,
+        }
+    }
+
+    /// Recursive learned-clause minimization (post-2003 extension, off by
+    /// default): a literal is redundant when every path of antecedents
+    /// below it terminates in literals already in the clause (or in
+    /// globally-true level-0 facts). Implemented iteratively with an
+    /// explicit stack and memoized verdicts.
+    fn minimize(&mut self, learned: &mut Vec<Lit>) {
+        // verdict memo per var: 0 unknown, 1 redundant, 2 needed
+        let mut verdict = std::collections::HashMap::new();
+        let mut keep = vec![true; learned.len()];
+        for (i, &l) in learned.iter().enumerate().skip(1) {
+            if self.lit_redundant(l, &mut verdict) {
+                keep[i] = false;
+            }
+        }
+        let mut i = 0;
+        learned.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+
+    fn lit_redundant(&self, l: Lit, verdict: &mut std::collections::HashMap<u32, bool>) -> bool {
+        let root_reason = self.reason[l.var().index()];
+        if !root_reason.is_real() {
+            return false; // decisions/assumptions are never redundant
+        }
+        // DFS over the implication graph below `l`
+        let mut stack: Vec<Lit> = vec![l];
+        let mut visiting: Vec<Lit> = Vec::new();
+        while let Some(&top) = stack.last() {
+            let v = top.var().index() as u32;
+            if let Some(&known) = verdict.get(&v) {
+                stack.pop();
+                if !known {
+                    // some ancestor depends on a needed literal: everything
+                    // on the visiting path is needed too
+                    for q in visiting.drain(..) {
+                        verdict.insert(q.var().index() as u32, false);
+                    }
+                    return false;
+                }
+                continue;
+            }
+            let r = self.reason[top.var().index()];
+            if !r.is_real() {
+                // reached a decision that is not part of the clause: needed
+                verdict.insert(v, false);
+                for q in visiting.drain(..) {
+                    verdict.insert(q.var().index() as u32, false);
+                }
+                return false;
+            }
+            // expand: every other literal of the antecedent must be
+            // already-seen (in the clause / on the resolution path),
+            // globally true at level 0, or itself redundant
+            let mut expanded = false;
+            let len = self.db.lits(r).len();
+            let mut all_ok = true;
+            for k in 0..len {
+                let q = self.db.lits(r)[k];
+                if q.var() == top.var() {
+                    continue;
+                }
+                let qi = q.var().index();
+                if self.seen[qi]
+                    || (self.var_level[qi] == 0 && self.level0_global[qi])
+                    || verdict.get(&(qi as u32)) == Some(&true)
+                {
+                    continue;
+                }
+                if verdict.get(&(qi as u32)) == Some(&false) || !self.reason[qi].is_real() {
+                    all_ok = false;
+                    break;
+                }
+                // recurse on q
+                stack.push(q);
+                expanded = true;
+                break;
+            }
+            if !all_ok {
+                verdict.insert(v, false);
+                stack.pop();
+                for q in visiting.drain(..) {
+                    verdict.insert(q.var().index() as u32, false);
+                }
+                return false;
+            }
+            if !expanded {
+                // all dependencies resolved: redundant
+                verdict.insert(v, true);
+                stack.pop();
+                visiting.retain(|q| q.var() != top.var());
+            } else {
+                visiting.push(top);
+            }
+        }
+        verdict
+            .get(&(l.var().index() as u32))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Apply a conflict analysis: backjump, add the learned clause,
+    /// enqueue the asserting literal, and run periodic maintenance.
+    pub fn learn(&mut self, analysis: &ConflictAnalysis) {
+        self.stats.conflicts += 1;
+        self.stats.learned += 1;
+        let lits = analysis.learned.lits().to_vec();
+        self.log_proof(ProofStep::Add(lits.clone()));
+        self.backtrack(analysis.backjump);
+
+        // paper Section 2.4: bump counters of every literal in an added clause
+        for &l in &lits {
+            self.vsids.bump(l);
+        }
+
+        if lits.len() == 1 {
+            debug_assert_eq!(analysis.backjump, 0);
+            // learned fact at level 0; derivation is global (assumption
+            // literals would appear in the clause otherwise)
+            match self.lit_value(lits[0]) {
+                Value::Unassigned => {
+                    self.enqueue_with_global(lits[0], ClauseRef::NONE, analysis.global)
+                }
+                Value::True => {}
+                Value::False => self.mark_unsat(),
+            }
+        } else {
+            let cref = self.db.insert(lits.clone(), true, analysis.global);
+            self.attach(cref);
+            debug_assert_eq!(self.lit_value(lits[0]), Value::Unassigned);
+            self.enqueue(lits[0], cref);
+        }
+        self.note_db_peak();
+
+        // sharing outbox (paper Section 3.2: only "short" clauses)
+        if let Some(limit) = self.config.share_len_limit {
+            if analysis.global && lits.len() <= limit {
+                self.outbox.push(analysis.learned.clone());
+                self.stats.shared_out += 1;
+            }
+        }
+
+        // periodic VSIDS decay
+        self.conflicts_since_decay += 1;
+        if self.conflicts_since_decay >= self.config.vsids_decay_interval {
+            self.conflicts_since_decay = 0;
+            self.vsids.decay(self.config.vsids_decay_shift);
+        }
+        self.db.decay_activity(0.999);
+
+        // learned-database reduction
+        if self.db.num_learned() as f64 > self.max_learned {
+            self.reduce_db();
+            self.max_learned *= self.config.max_learned_growth;
+        }
+    }
+
+    /// Delete roughly half of the removable learned clauses, lowest
+    /// activity first (clauses that are antecedents are kept).
+    pub fn reduce_db(&mut self) {
+        let mut candidates: Vec<(f32, ClauseRef)> = self
+            .db
+            .iter_refs()
+            .filter(|&c| self.db.is_learned(c) && self.db.lits(c).len() > 2 && !self.is_locked(c))
+            .map(|c| (self.db.get_activity(c), c))
+            .collect();
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let remove = candidates.len() / 2;
+        for &(_, cref) in &candidates[..remove] {
+            self.delete_clause(cref, true);
+            self.stats.deleted += 1;
+        }
+    }
+
+    /// The paper's level-0 pruning: delete clauses satisfied at level 0.
+    fn prune_level0(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let satisfied: Vec<ClauseRef> = self
+            .db
+            .iter_refs()
+            .filter(|&c| !self.is_locked(c))
+            .filter(|&c| {
+                self.db
+                    .lits(c)
+                    .iter()
+                    .any(|&l| self.lit_value(l) == Value::True)
+            })
+            .collect();
+        for cref in satisfied {
+            self.delete_clause(cref, false);
+            self.stats.pruned += 1;
+        }
+        self.pruned_at = self.trail.len();
+    }
+
+    fn note_db_peak(&mut self) {
+        self.stats.peak_db_bytes = self.stats.peak_db_bytes.max(self.db.bytes());
+    }
+
+    // ------------------------------------------------------------------
+    // Clause sharing (paper Section 3.2)
+    // ------------------------------------------------------------------
+
+    /// Drain learned clauses collected for sharing.
+    pub fn take_shared(&mut self) -> Vec<Clause> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Change the share-length limit at runtime (used by the adaptive
+    /// share-tuning extension).
+    pub fn set_share_len_limit(&mut self, limit: Option<usize>) {
+        self.config.share_len_limit = limit;
+    }
+
+    /// The current share-length limit.
+    pub fn share_len_limit(&self) -> Option<usize> {
+        self.config.share_len_limit
+    }
+
+    /// Queue a clause received from a peer; it is merged the next time
+    /// the solver is at decision level 0 ("merged in batches").
+    pub fn queue_foreign(&mut self, clause: Clause) {
+        self.inbox.push_back(clause);
+    }
+
+    /// Number of foreign clauses awaiting merge.
+    pub fn pending_foreign(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Merge all queued foreign clauses. Must be at decision level 0.
+    /// Implements the paper's four cases.
+    fn merge_foreign(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.inbox.is_empty() {
+            // foreign clauses carry derivations from other clients; the
+            // local DRAT trace is no longer self-contained
+            self.proof_complete = false;
+        }
+        while let Some(clause) = self.inbox.pop_front() {
+            if self.status.is_some() {
+                return;
+            }
+            let normalized = match clause.normalized() {
+                None => continue, // tautology: no pruning power
+                Some(c) => c,
+            };
+            let lits: Vec<Lit> = normalized.lits().to_vec();
+            let mut unknown = 0usize;
+            let mut satisfied = false;
+            for &l in &lits {
+                match self.lit_value(l) {
+                    Value::True => satisfied = true,
+                    Value::Unassigned => unknown += 1,
+                    Value::False => {}
+                }
+            }
+            self.stats.work += lits.len() as u64;
+            if satisfied {
+                // case 4: evaluates true — discard
+                self.stats.merge_discarded += 1;
+                continue;
+            }
+            if unknown == 0 {
+                // case 3: all false — subproblem unsatisfiable
+                self.mark_unsat();
+                self.stats.merged_in += 1;
+                return;
+            }
+            // order lits: unknown first so watches are sound
+            let mut ordered = lits;
+            ordered.sort_by_key(|&l| self.lit_value(l) == Value::False);
+            for &l in &ordered {
+                self.vsids.bump(l);
+            }
+            if ordered.len() == 1 {
+                let l = ordered[0];
+                self.enqueue_with_global(l, ClauseRef::NONE, self.level0_shared_global(&[l], l));
+                self.stats.merged_in += 1;
+                self.stats.merge_implications += 1;
+                continue;
+            }
+            let implied = if unknown == 1 { Some(ordered[0]) } else { None };
+            let cref = self.db.insert(ordered, true, true);
+            self.attach(cref);
+            self.stats.merged_in += 1;
+            if let Some(l) = implied {
+                // case 1: one unknown literal — an implication
+                self.enqueue(l, cref);
+                self.stats.merge_implications += 1;
+            }
+            // case 2 (>1 unknown): simply added to the learned set
+        }
+        self.note_db_peak();
+    }
+
+    fn level0_shared_global(&self, lits: &[Lit], implied: Lit) -> bool {
+        // shared clauses are globally valid; the implication is global if
+        // every other (false) literal is globally assigned
+        lits.iter()
+            .all(|&q| q == implied || self.level0_global[q.var().index()])
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Run search for roughly `work_budget` work units.
+    pub fn step(&mut self, work_budget: u64) -> Step {
+        match self.status {
+            Some(SolveStatus::Sat) => return Step::Sat,
+            Some(SolveStatus::Unsat) => return Step::Unsat,
+            None => {}
+        }
+        let target = self.stats.work.saturating_add(work_budget);
+        loop {
+            if let Some(confl) = self.propagate() {
+                if self.decision_level() == 0 {
+                    self.mark_unsat();
+                    return Step::Unsat;
+                }
+                let analysis = self.analyze(confl);
+                self.learn(&analysis);
+                if self.status == Some(SolveStatus::Unsat) {
+                    return Step::Unsat;
+                }
+                // zChaff-era semantics: the database overflowing the budget
+                // is reported as-is (relevance deletion was too conservative
+                // to save a doomed run — paper Section 4.2). A sequential
+                // driver treats this as MEM_OUT; a GridSAT client requests a
+                // split, which is the paper's way out of memory pressure.
+                if let Some(budget) = self.config.mem_budget {
+                    if self.db.bytes() > budget {
+                        return Step::MemoryPressure;
+                    }
+                }
+            } else {
+                if self.trail.len() == self.num_vars {
+                    self.status = Some(SolveStatus::Sat);
+                    return Step::Sat;
+                }
+                if self.decision_level() == 0 {
+                    if self.config.level0_pruning && self.trail.len() > self.pruned_at {
+                        self.prune_level0();
+                    }
+                    if !self.inbox.is_empty() {
+                        self.merge_foreign();
+                        if self.status == Some(SolveStatus::Unsat) {
+                            return Step::Unsat;
+                        }
+                        continue;
+                    }
+                }
+                if let Some(at) = self.next_restart {
+                    if self.stats.conflicts >= at && self.decision_level() > 0 {
+                        self.backtrack(0);
+                        self.stats.restarts += 1;
+                        let r = self.config.restart.expect("restart configured");
+                        self.restart_interval *= r.geometric_factor;
+                        self.next_restart =
+                            Some(self.stats.conflicts + self.restart_interval as u64);
+                        continue;
+                    }
+                }
+                match self.pick_branch_lit() {
+                    Some(l) => self.decide(l),
+                    None => {
+                        // heap exhausted while vars remain: rebuild
+                        self.rebuild_order();
+                        match self.pick_branch_lit() {
+                            Some(l) => self.decide(l),
+                            None => {
+                                self.status = Some(SolveStatus::Sat);
+                                return Step::Sat;
+                            }
+                        }
+                    }
+                }
+            }
+            if self.stats.work >= target {
+                return Step::Running;
+            }
+        }
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        let value = &self.value;
+        let phase_saving = self.config.phase_saving;
+        let saved = &self.saved_phase;
+        let picked = self
+            .vsids
+            .pop_best(|l| value[l.var().index()] == Value::Unassigned)?;
+        if phase_saving {
+            let v = picked.var();
+            Some(v.lit(!saved[v.index()]))
+        } else {
+            Some(picked)
+        }
+    }
+
+    fn rebuild_order(&mut self) {
+        for i in 0..self.num_vars {
+            if self.value[i] == Value::Unassigned {
+                self.vsids.reinsert(Lit::pos(i as u32));
+                self.vsids.reinsert(Lit::neg(i as u32));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Splitting (paper Section 3.1 / Figure 2)
+    // ------------------------------------------------------------------
+
+    /// `true` when the solver has an open decision to split on.
+    pub fn can_split(&self) -> bool {
+        self.status.is_none() && self.decision_level() >= 1
+    }
+
+    /// Split the search space at the first decision level.
+    ///
+    /// Returns the *other* half as a [`SplitSpec`]: level-0 assignments
+    /// plus the complement of the level-1 decision, and all clauses not
+    /// satisfied under them. This solver absorbs its level 1 into level 0
+    /// (the Figure 2 stack transformation) and keeps searching its half.
+    pub fn split_off(&mut self) -> Option<SplitSpec> {
+        if !self.can_split() {
+            return None;
+        }
+        let l1_start = self.level_start[1];
+        let d1 = self.trail[l1_start];
+        debug_assert_eq!(self.reason[d1.var().index()], ClauseRef::DECISION);
+
+        // --- other side: level-0 lits + !d1 ---
+        let mut assumptions: Vec<(Lit, bool)> = self.trail[..l1_start]
+            .iter()
+            .map(|&l| (l, self.level0_global[l.var().index()]))
+            .collect();
+        assumptions.push((!d1, false));
+
+        let clauses: Vec<Clause> = self
+            .db
+            .iter_refs()
+            .filter(|&c| {
+                // keep clauses NOT satisfied by the other side's level 0
+                !self.db.lits(c).iter().any(|&l| {
+                    let sat_by_level0 =
+                        self.lit_value(l) == Value::True && self.var_level[l.var().index()] == 0;
+                    let sat_by_neg_d1 = l == !d1;
+                    sat_by_level0 || sat_by_neg_d1
+                })
+            })
+            .map(|c| self.db.export(c))
+            .collect();
+
+        // --- this side: absorb level 1 into level 0 ---
+        let l1_end = if self.decision_level() >= 2 {
+            self.level_start[2]
+        } else {
+            self.trail.len()
+        };
+        for i in l1_start..l1_end {
+            let v = self.trail[i].var().index();
+            self.var_level[v] = 0;
+            // the absorbed decision becomes an assumption; implications
+            // hanging off it are assumption-tainted
+            self.level0_global[v] = false;
+        }
+        for i in l1_end..self.trail.len() {
+            let v = self.trail[i].var().index();
+            self.var_level[v] -= 1;
+        }
+        self.level_start.remove(1);
+        self.assumptions.push(d1);
+
+        self.stats.work += clauses.iter().map(|c| c.len() as u64).sum::<u64>();
+
+        Some(SplitSpec {
+            num_vars: self.num_vars,
+            assumptions,
+            clauses,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Manual driving & introspection (figures, tests)
+    // ------------------------------------------------------------------
+
+    /// Make a scripted decision (used by the Figure 1 walkthrough and by
+    /// tests). Returns `Err` if the literal is already assigned.
+    pub fn assume_decision(&mut self, l: Lit) -> Result<(), Value> {
+        match self.lit_value(l) {
+            Value::Unassigned => {
+                self.decide(l);
+                Ok(())
+            }
+            v => Err(v),
+        }
+    }
+
+    /// Propagate to fixpoint; on conflict, return the conflicting
+    /// clause's paper-style display id along with its reference.
+    pub fn propagate_manual(&mut self) -> Option<(ClauseRef, u32)> {
+        self.propagate().map(|c| (c, self.db.display_id(c)))
+    }
+
+    /// Snapshot of the implication graph over the current trail.
+    pub fn implication_graph(&self) -> Vec<GraphNode> {
+        self.trail
+            .iter()
+            .map(|&l| {
+                let v = l.var().index();
+                let r = self.reason[v];
+                let (antecedent_id, preds) = if r.is_real() {
+                    let preds = self
+                        .db
+                        .lits(r)
+                        .iter()
+                        .filter(|&&q| q.var() != l.var())
+                        .map(|&q| q.var())
+                        .collect();
+                    (self.db.display_id(r), preds)
+                } else {
+                    (0, Vec::new())
+                };
+                GraphNode {
+                    lit: l,
+                    level: self.var_level[v] as usize,
+                    antecedent_id,
+                    preds,
+                }
+            })
+            .collect()
+    }
+
+    /// The literals of a clause by reference (introspection).
+    pub fn clause_lits(&self, cref: ClauseRef) -> &[Lit] {
+        self.db.lits(cref)
+    }
+
+    /// Export every live clause (used by checkpointing).
+    pub fn export_clauses(&self) -> Vec<Clause> {
+        self.db.iter_refs().map(|c| self.db.export(c)).collect()
+    }
+
+    /// The level-0 assignment with per-variable global flags
+    /// (used by checkpointing; paper Section 3.4 "light checkpoint").
+    pub fn level0_assignment(&self) -> Vec<(Lit, bool)> {
+        let end = if self.decision_level() >= 1 {
+            self.level_start[1]
+        } else {
+            self.trail.len()
+        };
+        self.trail[..end]
+            .iter()
+            .map(|&l| (l, self.level0_global[l.var().index()]))
+            .collect()
+    }
+
+    /// Consistency checks used by tests and debug assertions.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        // trail/levels
+        assert_eq!(self.level_start[0], 0);
+        for w in self.level_start.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for (i, &l) in self.trail.iter().enumerate() {
+            assert_eq!(self.lit_value(l), Value::True, "trail lit {l} not true");
+            let lvl = self.var_level[l.var().index()] as usize;
+            assert!(lvl < self.level_start.len());
+            assert!(self.level_start[lvl] <= i);
+        }
+        // every assigned var is on the trail exactly once
+        let assigned = self.value.iter().filter(|v| v.is_assigned()).count();
+        assert_eq!(assigned, self.trail.len());
+        // watch symmetry: clauses with >= 2 lits are watched at lits[0],lits[1]
+        for cref in self.db.iter_refs() {
+            let lits = self.db.lits(cref);
+            if lits.len() >= 2 {
+                for &wl in &lits[..2] {
+                    assert!(
+                        self.watches[wl.code()].iter().any(|w| w.cref == cref),
+                        "missing watch for {cref:?} on {wl}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ClauseDb helper used by reduce_db (activity read without exposing DbClause).
+impl ClauseDb {
+    pub(crate) fn get_activity(&self, cref: ClauseRef) -> f32 {
+        self.get(cref).activity
+    }
+}

@@ -1,0 +1,88 @@
+//! Search statistics and the work metric used by the Grid simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a solver's lifetime.
+///
+/// `work` is the simulator's time proxy: it advances on every watch-list
+/// visit, enqueue, and conflict-analysis step, so simulated seconds can be
+/// computed as `work / host_speed` independent of wall-clock noise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Decisions made (VSIDS or scripted).
+    pub decisions: u64,
+    /// Variable assignments enqueued (decisions + implications).
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Clauses learned locally.
+    pub learned: u64,
+    /// Learned clauses deleted by database reduction.
+    pub deleted: u64,
+    /// Clauses removed by the level-0 pruning optimization.
+    pub pruned: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses copied to the share outbox.
+    pub shared_out: u64,
+    /// Foreign clauses merged from the inbox.
+    pub merged_in: u64,
+    /// Foreign clauses discarded as satisfied on merge.
+    pub merge_discarded: u64,
+    /// Foreign clauses that caused an immediate implication on merge.
+    pub merge_implications: u64,
+    /// Deepest decision level reached.
+    pub max_level: u64,
+    /// Abstract work units (see type docs).
+    pub work: u64,
+    /// Peak clause-database footprint in (model) bytes.
+    pub peak_db_bytes: usize,
+}
+
+impl Stats {
+    /// Merge another stats block into this one (used when a client solves
+    /// several subproblems in sequence).
+    pub fn absorb(&mut self, other: &Stats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.learned += other.learned;
+        self.deleted += other.deleted;
+        self.pruned += other.pruned;
+        self.restarts += other.restarts;
+        self.shared_out += other.shared_out;
+        self.merged_in += other.merged_in;
+        self.merge_discarded += other.merge_discarded;
+        self.merge_implications += other.merge_implications;
+        self.max_level = self.max_level.max(other.max_level);
+        self.work += other.work;
+        self.peak_db_bytes = self.peak_db_bytes.max(other.peak_db_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = Stats {
+            decisions: 10,
+            max_level: 5,
+            peak_db_bytes: 100,
+            ..Stats::default()
+        };
+        let b = Stats {
+            decisions: 3,
+            max_level: 9,
+            peak_db_bytes: 50,
+            work: 7,
+            ..Stats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.decisions, 13);
+        assert_eq!(a.max_level, 9);
+        assert_eq!(a.peak_db_bytes, 100);
+        assert_eq!(a.work, 7);
+    }
+}

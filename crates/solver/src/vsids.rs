@@ -1,0 +1,257 @@
+//! Variable State Independent Decaying Sum, per Chaff (paper Section 2.4).
+//!
+//! Each *literal* has a counter, incremented whenever a clause containing
+//! it is added to the database. Decisions pick the unassigned literal with
+//! the highest counter (ties broken by lowest literal code, so runs are
+//! deterministic). Periodically all counters are divided by a constant so
+//! recent clauses dominate.
+//!
+//! The order is maintained by an indexed binary max-heap with
+//! sift-on-bump; decays rebuild the heap wholesale (they are rare).
+
+use gridsat_cnf::Lit;
+
+/// Per-literal VSIDS state.
+pub struct Vsids {
+    score: Vec<u64>,
+    /// heap of literal codes, max at index 0
+    heap: Vec<u32>,
+    /// position of each literal code in `heap`, or `NOT_IN_HEAP`
+    pos: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl Vsids {
+    /// State for `num_vars` variables, all counters zero, every literal
+    /// in the heap.
+    pub fn new(num_vars: usize) -> Vsids {
+        let n = num_vars * 2;
+        let mut v = Vsids {
+            score: vec![0; n],
+            heap: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+        };
+        // all scores equal; any heap order is valid
+        debug_assert!(v.check_invariants());
+        let _ = &mut v;
+        v
+    }
+
+    #[inline]
+    fn better(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (self.score[a as usize], self.score[b as usize]);
+        sa > sb || (sa == sb && a < b)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.better(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.pos[self.heap[i] as usize] = i as u32;
+                self.pos[self.heap[parent] as usize] = parent as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.better(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.better(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            self.pos[self.heap[i] as usize] = i as u32;
+            self.pos[self.heap[best] as usize] = best as u32;
+            i = best;
+        }
+    }
+
+    /// Increment a literal's counter (a clause containing it was added).
+    pub fn bump(&mut self, l: Lit) {
+        let code = l.code();
+        self.score[code] += 1;
+        let p = self.pos[code];
+        if p != NOT_IN_HEAP {
+            self.sift_up(p as usize);
+        }
+    }
+
+    /// Current counter of a literal.
+    pub fn score(&self, l: Lit) -> u64 {
+        self.score[l.code()]
+    }
+
+    /// Divide all counters by `2^shift` and rebuild the order.
+    pub fn decay(&mut self, shift: u32) {
+        for s in &mut self.score {
+            *s >>= shift;
+        }
+        // relative order may change on integer ties; rebuild
+        let n = self.heap.len();
+        for i in (0..n / 2).rev() {
+            self.sift_down(i);
+        }
+        debug_assert!(self.check_invariants());
+    }
+
+    /// Re-insert a literal after its variable was unassigned.
+    pub fn reinsert(&mut self, l: Lit) {
+        let code = l.code();
+        if self.pos[code] != NOT_IN_HEAP {
+            return;
+        }
+        self.heap.push(code as u32);
+        self.pos[code] = (self.heap.len() - 1) as u32;
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Pop the best literal whose variable is unassigned, per
+    /// `is_unassigned`. Assigned entries encountered on the way are
+    /// removed (they are re-inserted on backtrack).
+    pub fn pop_best(&mut self, mut is_unassigned: impl FnMut(Lit) -> bool) -> Option<Lit> {
+        while !self.heap.is_empty() {
+            let code = self.heap[0];
+            // remove root
+            let last = self.heap.pop().expect("non-empty");
+            self.pos[code as usize] = NOT_IN_HEAP;
+            if !self.heap.is_empty() {
+                self.heap[0] = last;
+                self.pos[last as usize] = 0;
+                self.sift_down(0);
+            }
+            let lit = Lit::from_code(code as usize);
+            if is_unassigned(lit) {
+                return Some(lit);
+            }
+        }
+        None
+    }
+
+    /// Heap-consistency check (debug assertions and tests only).
+    fn check_invariants(&self) -> bool {
+        for (i, &code) in self.heap.iter().enumerate() {
+            if self.pos[code as usize] != i as u32 {
+                return false;
+            }
+            if i > 0 {
+                let parent = (i - 1) / 2;
+                if self.better(code, self.heap[parent]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(code: usize) -> Lit {
+        Lit::from_code(code)
+    }
+
+    #[test]
+    fn pop_order_follows_scores_then_codes() {
+        let mut v = Vsids::new(3); // lit codes 0..6
+        v.bump(lit(4));
+        v.bump(lit(4));
+        v.bump(lit(1));
+
+        let mut order = Vec::new();
+        while let Some(l) = v.pop_best(|_| true) {
+            order.push(l.code());
+        }
+        assert_eq!(order[0], 4);
+        assert_eq!(order[1], 1);
+        // remaining have score 0, ascending code order
+        assert_eq!(&order[2..], &[0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn pop_skips_assigned() {
+        let mut v = Vsids::new(2);
+        v.bump(lit(3));
+        let best = v.pop_best(|l| l.code() != 3);
+        assert_eq!(best.unwrap().code(), 0);
+    }
+
+    #[test]
+    fn reinsert_restores_candidacy() {
+        let mut v = Vsids::new(2);
+        v.bump(lit(2));
+        assert_eq!(v.pop_best(|_| true).unwrap().code(), 2);
+        assert_eq!(v.pop_best(|_| true).unwrap().code(), 0);
+        v.reinsert(lit(2));
+        v.reinsert(lit(2)); // idempotent
+        assert_eq!(v.pop_best(|_| true).unwrap().code(), 2);
+    }
+
+    #[test]
+    fn decay_halves_scores() {
+        let mut v = Vsids::new(2);
+        for _ in 0..5 {
+            v.bump(lit(1));
+        }
+        for _ in 0..3 {
+            v.bump(lit(2));
+        }
+        v.decay(1);
+        assert_eq!(v.score(lit(1)), 2);
+        assert_eq!(v.score(lit(2)), 1);
+        assert_eq!(v.pop_best(|_| true).unwrap().code(), 1);
+    }
+
+    #[test]
+    fn bump_on_popped_literal_is_safe() {
+        let mut v = Vsids::new(1);
+        let l = v.pop_best(|_| true).unwrap();
+        v.bump(l); // not in heap: score updates, no heap op
+        v.reinsert(l);
+        assert_eq!(v.pop_best(|_| true).unwrap(), l);
+    }
+
+    #[test]
+    fn heavy_random_usage_keeps_invariants() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v = Vsids::new(50);
+        let mut out: Vec<Lit> = Vec::new();
+        for _ in 0..2000 {
+            match rng.gen_range(0..4) {
+                0 => v.bump(lit(rng.gen_range(0..100))),
+                1 => {
+                    if let Some(l) = v.pop_best(|_| true) {
+                        out.push(l);
+                    }
+                }
+                2 => {
+                    if let Some(l) = out.pop() {
+                        v.reinsert(l);
+                    }
+                }
+                _ => {
+                    if rng.gen_bool(0.05) {
+                        v.decay(1);
+                    }
+                }
+            }
+            assert!(v.check_invariants());
+        }
+    }
+}

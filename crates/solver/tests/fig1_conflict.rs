@@ -1,0 +1,178 @@
+//! Replays the paper's Figure 1 worked example through the real solver:
+//! scripted decisions, the cascading implications at level 6, the conflict
+//! between clauses 6 and 7, FirstUIP analysis yielding
+//! `(~V10 + ~V7 + V8 + V9 + ~V5)`, the backjump to level 4, and the
+//! implied `~V5` there.
+
+use gridsat_cnf::paper;
+use gridsat_cnf::{Lit, Value, Var};
+use gridsat_solver::{Solver, SolverConfig};
+
+fn lit(d: i64) -> Lit {
+    Lit::from_dimacs(d)
+}
+
+fn scripted_solver() -> Solver {
+    let mut s = Solver::new(&paper::fig1_formula(), SolverConfig::default());
+    s.set_trace(true);
+    s
+}
+
+#[test]
+fn level0_has_the_unit_v14() {
+    let s = scripted_solver();
+    assert_eq!(s.decision_level(), 0);
+    assert_eq!(s.var_value(Var(13)), Value::True, "V14 forced by clause 9");
+    assert_eq!(s.var_decision_level(Var(13)), Some(0));
+    assert_eq!(s.num_assigned(), 1);
+}
+
+#[test]
+fn level1_decision_v10_implies_not_v13() {
+    let mut s = scripted_solver();
+    s.assume_decision(lit(10)).unwrap();
+    assert!(s.propagate_manual().is_none());
+    assert_eq!(s.var_value(Var(12)), Value::False, "clause 8 implies ~V13");
+    assert_eq!(s.var_decision_level(Var(12)), Some(1));
+}
+
+/// Run the full decision script up to (but not including) the conflict.
+fn run_to_level5(s: &mut Solver) {
+    for d in &paper::fig1_decisions()[..5] {
+        s.assume_decision(*d).unwrap();
+        assert!(s.propagate_manual().is_none(), "no conflict before level 6");
+    }
+    assert_eq!(s.decision_level(), 5);
+    // clause 5 fired at level 5: V12 implied
+    assert_eq!(s.var_value(Var(11)), Value::True);
+    assert_eq!(s.var_decision_level(Var(11)), Some(5));
+}
+
+#[test]
+fn level6_cascades_to_the_conflict_on_v3() {
+    let mut s = scripted_solver();
+    run_to_level5(&mut s);
+
+    s.assume_decision(lit(11)).unwrap(); // V11, level 6
+    let (cref, display_id) = s.propagate_manual().expect("the paper's conflict");
+    // the conflict is between clauses 6 and 7; whichever propagated first,
+    // the falsified clause must be one of them
+    assert!(
+        display_id == 6 || display_id == 7,
+        "conflict in clause {display_id}, expected 6 or 7"
+    );
+
+    // the implication cascade the paper describes
+    for (var, val, why) in [
+        (Var(3), Value::True, "V4 via clause 1"),
+        (Var(4), Value::True, "V5 via clause 2"),
+        (Var(0), Value::True, "V1 via clause 3"),
+        (Var(1), Value::True, "V2 via clause 4"),
+    ] {
+        assert_eq!(s.var_value(var), val, "{why}");
+        assert_eq!(s.var_decision_level(var), Some(6), "{why}");
+    }
+
+    // ---- FirstUIP analysis (paper Section 2.2 / Figure 1) ----
+    let analysis = s.analyze(cref);
+
+    assert_eq!(analysis.uip, Var(4), "the FirstUIP node is V5");
+    assert_eq!(
+        analysis.learned.lits()[0],
+        lit(-5),
+        "the asserting literal sets the FirstUIP V5 to false"
+    );
+
+    let mut learned: Vec<Lit> = analysis.learned.lits().to_vec();
+    learned.sort();
+    let mut expected: Vec<Lit> = paper::fig1_learned_clause().lits().to_vec();
+    expected.sort();
+    assert_eq!(
+        learned, expected,
+        "learned clause (~V10 + ~V7 + V8 + V9 + ~V5)"
+    );
+
+    assert_eq!(
+        analysis.backjump,
+        paper::FIG1_BACKJUMP_LEVEL,
+        "backjump to level 4, the level of ~V9"
+    );
+
+    // resolution trace passes through the conflict-side implications
+    assert!(!analysis.steps.is_empty());
+    for step in &analysis.steps {
+        assert!(
+            [Var(0), Var(1), Var(2)].contains(&step.var),
+            "resolution only on conflict-side vars V1,V2,V3, got {:?}",
+            step.var
+        );
+    }
+
+    // ---- apply: backjump and learn ----
+    s.learn(&analysis);
+    assert_eq!(s.decision_level(), 4);
+    assert_eq!(
+        s.var_value(Var(4)),
+        Value::False,
+        "after backtracking, the new clause implies ~V5 (paper: 'the FirstUIP node V5 is set to false')"
+    );
+    assert_eq!(s.var_decision_level(Var(4)), Some(4));
+    s.check_invariants();
+}
+
+#[test]
+fn implication_graph_matches_the_figure() {
+    let mut s = scripted_solver();
+    run_to_level5(&mut s);
+    s.assume_decision(lit(11)).unwrap();
+    let _ = s.propagate_manual();
+
+    let graph = s.implication_graph();
+    // decisions carry the paper's fictitious antecedent "clause 0"
+    let decisions: Vec<(Lit, usize)> = graph
+        .iter()
+        .filter(|n| n.antecedent_id == 0 && n.level > 0)
+        .map(|n| (n.lit, n.level))
+        .collect();
+    assert_eq!(
+        decisions,
+        vec![
+            (lit(10), 1),
+            (lit(7), 2),
+            (lit(-8), 3),
+            (lit(-9), 4),
+            (lit(6), 5),
+            (lit(11), 6),
+        ],
+        "black nodes of Figure 1: the decisions V10, V7, ~V8, ~V9, V6, then V11"
+    );
+
+    // V5's antecedent is clause 2, fed by V11 and V4
+    let v5 = graph.iter().find(|n| n.lit == lit(5)).expect("V5 implied");
+    assert_eq!(v5.antecedent_id, 2);
+    let mut preds = v5.preds.clone();
+    preds.sort();
+    assert_eq!(preds, vec![Var(3), Var(10)]);
+
+    // level-0 node V14 has no predecessors (unit clause 9)
+    let v14 = graph.iter().find(|n| n.lit == lit(14)).unwrap();
+    assert_eq!(v14.level, 0);
+    assert_eq!(v14.antecedent_id, 9);
+    assert!(v14.preds.is_empty());
+}
+
+#[test]
+fn full_search_from_the_example_state_finds_sat() {
+    // after the scripted conflict, let the solver finish on its own
+    let mut s = scripted_solver();
+    run_to_level5(&mut s);
+    s.assume_decision(lit(11)).unwrap();
+    if let Some((cref, _)) = s.propagate_manual() {
+        let a = s.analyze(cref);
+        s.learn(&a);
+    }
+    let step = s.step(1_000_000);
+    assert_eq!(step, gridsat_solver::Step::Sat);
+    let model = s.model().unwrap();
+    assert!(paper::fig1_formula().is_satisfied_by(&model));
+}

@@ -1,0 +1,89 @@
+//! Invariant fuzzing: drive the solver through randomized interleavings
+//! of stepping, splitting, foreign-clause merging and database reduction,
+//! checking the internal invariants after every operation.
+
+use gridsat_cnf::{Clause, Lit};
+use gridsat_satgen as satgen;
+use gridsat_solver::{SolveStatus, Solver, SolverConfig, Step};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Step(u16),
+    Split,
+    Reduce,
+    Foreign(Vec<(u8, bool)>),
+}
+
+fn arb_op(n_vars: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u16..2000).prop_map(Op::Step),
+        1 => Just(Op::Split),
+        1 => Just(Op::Reduce),
+        1 => prop::collection::vec((0..n_vars, any::<bool>()), 1..4).prop_map(Op::Foreign),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random operation sequences never violate the solver's invariants,
+    /// and all produced halves jointly agree with ground truth.
+    #[test]
+    fn random_interleavings_keep_invariants(
+        seed in any::<u64>(),
+        n in 8usize..16,
+        ops in prop::collection::vec(arb_op(16), 1..30),
+    ) {
+        let f = satgen::random_ksat::random_ksat(n, (n as f64 * 4.3) as usize, 3, seed);
+        let truth = {
+            // ground truth from a clean solve
+            gridsat_solver::driver::decide(&f)
+        };
+
+        let mut s = Solver::new(&f, SolverConfig::default());
+        let mut halves = Vec::new();
+        for op in &ops {
+            if s.status().is_some() {
+                break;
+            }
+            match op {
+                Op::Step(q) => {
+                    let _ = s.step(u64::from(*q));
+                }
+                Op::Split => {
+                    if let Some(spec) = s.split_off() {
+                        halves.push(spec);
+                    }
+                }
+                Op::Reduce => s.reduce_db(),
+                Op::Foreign(lits) => {
+                    // only share clauses implied by the formula: a clause
+                    // containing some var twice with both signs is a
+                    // tautology, trivially sound to merge
+                    let v = lits[0].0 as u32 % n as u32;
+                    s.queue_foreign(Clause::new([Lit::pos(v), Lit::neg(v)]));
+                }
+            }
+            s.check_invariants();
+        }
+
+        // finish everything and cross-check the partition answer
+        let mut any_sat = finish(&mut s) == SolveStatus::Sat;
+        for spec in &halves {
+            let mut h = Solver::from_split(spec, SolverConfig::default());
+            any_sat |= finish(&mut h) == SolveStatus::Sat;
+        }
+        prop_assert_eq!(any_sat, truth == SolveStatus::Sat);
+    }
+}
+
+fn finish(s: &mut Solver) -> SolveStatus {
+    loop {
+        match s.step(1_000_000) {
+            Step::Sat => return SolveStatus::Sat,
+            Step::Unsat => return SolveStatus::Unsat,
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Splitting and clause-sharing soundness.
+//!
+//! These are the properties GridSAT's distributed correctness rests on:
+//!
+//! 1. a split partitions the search space — the original instance is SAT
+//!    iff some side of the split is SAT;
+//! 2. every clause a client offers for sharing is logically implied by the
+//!    *original* formula (so broadcasting it to every peer is sound even
+//!    though peers work under different split assumptions);
+//! 3. merging foreign clauses follows the paper's four cases.
+
+use gridsat_cnf::{Clause, Formula, Lit, Value};
+use gridsat_satgen as satgen;
+use gridsat_solver::{SolveStatus, Solver, SolverConfig, SplitSpec, Step};
+use proptest::prelude::*;
+
+fn brute_force(f: &Formula) -> bool {
+    let n = f.num_vars();
+    assert!(n <= 22);
+    let mut a = f.empty_assignment();
+    fn rec(f: &Formula, a: &mut gridsat_cnf::Assignment, v: usize) -> bool {
+        match f.eval(a) {
+            Value::True => return true,
+            Value::False => return false,
+            Value::Unassigned => {}
+        }
+        if v == a.num_vars() {
+            return false;
+        }
+        for val in [Value::True, Value::False] {
+            a.set((v as u32).into(), val);
+            if rec(f, a, v + 1) {
+                return true;
+            }
+        }
+        a.set((v as u32).into(), Value::Unassigned);
+        false
+    }
+    rec(f, &mut a, 0)
+}
+
+/// Is `clause` implied by `f`? (f AND NOT clause must be UNSAT.)
+fn implied_by(f: &Formula, clause: &Clause) -> bool {
+    let mut g = f.clone();
+    for l in clause {
+        g.add_clause([!l]);
+    }
+    !brute_force(&g)
+}
+
+/// Drive a solver until it can split, then split. Returns `None` if it
+/// solves before reaching a decision.
+fn split_when_possible(s: &mut Solver) -> Option<SplitSpec> {
+    for _ in 0..10_000 {
+        if s.can_split() {
+            return s.split_off();
+        }
+        match s.step(1) {
+            Step::Running => {}
+            _ => return None,
+        }
+    }
+    panic!("no split after many steps");
+}
+
+fn solve_solver(s: &mut Solver) -> SolveStatus {
+    loop {
+        match s.step(100_000) {
+            Step::Sat => return SolveStatus::Sat,
+            Step::Unsat => return SolveStatus::Unsat,
+            Step::Running | Step::MemoryPressure => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// SAT(original) == SAT(left half) OR SAT(right half), recursively.
+    #[test]
+    fn split_partitions_the_search_space(
+        n in 4usize..12,
+        density in 3usize..6,
+        seed in any::<u64>(),
+    ) {
+        let f = satgen::random_ksat::random_ksat(n, n * density, 3, seed);
+        let expected = brute_force(&f);
+
+        let mut left = Solver::new(&f, SolverConfig::default());
+        let status = match split_when_possible(&mut left) {
+            None => solve_solver(&mut left),
+            Some(spec) => {
+                let mut right = Solver::from_split(&spec, SolverConfig::default());
+                let sl = solve_solver(&mut left);
+                let sr = solve_solver(&mut right);
+                if sl == SolveStatus::Sat {
+                    prop_assert!(
+                        f.is_satisfied_by(&left.model().unwrap()),
+                        "left model must satisfy the ORIGINAL formula"
+                    );
+                }
+                if sr == SolveStatus::Sat {
+                    prop_assert!(
+                        f.is_satisfied_by(&right.model().unwrap()),
+                        "right model must satisfy the ORIGINAL formula"
+                    );
+                }
+                if sl == SolveStatus::Sat || sr == SolveStatus::Sat {
+                    SolveStatus::Sat
+                } else {
+                    SolveStatus::Unsat
+                }
+            }
+        };
+        prop_assert_eq!(status == SolveStatus::Sat, expected);
+    }
+
+    /// Clauses offered for sharing are implied by the original formula,
+    /// even when learned under split assumptions.
+    #[test]
+    fn shared_clauses_are_globally_valid(
+        n in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let f = satgen::random_ksat::random_ksat(n, n * 5, 3, seed);
+        let config = SolverConfig {
+            share_len_limit: Some(10),
+            ..SolverConfig::default()
+        };
+        let mut a = Solver::new(&f, config.clone());
+        // split twice to create genuinely assumption-laden clients
+        if let Some(spec) = split_when_possible(&mut a) {
+            let mut b = Solver::from_split(&spec, config.clone());
+            let spec2 = split_when_possible(&mut b);
+            let mut solvers = vec![a, b];
+            if let Some(s2) = spec2 {
+                solvers.push(Solver::from_split(&s2, config.clone()));
+            }
+            for s in &mut solvers {
+                let _ = s.step(20_000);
+                for clause in s.take_shared() {
+                    prop_assert!(
+                        implied_by(&f, &clause),
+                        "shared clause {clause} is not implied by the original formula"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Splitting repeatedly and solving every leaf gives the right answer.
+    #[test]
+    fn recursive_splits_cover_everything(
+        n in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let f = satgen::random_ksat::random_ksat(n, (n as f64 * 4.3) as usize, 3, seed);
+        let expected = brute_force(&f);
+
+        let mut frontier = vec![Solver::new(&f, SolverConfig::default())];
+        let mut any_sat = false;
+        let mut splits = 0;
+        while let Some(mut s) = frontier.pop() {
+            if splits < 7 {
+                if let Some(spec) = split_when_possible(&mut s) {
+                    splits += 1;
+                    frontier.push(Solver::from_split(&spec, SolverConfig::default()));
+                    frontier.push(s);
+                    continue;
+                }
+            }
+            if solve_solver(&mut s) == SolveStatus::Sat {
+                prop_assert!(f.is_satisfied_by(&s.model().unwrap()));
+                any_sat = true;
+            }
+        }
+        prop_assert_eq!(any_sat, expected);
+    }
+
+    /// Exchanging shared clauses between split halves never changes the
+    /// answer.
+    #[test]
+    fn sharing_preserves_answers(
+        n in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let f = satgen::random_ksat::random_ksat(n, n * 4, 3, seed);
+        let expected = brute_force(&f);
+        let config = SolverConfig {
+            share_len_limit: Some(10),
+            ..SolverConfig::default()
+        };
+        let mut a = Solver::new(&f, config.clone());
+        let Some(spec) = split_when_possible(&mut a) else {
+            return Ok(());
+        };
+        let mut b = Solver::from_split(&spec, config);
+
+        let mut sat = None;
+        for _round in 0..10_000 {
+            let mut done = true;
+            for s in [&mut a, &mut b] {
+                match s.step(200) {
+                    Step::Sat => {
+                        sat = Some(s.model().unwrap());
+                        done = true;
+                    }
+                    Step::Running => done = false,
+                    Step::Unsat | Step::MemoryPressure => {}
+                }
+                if sat.is_some() {
+                    break;
+                }
+            }
+            if sat.is_some() {
+                break;
+            }
+            // exchange clauses both ways
+            for c in a.take_shared() {
+                b.queue_foreign(c);
+            }
+            for c in b.take_shared() {
+                a.queue_foreign(c);
+            }
+            if done
+                && a.status() == Some(SolveStatus::Unsat)
+                && b.status() == Some(SolveStatus::Unsat)
+            {
+                break;
+            }
+        }
+        match sat {
+            Some(model) => {
+                prop_assert!(expected);
+                prop_assert!(f.is_satisfied_by(&model));
+            }
+            None => {
+                prop_assert_eq!(a.status(), Some(SolveStatus::Unsat));
+                prop_assert_eq!(b.status(), Some(SolveStatus::Unsat));
+                prop_assert!(!expected);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directed merge-case tests (paper Section 3.2's four cases)
+// ---------------------------------------------------------------------
+
+fn lit(d: i64) -> Lit {
+    Lit::from_dimacs(d)
+}
+
+/// A solver at level 0 with V1 true and V2 false pinned.
+fn fixture() -> Solver {
+    let mut f = Formula::new(5);
+    f.add_dimacs_clause([1]);
+    f.add_dimacs_clause([-2]);
+    f.add_dimacs_clause([3, 4, 5]);
+    Solver::new(&f, SolverConfig::default())
+}
+
+#[test]
+fn merge_case_satisfied_is_discarded() {
+    let mut s = fixture();
+    s.queue_foreign(Clause::new([lit(1), lit(3)]));
+    let _ = s.step(100);
+    assert_eq!(s.stats().merge_discarded, 1);
+    assert_eq!(s.stats().merged_in, 0);
+}
+
+#[test]
+fn merge_case_implication() {
+    let mut s = fixture();
+    // (V2 + V3): V2 is false, so V3 is implied
+    s.queue_foreign(Clause::new([lit(2), lit(3)]));
+    let _ = s.step(100);
+    assert_eq!(s.stats().merge_implications, 1);
+    assert_eq!(s.var_value(gridsat_cnf::Var(2)), Value::True);
+}
+
+#[test]
+fn merge_case_added() {
+    let mut s = fixture();
+    let before = s.num_learned();
+    s.queue_foreign(Clause::new([lit(3), lit(4)]));
+    let _ = s.step(100);
+    assert_eq!(s.stats().merged_in, 1);
+    assert_eq!(s.stats().merge_implications, 0);
+    assert_eq!(s.num_learned(), before + 1);
+}
+
+#[test]
+fn merge_case_conflict_is_unsat() {
+    let mut s = fixture();
+    // (~V1 + V2): both literals false at level 0
+    s.queue_foreign(Clause::new([lit(-1), lit(2)]));
+    let step = s.step(100);
+    assert_eq!(step, Step::Unsat);
+    assert_eq!(s.status(), Some(SolveStatus::Unsat));
+}
+
+#[test]
+fn merge_tautology_is_skipped() {
+    let mut s = fixture();
+    s.queue_foreign(Clause::new([lit(3), lit(-3)]));
+    let _ = s.step(100);
+    assert_eq!(s.stats().merged_in, 0);
+    assert_eq!(s.stats().merge_discarded, 0);
+}
+
+#[test]
+fn merge_waits_until_level_zero() {
+    let f = satgen::random_ksat::random_ksat(12, 30, 3, 3);
+    let mut s = Solver::new(&f, SolverConfig::default());
+    // get above level 0
+    while s.decision_level() == 0 && s.status().is_none() {
+        let _ = s.step(1);
+    }
+    if s.status().is_some() {
+        return; // solved instantly; nothing to test
+    }
+    s.queue_foreign(Clause::new([lit(1), lit(2)]));
+    assert_eq!(
+        s.pending_foreign(),
+        1,
+        "clause parked until back at level 0"
+    );
+}
+
+#[test]
+fn split_spec_roundtrips_and_reports_size() {
+    let f = satgen::php::php(5, 4);
+    let mut s = Solver::new(&f, SolverConfig::default());
+    let spec = split_when_possible(&mut s).expect("php(5,4) needs decisions");
+    assert!(spec.approx_message_bytes() > 0);
+    assert!(!spec.assumptions.is_empty());
+
+    // serde roundtrip (what EveryWare-style messaging does)
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: SplitSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.num_vars, spec.num_vars);
+    assert_eq!(back.assumptions, spec.assumptions);
+    assert_eq!(back.clauses, spec.clauses);
+}
+
+#[test]
+fn split_assumption_complement_is_respected() {
+    let f = satgen::random_ksat::random_ksat(10, 30, 3, 99);
+    let mut s = Solver::new(&f, SolverConfig::default());
+    let Some(spec) = split_when_possible(&mut s) else {
+        return;
+    };
+    // the last assumption is the complemented first decision
+    let (neg_d1, global) = *spec.assumptions.last().unwrap();
+    assert!(!global);
+    let r = Solver::from_split(&spec, SolverConfig::default());
+    if r.status().is_none() {
+        assert_eq!(r.lit_value(neg_d1), Value::True);
+    }
+    // the splitter keeps its decision, now absorbed at level 0
+    assert_eq!(s.lit_value(!neg_d1), Value::True);
+    assert_eq!(s.var_decision_level(neg_d1.var()), Some(0));
+    s.check_invariants();
+}
+
+#[test]
+fn split_drops_satisfied_clauses_only() {
+    // Paper Fig. 2 semantics: the spec's clause list excludes exactly the
+    // clauses satisfied under the other side's level-0 assignment, and
+    // clauses are transferred unstripped.
+    let f = gridsat_cnf::paper::fig1_formula();
+    let mut s = Solver::new(&f, SolverConfig::default());
+    s.assume_decision(lit(10)).unwrap(); // V10, as in the paper
+    assert!(s.propagate_manual().is_none());
+    let spec = s.split_off().unwrap();
+
+    // other side: V14 (level 0) + ~V10
+    let lits: Vec<Lit> = spec.assumptions.iter().map(|&(l, _)| l).collect();
+    assert_eq!(lits, vec![lit(14), lit(-10)]);
+
+    // clauses 7 (contains ~V10), 8 (~V10) and 9 (V14) are satisfied at the
+    // other side; 6 others transfer, full length preserved
+    assert_eq!(spec.clauses.len(), 6);
+    for c in &spec.clauses {
+        let orig = f
+            .clauses()
+            .iter()
+            .find(|o| o.normalized().unwrap().lits() == c.lits())
+            .unwrap_or_else(|| panic!("clause {c} not found unstripped in the original"));
+        assert_eq!(orig.normalized().unwrap().len(), c.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// With recursive minimization on, answers still agree with brute
+    /// force and every clause offered for sharing (i.e. every minimized
+    /// learned clause under the limit) is still implied by the formula.
+    #[test]
+    fn minimized_clauses_stay_implied(
+        n in 4usize..11,
+        seed in any::<u64>(),
+    ) {
+        let f = satgen::random_ksat::random_ksat(n, n * 5, 3, seed);
+        let expected = brute_force(&f);
+        let config = SolverConfig {
+            minimize_learned: true,
+            share_len_limit: Some(16),
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::new(&f, config);
+        loop {
+            let step = s.step(5_000);
+            for clause in s.take_shared() {
+                prop_assert!(
+                    implied_by(&f, &clause),
+                    "minimized clause {clause} not implied"
+                );
+            }
+            match step {
+                Step::Sat => {
+                    prop_assert!(expected);
+                    prop_assert!(f.is_satisfied_by(&s.model().unwrap()));
+                    break;
+                }
+                Step::Unsat => {
+                    prop_assert!(!expected);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Solve a DIMACS CNF file — sequentially or on the simulated Grid.
+//!
+//!     cargo run --release -p gridsat-examples --bin solve_dimacs -- FILE [--grid N] [--proof OUT.drat]
+//!
+//! `--proof` records a DRAT trace for sequential UNSAT answers, verifies
+//! it with the built-in RUP checker, and writes it to the given path.
+//! Without a file argument, a demo instance is written to a temp path and
+//! solved, so the example is runnable out of the box.
+
+use gridsat::{experiment, GridConfig, GridOutcome};
+use gridsat_grid::Testbed;
+use gridsat_solver::{driver, SolverConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = match args.get(1) {
+        Some(p) if p != "--grid" => p.clone(),
+        _ => {
+            // self-demo: write php(7,6) to a temp file
+            let f = gridsat_satgen::php::php(7, 6);
+            let path = std::env::temp_dir().join("gridsat-demo.cnf");
+            let mut out = std::fs::File::create(&path).expect("create temp cnf");
+            gridsat_cnf::write_dimacs(&mut out, &f).expect("write cnf");
+            println!(
+                "(no file given; demo instance written to {})",
+                path.display()
+            );
+            path.to_string_lossy().into_owned()
+        }
+    };
+    let grid_hosts: Option<usize> = args
+        .iter()
+        .position(|a| a == "--grid")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok());
+    let proof_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--proof")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let formula = match gridsat_cnf::parse_dimacs_file(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{}: {} vars, {} clauses",
+        formula.name().unwrap_or(&path),
+        formula.num_vars(),
+        formula.num_clauses()
+    );
+
+    match grid_hosts {
+        None => {
+            let (report, proof) = {
+                let mut solver = gridsat_solver::Solver::new(&formula, SolverConfig::default());
+                if proof_path.is_some() {
+                    solver.enable_proof();
+                }
+                let report = driver::run(&mut solver, driver::Limits::default());
+                (report, solver.take_proof())
+            };
+            if let (Some(path), Some(proof)) = (&proof_path, &proof) {
+                if matches!(report.outcome, driver::Outcome::Unsat) {
+                    gridsat_solver::proof::check(&formula, proof)
+                        .expect("recorded proof must verify");
+                    std::fs::write(path, proof.to_drat()).expect("write proof");
+                    eprintln!(
+                        "c DRAT proof verified ({} lemmas) and written to {path}",
+                        proof.additions()
+                    );
+                }
+            }
+            match report.outcome {
+                driver::Outcome::Sat(model) => {
+                    assert!(formula.is_satisfied_by(&model));
+                    println!("s SATISFIABLE");
+                    let lits: Vec<String> = model
+                        .to_lits()
+                        .iter()
+                        .map(|l| l.to_dimacs().to_string())
+                        .collect();
+                    println!("v {} 0", lits.join(" "));
+                }
+                driver::Outcome::Unsat => println!("s UNSATISFIABLE"),
+                other => println!("s UNKNOWN ({other:?})"),
+            }
+            eprintln!(
+                "c {} decisions, {} conflicts, {} learned",
+                report.stats.decisions, report.stats.conflicts, report.stats.learned
+            );
+        }
+        Some(n) => {
+            let report = experiment::run(
+                &formula,
+                Testbed::uniform(n, 1000.0, 3 << 20),
+                GridConfig::default(),
+            );
+            match report.outcome {
+                GridOutcome::Sat(model) => {
+                    assert!(formula.is_satisfied_by(&model));
+                    println!("s SATISFIABLE (grid, {:.0} simulated s)", report.seconds);
+                }
+                GridOutcome::Unsat => {
+                    println!("s UNSATISFIABLE (grid, {:.0} simulated s)", report.seconds)
+                }
+                other => println!("s UNKNOWN ({other:?})"),
+            }
+            eprintln!(
+                "c {} splits, {} clause batches shared, max {} clients",
+                report.master.splits,
+                report.clients.share_batches_sent,
+                report.master.max_active_clients
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Failure-model integration tests: the paper's "limited form of
+//! recovery" (idle-client loss tolerated, busy-client loss fatal) and the
+//! checkpointing extension that lifts the limitation.
+
+use gridsat::{experiment, CheckpointMode, GridConfig, GridOutcome};
+use gridsat_grid::Testbed;
+use gridsat_satgen as satgen;
+
+#[test]
+fn idle_client_deaths_are_tolerated() {
+    // kill three clients that never receive work (they come up and then
+    // leave); the run completes normally
+    let f = satgen::php::php(8, 7);
+    let mut tb = Testbed::uniform(6, 1000.0, 3 << 20);
+    for i in [4usize, 5, 6] {
+        tb.hosts[i].down_at = 2.0; // die before any split reaches them
+    }
+    let config = GridConfig {
+        min_split_timeout: 20.0,
+        ..GridConfig::default()
+    };
+    let r = experiment::run(&f, tb, config);
+    assert_eq!(r.outcome, GridOutcome::Unsat);
+}
+
+#[test]
+fn busy_client_death_without_checkpoints_is_fatal() {
+    let f = satgen::php::php(9, 8);
+    let mut tb = Testbed::uniform(4, 1000.0, 3 << 20);
+    tb.hosts[1].down_at = 100.0; // the first client, mid-solve
+    let r = experiment::run(&f, tb, GridConfig::default());
+    assert_eq!(r.outcome, GridOutcome::ClientLost);
+    assert!(r.seconds <= 101.0);
+}
+
+#[test]
+fn checkpointing_survives_cascading_failures() {
+    // two busy clients die at different times; light checkpoints recover
+    // both subproblems and the answer stays correct
+    let f = satgen::php::php(9, 8);
+    let mut tb = Testbed::uniform(6, 1000.0, 3 << 20);
+    tb.hosts[1].down_at = 80.0;
+    tb.hosts[2].down_at = 160.0;
+    let config = GridConfig {
+        checkpoint: CheckpointMode::Light,
+        checkpoint_period: 10.0,
+        min_split_timeout: 15.0,
+        ..GridConfig::default()
+    };
+    let r = experiment::run(&f, tb, config);
+    assert_eq!(r.outcome, GridOutcome::Unsat);
+    assert!(r.master.recoveries >= 1, "at least one recovery happened");
+}
+
+#[test]
+fn heavy_checkpoints_preserve_learned_clauses() {
+    let f = satgen::php::php(9, 8);
+    let mut tb = Testbed::uniform(5, 1000.0, 3 << 20);
+    tb.hosts[1].down_at = 120.0;
+    let config = GridConfig {
+        checkpoint: CheckpointMode::Heavy,
+        checkpoint_period: 10.0,
+        min_split_timeout: 15.0,
+        ..GridConfig::default()
+    };
+    let r = experiment::run(&f, tb, config);
+    assert_eq!(r.outcome, GridOutcome::Unsat);
+    assert!(r.master.recoveries >= 1);
+}
+
+#[test]
+fn sat_answers_survive_recovery() {
+    for seed in [3u64, 5] {
+        let f = satgen::random_ksat::planted_ksat(80, 336, 3, seed);
+        let mut tb = Testbed::uniform(4, 1000.0, 3 << 20);
+        tb.hosts[1].down_at = 30.0;
+        let config = GridConfig {
+            checkpoint: CheckpointMode::Light,
+            checkpoint_period: 5.0,
+            min_split_timeout: 10.0,
+            ..GridConfig::default()
+        };
+        let r = experiment::run(&f, tb, config);
+        match r.outcome {
+            GridOutcome::Sat(model) => assert!(f.is_satisfied_by(&model), "seed {seed}"),
+            other => panic!("seed {seed}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn batch_window_expiry_with_busy_nodes_terminates_the_run() {
+    // a batch host joins, takes work, and its window expires mid-solve:
+    // the paper terminates the whole run
+    let f = satgen::php::php(10, 9);
+    let tb = Testbed::uniform(2, 800.0, 3 << 20).with_blue_horizon(3, 30.0, 120.0);
+    let config = GridConfig {
+        min_split_timeout: 10.0,
+        overall_timeout: 10_000.0,
+        ..GridConfig::default()
+    };
+    let r = experiment::run(&f, tb, config);
+    // either the run finished before the window closed, or it terminated
+    // with ClientLost exactly at expiry — never a wrong answer
+    match r.outcome {
+        GridOutcome::Unsat => {}
+        GridOutcome::ClientLost => assert!(r.seconds >= 140.0 && r.seconds <= 160.0),
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,60 @@
+//! Integration test for the Figure 1 reproduction: the exact facts the
+//! paper states about its worked example, checked through the full
+//! public API (cnf + solver crates together).
+
+use gridsat_cnf::{paper, Lit, Value, Var};
+use gridsat_solver::{Solver, SolverConfig};
+
+#[test]
+fn the_full_figure1_walkthrough() {
+    let formula = paper::fig1_formula();
+    let mut s = Solver::new(&formula, SolverConfig::default());
+    s.set_trace(true);
+
+    // level 0: V14 from unit clause 9
+    assert_eq!(s.var_value(Var(13)), Value::True);
+    assert_eq!(s.var_decision_level(Var(13)), Some(0));
+
+    // levels 1..=5 per the paper's script
+    for d in &paper::fig1_decisions()[..5] {
+        s.assume_decision(*d).unwrap();
+        assert!(s.propagate_manual().is_none());
+    }
+    // level 1 implied ~V13 through clause 8
+    assert_eq!(s.var_value(Var(12)), Value::False);
+    assert_eq!(s.var_decision_level(Var(12)), Some(1));
+
+    // level 6 decision V11 cascades to the conflict between clauses 6/7
+    s.assume_decision(paper::fig1_decisions()[5]).unwrap();
+    let (cref, clause_id) = s.propagate_manual().expect("conflict");
+    assert!(clause_id == 6 || clause_id == 7);
+
+    let analysis = s.analyze(cref);
+    assert_eq!(analysis.uip, paper::fig1_uip());
+    assert_eq!(analysis.backjump, paper::FIG1_BACKJUMP_LEVEL);
+    let mut got: Vec<Lit> = analysis.learned.lits().to_vec();
+    got.sort();
+    let mut want: Vec<Lit> = paper::fig1_learned_clause().lits().to_vec();
+    want.sort();
+    assert_eq!(got, want);
+
+    // asserting literal first, per the watch convention
+    assert_eq!(analysis.learned.lits()[0], Lit::from_dimacs(-5));
+
+    s.learn(&analysis);
+    assert_eq!(s.decision_level(), 4);
+    assert_eq!(s.var_value(Var(4)), Value::False, "~V5 implied at level 4");
+    s.check_invariants();
+}
+
+#[test]
+fn decision_antecedents_display_as_clause_zero() {
+    // "we use clause 0 in this paper as antecedent for decision variables"
+    let mut s = Solver::new(&paper::fig1_formula(), SolverConfig::default());
+    s.assume_decision(Var(9).positive()).unwrap();
+    let _ = s.propagate_manual();
+    let graph = s.implication_graph();
+    let v10 = graph.iter().find(|n| n.lit == Var(9).positive()).unwrap();
+    assert_eq!(v10.antecedent_id, 0);
+    assert!(v10.preds.is_empty());
+}

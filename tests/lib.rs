@@ -1,0 +1,20 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use gridsat_cnf::Formula;
+use gridsat_solver::{SolveStatus, Solver, Step};
+
+/// Drive a solver to completion (no limits) and return the status.
+pub fn solve_to_end(solver: &mut Solver) -> SolveStatus {
+    loop {
+        match solver.step(1_000_000) {
+            Step::Sat => return SolveStatus::Sat,
+            Step::Unsat => return SolveStatus::Unsat,
+            Step::Running | Step::MemoryPressure => {}
+        }
+    }
+}
+
+/// Sequential ground truth for a small formula.
+pub fn sequential_status(f: &Formula) -> SolveStatus {
+    gridsat_solver::driver::decide(f)
+}

@@ -1,0 +1,50 @@
+//! The generated suite survives a DIMACS round trip and keeps its
+//! statuses: generators -> files -> parser -> solver.
+
+use gridsat_satgen::suite::{self, Status};
+use gridsat_solver::{driver, SolverConfig};
+
+#[test]
+fn exported_instances_reparse_identically() {
+    let dir = std::env::temp_dir().join("gridsat-suite-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    for spec in suite::table1_suite().iter().take(12) {
+        let f = spec.formula();
+        let path = dir.join(spec.paper_name);
+        let mut out = std::fs::File::create(&path).unwrap();
+        gridsat_cnf::write_dimacs(&mut out, &f).unwrap();
+        drop(out);
+        let g = gridsat_cnf::parse_dimacs_file(&path).unwrap();
+        assert_eq!(f.num_vars(), g.num_vars(), "{}", spec.paper_name);
+        assert_eq!(f.clauses(), g.clauses(), "{}", spec.paper_name);
+    }
+}
+
+#[test]
+fn quick_rows_solve_from_reparsed_files() {
+    let dir = std::env::temp_dir().join("gridsat-suite-roundtrip2");
+    std::fs::create_dir_all(&dir).unwrap();
+    // the three fastest rows per the calibration
+    for name in [
+        "glassy-sat-sel_N210_n.cnf",
+        "qg2-8.cnf",
+        "pyhala-braun-sat-30-4-02.cnf",
+    ] {
+        let spec = suite::table1_suite()
+            .into_iter()
+            .find(|s| s.paper_name == name)
+            .unwrap();
+        let f = spec.formula();
+        let path = dir.join(name);
+        let mut out = std::fs::File::create(&path).unwrap();
+        gridsat_cnf::write_dimacs(&mut out, &f).unwrap();
+        drop(out);
+        let g = gridsat_cnf::parse_dimacs_file(&path).unwrap();
+        let r = driver::solve(&g, SolverConfig::default(), driver::Limits::default());
+        match (r.outcome, spec.status) {
+            (gridsat_solver::Outcome::Sat(m), Status::Sat) => assert!(g.is_satisfied_by(&m)),
+            (gridsat_solver::Outcome::Unsat, Status::Unsat) => {}
+            (o, s) => panic!("{name}: {o:?} vs {s:?}"),
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The same GridSAT master/client processes on the real-thread backend:
+//! answers must match the simulator and the sequential core.
+
+use gridsat::{Client, GridConfig, GridNode, GridOutcome, Master};
+use gridsat_grid::{NodeId, Site, ThreadGrid};
+use gridsat_satgen as satgen;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn run_threaded(f: &gridsat_cnf::Formula, workers: u32) -> GridOutcome {
+    let config = GridConfig {
+        min_split_timeout: 0.05,
+        work_quantum_s: 20_000.0, // thread speed is 1.0: units per tick
+        load_report_period: 0.5,
+        master_period: 0.02,
+        migration: false,
+        ..GridConfig::default()
+    };
+    let host_info: BTreeMap<NodeId, (f64, Site)> = (0..=workers)
+        .map(|i| (NodeId(i), (1.0, Site::Ucsd)))
+        .collect();
+    let f2 = f.clone();
+    let grid = ThreadGrid::spawn(workers as usize + 1, 3 << 20, move |id| {
+        if id == NodeId(0) {
+            GridNode::Master(Box::new(Master::new(
+                f2.clone(),
+                config.clone(),
+                host_info.clone(),
+            )))
+        } else {
+            GridNode::Client(Box::new(Client::new(NodeId(0), config.clone())))
+        }
+    });
+    let nodes = grid.join(Duration::from_secs(60));
+    let GridNode::Master(master) = &nodes[0] else {
+        panic!("node 0 is the master")
+    };
+    master.outcome().cloned().expect("finished in time")
+}
+
+#[test]
+fn threaded_unsat_agrees() {
+    let f = satgen::php::php(8, 7);
+    assert_eq!(run_threaded(&f, 3), GridOutcome::Unsat);
+}
+
+#[test]
+fn threaded_sat_model_verifies() {
+    let f = satgen::random_ksat::planted_ksat(60, 252, 3, 5);
+    match run_threaded(&f, 3) {
+        GridOutcome::Sat(model) => assert!(f.is_satisfied_by(&model)),
+        other => panic!("{other:?}"),
+    }
+}
