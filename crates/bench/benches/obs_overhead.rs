@@ -1,0 +1,51 @@
+//! Cost of the event-tracing layer on the solver hot path. The disabled
+//! handle (`Obs::default()`) must be free — the acceptance bar is < 2%
+//! regression versus a solver that never heard of tracing — and the
+//! ring-buffer sink should stay cheap enough to leave on for experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsat_obs::{NullSink, Obs};
+use gridsat_satgen as satgen;
+use gridsat_solver::{Solver, SolverConfig};
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+
+type MakeObs = fn() -> Obs;
+
+/// A conflict-heavy bounded run: same workload under each sink.
+fn solver_with_sinks(c: &mut Criterion) {
+    let f = satgen::php::php(8, 7);
+    let mut g = c.benchmark_group("obs_overhead");
+    let cases: [(&str, MakeObs); 3] = [
+        ("disabled", Obs::default),
+        ("null_sink", || {
+            Obs::with_sink(Arc::new(Mutex::new(NullSink)))
+        }),
+        ("ring_sink", || Obs::ring(1 << 16).0),
+    ];
+    for (name, make_obs) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &make_obs, |b, mk| {
+            b.iter(|| {
+                let mut s = Solver::new(black_box(&f), SolverConfig::default());
+                s.set_obs(mk(), 1);
+                let _ = s.step(200_000);
+                black_box(s.stats().conflicts)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = solver_with_sinks
+}
+criterion_main!(benches);

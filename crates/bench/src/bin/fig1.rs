@@ -3,9 +3,12 @@
 //! clause `(~V10 + ~V7 + V8 + V9 + ~V5)`, and the non-chronological
 //! backjump to level 4 — driven through the real CDCL engine.
 //!
-//! Usage: `cargo run -p gridsat-bench --bin fig1`
+//! Usage: `cargo run -p gridsat-bench --bin fig1 [--dot] [--trace FILE]`
+//! `--trace FILE` records the solver's lifecycle events (the conflict and
+//! the learned clause of the worked example) as JSONL.
 
 use gridsat_cnf::paper;
+use gridsat_obs::Obs;
 use gridsat_solver::{Solver, SolverConfig};
 
 fn main() {
@@ -22,6 +25,22 @@ fn main() {
 
     let mut solver = Solver::new(&formula, SolverConfig::default());
     solver.set_trace(true);
+
+    let trace_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--trace" {
+                path = args.next();
+            }
+        }
+        path
+    };
+    let ring = trace_path.as_ref().map(|_| {
+        let (obs, ring) = Obs::ring(4096);
+        solver.set_obs(obs, 0);
+        ring
+    });
 
     println!("\nDecision stack construction:");
     println!("  level 0: V14 (implied by unit clause 9)");
@@ -131,5 +150,9 @@ fn main() {
         "  the new clause immediately implies ~V5 (V5 = {:?}), as the paper notes",
         solver.var_value(gridsat_cnf::Var(4))
     );
+    if let (Some(path), Some(ring)) = (&trace_path, &ring) {
+        std::fs::write(path, ring.lock().unwrap().to_jsonl()).expect("write trace");
+        println!("\n(event trace written to {path})");
+    }
     println!("\nFigure 1 reproduced: learned clause, FirstUIP and backjump level all match.");
 }

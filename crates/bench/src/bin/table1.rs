@@ -11,19 +11,33 @@
 //!   time-out 100 s, 6000 s cap for the solvable category and 12000 s for
 //!   the challenge categories — all per the paper's Section 4.
 //!
-//! Usage: `cargo run --release -p gridsat-bench --bin table1 [filter]`
-//! Writes `table1.csv` next to the printed table.
+//! Usage: `cargo run --release -p gridsat-bench --bin table1 [filter] [--trace FILE]`
+//! Writes `table1.csv` next to the printed table. With `--trace FILE`,
+//! every GridSAT run is captured as a JSONL event stream (concatenated
+//! into FILE) that `trace_report` folds into per-client utilization —
+//! best combined with a filter selecting a single instance.
 
 use gridsat::{experiment, GridConfig, GridOutcome};
 use gridsat_bench::{work_to_seconds, ZCHAFF_MEM_BUDGET, ZCHAFF_WORK_CAP};
 use gridsat_grid::Testbed;
+use gridsat_obs::Obs;
 use gridsat_satgen::suite::{self, Section, Status};
 use gridsat_solver::{driver, Outcome, SolverConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default();
+    let mut filter = String::new();
+    let mut trace_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a file path"));
+        } else {
+            filter = a;
+        }
+    }
+    let mut trace = String::new();
     let mut csv = String::from(
         "instance,status,section,zchaff_outcome,zchaff_s,gridsat_outcome,gridsat_s,speedup,max_clients,splits\n",
     );
@@ -64,7 +78,24 @@ fn main() {
             Section::SolvedByBoth => GridConfig::experiment1(),
             _ => GridConfig::experiment1_challenge(),
         };
-        let grid = experiment::run(&f, Testbed::grads(), config);
+        let grid = if trace_path.is_some() {
+            let (obs, ring) = Obs::ring(1 << 20);
+            let cap = config.overall_timeout;
+            let mut sim = experiment::build_sim_obs(&f, Testbed::grads(), config, obs);
+            sim.run_until(cap + 60.0);
+            let ring = ring.lock().unwrap();
+            if ring.evicted() > 0 {
+                eprintln!(
+                    "{}: trace ring full, {} oldest events dropped",
+                    spec.paper_name,
+                    ring.evicted()
+                );
+            }
+            trace.push_str(&ring.to_jsonl());
+            experiment::report(&sim, cap)
+        } else {
+            experiment::run(&f, Testbed::grads(), config)
+        };
 
         let speedup = match (&seq.outcome, &grid.outcome) {
             (Outcome::Sat(_) | Outcome::Unsat, GridOutcome::Sat(_) | GridOutcome::Unsat) => {
@@ -115,6 +146,10 @@ fn main() {
         }
     }
     std::fs::write("table1.csv", csv).expect("write table1.csv");
+    if let Some(path) = trace_path {
+        std::fs::write(&path, trace).expect("write trace");
+        eprintln!("event trace written to {path} (fold with the trace_report binary)");
+    }
     eprintln!(
         "table1.csv written; wall time {:.0} s",
         wall.elapsed().as_secs_f64()

@@ -1,0 +1,35 @@
+//! Fold a JSONL event trace into the paper-style per-client utilization
+//! summary: busy/idle spans per client, peak active clients, and mean
+//! utilization over the run.
+//!
+//! Capture a trace with the `--trace` flag of the `table1` or `fig1`
+//! binaries (or via `gridsat::experiment::build_sim_obs` in code), then:
+//!
+//! Usage: `cargo run -p gridsat-bench --bin trace_report -- trace.jsonl`
+
+use gridsat_obs::{fold_utilization, from_jsonl};
+use std::process::exit;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_report <trace.jsonl>");
+        exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_report: {path}: {e}");
+            exit(1);
+        }
+    };
+    match from_jsonl(&text) {
+        Ok(events) => {
+            println!("{} events from {path}\n", events.len());
+            print!("{}", fold_utilization(&events).render_text());
+        }
+        Err((line, e)) => {
+            eprintln!("trace_report: {path}:{line}: {e}");
+            exit(1);
+        }
+    }
+}

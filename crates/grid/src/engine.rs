@@ -10,8 +10,9 @@
 use crate::process::{Action, Ctx, MessageSize, NodeInfo, Process};
 use crate::topology::{NodeId, Testbed};
 use gridsat_nws::LoadTrace;
+use gridsat_obs::{DropReason, Event as ObsEvent, MetricsRegistry, Obs};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 /// One network event recorded when tracing is on (used to reproduce the
 /// paper's Figure 3 message diagram).
@@ -24,14 +25,49 @@ pub struct TraceEvent {
     pub bytes: usize,
 }
 
-/// Aggregate statistics of a simulation run.
-#[derive(Clone, Copy, Debug, Default)]
+/// Aggregate statistics of a simulation run. Drops are counted by
+/// reason; [`SimStats::messages_dropped`] gives the total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     pub messages_delivered: u64,
     pub bytes_delivered: u64,
-    pub messages_dropped: u64,
+    /// Dropped because the destination was over its in-flight cap.
+    pub dropped_capacity: u64,
+    /// Dropped because the link was administratively down.
+    pub dropped_link_down: u64,
+    /// Dropped because the destination node had left the Grid.
+    pub dropped_dead_peer: u64,
     pub ticks: u64,
     pub events: u64,
+}
+
+impl SimStats {
+    /// Total messages dropped, across all reasons.
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped_capacity + self.dropped_link_down + self.dropped_dead_peer
+    }
+
+    /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
+    /// The exhaustive destructuring makes forgetting a new field a
+    /// compile error.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let SimStats {
+            messages_delivered,
+            bytes_delivered,
+            dropped_capacity,
+            dropped_link_down,
+            dropped_dead_peer,
+            ticks,
+            events,
+        } = *self;
+        reg.counter_add(&format!("{prefix}.messages_delivered"), messages_delivered);
+        reg.counter_add(&format!("{prefix}.bytes_delivered"), bytes_delivered);
+        reg.counter_add(&format!("{prefix}.dropped.capacity"), dropped_capacity);
+        reg.counter_add(&format!("{prefix}.dropped.link_down"), dropped_link_down);
+        reg.counter_add(&format!("{prefix}.dropped.dead_peer"), dropped_dead_peer);
+        reg.counter_add(&format!("{prefix}.ticks"), ticks);
+        reg.counter_add(&format!("{prefix}.events"), events);
+    }
 }
 
 enum EventKind<M> {
@@ -86,6 +122,22 @@ pub struct Sim<P: Process> {
     /// Per-(from, to) last delivery time: messages between a pair are
     /// FIFO, as on the TCP streams of the paper's messaging layer.
     last_delivery: HashMap<(NodeId, NodeId), u64>,
+    /// Event-tracing handle (disabled by default).
+    obs: Obs,
+    /// Messages currently in flight toward each destination.
+    inflight: HashMap<NodeId, u64>,
+    /// Per-destination in-flight cap; sends over it are dropped.
+    inflight_cap: Option<u64>,
+    /// Administratively-downed links, as normalized (low, high) pairs.
+    links_down: BTreeSet<(NodeId, NodeId)>,
+}
+
+fn norm_pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 const US: f64 = 1_000_000.0;
@@ -132,12 +184,40 @@ impl<P: Process> Sim<P> {
             stats: SimStats::default(),
             trace: None,
             last_delivery: HashMap::new(),
+            obs: Obs::default(),
+            inflight: HashMap::new(),
+            inflight_cap: None,
+            links_down: BTreeSet::new(),
         }
     }
 
     /// Record every message delivery (for the Figure 3 reproduction).
     pub fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
+    }
+
+    /// Install an event-tracing handle: the engine emits message
+    /// send/deliver/drop and node up/down events into it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Cap how many messages may be in flight toward any one destination;
+    /// sends over the cap are dropped (and counted as capacity drops).
+    pub fn set_inflight_cap(&mut self, cap: u64) {
+        self.inflight_cap = Some(cap);
+    }
+
+    /// Administratively take the link between `a` and `b` down: sends on
+    /// it are dropped until [`Sim::set_link_up`]. Messages already in
+    /// flight still arrive, like packets on the wire when a route dies.
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId) {
+        self.links_down.insert(norm_pair(a, b));
+    }
+
+    /// Restore a link taken down with [`Sim::set_link_down`].
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId) {
+        self.links_down.remove(&norm_pair(a, b));
     }
 
     /// The recorded message trace.
@@ -199,6 +279,7 @@ impl<P: Process> Sim<P> {
         match ev.kind {
             EventKind::NodeUp { node } => {
                 self.nodes[node.0 as usize].up = true;
+                self.obs.emit(self.now(), node.0, || ObsEvent::NodeUp);
                 let mut ctx = Ctx::new(self.info(node));
                 self.nodes[node.0 as usize].proc.on_start(&mut ctx);
                 self.apply_actions(node, &mut ctx);
@@ -209,6 +290,7 @@ impl<P: Process> Sim<P> {
                 }
                 self.nodes[node.0 as usize].up = false;
                 self.nodes[node.0 as usize].next_tick_us = None;
+                self.obs.emit(self.now(), node.0, || ObsEvent::NodeDown);
                 // peers learn about the loss (EveryWare connection teardown)
                 for i in 0..self.nodes.len() {
                     if i == node.0 as usize || !self.nodes[i].up {
@@ -221,13 +303,30 @@ impl<P: Process> Sim<P> {
                 }
             }
             EventKind::Deliver { from, to, msg } => {
-                let n = &mut self.nodes[to.0 as usize];
-                if !n.up {
-                    self.stats.messages_dropped += 1;
+                // the message leaves the network either way
+                if let Some(n) = self.inflight.get_mut(&to) {
+                    *n = n.saturating_sub(1);
+                }
+                let bytes = msg.size_bytes() as u64;
+                if !self.nodes[to.0 as usize].up {
+                    self.stats.dropped_dead_peer += 1;
+                    self.obs.emit(self.now(), to.0, || ObsEvent::MsgDrop {
+                        from: from.0,
+                        to: to.0,
+                        label: msg.label(),
+                        bytes,
+                        reason: DropReason::DeadPeer,
+                    });
                     return;
                 }
                 self.stats.messages_delivered += 1;
-                self.stats.bytes_delivered += msg.size_bytes() as u64;
+                self.stats.bytes_delivered += bytes;
+                self.obs.emit(self.now(), to.0, || ObsEvent::MsgDeliver {
+                    from: from.0,
+                    to: to.0,
+                    label: msg.label(),
+                    bytes,
+                });
                 let mut ctx = Ctx::new(self.info(to));
                 self.nodes[to.0 as usize]
                     .proc
@@ -295,10 +394,34 @@ impl<P: Process> Sim<P> {
                     self.seq += 1;
                 }
                 Action::Send { to, msg } => {
+                    let bytes = msg.size_bytes();
+                    if self.links_down.contains(&norm_pair(node, to)) {
+                        self.stats.dropped_link_down += 1;
+                        self.obs.emit(self.now(), node.0, || ObsEvent::MsgDrop {
+                            from: node.0,
+                            to: to.0,
+                            label: msg.label(),
+                            bytes: bytes as u64,
+                            reason: DropReason::LinkDown,
+                        });
+                        continue;
+                    }
+                    let inflight = self.inflight.entry(to).or_insert(0);
+                    if self.inflight_cap.is_some_and(|cap| *inflight >= cap) {
+                        self.stats.dropped_capacity += 1;
+                        self.obs.emit(self.now(), node.0, || ObsEvent::MsgDrop {
+                            from: node.0,
+                            to: to.0,
+                            label: msg.label(),
+                            bytes: bytes as u64,
+                            reason: DropReason::Capacity,
+                        });
+                        continue;
+                    }
+                    *inflight += 1;
                     let from_site = self.testbed.hosts[node.0 as usize].site;
                     let to_site = self.testbed.hosts[to.0 as usize].site;
                     let link = self.testbed.net.link(from_site, to_site);
-                    let bytes = msg.size_bytes();
                     let mut arrival = end_us + (link.transfer_time(bytes) * US) as u64;
                     // FIFO per link: never overtake an earlier message
                     let slot = self.last_delivery.entry((node, to)).or_insert(0);
@@ -313,6 +436,12 @@ impl<P: Process> Sim<P> {
                             bytes,
                         });
                     }
+                    self.obs.emit(self.now(), node.0, || ObsEvent::MsgSend {
+                        from: node.0,
+                        to: to.0,
+                        label: msg.label(),
+                        bytes: bytes as u64,
+                    });
                     self.events.push(Reverse(Event {
                         time_us: arrival,
                         seq: self.seq,
@@ -520,8 +649,93 @@ mod tests {
         tb.hosts[1] = tb.hosts[1].clone().with_window(100.0, 200.0); // not up yet
         let mut sim = Sim::new(tb, |_| Spammer);
         sim.run_until(10.0);
-        assert_eq!(sim.stats.messages_dropped, 5);
+        assert_eq!(sim.stats.messages_dropped(), 5);
+        assert_eq!(sim.stats.dropped_dead_peer, 5);
         assert_eq!(sim.stats.messages_delivered, 0);
+    }
+
+    /// Sends five pings from node 0 at startup (reused by the drop tests).
+    struct Spam5;
+    impl Process for Spam5 {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+            if ctx.me() == NodeId(0) {
+                for i in 0..5 {
+                    ctx.send(NodeId(1), Msg::Ping(i));
+                }
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Msg, _c: &mut Ctx<Msg>) {}
+        fn on_tick(&mut self, _c: &mut Ctx<Msg>) {}
+    }
+
+    #[test]
+    fn inflight_cap_drops_count_as_capacity() {
+        let mut sim = Sim::new(tiny_testbed(), |_| Spam5);
+        sim.set_inflight_cap(2);
+        sim.run_until(10.0);
+        assert_eq!(sim.stats.dropped_capacity, 3);
+        assert_eq!(sim.stats.dropped_link_down, 0);
+        assert_eq!(sim.stats.dropped_dead_peer, 0);
+        assert_eq!(sim.stats.messages_delivered, 2);
+        assert_eq!(sim.stats.messages_dropped(), 3);
+    }
+
+    #[test]
+    fn downed_link_drops_count_as_link_down() {
+        let mut sim = Sim::new(tiny_testbed(), |_| Spam5);
+        sim.set_link_down(NodeId(1), NodeId(0)); // either order works
+        sim.run_until(10.0);
+        assert_eq!(sim.stats.dropped_link_down, 5);
+        assert_eq!(sim.stats.messages_delivered, 0);
+        // restoring the link lets a fresh sim (same spec) deliver again
+        let mut sim2 = Sim::new(tiny_testbed(), |_| Spam5);
+        sim2.set_link_down(NodeId(0), NodeId(1));
+        sim2.set_link_up(NodeId(1), NodeId(0));
+        sim2.run_until(10.0);
+        assert_eq!(sim2.stats.dropped_link_down, 0);
+        assert_eq!(sim2.stats.messages_delivered, 5);
+    }
+
+    #[test]
+    fn drop_reasons_surface_in_the_metrics_registry() {
+        let mut sim = Sim::new(tiny_testbed(), |_| Spam5);
+        sim.set_inflight_cap(1);
+        sim.run_until(10.0);
+        let mut reg = MetricsRegistry::new();
+        sim.stats.export_metrics(&mut reg, "sim");
+        assert_eq!(reg.counter("sim.dropped.capacity"), 4);
+        assert_eq!(reg.counter("sim.dropped.link_down"), 0);
+        assert_eq!(reg.counter("sim.dropped.dead_peer"), 0);
+        assert_eq!(reg.counter("sim.messages_delivered"), 1);
+    }
+
+    #[test]
+    fn obs_captures_sends_deliveries_and_node_lifecycle() {
+        let (obs, ring) = Obs::ring(1024);
+        let mut sim = Sim::new(tiny_testbed(), |id| PingPong {
+            rounds: 2,
+            received: Vec::new(),
+            is_master: id == NodeId(0),
+        });
+        sim.set_obs(obs);
+        sim.run_until(1e9);
+        let events = ring.lock().unwrap().events();
+        let count = |k: &str| events.iter().filter(|e| e.event.kind() == k).count();
+        assert_eq!(count("node_up"), 2);
+        assert_eq!(count("msg_send"), 4);
+        assert_eq!(count("msg_deliver"), 4);
+        assert_eq!(count("msg_drop"), 0);
+        // deliveries carry sim time and byte sizes
+        let deliver = events
+            .iter()
+            .find(|e| e.event.kind() == "msg_deliver")
+            .unwrap();
+        assert!(deliver.t_s > 0.0);
+        match &deliver.event {
+            ObsEvent::MsgDeliver { bytes, .. } => assert_eq!(*bytes, 64),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

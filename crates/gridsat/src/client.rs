@@ -5,11 +5,12 @@
 use crate::config::{CheckpointMode, GridConfig, ShareTuning};
 use crate::msg::{Checkpoint, GridMsg, ProblemId, SubResult};
 use gridsat_grid::{Ctx, NodeId, Process};
+use gridsat_obs::{MetricsRegistry, Obs};
 use gridsat_solver::{Solver, SolverConfig, SplitSpec, Step};
 use serde::{Deserialize, Serialize};
 
 /// Client-side counters, aggregated into the experiment report.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClientStats {
     /// Subproblems this client received (initial problem counts too).
     pub subproblems: u64,
@@ -29,6 +30,61 @@ pub struct ClientStats {
     pub migrations: u64,
     /// Adaptive share-limit adjustments (extension).
     pub share_limit_changes: u64,
+}
+
+impl ClientStats {
+    /// Merge another client's counters (experiment-report aggregation).
+    /// Exhaustively destructured so forgetting a new field is a compile
+    /// error.
+    pub fn absorb(&mut self, other: &ClientStats) {
+        let ClientStats {
+            subproblems,
+            splits,
+            split_requests,
+            share_batches_sent,
+            clauses_received,
+            work,
+            results,
+            migrations,
+            share_limit_changes,
+        } = *other;
+        self.subproblems += subproblems;
+        self.splits += splits;
+        self.split_requests += split_requests;
+        self.share_batches_sent += share_batches_sent;
+        self.clauses_received += clauses_received;
+        self.work += work;
+        self.results += results;
+        self.migrations += migrations;
+        self.share_limit_changes += share_limit_changes;
+    }
+
+    /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let ClientStats {
+            subproblems,
+            splits,
+            split_requests,
+            share_batches_sent,
+            clauses_received,
+            work,
+            results,
+            migrations,
+            share_limit_changes,
+        } = *self;
+        reg.counter_add(&format!("{prefix}.subproblems"), subproblems);
+        reg.counter_add(&format!("{prefix}.splits"), splits);
+        reg.counter_add(&format!("{prefix}.split_requests"), split_requests);
+        reg.counter_add(&format!("{prefix}.share_batches_sent"), share_batches_sent);
+        reg.counter_add(&format!("{prefix}.clauses_received"), clauses_received);
+        reg.counter_add(&format!("{prefix}.work"), work);
+        reg.counter_add(&format!("{prefix}.results"), results);
+        reg.counter_add(&format!("{prefix}.migrations"), migrations);
+        reg.counter_add(
+            &format!("{prefix}.share_limit_changes"),
+            share_limit_changes,
+        );
+    }
 }
 
 enum State {
@@ -68,6 +124,8 @@ pub struct Client {
     /// Counter for subproblem ids minted by this client's splits.
     minted: u32,
     pub stats: ClientStats,
+    /// Event-tracing handle, installed into every solver this client runs.
+    obs: Obs,
 }
 
 impl Client {
@@ -90,6 +148,17 @@ impl Client {
             current_problem: None,
             minted: 0,
             stats: ClientStats::default(),
+            obs: Obs::default(),
+        }
+    }
+
+    /// Install an event-tracing handle; it is threaded into the solver of
+    /// every subproblem this client adopts.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        if let Some(solver) = &mut self.solver {
+            // node id is unknown outside a Ctx; adopt_problem refreshes it
+            solver.set_obs(self.obs.clone(), 0);
         }
     }
 
@@ -155,7 +224,9 @@ impl Client {
             (ctx.info.memory as f64 * self.config.mem_fraction) as usize >= self.config.min_memory,
             "master must not assign work to under-provisioned hosts"
         );
-        let solver = Solver::from_split(spec, self.solver_config(ctx.info.memory));
+        let mut solver = Solver::from_split(spec, self.solver_config(ctx.info.memory));
+        solver.set_obs(self.obs.clone(), ctx.me().0);
+        solver.set_obs_now(ctx.now());
         self.solver = Some(solver);
         self.current_problem = Some(problem);
         self.state = State::Solving;
@@ -418,6 +489,7 @@ impl Process for Client {
         let quantum = (ctx.info.speed * self.config.work_quantum_s).max(1.0) as u64;
         let step = {
             let solver = self.solver.as_mut().expect("solving state has a solver");
+            solver.set_obs_now(ctx.now());
             let before = solver.stats().work;
             let step = solver.step(quantum);
             let done = solver.stats().work - before;
@@ -491,6 +563,45 @@ mod tests {
             assumptions: vec![],
             clauses: f.clauses().to_vec(),
         }
+    }
+
+    #[test]
+    fn client_stats_absorb_is_lossless() {
+        let full = ClientStats {
+            subproblems: 1,
+            splits: 2,
+            split_requests: 3,
+            share_batches_sent: 4,
+            clauses_received: 5,
+            work: 6,
+            results: 7,
+            migrations: 8,
+            share_limit_changes: 9,
+        };
+        let mut acc = ClientStats::default();
+        acc.absorb(&full);
+        assert_eq!(acc, full);
+        acc.absorb(&full);
+        assert_eq!(
+            acc,
+            ClientStats {
+                subproblems: 2,
+                splits: 4,
+                split_requests: 6,
+                share_batches_sent: 8,
+                clauses_received: 10,
+                work: 12,
+                results: 14,
+                migrations: 16,
+                share_limit_changes: 18,
+            }
+        );
+
+        let mut reg = MetricsRegistry::default();
+        full.export_metrics(&mut reg, "client");
+        assert_eq!(reg.counter("client.subproblems"), 1);
+        assert_eq!(reg.counter("client.share_limit_changes"), 9);
+        assert_eq!(reg.render_prometheus().matches("# TYPE client_").count(), 9);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::master::{GridOutcome, Master, MasterStats};
 use crate::msg::GridMsg;
 use gridsat_cnf::Formula;
 use gridsat_grid::{Ctx, NodeId, Process, Sim, SimStats, Testbed};
+use gridsat_obs::{MetricsRegistry, Obs};
 use std::collections::BTreeMap;
 
 /// Either role, so one `Sim` hosts both process kinds.
@@ -65,11 +66,33 @@ impl GridReport {
             GridOutcome::ClientLost => "CLIENT_LOST".into(),
         }
     }
+
+    /// Fold every stats struct of the run into one metrics registry,
+    /// ready for Prometheus-text or JSON exposition.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("run.seconds", self.seconds);
+        self.master.export_metrics(&mut reg, "master");
+        self.clients.export_metrics(&mut reg, "client");
+        self.sim.export_metrics(&mut reg, "sim");
+        reg
+    }
 }
 
 /// Build the simulation for a run (exposed so figures and tests can
 /// inspect the sim mid-flight).
 pub fn build_sim(formula: &Formula, testbed: Testbed, config: GridConfig) -> Sim<GridNode> {
+    build_sim_obs(formula, testbed, config, Obs::default())
+}
+
+/// Like [`build_sim`], but with an event sink threaded into the engine,
+/// the master, every client, and every solver the clients spawn.
+pub fn build_sim_obs(
+    formula: &Formula,
+    testbed: Testbed,
+    config: GridConfig,
+    obs: Obs,
+) -> Sim<GridNode> {
     let master_id = NodeId(0);
     let speeds: BTreeMap<NodeId, (f64, gridsat_grid::Site)> = testbed
         .hosts
@@ -78,17 +101,20 @@ pub fn build_sim(formula: &Formula, testbed: Testbed, config: GridConfig) -> Sim
         .map(|(i, h)| (NodeId(i as u32), (h.speed, h.site)))
         .collect();
     let formula = formula.clone();
-    Sim::new(testbed, move |id| {
+    let node_obs = obs.clone();
+    let mut sim = Sim::new(testbed, move |id| {
         if id == master_id {
-            GridNode::Master(Box::new(Master::new(
-                formula.clone(),
-                config.clone(),
-                speeds.clone(),
-            )))
+            let mut master = Master::new(formula.clone(), config.clone(), speeds.clone());
+            master.set_obs(node_obs.clone());
+            GridNode::Master(Box::new(master))
         } else {
-            GridNode::Client(Box::new(Client::new(master_id, config.clone())))
+            let mut client = Client::new(master_id, config.clone());
+            client.set_obs(node_obs.clone());
+            GridNode::Client(Box::new(client))
         }
-    })
+    });
+    sim.set_obs(obs);
+    sim
 }
 
 /// Run GridSAT on a formula over a testbed. Deterministic.
@@ -113,16 +139,7 @@ pub fn report(sim: &Sim<GridNode>, cap: f64) -> GridReport {
     let mut clients = ClientStats::default();
     for i in 1..sim_num_nodes(sim) {
         if let GridNode::Client(c) = sim.process(NodeId(i as u32)) {
-            let s = c.stats;
-            clients.subproblems += s.subproblems;
-            clients.splits += s.splits;
-            clients.split_requests += s.split_requests;
-            clients.share_batches_sent += s.share_batches_sent;
-            clients.clauses_received += s.clauses_received;
-            clients.work += s.work;
-            clients.results += s.results;
-            clients.migrations += s.migrations;
-            clients.share_limit_changes += s.share_limit_changes;
+            clients.absorb(&c.stats);
         }
     }
     GridReport {
@@ -157,6 +174,38 @@ mod tests {
         }
         assert!(r.seconds < 100.0);
         assert_eq!(r.master.verification_failures, 0);
+    }
+
+    #[test]
+    fn traced_run_yields_a_utilization_report_and_metrics() {
+        let f = gridsat_cnf::paper::fig1_formula();
+        let (obs, ring) = Obs::ring(1 << 16);
+        let config = GridConfig::default();
+        let cap = config.overall_timeout;
+        let mut sim = build_sim_obs(&f, tb(3), config, obs);
+        sim.run_until(cap + 60.0);
+        let r = report(&sim, cap);
+        assert!(matches!(r.outcome, GridOutcome::Sat(_)));
+
+        // the trace round-trips through JSONL and folds into utilization
+        let jsonl = ring.lock().unwrap().to_jsonl();
+        let events = gridsat_obs::from_jsonl(&jsonl).expect("trace decodes");
+        assert!(!events.is_empty());
+        let util = gridsat_obs::fold_utilization(&events);
+        assert!(util.event_counts.contains_key("client_launch"));
+        assert!(util.event_counts.contains_key("assign"));
+        assert_eq!(util.event_counts.get("outcome"), Some(&1));
+        assert!(util.peak_active >= 1);
+        let busy: f64 = util.clients.iter().map(|c| c.busy_s).sum();
+        assert!(busy > 0.0, "at least one client did work");
+
+        // the metrics bridge covers all three stats structs
+        let reg = r.metrics();
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("# TYPE master_results counter"));
+        assert!(prom.contains("# TYPE client_work"));
+        assert!(prom.contains("# TYPE sim_messages_delivered"));
+        assert!(prom.contains("# TYPE run_seconds gauge"));
     }
 
     #[test]

@@ -50,5 +50,7 @@ pub use campaign::{Comparison, ComparisonRow};
 pub use client::Client;
 pub use config::{CheckpointMode, GridConfig, SchedPolicy};
 pub use experiment::{run, GridNode, GridReport};
-pub use master::{GridOutcome, Master, MasterStats};
+pub use master::{
+    ClientSnapshot, ClientState, GrantKind, GridOutcome, Master, MasterSnapshot, MasterStats,
+};
 pub use msg::{EndReason, GridMsg, SubResult};

@@ -12,7 +12,9 @@ use crate::msg::{Checkpoint, EndReason, GridMsg, ProblemId, SubResult};
 use gridsat_cnf::{Assignment, Formula};
 use gridsat_grid::{Ctx, NodeId, Process, Site};
 use gridsat_nws::{Adaptive, Forecaster};
+use gridsat_obs::{Event, MetricsRegistry, Obs};
 use gridsat_solver::SplitSpec;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Final outcome of a GridSAT run.
@@ -40,7 +42,7 @@ impl GridOutcome {
 }
 
 /// Master-side counters for the experiment report.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MasterStats {
     /// Peak number of simultaneously busy clients (the paper's
     /// "Max # of clients" column).
@@ -59,8 +61,59 @@ pub struct MasterStats {
     pub recoveries: u64,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ClientState {
+impl MasterStats {
+    /// Merge another master's counters (used when aggregating campaign
+    /// runs). Exhaustively destructured so a new field that isn't merged
+    /// is a compile error, not a silently-lost count.
+    pub fn absorb(&mut self, other: &MasterStats) {
+        let MasterStats {
+            max_active_clients,
+            splits,
+            backlogged,
+            migrations,
+            verification_failures,
+            results,
+            recoveries,
+        } = *other;
+        self.max_active_clients = self.max_active_clients.max(max_active_clients);
+        self.splits += splits;
+        self.backlogged += backlogged;
+        self.migrations += migrations;
+        self.verification_failures += verification_failures;
+        self.results += results;
+        self.recoveries += recoveries;
+    }
+
+    /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let MasterStats {
+            max_active_clients,
+            splits,
+            backlogged,
+            migrations,
+            verification_failures,
+            results,
+            recoveries,
+        } = *self;
+        reg.gauge_set(
+            &format!("{prefix}.max_active_clients"),
+            max_active_clients as f64,
+        );
+        reg.counter_add(&format!("{prefix}.splits"), splits);
+        reg.counter_add(&format!("{prefix}.backlogged"), backlogged);
+        reg.counter_add(&format!("{prefix}.migrations"), migrations);
+        reg.counter_add(
+            &format!("{prefix}.verification_failures"),
+            verification_failures,
+        );
+        reg.counter_add(&format!("{prefix}.results"), results);
+        reg.counter_add(&format!("{prefix}.recoveries"), recoveries);
+    }
+}
+
+/// A client's scheduling state as the master sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ClientState {
     /// Registered, no work.
     Idle,
     /// A subproblem transfer to this client is in flight.
@@ -69,8 +122,9 @@ enum ClientState {
     Busy,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum GrantKind {
+/// What an in-flight grant is for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum GrantKind {
     Split,
     Migrate,
 }
@@ -111,6 +165,58 @@ pub struct Master {
     /// an idle client (extension).
     pending_recovery: VecDeque<SplitSpec>,
     pub stats: MasterStats,
+    /// Event-tracing handle (disabled by default).
+    obs: Obs,
+}
+
+/// One client's row in a [`MasterSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClientSnapshot {
+    pub id: u32,
+    pub state: ClientState,
+    /// Simulated second the client's current subproblem was assigned.
+    pub problem_since: f64,
+    pub has_checkpoint: bool,
+}
+
+/// Structured, serializable snapshot of the master's scheduler state
+/// (replaces the old free-text `debug_state` dump). `Display` renders
+/// the same human-readable summary the dump used to give.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct MasterSnapshot {
+    pub clients: Vec<ClientSnapshot>,
+    /// Requesters waiting for an idle peer, in queue order.
+    pub backlog: Vec<u32>,
+    /// In-flight grants as `(requester, peer, kind)`.
+    pub grants: Vec<(u32, u32, GrantKind)>,
+    /// Recovered subproblems awaiting an idle client.
+    pub pending_recoveries: usize,
+    /// The outcome's table cell, once decided.
+    pub outcome: Option<String>,
+    pub stats: MasterStats,
+}
+
+impl std::fmt::Display for MasterSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in &self.clients {
+            if c.state != ClientState::Idle {
+                writeln!(
+                    f,
+                    "n{}: {:?} since {:.0}{}",
+                    c.id,
+                    c.state,
+                    c.problem_since,
+                    if c.has_checkpoint { " [ckpt]" } else { "" }
+                )?;
+            }
+        }
+        writeln!(f, "backlog: {:?}", self.backlog)?;
+        writeln!(f, "grants: {:?}", self.grants)?;
+        if let Some(outcome) = &self.outcome {
+            writeln!(f, "outcome: {outcome}")?;
+        }
+        Ok(())
+    }
 }
 
 impl Master {
@@ -140,7 +246,15 @@ impl Master {
             last_migration: f64::NEG_INFINITY,
             pending_recovery: VecDeque::new(),
             stats: MasterStats::default(),
+            obs: Obs::default(),
         }
+    }
+
+    /// Install an event-tracing handle: the master emits its scheduling
+    /// decisions (launch, assign, split, backlog, migrate, checkpoint,
+    /// result, outcome) into it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The run's outcome, once decided.
@@ -153,18 +267,30 @@ impl Master {
         self.finished_at
     }
 
-    /// Human-readable dump of scheduler state (debugging aid).
-    pub fn debug_state(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        for (id, c) in &self.clients {
-            if c.state != ClientState::Idle {
-                let _ = writeln!(out, "{id}: {:?} since {:.0}", c.state, c.problem_since);
-            }
+    /// Structured snapshot of scheduler state (serializable; `Display`
+    /// renders the human-readable form).
+    pub fn snapshot(&self) -> MasterSnapshot {
+        MasterSnapshot {
+            clients: self
+                .clients
+                .iter()
+                .map(|(id, c)| ClientSnapshot {
+                    id: id.0,
+                    state: c.state,
+                    problem_since: c.problem_since,
+                    has_checkpoint: c.checkpoint.is_some(),
+                })
+                .collect(),
+            backlog: self.backlog.iter().map(|id| id.0).collect(),
+            grants: self
+                .grants
+                .iter()
+                .map(|(r, (p, k))| (r.0, p.0, *k))
+                .collect(),
+            pending_recoveries: self.pending_recovery.len(),
+            outcome: self.outcome.as_ref().map(|o| o.table_cell()),
+            stats: self.stats,
         }
-        let _ = writeln!(out, "backlog: {:?}", self.backlog);
-        let _ = writeln!(out, "grants: {:?}", self.grants);
-        out
     }
 
     fn rank(&self, id: NodeId, info: &ClientInfo) -> f64 {
@@ -270,6 +396,11 @@ impl Master {
             if !self.backlog.contains(&requester) {
                 self.backlog.push_back(requester);
                 self.stats.backlogged += 1;
+                let depth = self.backlog.len() as u64;
+                self.obs.emit(ctx.now(), 0, || Event::BacklogEnqueue {
+                    client: requester.0,
+                    depth,
+                });
             }
             return false;
         };
@@ -285,6 +416,11 @@ impl Master {
             if !self.grant_split(requester, ctx) {
                 break; // no idle peers left (requester went back to backlog)
             }
+            let depth = self.backlog.len() as u64;
+            self.obs.emit(ctx.now(), 0, || Event::BacklogDequeue {
+                client: requester.0,
+                depth,
+            });
         }
     }
 
@@ -363,6 +499,10 @@ impl Master {
             );
             self.last_migration = ctx.now();
             self.stats.migrations += 1;
+            self.obs.emit(ctx.now(), 0, || Event::Migrate {
+                from: weak_id.0,
+                to: best_idle.0,
+            });
         }
     }
 
@@ -382,6 +522,9 @@ impl Master {
             return;
         }
         self.finished_at = ctx.now();
+        let cell = outcome.table_cell();
+        self.obs
+            .emit(ctx.now(), 0, || Event::Outcome { outcome: cell });
         self.outcome = Some(outcome);
         for id in self.clients.keys().copied().collect::<Vec<_>>() {
             ctx.send(id, GridMsg::Terminate(reason));
@@ -473,6 +616,8 @@ impl Master {
             info.state = ClientState::Busy;
             info.problem_since = ctx.now();
             info.problem = Some(problem);
+            self.obs
+                .emit(ctx.now(), 0, || Event::Assign { client: target.0 });
         }
     }
 }
@@ -509,6 +654,8 @@ impl Process for Master {
                     },
                 );
                 self.broadcast_peers(ctx);
+                self.obs
+                    .emit(ctx.now(), 0, || Event::ClientLaunch { client: from.0 });
                 if !self.first_problem_sent {
                     // "The first client to register with the master is
                     // sent the entire problem to solve."
@@ -527,6 +674,8 @@ impl Process for Master {
                             problem,
                         },
                     );
+                    self.obs
+                        .emit(ctx.now(), 0, || Event::Assign { client: from.0 });
                 } else {
                     // a fresh resource may unblock the backlog
                     self.drain_backlog(ctx);
@@ -571,6 +720,10 @@ impl Process for Master {
                                 r.problem_since = ctx.now();
                             }
                             self.stats.splits += 1;
+                            self.obs.emit(ctx.now(), 0, || Event::Split {
+                                requester: requester.0,
+                                peer: peer.0,
+                            });
                         }
                         (true, Some((_, GrantKind::Migrate))) => {
                             if let Some(r) = self.clients.get_mut(&requester) {
@@ -595,6 +748,11 @@ impl Process for Master {
             }
             GridMsg::Result { result, problem } => {
                 self.stats.results += 1;
+                let sat = matches!(result, SubResult::Sat(_));
+                self.obs.emit(ctx.now(), 0, || Event::ResultReport {
+                    client: from.0,
+                    sat,
+                });
                 if let Some(info) = self.clients.get_mut(&from) {
                     info.state = ClientState::Idle;
                     info.checkpoint = None;
@@ -641,7 +799,12 @@ impl Process for Master {
             GridMsg::CheckpointMsg(cp) => {
                 if self.config.checkpoint != CheckpointMode::Off {
                     if let Some(info) = self.clients.get_mut(&from) {
+                        let heavy = matches!(*cp, Checkpoint::Heavy { .. });
                         info.checkpoint = Some(*cp);
+                        self.obs.emit(ctx.now(), 0, || Event::CheckpointSaved {
+                            client: from.0,
+                            heavy,
+                        });
                     }
                 }
             }
@@ -1034,6 +1197,103 @@ mod tests {
         assert_eq!(m.pop_backlog(), Some(NodeId(1)));
         assert_eq!(m.pop_backlog(), Some(NodeId(2)));
         assert_eq!(m.pop_backlog(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn snapshot_is_structured_and_displays_like_the_old_dump() {
+        let mut m = master();
+        register(&mut m, 1, 0.0); // busy with the whole problem
+        register(&mut m, 2, 0.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.clients.len(), 2);
+        let busy = snap.clients.iter().find(|c| c.id == 1).unwrap();
+        assert_eq!(busy.state, ClientState::Busy);
+        assert!(!busy.has_checkpoint);
+        assert_eq!(snap.backlog, Vec::<u32>::new());
+        assert_eq!(snap.outcome, None);
+        assert_eq!(snap.stats, m.stats);
+        let text = snap.to_string();
+        assert!(text.contains("n1: Busy since 0"));
+        assert!(text.contains("backlog: []"));
+        // snapshots of identical state compare equal (structured contract)
+        let mut m2 = master();
+        register(&mut m2, 1, 0.0);
+        register(&mut m2, 2, 0.0);
+        assert_eq!(m2.snapshot(), snap);
+    }
+
+    #[test]
+    fn master_stats_absorb_is_lossless() {
+        let full = MasterStats {
+            max_active_clients: 3,
+            splits: 1,
+            backlogged: 2,
+            migrations: 4,
+            verification_failures: 5,
+            results: 6,
+            recoveries: 7,
+        };
+        let mut acc = MasterStats::default();
+        acc.absorb(&full);
+        acc.absorb(&full);
+        assert_eq!(
+            acc,
+            MasterStats {
+                max_active_clients: 3, // max, not sum
+                splits: 2,
+                backlogged: 4,
+                migrations: 8,
+                verification_failures: 10,
+                results: 12,
+                recoveries: 14,
+            }
+        );
+        let mut reg = MetricsRegistry::new();
+        acc.export_metrics(&mut reg, "master");
+        assert_eq!(reg.counter("master.splits"), 2);
+        assert_eq!(reg.gauge("master.max_active_clients"), Some(3.0));
+    }
+
+    #[test]
+    fn scheduling_events_reach_the_obs_sink() {
+        let (obs, ring) = Obs::ring(256);
+        let mut m = master();
+        m.set_obs(obs);
+        register(&mut m, 1, 0.0);
+        register(&mut m, 2, 0.5);
+        // backlog then drain: 2 is idle, so the split grants straight away
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let mut cx = ctx(2.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitDone {
+                requester: NodeId(1),
+                peer: NodeId(2),
+                ok: true,
+                problem: Some(ProblemId::new(NodeId(1), 1)),
+            },
+            &mut cx,
+        );
+        let events = ring.lock().unwrap().events();
+        let count = |k: &str| events.iter().filter(|e| e.event.kind() == k).count();
+        assert_eq!(count("client_launch"), 2);
+        assert_eq!(count("assign"), 1);
+        assert_eq!(count("split"), 1);
+        let split = events.iter().find(|e| e.event.kind() == "split").unwrap();
+        assert_eq!(split.t_s, 2.0);
+        match split.event {
+            Event::Split { requester, peer } => {
+                assert_eq!((requester, peer), (1, 2));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -204,6 +204,7 @@ mod diurnal_tests {
     fn diurnal_swing_depresses_daytime_availability() {
         let mut t = LoadTrace::new(TraceConfig::diurnal(0.9, 0.5), 5);
         let xs = t.take(2880); // two "days"
+
         // daytime (first half of each period, where sin > 0) should be
         // noticeably lower on average than nighttime
         let day: f64 = xs

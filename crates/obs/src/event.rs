@@ -1,0 +1,543 @@
+//! The GridSAT lifecycle event taxonomy and its JSONL wire format.
+//!
+//! Every event is recorded as a [`TimedEvent`]: the simulated-time
+//! timestamp, the node it happened on, and the [`Event`] payload. One
+//! event serializes to one flat JSON object per line; field order is
+//! fixed (`t`, `node`, `kind`, then payload fields) so traces are
+//! byte-stable and diffable.
+
+use crate::json::{parse_object, JsonScalar, ObjWriter};
+use std::collections::BTreeMap;
+
+/// Why the engine dropped a message instead of delivering it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The destination already had the configured maximum number of
+    /// messages in flight.
+    Capacity,
+    /// The link between the endpoints was administratively down.
+    LinkDown,
+    /// The destination node had left the Grid before delivery.
+    DeadPeer,
+}
+
+impl DropReason {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropReason::Capacity => "capacity",
+            DropReason::LinkDown => "link_down",
+            DropReason::DeadPeer => "dead_peer",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<DropReason> {
+        match s {
+            "capacity" => Some(DropReason::Capacity),
+            "link_down" => Some(DropReason::LinkDown),
+            "dead_peer" => Some(DropReason::DeadPeer),
+            _ => None,
+        }
+    }
+}
+
+/// One lifecycle event, covering the solver core, the Grid engine, and
+/// the master's scheduling decisions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    // ---- solver ----
+    /// A conflict was analyzed (at the decision level it occurred on).
+    Conflict { level: u64 },
+    /// The solver restarted (cumulative conflict count at that point).
+    Restart { conflicts: u64 },
+    /// A clause was learned; `global` means it is sound to share.
+    Learn { len: u64, global: bool },
+    /// The learned database was reduced.
+    DbReduce { deleted: u64, live: u64 },
+
+    // ---- engine ----
+    /// A message entered the network.
+    MsgSend {
+        from: u32,
+        to: u32,
+        label: String,
+        bytes: u64,
+    },
+    /// A message reached its destination process.
+    MsgDeliver {
+        from: u32,
+        to: u32,
+        label: String,
+        bytes: u64,
+    },
+    /// A message was dropped (see [`DropReason`]).
+    MsgDrop {
+        from: u32,
+        to: u32,
+        label: String,
+        bytes: u64,
+        reason: DropReason,
+    },
+    /// The node came up (batch window opened / host booted).
+    NodeUp,
+    /// The node went away.
+    NodeDown,
+
+    // ---- master ----
+    /// A client registered with the master.
+    ClientLaunch { client: u32 },
+    /// The master handed a (sub)problem directly to a client
+    /// (initial dispatch or checkpoint recovery).
+    Assign { client: u32 },
+    /// A split completed: `requester` kept half, `peer` took the other.
+    Split { requester: u32, peer: u32 },
+    /// A split request had to wait; `depth` is the backlog size after.
+    BacklogEnqueue { client: u32, depth: u64 },
+    /// A backlogged request was finally served; `depth` is the size after.
+    BacklogDequeue { client: u32, depth: u64 },
+    /// The master moved a subproblem between clients.
+    Migrate { from: u32, to: u32 },
+    /// A client uploaded a checkpoint.
+    CheckpointSaved { client: u32, heavy: bool },
+    /// A client reported its subproblem's result.
+    ResultReport { client: u32, sat: bool },
+    /// The run ended (`SAT`/`UNSAT`/`TIME_OUT`/`CLIENT_LOST`).
+    Outcome { outcome: String },
+}
+
+impl Event {
+    /// Stable `kind` discriminator used in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Conflict { .. } => "conflict",
+            Event::Restart { .. } => "restart",
+            Event::Learn { .. } => "learn",
+            Event::DbReduce { .. } => "db_reduce",
+            Event::MsgSend { .. } => "msg_send",
+            Event::MsgDeliver { .. } => "msg_deliver",
+            Event::MsgDrop { .. } => "msg_drop",
+            Event::NodeUp => "node_up",
+            Event::NodeDown => "node_down",
+            Event::ClientLaunch { .. } => "client_launch",
+            Event::Assign { .. } => "assign",
+            Event::Split { .. } => "split",
+            Event::BacklogEnqueue { .. } => "backlog_enqueue",
+            Event::BacklogDequeue { .. } => "backlog_dequeue",
+            Event::Migrate { .. } => "migrate",
+            Event::CheckpointSaved { .. } => "checkpoint",
+            Event::ResultReport { .. } => "result",
+            Event::Outcome { .. } => "outcome",
+        }
+    }
+}
+
+/// An [`Event`] with its simulated timestamp and originating node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Simulated seconds since the start of the run.
+    pub t_s: f64,
+    /// Node the event happened on (`NodeId.0`; the master is 0).
+    pub node: u32,
+    pub event: Event,
+}
+
+/// Why a trace line failed to decode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecodeError {
+    Json(crate::json::JsonError),
+    MissingField(&'static str),
+    BadField(&'static str),
+    UnknownKind(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Json(e) => write!(f, "{e}"),
+            DecodeError::MissingField(k) => write!(f, "missing field {k:?}"),
+            DecodeError::BadField(k) => write!(f, "bad value for field {k:?}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown event kind {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+type Fields = BTreeMap<String, JsonScalar>;
+
+fn num(m: &Fields, k: &'static str) -> Result<f64, DecodeError> {
+    match m.get(k) {
+        Some(JsonScalar::Num(v)) => Ok(*v),
+        Some(_) => Err(DecodeError::BadField(k)),
+        None => Err(DecodeError::MissingField(k)),
+    }
+}
+
+fn u64f(m: &Fields, k: &'static str) -> Result<u64, DecodeError> {
+    let v = num(m, k)?;
+    if v >= 0.0 && v.fract() == 0.0 {
+        Ok(v as u64)
+    } else {
+        Err(DecodeError::BadField(k))
+    }
+}
+
+fn u32f(m: &Fields, k: &'static str) -> Result<u32, DecodeError> {
+    u64f(m, k)?.try_into().map_err(|_| DecodeError::BadField(k))
+}
+
+fn string(m: &Fields, k: &'static str) -> Result<String, DecodeError> {
+    match m.get(k) {
+        Some(JsonScalar::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(DecodeError::BadField(k)),
+        None => Err(DecodeError::MissingField(k)),
+    }
+}
+
+fn boolean(m: &Fields, k: &'static str) -> Result<bool, DecodeError> {
+    match m.get(k) {
+        Some(JsonScalar::Bool(b)) => Ok(*b),
+        Some(_) => Err(DecodeError::BadField(k)),
+        None => Err(DecodeError::MissingField(k)),
+    }
+}
+
+impl TimedEvent {
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.f64("t", self.t_s).u64("node", u64::from(self.node));
+        w.str("kind", self.event.kind());
+        match &self.event {
+            Event::Conflict { level } => {
+                w.u64("level", *level);
+            }
+            Event::Restart { conflicts } => {
+                w.u64("conflicts", *conflicts);
+            }
+            Event::Learn { len, global } => {
+                w.u64("len", *len).bool("global", *global);
+            }
+            Event::DbReduce { deleted, live } => {
+                w.u64("deleted", *deleted).u64("live", *live);
+            }
+            Event::MsgSend {
+                from,
+                to,
+                label,
+                bytes,
+            }
+            | Event::MsgDeliver {
+                from,
+                to,
+                label,
+                bytes,
+            } => {
+                w.u64("from", u64::from(*from))
+                    .u64("to", u64::from(*to))
+                    .str("label", label)
+                    .u64("bytes", *bytes);
+            }
+            Event::MsgDrop {
+                from,
+                to,
+                label,
+                bytes,
+                reason,
+            } => {
+                w.u64("from", u64::from(*from))
+                    .u64("to", u64::from(*to))
+                    .str("label", label)
+                    .u64("bytes", *bytes)
+                    .str("reason", reason.as_str());
+            }
+            Event::NodeUp | Event::NodeDown => {}
+            Event::ClientLaunch { client } | Event::Assign { client } => {
+                w.u64("client", u64::from(*client));
+            }
+            Event::Split { requester, peer } => {
+                w.u64("requester", u64::from(*requester))
+                    .u64("peer", u64::from(*peer));
+            }
+            Event::BacklogEnqueue { client, depth } | Event::BacklogDequeue { client, depth } => {
+                w.u64("client", u64::from(*client)).u64("depth", *depth);
+            }
+            Event::Migrate { from, to } => {
+                w.u64("from", u64::from(*from)).u64("to", u64::from(*to));
+            }
+            Event::CheckpointSaved { client, heavy } => {
+                w.u64("client", u64::from(*client)).bool("heavy", *heavy);
+            }
+            Event::ResultReport { client, sat } => {
+                w.u64("client", u64::from(*client)).bool("sat", *sat);
+            }
+            Event::Outcome { outcome } => {
+                w.str("outcome", outcome);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode one JSON line produced by [`TimedEvent::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<TimedEvent, DecodeError> {
+        let m = parse_object(line).map_err(DecodeError::Json)?;
+        let t_s = num(&m, "t")?;
+        let node = u32f(&m, "node")?;
+        let kind = string(&m, "kind")?;
+        let event = match kind.as_str() {
+            "conflict" => Event::Conflict {
+                level: u64f(&m, "level")?,
+            },
+            "restart" => Event::Restart {
+                conflicts: u64f(&m, "conflicts")?,
+            },
+            "learn" => Event::Learn {
+                len: u64f(&m, "len")?,
+                global: boolean(&m, "global")?,
+            },
+            "db_reduce" => Event::DbReduce {
+                deleted: u64f(&m, "deleted")?,
+                live: u64f(&m, "live")?,
+            },
+            "msg_send" => Event::MsgSend {
+                from: u32f(&m, "from")?,
+                to: u32f(&m, "to")?,
+                label: string(&m, "label")?,
+                bytes: u64f(&m, "bytes")?,
+            },
+            "msg_deliver" => Event::MsgDeliver {
+                from: u32f(&m, "from")?,
+                to: u32f(&m, "to")?,
+                label: string(&m, "label")?,
+                bytes: u64f(&m, "bytes")?,
+            },
+            "msg_drop" => Event::MsgDrop {
+                from: u32f(&m, "from")?,
+                to: u32f(&m, "to")?,
+                label: string(&m, "label")?,
+                bytes: u64f(&m, "bytes")?,
+                reason: DropReason::parse(&string(&m, "reason")?)
+                    .ok_or(DecodeError::BadField("reason"))?,
+            },
+            "node_up" => Event::NodeUp,
+            "node_down" => Event::NodeDown,
+            "client_launch" => Event::ClientLaunch {
+                client: u32f(&m, "client")?,
+            },
+            "assign" => Event::Assign {
+                client: u32f(&m, "client")?,
+            },
+            "split" => Event::Split {
+                requester: u32f(&m, "requester")?,
+                peer: u32f(&m, "peer")?,
+            },
+            "backlog_enqueue" => Event::BacklogEnqueue {
+                client: u32f(&m, "client")?,
+                depth: u64f(&m, "depth")?,
+            },
+            "backlog_dequeue" => Event::BacklogDequeue {
+                client: u32f(&m, "client")?,
+                depth: u64f(&m, "depth")?,
+            },
+            "migrate" => Event::Migrate {
+                from: u32f(&m, "from")?,
+                to: u32f(&m, "to")?,
+            },
+            "checkpoint" => Event::CheckpointSaved {
+                client: u32f(&m, "client")?,
+                heavy: boolean(&m, "heavy")?,
+            },
+            "result" => Event::ResultReport {
+                client: u32f(&m, "client")?,
+                sat: boolean(&m, "sat")?,
+            },
+            "outcome" => Event::Outcome {
+                outcome: string(&m, "outcome")?,
+            },
+            other => return Err(DecodeError::UnknownKind(other.to_string())),
+        };
+        Ok(TimedEvent { t_s, node, event })
+    }
+}
+
+/// Serialize a slice of events as JSONL (one event per line, trailing
+/// newline included when non-empty).
+pub fn to_jsonl(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL document. Blank lines are skipped; the first malformed
+/// line aborts with its (1-based) line number.
+pub fn from_jsonl(text: &str) -> Result<Vec<TimedEvent>, (usize, DecodeError)> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(TimedEvent::from_json_line(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One of every event kind, with representative payloads.
+    pub fn sample_events() -> Vec<TimedEvent> {
+        let ev = |t_s: f64, node: u32, event: Event| TimedEvent { t_s, node, event };
+        vec![
+            ev(0.0, 3, Event::NodeUp),
+            ev(0.5, 1, Event::ClientLaunch { client: 1 }),
+            ev(0.5, 0, Event::Assign { client: 1 }),
+            ev(
+                1.25,
+                0,
+                Event::MsgSend {
+                    from: 0,
+                    to: 1,
+                    label: "solve".into(),
+                    bytes: 4096,
+                },
+            ),
+            ev(
+                2.5,
+                1,
+                Event::MsgDeliver {
+                    from: 0,
+                    to: 1,
+                    label: "solve".into(),
+                    bytes: 4096,
+                },
+            ),
+            ev(3.0, 1, Event::Conflict { level: 7 }),
+            ev(
+                3.0,
+                1,
+                Event::Learn {
+                    len: 3,
+                    global: true,
+                },
+            ),
+            ev(4.5, 1, Event::Restart { conflicts: 100 }),
+            ev(
+                5.0,
+                1,
+                Event::DbReduce {
+                    deleted: 50,
+                    live: 51,
+                },
+            ),
+            ev(
+                6.0,
+                0,
+                Event::BacklogEnqueue {
+                    client: 1,
+                    depth: 1,
+                },
+            ),
+            ev(
+                7.0,
+                0,
+                Event::BacklogDequeue {
+                    client: 1,
+                    depth: 0,
+                },
+            ),
+            ev(
+                8.0,
+                0,
+                Event::Split {
+                    requester: 1,
+                    peer: 2,
+                },
+            ),
+            ev(
+                9.5,
+                2,
+                Event::MsgDrop {
+                    from: 2,
+                    to: 3,
+                    label: "share".into(),
+                    bytes: 128,
+                    reason: DropReason::DeadPeer,
+                },
+            ),
+            ev(10.0, 0, Event::Migrate { from: 2, to: 4 }),
+            ev(
+                11.0,
+                0,
+                Event::CheckpointSaved {
+                    client: 4,
+                    heavy: false,
+                },
+            ),
+            ev(
+                12.0,
+                0,
+                Event::ResultReport {
+                    client: 4,
+                    sat: false,
+                },
+            ),
+            ev(13.0, 3, Event::NodeDown),
+            ev(
+                14.0,
+                0,
+                Event::Outcome {
+                    outcome: "UNSAT".into(),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for ev in sample_events() {
+            let line = ev.to_json_line();
+            let back = TimedEvent::from_json_line(&line).unwrap_or_else(|e| {
+                panic!("failed to decode {line}: {e}");
+            });
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_blank_lines() {
+        let events = sample_events();
+        let mut text = to_jsonl(&events);
+        text.insert(0, '\n');
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn malformed_line_reports_its_number() {
+        let text = format!("{}\nnot json\n", sample_events()[0].to_json_line());
+        let (line_no, _) = from_jsonl(&text).unwrap_err();
+        assert_eq!(line_no, 2);
+    }
+
+    #[test]
+    fn line_shape_is_stable() {
+        let ev = TimedEvent {
+            t_s: 1.5,
+            node: 2,
+            event: Event::Conflict { level: 4 },
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            r#"{"t":1.5,"node":2,"kind":"conflict","level":4}"#
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let err = TimedEvent::from_json_line(r#"{"t":0,"node":0,"kind":"frobnicate"}"#);
+        assert!(matches!(err, Err(DecodeError::UnknownKind(_))));
+    }
+}

@@ -1,0 +1,34 @@
+//! `gridsat-obs`: the unified event-tracing and metrics layer.
+//!
+//! The paper's evaluation hinges on observing a distributed run — which
+//! client was busy when, how many messages crossed the WAN, how the
+//! clause database grew. This crate gives every component one small
+//! vocabulary for that:
+//!
+//! - [`Event`] / [`TimedEvent`]: the lifecycle taxonomy (solver
+//!   conflicts/restarts/learning, engine message send/deliver/drop,
+//!   master scheduling decisions and outcomes), serialized one event per
+//!   line as flat JSON ([`to_jsonl`] / [`from_jsonl`]).
+//! - [`EventSink`] / [`RingBuffer`] / [`Obs`]: a bounded recorder behind
+//!   a cloneable handle whose disabled state costs a single branch, so
+//!   instrumentation can stay in release builds.
+//! - [`MetricsRegistry`]: named counters/gauges/histograms with
+//!   Prometheus-text and JSON exposition; the existing stats structs
+//!   bridge into it via their `export_metrics` methods.
+//! - [`fold_utilization`] / [`UtilizationReport`]: folds a trace into
+//!   per-client busy spans and the paper-style utilization summary
+//!   rendered by the `trace_report` binary.
+//!
+//! No external dependencies: the crate is pure `std` so it can sit under
+//! the solver's hot path and build offline.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+
+pub use event::{from_jsonl, to_jsonl, DecodeError, DropReason, Event, TimedEvent};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use report::{fold_utilization, ClientUsage, Span, UtilizationReport};
+pub use sink::{EventSink, NullSink, Obs, RingBuffer};

@@ -1,0 +1,430 @@
+//! Folds an event stream into per-client busy/idle spans and a
+//! paper-style utilization summary (the paper's Section 4 narrative:
+//! "the number of active clients starts at one and varies during the
+//! run" as the scheduler grows and shrinks the application).
+//!
+//! Busy spans open on `assign` (master dispatch), `split` (the peer
+//! starts solving) and `migrate` (the target takes over); they close on
+//! `result`, `migrate` (the source lets go), `node_down` and `outcome`.
+
+use crate::event::{Event, TimedEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One contiguous interval a client spent solving.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    pub client: u32,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+impl Span {
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+/// Per-client totals.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientUsage {
+    pub client: u32,
+    pub busy_s: f64,
+    pub spans: u64,
+}
+
+/// The folded report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UtilizationReport {
+    /// Latest timestamp seen in the stream.
+    pub horizon_s: f64,
+    /// Busy spans, in order of closing.
+    pub spans: Vec<Span>,
+    /// Per-client totals, sorted by client id. Clients that registered
+    /// but never solved appear with zero busy time.
+    pub clients: Vec<ClientUsage>,
+    /// Peak number of simultaneously busy clients.
+    pub peak_active: usize,
+    /// Event counts by kind, for a quick look at what the trace holds.
+    pub event_counts: BTreeMap<String, u64>,
+}
+
+impl UtilizationReport {
+    /// Mean busy fraction across all clients that ever appeared
+    /// (the paper's resource-utilization measure), in `[0, 1]`.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.clients.is_empty() || self.horizon_s <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.clients.iter().map(|c| c.busy_s).sum();
+        busy / (self.horizon_s * self.clients.len() as f64)
+    }
+
+    /// Render the paper-style text summary with per-client bars.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events over {:.1} simulated seconds",
+            self.event_counts.values().sum::<u64>(),
+            self.horizon_s
+        );
+        for (kind, n) in &self.event_counts {
+            let _ = writeln!(out, "  {kind:<16} {n}");
+        }
+        if self.clients.is_empty() {
+            let _ = writeln!(out, "no client activity in this trace");
+            return out;
+        }
+        let _ = writeln!(out, "\nper-client utilization:");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>7} {:>6}  busy",
+            "client", "busy_s", "spans", "%"
+        );
+        for c in &self.clients {
+            let frac = if self.horizon_s > 0.0 {
+                c.busy_s / self.horizon_s
+            } else {
+                0.0
+            };
+            let bar = "#".repeat((frac * 40.0).round() as usize);
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10.1} {:>7} {:>5.1}%  {bar}",
+                format!("n{}", c.client),
+                c.busy_s,
+                c.spans,
+                frac * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npeak active clients: {}; mean utilization: {:.1}%",
+            self.peak_active,
+            self.mean_utilization() * 100.0
+        );
+        out
+    }
+}
+
+/// Fold an event stream (need not be sorted between nodes, but master
+/// events must be in causal order, which the engine guarantees) into a
+/// [`UtilizationReport`].
+pub fn fold_utilization(events: &[TimedEvent]) -> UtilizationReport {
+    let mut report = UtilizationReport::default();
+    // client -> span start time, while busy
+    let mut open: BTreeMap<u32, f64> = BTreeMap::new();
+    // every client ever mentioned by a scheduling event
+    let mut seen: BTreeMap<u32, (f64, u64)> = BTreeMap::new(); // busy_s, spans
+    let mut active = 0usize;
+
+    fn start(open: &mut BTreeMap<u32, f64>, active: &mut usize, peak: &mut usize, c: u32, t: f64) {
+        // a re-assign while busy keeps the original span start
+        if let std::collections::btree_map::Entry::Vacant(e) = open.entry(c) {
+            e.insert(t);
+            *active += 1;
+            *peak = (*peak).max(*active);
+        }
+    }
+    let end = |open: &mut BTreeMap<u32, f64>,
+               active: &mut usize,
+               spans: &mut Vec<Span>,
+               seen: &mut BTreeMap<u32, (f64, u64)>,
+               c: u32,
+               t: f64| {
+        if let Some(start_s) = open.remove(&c) {
+            *active -= 1;
+            let span = Span {
+                client: c,
+                start_s,
+                end_s: t.max(start_s),
+            };
+            let entry = seen.entry(c).or_insert((0.0, 0));
+            entry.0 += span.duration_s();
+            entry.1 += 1;
+            spans.push(span);
+        }
+    };
+
+    for ev in events {
+        report.horizon_s = report.horizon_s.max(ev.t_s);
+        *report
+            .event_counts
+            .entry(ev.event.kind().to_string())
+            .or_insert(0) += 1;
+        match &ev.event {
+            Event::ClientLaunch { client } => {
+                seen.entry(*client).or_insert((0.0, 0));
+            }
+            Event::Assign { client } => {
+                seen.entry(*client).or_insert((0.0, 0));
+                start(
+                    &mut open,
+                    &mut active,
+                    &mut report.peak_active,
+                    *client,
+                    ev.t_s,
+                );
+            }
+            Event::Split { requester, peer } => {
+                seen.entry(*requester).or_insert((0.0, 0));
+                seen.entry(*peer).or_insert((0.0, 0));
+                // the requester keeps solving its half; the peer starts
+                start(
+                    &mut open,
+                    &mut active,
+                    &mut report.peak_active,
+                    *peer,
+                    ev.t_s,
+                );
+            }
+            Event::Migrate { from, to } => {
+                seen.entry(*to).or_insert((0.0, 0));
+                end(
+                    &mut open,
+                    &mut active,
+                    &mut report.spans,
+                    &mut seen,
+                    *from,
+                    ev.t_s,
+                );
+                start(&mut open, &mut active, &mut report.peak_active, *to, ev.t_s);
+            }
+            Event::ResultReport { client, .. } => {
+                end(
+                    &mut open,
+                    &mut active,
+                    &mut report.spans,
+                    &mut seen,
+                    *client,
+                    ev.t_s,
+                );
+            }
+            Event::NodeDown => {
+                end(
+                    &mut open,
+                    &mut active,
+                    &mut report.spans,
+                    &mut seen,
+                    ev.node,
+                    ev.t_s,
+                );
+            }
+            Event::Outcome { .. } => {
+                for c in open.keys().copied().collect::<Vec<_>>() {
+                    end(
+                        &mut open,
+                        &mut active,
+                        &mut report.spans,
+                        &mut seen,
+                        c,
+                        ev.t_s,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    // close anything still open at the horizon (capped runs)
+    for c in open.keys().copied().collect::<Vec<_>>() {
+        end(
+            &mut open,
+            &mut active,
+            &mut report.spans,
+            &mut seen,
+            c,
+            report.horizon_s,
+        );
+    }
+
+    report.clients = seen
+        .into_iter()
+        .map(|(client, (busy_s, spans))| ClientUsage {
+            client,
+            busy_s,
+            spans,
+        })
+        .collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_s: f64, node: u32, event: Event) -> TimedEvent {
+        TimedEvent { t_s, node, event }
+    }
+
+    #[test]
+    fn assign_and_result_bracket_a_span() {
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(
+                10.0,
+                0,
+                Event::ResultReport {
+                    client: 1,
+                    sat: false,
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        assert_eq!(
+            r.spans,
+            vec![Span {
+                client: 1,
+                start_s: 0.0,
+                end_s: 10.0
+            }]
+        );
+        assert_eq!(r.clients.len(), 1);
+        assert_eq!(r.clients[0].busy_s, 10.0);
+        assert_eq!(r.peak_active, 1);
+        assert_eq!(r.mean_utilization(), 1.0);
+    }
+
+    #[test]
+    fn split_opens_the_peer_and_keeps_the_requester() {
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(
+                5.0,
+                0,
+                Event::Split {
+                    requester: 1,
+                    peer: 2,
+                },
+            ),
+            ev(
+                8.0,
+                0,
+                Event::ResultReport {
+                    client: 2,
+                    sat: false,
+                },
+            ),
+            ev(
+                10.0,
+                0,
+                Event::ResultReport {
+                    client: 1,
+                    sat: false,
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        assert_eq!(r.peak_active, 2);
+        let one = r.clients.iter().find(|c| c.client == 1).unwrap();
+        let two = r.clients.iter().find(|c| c.client == 2).unwrap();
+        assert_eq!(one.busy_s, 10.0);
+        assert_eq!(two.busy_s, 3.0);
+    }
+
+    #[test]
+    fn migrate_moves_the_busy_span() {
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(4.0, 0, Event::Migrate { from: 1, to: 2 }),
+            ev(
+                9.0,
+                0,
+                Event::ResultReport {
+                    client: 2,
+                    sat: true,
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        assert_eq!(r.peak_active, 1);
+        assert_eq!(
+            r.clients.iter().find(|c| c.client == 1).unwrap().busy_s,
+            4.0
+        );
+        assert_eq!(
+            r.clients.iter().find(|c| c.client == 2).unwrap().busy_s,
+            5.0
+        );
+    }
+
+    #[test]
+    fn node_down_and_outcome_close_spans() {
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(0.0, 0, Event::Assign { client: 2 }),
+            ev(3.0, 1, Event::NodeDown),
+            ev(
+                7.0,
+                0,
+                Event::Outcome {
+                    outcome: "CLIENT_LOST".into(),
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        assert_eq!(
+            r.clients.iter().find(|c| c.client == 1).unwrap().busy_s,
+            3.0
+        );
+        assert_eq!(
+            r.clients.iter().find(|c| c.client == 2).unwrap().busy_s,
+            7.0
+        );
+        assert!(r.spans.iter().all(|s| s.end_s <= 7.0));
+    }
+
+    #[test]
+    fn capped_run_closes_at_horizon() {
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(6.0, 1, Event::Conflict { level: 2 }),
+        ];
+        let r = fold_utilization(&events);
+        assert_eq!(r.clients[0].busy_s, 6.0);
+        assert_eq!(r.horizon_s, 6.0);
+    }
+
+    #[test]
+    fn idle_registrants_show_up_with_zero_busy() {
+        let events = vec![
+            ev(0.0, 0, Event::ClientLaunch { client: 3 }),
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(
+                2.0,
+                0,
+                Event::ResultReport {
+                    client: 1,
+                    sat: true,
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        let idle = r.clients.iter().find(|c| c.client == 3).unwrap();
+        assert_eq!(idle.busy_s, 0.0);
+        assert!((r.mean_utilization() - 0.5).abs() < 1e-9);
+        let text = r.render_text();
+        assert!(text.contains("peak active clients: 1"));
+        assert!(text.contains("n3"));
+    }
+
+    #[test]
+    fn double_assign_does_not_double_count() {
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(1.0, 0, Event::Assign { client: 1 }),
+            ev(
+                5.0,
+                0,
+                Event::ResultReport {
+                    client: 1,
+                    sat: false,
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        assert_eq!(r.peak_active, 1);
+        assert_eq!(r.clients[0].busy_s, 5.0);
+        assert_eq!(r.clients[0].spans, 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Event sinks and the cloneable [`Obs`] handle threaded through the
+//! solver, engine, master and client.
+//!
+//! The handle's disabled state is a bare `None`, so an instrumented hot
+//! path pays one branch and never constructs the event (payload closures
+//! run only when a sink is installed). This is what keeps the solver-core
+//! benchmarks flat when tracing is off.
+
+use crate::event::{Event, TimedEvent};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Receives lifecycle events. Implementations must be `Send` because the
+/// real-thread Grid backend runs processes on OS threads.
+pub trait EventSink: Send {
+    fn record(&mut self, ev: TimedEvent);
+}
+
+/// Discards everything (useful to measure sink-call overhead itself).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _ev: TimedEvent) {}
+}
+
+/// A bounded ring buffer of events: when full, the oldest events are
+/// evicted and counted, so a runaway trace can never exhaust memory.
+#[derive(Debug)]
+pub struct RingBuffer {
+    cap: usize,
+    buf: VecDeque<TimedEvent>,
+    evicted: u64,
+}
+
+impl RingBuffer {
+    pub fn new(cap: usize) -> RingBuffer {
+        RingBuffer {
+            cap: cap.max(1),
+            buf: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Oldest events evicted to respect the bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Serialize the retained events as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.buf {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EventSink for RingBuffer {
+    fn record(&mut self, ev: TimedEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+/// Cloneable handle to an optional shared sink. `Obs::default()` is the
+/// disabled no-op; every instrumented component holds one.
+#[derive(Clone, Default)]
+pub struct Obs {
+    sink: Option<Arc<Mutex<dyn EventSink>>>,
+}
+
+impl Obs {
+    /// The disabled handle (same as `Obs::default()`).
+    pub fn disabled() -> Obs {
+        Obs::default()
+    }
+
+    /// Wrap an arbitrary shared sink.
+    pub fn with_sink(sink: Arc<Mutex<dyn EventSink>>) -> Obs {
+        Obs { sink: Some(sink) }
+    }
+
+    /// A handle backed by a fresh bounded ring buffer; the second return
+    /// value keeps typed access for export after the run.
+    pub fn ring(cap: usize) -> (Obs, Arc<Mutex<RingBuffer>>) {
+        let ring = Arc::new(Mutex::new(RingBuffer::new(cap)));
+        (
+            Obs {
+                sink: Some(ring.clone() as Arc<Mutex<dyn EventSink>>),
+            },
+            ring,
+        )
+    }
+
+    /// Is a sink installed? Callers with expensive pre-computation can
+    /// guard on this; simple payloads should just use [`Obs::emit`].
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record an event. The payload closure is evaluated only when a
+    /// sink is installed, so the disabled path costs a single branch.
+    #[inline]
+    pub fn emit(&self, t_s: f64, node: u32, event: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            let ev = TimedEvent {
+                t_s,
+                node,
+                event: event(),
+            };
+            // a panic while a sink lock was held poisons it; keep
+            // recording rather than silently disabling the trace
+            match sink.lock() {
+                Ok(mut guard) => guard.record(ev),
+                Err(poisoned) => poisoned.into_inner().record(ev),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conflict(t_s: f64, level: u64) -> TimedEvent {
+        TimedEvent {
+            t_s,
+            node: 1,
+            event: Event::Conflict { level },
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_runs_the_payload() {
+        let obs = Obs::disabled();
+        let mut ran = false;
+        obs.emit(0.0, 0, || {
+            ran = true;
+            Event::NodeUp
+        });
+        assert!(!ran);
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn ring_records_and_exports() {
+        let (obs, ring) = Obs::ring(16);
+        assert!(obs.enabled());
+        obs.emit(1.0, 2, || Event::Conflict { level: 3 });
+        obs.emit(2.0, 2, || Event::NodeDown);
+        let ring = ring.lock().unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.to_jsonl().lines().count(), 2);
+        assert_eq!(ring.events()[0].t_s, 1.0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..5 {
+            ring.record(conflict(i as f64, i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 2);
+        let kept: Vec<f64> = ring.events().iter().map(|e| e.t_s).collect();
+        assert_eq!(kept, [2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let (obs, ring) = Obs::ring(8);
+        let a = obs.clone();
+        let b = obs;
+        a.emit(0.0, 1, || Event::NodeUp);
+        b.emit(1.0, 2, || Event::NodeDown);
+        assert_eq!(ring.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn obs_handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+    }
+}

@@ -141,6 +141,27 @@ pub fn solve_with_assumptions(
     run(&mut solver, limits)
 }
 
+/// Enumerate up to `limit` distinct models by adding blocking clauses
+/// (each found model's complement) and re-solving. Returns every model
+/// found; fewer than `limit` means the enumeration is exhaustive.
+pub fn enumerate_models(formula: &Formula, limit: usize) -> Vec<Assignment> {
+    let mut working = formula.clone();
+    let mut models = Vec::new();
+    while models.len() < limit {
+        match solve(&working, SolverConfig::default(), Limits::default()).outcome {
+            Outcome::Sat(model) => {
+                // block exactly this total assignment
+                let blocking: Vec<gridsat_cnf::Lit> = model.to_lits().iter().map(|&l| !l).collect();
+                working.add_clause(blocking);
+                models.push(model);
+            }
+            Outcome::Unsat => break,
+            other => panic!("enumeration hit {other:?}"),
+        }
+    }
+    models
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,25 +213,4 @@ mod tests {
         assert!(!Outcome::TimeOut.is_decided());
         assert!(Outcome::Unsat.is_decided());
     }
-}
-
-/// Enumerate up to `limit` distinct models by adding blocking clauses
-/// (each found model's complement) and re-solving. Returns every model
-/// found; fewer than `limit` means the enumeration is exhaustive.
-pub fn enumerate_models(formula: &Formula, limit: usize) -> Vec<Assignment> {
-    let mut working = formula.clone();
-    let mut models = Vec::new();
-    while models.len() < limit {
-        match solve(&working, SolverConfig::default(), Limits::default()).outcome {
-            Outcome::Sat(model) => {
-                // block exactly this total assignment
-                let blocking: Vec<gridsat_cnf::Lit> = model.to_lits().iter().map(|&l| !l).collect();
-                working.add_clause(blocking);
-                models.push(model);
-            }
-            Outcome::Unsat => break,
-            other => panic!("enumeration hit {other:?}"),
-        }
-    }
-    models
 }

@@ -27,6 +27,7 @@ use crate::proof::{Proof, ProofStep};
 use crate::stats::Stats;
 use crate::vsids::Vsids;
 use gridsat_cnf::{Assignment, Clause, Formula, Lit, Value, Var};
+use gridsat_obs::{Event, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -165,6 +166,12 @@ pub struct Solver {
     /// derivation stops being locally checkable (foreign clauses merged).
     proof: Option<Proof>,
     proof_complete: bool,
+    /// Event-tracing handle (disabled by default: one branch per emit).
+    obs: Obs,
+    /// Node id stamped on emitted events (set by the hosting client).
+    obs_node: u32,
+    /// Simulated time stamped on emitted events (refreshed each tick).
+    obs_now: f64,
 }
 
 impl Solver {
@@ -227,6 +234,9 @@ impl Solver {
             trace: false,
             proof: None,
             proof_complete: true,
+            obs: Obs::default(),
+            obs_node: 0,
+            obs_now: 0.0,
         };
         for lit in assumptions {
             s.add_assumption(*lit, false);
@@ -401,6 +411,19 @@ impl Solver {
     /// Enable resolution-trace recording in [`ConflictAnalysis::steps`].
     pub fn set_trace(&mut self, on: bool) {
         self.trace = on;
+    }
+
+    /// Install an event-tracing handle; `node` is stamped on every event
+    /// this solver emits (the hosting client's node id).
+    pub fn set_obs(&mut self, obs: Obs, node: u32) {
+        self.obs = obs;
+        self.obs_node = node;
+    }
+
+    /// Refresh the simulated timestamp stamped on emitted events. The
+    /// hosting client calls this at the top of every tick.
+    pub fn set_obs_now(&mut self, t_s: f64) {
+        self.obs_now = t_s;
     }
 
     /// Start recording a DRAT proof trace (sequential path; merging
@@ -865,6 +888,11 @@ impl Solver {
     pub fn learn(&mut self, analysis: &ConflictAnalysis) {
         self.stats.conflicts += 1;
         self.stats.learned += 1;
+        let conflict_level = self.decision_level() as u64;
+        self.obs
+            .emit(self.obs_now, self.obs_node, || Event::Conflict {
+                level: conflict_level,
+            });
         let lits = analysis.learned.lits().to_vec();
         self.log_proof(ProofStep::Add(lits.clone()));
         self.backtrack(analysis.backjump);
@@ -892,6 +920,10 @@ impl Solver {
             self.enqueue(lits[0], cref);
         }
         self.note_db_peak();
+        self.obs.emit(self.obs_now, self.obs_node, || Event::Learn {
+            len: lits.len() as u64,
+            global: analysis.global,
+        });
 
         // sharing outbox (paper Section 3.2: only "short" clauses)
         if let Some(limit) = self.config.share_len_limit {
@@ -931,6 +963,12 @@ impl Solver {
             self.delete_clause(cref, true);
             self.stats.deleted += 1;
         }
+        let live = self.db.num_learned() as u64;
+        self.obs
+            .emit(self.obs_now, self.obs_node, || Event::DbReduce {
+                deleted: remove as u64,
+                live,
+            });
     }
 
     /// The paper's level-0 pruning: delete clauses satisfied at level 0.
@@ -1116,6 +1154,9 @@ impl Solver {
                     if self.stats.conflicts >= at && self.decision_level() > 0 {
                         self.backtrack(0);
                         self.stats.restarts += 1;
+                        let conflicts = self.stats.conflicts;
+                        self.obs
+                            .emit(self.obs_now, self.obs_node, || Event::Restart { conflicts });
                         let r = self.config.restart.expect("restart configured");
                         self.restart_interval *= r.geometric_factor;
                         self.next_restart =

@@ -1,5 +1,6 @@
 //! Search statistics and the work metric used by the Grid simulator.
 
+use gridsat_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Counters accumulated over a solver's lifetime.
@@ -42,27 +43,104 @@ pub struct Stats {
 impl Stats {
     /// Merge another stats block into this one (used when a client solves
     /// several subproblems in sequence).
+    ///
+    /// The exhaustive destructuring below is deliberate: adding a field to
+    /// `Stats` without deciding how it merges is a compile error here, not
+    /// a silently-dropped counter.
     pub fn absorb(&mut self, other: &Stats) {
-        self.decisions += other.decisions;
-        self.propagations += other.propagations;
-        self.conflicts += other.conflicts;
-        self.learned += other.learned;
-        self.deleted += other.deleted;
-        self.pruned += other.pruned;
-        self.restarts += other.restarts;
-        self.shared_out += other.shared_out;
-        self.merged_in += other.merged_in;
-        self.merge_discarded += other.merge_discarded;
-        self.merge_implications += other.merge_implications;
-        self.max_level = self.max_level.max(other.max_level);
-        self.work += other.work;
-        self.peak_db_bytes = self.peak_db_bytes.max(other.peak_db_bytes);
+        let Stats {
+            decisions,
+            propagations,
+            conflicts,
+            learned,
+            deleted,
+            pruned,
+            restarts,
+            shared_out,
+            merged_in,
+            merge_discarded,
+            merge_implications,
+            max_level,
+            work,
+            peak_db_bytes,
+        } = *other;
+        self.decisions += decisions;
+        self.propagations += propagations;
+        self.conflicts += conflicts;
+        self.learned += learned;
+        self.deleted += deleted;
+        self.pruned += pruned;
+        self.restarts += restarts;
+        self.shared_out += shared_out;
+        self.merged_in += merged_in;
+        self.merge_discarded += merge_discarded;
+        self.merge_implications += merge_implications;
+        self.max_level = self.max_level.max(max_level);
+        self.work += work;
+        self.peak_db_bytes = self.peak_db_bytes.max(peak_db_bytes);
+    }
+
+    /// Bridge every counter into a [`MetricsRegistry`] under `prefix`
+    /// (e.g. `solver` → `solver.conflicts`). High-water marks export as
+    /// gauges; everything else as counters.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let Stats {
+            decisions,
+            propagations,
+            conflicts,
+            learned,
+            deleted,
+            pruned,
+            restarts,
+            shared_out,
+            merged_in,
+            merge_discarded,
+            merge_implications,
+            max_level,
+            work,
+            peak_db_bytes,
+        } = *self;
+        reg.counter_add(&format!("{prefix}.decisions"), decisions);
+        reg.counter_add(&format!("{prefix}.propagations"), propagations);
+        reg.counter_add(&format!("{prefix}.conflicts"), conflicts);
+        reg.counter_add(&format!("{prefix}.learned"), learned);
+        reg.counter_add(&format!("{prefix}.deleted"), deleted);
+        reg.counter_add(&format!("{prefix}.pruned"), pruned);
+        reg.counter_add(&format!("{prefix}.restarts"), restarts);
+        reg.counter_add(&format!("{prefix}.shared_out"), shared_out);
+        reg.counter_add(&format!("{prefix}.merged_in"), merged_in);
+        reg.counter_add(&format!("{prefix}.merge_discarded"), merge_discarded);
+        reg.counter_add(&format!("{prefix}.merge_implications"), merge_implications);
+        reg.counter_add(&format!("{prefix}.work"), work);
+        reg.gauge_set(&format!("{prefix}.max_level"), max_level as f64);
+        reg.gauge_set(&format!("{prefix}.peak_db_bytes"), peak_db_bytes as f64);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A block with every field set to a distinct non-default value, so a
+    /// merge that forgets a field changes the expected result.
+    fn full() -> Stats {
+        Stats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            learned: 4,
+            deleted: 5,
+            pruned: 6,
+            restarts: 7,
+            shared_out: 8,
+            merged_in: 9,
+            merge_discarded: 10,
+            merge_implications: 11,
+            max_level: 12,
+            work: 13,
+            peak_db_bytes: 14,
+        }
+    }
 
     #[test]
     fn absorb_sums_and_maxes() {
@@ -84,5 +162,42 @@ mod tests {
         assert_eq!(a.max_level, 9);
         assert_eq!(a.peak_db_bytes, 100);
         assert_eq!(a.work, 7);
+    }
+
+    #[test]
+    fn absorb_is_lossless_across_every_field() {
+        let mut acc = Stats::default();
+        acc.absorb(&full());
+        acc.absorb(&full());
+        let expected = Stats {
+            decisions: 2,
+            propagations: 4,
+            conflicts: 6,
+            learned: 8,
+            deleted: 10,
+            pruned: 12,
+            restarts: 14,
+            shared_out: 16,
+            merged_in: 18,
+            merge_discarded: 20,
+            merge_implications: 22,
+            max_level: 12, // max, not sum
+            work: 26,
+            peak_db_bytes: 14, // max, not sum
+        };
+        assert_eq!(acc, expected);
+    }
+
+    #[test]
+    fn metrics_export_covers_every_counter() {
+        let mut reg = MetricsRegistry::new();
+        full().export_metrics(&mut reg, "solver");
+        assert_eq!(reg.counter("solver.decisions"), 1);
+        assert_eq!(reg.counter("solver.work"), 13);
+        assert_eq!(reg.gauge("solver.max_level"), Some(12.0));
+        assert_eq!(reg.gauge("solver.peak_db_bytes"), Some(14.0));
+        // 12 counters + 2 gauges, all present in the exposition
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE solver_").count(), 14);
     }
 }

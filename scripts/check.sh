@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline quality gate: formatting, lints-as-errors, tests.
+# Run from the repo root. Everything works without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "OK"
