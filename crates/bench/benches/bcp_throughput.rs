@@ -1,0 +1,56 @@
+//! BCP-throughput bench backing `BENCH_bcp.json`: propagations/second on
+//! the paper's Figure 1 formula and on a fixed phase-transition random
+//! 3-SAT instance, where the flat clause arena's cache behaviour shows.
+//!
+//! The same workloads run outside criterion in the `bcp_snapshot` binary,
+//! which prints the JSON recorded at the repo root. Each iteration does a
+//! fixed number of propagations (a full fig1 solve, or a fixed work
+//! budget on the 3-SAT instance), so time-per-iteration is inversely
+//! proportional to propagations/second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsat_cnf::paper;
+use gridsat_satgen as satgen;
+use gridsat_solver::{driver, Solver, SolverConfig};
+use std::hint::black_box;
+
+/// Full solves of the tiny Figure 1 formula (fixed per-solve costs
+/// included; it is the paper's own example).
+fn fig1(c: &mut Criterion) {
+    let f = paper::fig1_formula();
+    let mut g = c.benchmark_group("bcp_throughput");
+    g.bench_with_input(BenchmarkId::from_parameter("fig1_solve"), &f, |b, f| {
+        b.iter(|| {
+            let r = driver::solve(
+                black_box(f),
+                SolverConfig::default(),
+                driver::Limits::default(),
+            );
+            black_box(r.stats.propagations)
+        })
+    });
+    g.finish();
+}
+
+/// Bounded search on random 3-SAT at the phase-transition ratio: BCP
+/// dominates, so iteration time tracks propagation throughput.
+fn satgen_300(c: &mut Criterion) {
+    let f = satgen::random_ksat::random_ksat(300, 1278, 3, 7);
+    let budget = 200_000u64;
+    let mut g = c.benchmark_group("bcp_throughput");
+    g.bench_with_input(
+        BenchmarkId::from_parameter("satgen_300_200k_work"),
+        &f,
+        |b, f| {
+            b.iter(|| {
+                let mut s = Solver::new(black_box(f), SolverConfig::default());
+                let _ = s.step(budget);
+                black_box(s.stats().propagations)
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, fig1, satgen_300);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! BCP-throughput snapshot: measures propagations/second on the Figure 1
+//! formula and a fixed satgen instance and prints one flat JSON object.
+//!
+//! The numbers feed `BENCH_bcp.json` at the repo root, which records the
+//! perf trajectory across PRs (pre-arena baseline vs. arena layout). Run
+//! with `cargo run --release -p gridsat-bench --bin bcp_snapshot`.
+
+use gridsat_satgen as satgen;
+use gridsat_solver::{driver, Solver, SolverConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Repeated full solves of the Figure 1 formula (tiny instance: measures
+/// per-solve fixed costs as much as BCP, but it is the paper's formula).
+fn fig1_props_per_sec() -> (u64, f64) {
+    let f = gridsat_cnf::paper::fig1_formula();
+    let iters = 20_000u64;
+    let mut props = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = driver::solve(
+            black_box(&f),
+            SolverConfig::default(),
+            driver::Limits::default(),
+        );
+        props += r.stats.propagations;
+    }
+    let dt = start.elapsed().as_secs_f64();
+    (props, props as f64 / dt)
+}
+
+/// Bounded search on a fixed random 3-SAT instance at the phase-transition
+/// ratio: BCP dominates, which is what the arena layout targets. The
+/// budget is deep enough that the learned database reaches steady state
+/// (reductions running, long learned clauses in the watch lists) — that
+/// is the regime BCP spends its life in on hard instances, and the one
+/// the flat-arena layout is built for.
+fn satgen_props_per_sec() -> (u64, f64) {
+    let f = satgen::random_ksat::random_ksat(300, 1278, 3, 7);
+    let rounds = 3u64;
+    let budget = 10_000_000u64;
+    let mut props = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let mut s = Solver::new(black_box(&f), SolverConfig::default());
+        let _ = s.step(budget);
+        props += s.stats().propagations;
+    }
+    let dt = start.elapsed().as_secs_f64();
+    (props, props as f64 / dt)
+}
+
+fn main() {
+    // one warm-up pass so neither section pays first-touch costs
+    let _ = satgen_props_per_sec();
+    let (fig1_props, fig1_rate) = fig1_props_per_sec();
+    let (satgen_props, satgen_rate) = satgen_props_per_sec();
+    println!(
+        "{{\"bench\":\"bcp_throughput\",\"fig1_propagations\":{fig1_props},\
+         \"fig1_props_per_sec\":{fig1_rate:.0},\
+         \"satgen_propagations\":{satgen_props},\
+         \"satgen_props_per_sec\":{satgen_rate:.0}}}"
+    );
+}

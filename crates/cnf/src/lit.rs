@@ -76,7 +76,12 @@ impl fmt::Display for Var {
 ///
 /// Encoded as `var << 1 | sign` so literals index watch lists and score
 /// tables directly ([`Lit::code`]). `sign == 1` means negated.
+///
+/// `repr(transparent)`: a `Lit` is layout-identical to its `u32` code, so
+/// flat storage (the solver's clause arena) can reinterpret `u32` words
+/// written via [`Lit::code`] as `&[Lit]` without copying.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct Lit(u32);
 
 impl Lit {

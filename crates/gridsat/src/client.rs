@@ -173,6 +173,7 @@ impl Client {
             None => SolverConfig::sequential_baseline(budget),
         };
         cfg.mem_budget = Some(budget);
+        cfg.share_lbd_limit = self.config.share_lbd_limit;
         cfg
     }
 

@@ -45,6 +45,10 @@ pub struct GridConfig {
     /// Maximum length of shared learned clauses (10 in experiment set 1,
     /// 3 in set 2). `None` disables sharing (ablation).
     pub share_len_limit: Option<usize>,
+    /// Additional LBD (glue) ceiling on shared clauses — a HordeSat-style
+    /// quality filter layered on the paper's length limit. `None` (the
+    /// paper's behaviour) shares on length alone.
+    pub share_lbd_limit: Option<u32>,
     /// Floor for the client's split time-out ("set to 100 seconds").
     pub min_split_timeout: f64,
     /// Overall execution cap in simulated seconds (6000 solvable /
@@ -83,6 +87,7 @@ impl Default for GridConfig {
     fn default() -> Self {
         GridConfig {
             share_len_limit: Some(10),
+            share_lbd_limit: None,
             min_split_timeout: 100.0,
             overall_timeout: 6000.0,
             mem_fraction: 0.6,

@@ -53,6 +53,8 @@ pub enum Event {
     Learn { len: u64, global: bool },
     /// The learned database was reduced.
     DbReduce { deleted: u64, live: u64 },
+    /// The clause arena was compacted by the relocating GC.
+    DbGc { freed_bytes: u64, live: u64 },
 
     // ---- engine ----
     /// A message entered the network.
@@ -112,6 +114,7 @@ impl Event {
             Event::Restart { .. } => "restart",
             Event::Learn { .. } => "learn",
             Event::DbReduce { .. } => "db_reduce",
+            Event::DbGc { .. } => "db_gc",
             Event::MsgSend { .. } => "msg_send",
             Event::MsgDeliver { .. } => "msg_deliver",
             Event::MsgDrop { .. } => "msg_drop",
@@ -220,6 +223,9 @@ impl TimedEvent {
             Event::DbReduce { deleted, live } => {
                 w.u64("deleted", *deleted).u64("live", *live);
             }
+            Event::DbGc { freed_bytes, live } => {
+                w.u64("freed_bytes", *freed_bytes).u64("live", *live);
+            }
             Event::MsgSend {
                 from,
                 to,
@@ -296,6 +302,10 @@ impl TimedEvent {
             },
             "db_reduce" => Event::DbReduce {
                 deleted: u64f(&m, "deleted")?,
+                live: u64f(&m, "live")?,
+            },
+            "db_gc" => Event::DbGc {
+                freed_bytes: u64f(&m, "freed_bytes")?,
                 live: u64f(&m, "live")?,
             },
             "msg_send" => Event::MsgSend {
@@ -429,6 +439,14 @@ mod tests {
                 1,
                 Event::DbReduce {
                     deleted: 50,
+                    live: 51,
+                },
+            ),
+            ev(
+                5.1,
+                1,
+                Event::DbGc {
+                    freed_bytes: 1184,
                     live: 51,
                 },
             ),

@@ -52,6 +52,19 @@ impl Histogram {
         self.count += 1;
     }
 
+    /// Observe the same value `n` times in one step (bridging a
+    /// pre-aggregated bucket count into the histogram).
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += n;
+        self.sum += v * n as f64;
+        self.count += n;
+    }
+
     pub fn count(&self) -> u64 {
         self.count
     }
@@ -102,6 +115,17 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(Histogram::pow2)
             .observe(v);
+    }
+
+    /// Observe the same value `n` times into a histogram (created with
+    /// power-of-two buckets on first use). Used to bridge counters that
+    /// were aggregated outside the registry, like the solver's per-bucket
+    /// LBD counts.
+    pub fn observe_n(&mut self, name: &str, v: f64, n: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::pow2)
+            .observe_n(v, n);
     }
 
     pub fn counter(&self, name: &str) -> u64 {

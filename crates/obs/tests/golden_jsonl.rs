@@ -53,6 +53,14 @@ fn golden_events() -> Vec<TimedEvent> {
             },
         ),
         ev(
+            5.1,
+            1,
+            Event::DbGc {
+                freed_bytes: 1184,
+                live: 51,
+            },
+        ),
+        ev(
             6.0,
             0,
             Event::BacklogEnqueue {
@@ -119,7 +127,7 @@ fn golden_events() -> Vec<TimedEvent> {
 fn golden_file_covers_every_event_kind() {
     let kinds: std::collections::BTreeSet<&str> =
         golden_events().iter().map(|e| e.event.kind()).collect();
-    assert_eq!(kinds.len(), 18, "update the golden trace when adding kinds");
+    assert_eq!(kinds.len(), 19, "update the golden trace when adding kinds");
 }
 
 #[test]

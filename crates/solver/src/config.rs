@@ -36,6 +36,9 @@ pub struct SolverConfig {
     /// Collect learned clauses no longer than this into the share outbox
     /// (the paper uses 10 and 3). `None` disables collection.
     pub share_len_limit: Option<usize>,
+    /// Additionally require shared clauses to have LBD (glue) at most this
+    /// (HordeSat-style quality filter). `None` shares on length alone.
+    pub share_lbd_limit: Option<u32>,
     /// Clause-database byte budget. Exceeding it (after a reduction
     /// attempt) makes [`crate::Solver::step`] report memory pressure.
     pub mem_budget: Option<usize>,
@@ -58,6 +61,12 @@ pub struct SolverConfig {
     pub bytes_per_lit: usize,
     /// Fixed bytes charged per stored clause in the memory model.
     pub bytes_per_clause: usize,
+    /// Learned clauses with LBD at most this survive every database
+    /// reduction ("glue" clauses; 2 keeps clauses linking two levels).
+    pub lbd_keep: u32,
+    /// Run the relocating arena GC when at least this fraction of arena
+    /// words is garbage (checked after reductions and level-0 pruning).
+    pub gc_frac: f64,
 }
 
 impl Default for SolverConfig {
@@ -66,6 +75,7 @@ impl Default for SolverConfig {
             vsids_decay_interval: 256,
             vsids_decay_shift: 1,
             share_len_limit: None,
+            share_lbd_limit: None,
             mem_budget: None,
             max_learned_factor: 3.0,
             max_learned_growth: 1.1,
@@ -75,6 +85,8 @@ impl Default for SolverConfig {
             phase_saving: false,
             bytes_per_lit: 4,
             bytes_per_clause: 48,
+            lbd_keep: 2,
+            gc_frac: 0.25,
         }
     }
 }
@@ -119,6 +131,9 @@ mod tests {
         assert!(!c.phase_saving);
         assert!(!c.level0_pruning);
         assert_eq!(c.vsids_decay_shift, 1);
+        assert_eq!(c.lbd_keep, 2);
+        assert!(c.share_lbd_limit.is_none());
+        assert!(c.gc_frac > 0.0 && c.gc_frac < 1.0);
     }
 
     #[test]

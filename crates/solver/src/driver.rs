@@ -6,6 +6,11 @@
 //! (the 6000/12000/18000-second caps), and `MEM_OUT` (the learned-clause
 //! database overflows memory and the solver "cannot make any further
 //! progress").
+//!
+//! The memory limit is judged against the solver's *model bytes* (live
+//! clauses only — see the `ClauseDb` module docs), so transient arena
+//! garbage awaiting the relocating collection never tips a run into
+//! `MEM_OUT`.
 
 use crate::{SolveStatus, Solver, SolverConfig, Stats, Step};
 use gridsat_cnf::{Assignment, Formula};

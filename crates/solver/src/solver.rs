@@ -20,8 +20,19 @@
 //! sharing sound. Splitting removes only clauses already *satisfied* at
 //! level 0 (it never strips false literals), so transferred clauses stay
 //! globally valid too.
+//!
+//! # Clause storage and garbage collection
+//!
+//! Clauses live in a flat arena ([`ClauseDb`]) and a [`ClauseRef`] is an
+//! arena offset. Deleting a clause leaves garbage in place; when enough
+//! accumulates after a database reduction or level-0 prune, a relocating
+//! mark-compact collection runs and every held reference — watch-list
+//! entries and trail antecedents — is remapped. References are therefore
+//! *not* stable across [`Solver::reduce_db`] or the GC, only between
+//! collections; `check_invariants` verifies both watch symmetry and that
+//! every antecedent still resolves after compaction.
 
-use crate::clausedb::{ClauseDb, ClauseRef};
+use crate::clausedb::{ClauseDb, ClauseRef, Visit, LV_TRUE, LV_UNASSIGNED};
 use crate::config::SolverConfig;
 use crate::proof::{Proof, ProofStep};
 use crate::stats::Stats;
@@ -134,6 +145,11 @@ pub struct Solver {
     db: ClauseDb,
     watches: Vec<Vec<Watch>>,
     value: Vec<Value>,
+    /// Branchless mirror of `value` for the BCP hot path: one byte per
+    /// variable (`LV_TRUE`/`LV_FALSE`/`LV_UNASSIGNED`), so a literal's
+    /// value is `assign8[var] ^ sign` with no enum decode. Kept in
+    /// lockstep with `value` by `enqueue_with_global` and `backtrack`.
+    assign8: Vec<u8>,
     var_level: Vec<u32>,
     reason: Vec<ClauseRef>,
     /// Valid for level-0 assigned vars: derivable from the original
@@ -161,6 +177,10 @@ pub struct Solver {
     conflicts_since_decay: u32,
     /// Trail length at level 0 when pruning last ran.
     pruned_at: usize,
+    /// Per-level stamps for LBD computation (`lbd_stamp[level] == gen`
+    /// means the level was counted for the current clause).
+    lbd_stamp: Vec<u64>,
+    lbd_stamp_gen: u64,
     trace: bool,
     /// DRAT trace, when enabled. `proof_complete` drops to false if the
     /// derivation stops being locally checkable (foreign clauses merged).
@@ -207,6 +227,7 @@ impl Solver {
             db: ClauseDb::new(config.bytes_per_lit, config.bytes_per_clause),
             watches: vec![Vec::new(); num_vars * 2],
             value: vec![Value::Unassigned; num_vars],
+            assign8: vec![LV_UNASSIGNED; num_vars],
             var_level: vec![0; num_vars],
             reason: vec![ClauseRef::NONE; num_vars],
             level0_global: vec![false; num_vars],
@@ -229,6 +250,8 @@ impl Solver {
                 .unwrap_or(0.0),
             conflicts_since_decay: 0,
             pruned_at: 0,
+            lbd_stamp: vec![0; num_vars + 1],
+            lbd_stamp_gen: 0,
             num_vars,
             config,
             trace: false,
@@ -273,8 +296,7 @@ impl Solver {
             // tautologies still consume a display id slot so the paper
             // numbering stays aligned with the input formula
             None => {
-                let _ = self.db.insert(clause.lits().to_vec(), false, true);
-                let cref = self.last_inserted();
+                let cref = self.db.insert(clause.lits(), false, true, 0);
                 self.db.delete(cref);
                 return;
             }
@@ -288,7 +310,7 @@ impl Solver {
         for &l in &lits {
             self.vsids.bump(l);
         }
-        let cref = self.db.insert(lits, false, true);
+        let cref = self.db.insert(&lits, false, true, 0);
         if self.db.lits(cref).len() >= 2 {
             self.attach(cref);
         } else {
@@ -300,16 +322,6 @@ impl Solver {
             }
         }
         self.note_db_peak();
-    }
-
-    fn last_inserted(&self) -> ClauseRef {
-        // only used immediately after an insert in add_original_clause;
-        // the freelist means we cannot predict the index, so re-derive it
-        // from the iterator (cheap: construction-time only).
-        self.db
-            .iter_refs()
-            .max_by_key(|&c| self.db.display_id(c))
-            .expect("just inserted")
     }
 
     fn initial_propagate(&mut self) {
@@ -380,6 +392,19 @@ impl Solver {
     /// Live learned-clause count.
     pub fn num_learned(&self) -> usize {
         self.db.num_learned()
+    }
+
+    /// Clause-arena occupancy: `(total_words, garbage_words)`.
+    /// Introspection for GC tests and the bench harness.
+    #[doc(hidden)]
+    pub fn db_arena_stats(&self) -> (usize, usize) {
+        (self.db.arena_words(), self.db.garbage_words())
+    }
+
+    /// The clause-activity increment (rescale regression tests).
+    #[doc(hidden)]
+    pub fn clause_activity_increment(&self) -> f32 {
+        self.db.activity_increment()
     }
 
     /// The split assumptions this solver was created with.
@@ -494,6 +519,7 @@ impl Solver {
         let v = l.var().index();
         debug_assert_eq!(self.value[v], Value::Unassigned);
         self.value[v] = l.satisfying_value();
+        self.assign8[v] = l.code() as u8 & 1; // satisfied lit: var true iff positive
         self.var_level[v] = self.decision_level() as u32;
         self.reason[v] = reason;
         if self.decision_level() == 0 {
@@ -525,6 +551,7 @@ impl Solver {
                 self.saved_phase[v] = self.value[v] == Value::True;
             }
             self.value[v] = Value::Unassigned;
+            self.assign8[v] = LV_UNASSIGNED;
             self.reason[v] = ClauseRef::NONE;
             self.vsids.reinsert(l);
             self.vsids.reinsert(!l);
@@ -579,79 +606,124 @@ impl Solver {
     // BCP
     // ------------------------------------------------------------------
 
+    /// Read the watch at `watches[code][i]` without bounds checks.
+    ///
+    /// # Safety
+    /// `code` must be a literal code of this formula and `i` in bounds of
+    /// that list. BCP maintains both (see `propagate`).
+    #[inline]
+    unsafe fn watch_at(&self, code: usize, i: usize) -> Watch {
+        debug_assert!(i < self.watches[code].len());
+        unsafe { *self.watches.get_unchecked(code).get_unchecked(i) }
+    }
+
+    /// Write the watch at `watches[code][i]` without bounds checks.
+    ///
+    /// # Safety
+    /// Same contract as [`Solver::watch_at`].
+    #[inline]
+    unsafe fn watch_set(&mut self, code: usize, i: usize, w: Watch) {
+        debug_assert!(i < self.watches[code].len());
+        unsafe { *self.watches.get_unchecked_mut(code).get_unchecked_mut(i) = w }
+    }
+
+    /// Branchless literal valuation (`LV_TRUE`/`LV_FALSE`/unassigned ≥ 2)
+    /// via the `assign8` mirror: one load and one xor, no enum decode.
+    ///
+    /// # Safety
+    /// `l` must be a literal of this formula (its variable indexes
+    /// `assign8`). Every literal BCP sees comes from a stored clause or
+    /// watch list, which maintains this.
+    #[inline]
+    unsafe fn lit_val8(&self, l: Lit) -> u8 {
+        debug_assert!(l.var().index() < self.assign8.len());
+        unsafe { *self.assign8.get_unchecked(l.var().index()) ^ (l.code() as u8 & 1) }
+    }
+
     /// Propagate to fixpoint; `Some(conflicting clause)` on conflict.
+    ///
+    /// Hot path: the watch list is compacted in place with a read/write
+    /// index pair (no `mem::take` round-trip), the blocker is tested
+    /// before any arena access, the whole clause visit runs under one
+    /// arena borrow ([`ClauseDb::propagate_visit`]), and per-visit work
+    /// is batched into one `stats.work` update per literal.
     fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             let false_lit = !p;
             let code = false_lit.code();
-            let mut ws = std::mem::take(&mut self.watches[code]);
-            let mut j = 0;
+            // the list length is invariant during this pass: relocations
+            // push to *other* lists (a clause never holds a literal twice)
+            // and the compaction write index trails the read index
+            let n = self.watches[code].len();
             let mut i = 0;
+            let mut j = 0;
+            let mut visited = 0u64;
             let mut conflict = None;
-            'watches: while i < ws.len() {
-                let w = ws[i];
+            // SAFETY (watch_at/watch_set): `code` indexes a per-literal
+            // list and `j <= i < n == watches[code].len()` throughout.
+            while i < n {
+                let w = unsafe { self.watch_at(code, i) };
                 i += 1;
-                self.stats.work += 1;
-                if self.lit_value(w.blocker) == Value::True {
-                    ws[j] = w;
+                visited += 1;
+                if i < n {
+                    // overlap the next visit's arena load with this one
+                    let nxt = unsafe { self.watch_at(code, i) };
+                    self.db.prefetch(nxt.cref);
+                }
+                // blocker check: no clause dereference when it is true.
+                // SAFETY (lit_val8): blockers are clause literals.
+                if unsafe { self.lit_val8(w.blocker) } == LV_TRUE {
+                    unsafe { self.watch_set(code, j, w) };
                     j += 1;
                     continue;
                 }
-                // normalize: put the false watched literal at position 1
-                {
-                    let c = self.db.get_mut(w.cref);
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
-                }
-                let first = self.db.lits(w.cref)[0];
-                if self.lit_value(first) == Value::True {
-                    ws[j] = Watch {
-                        cref: w.cref,
-                        blocker: first,
-                    };
-                    j += 1;
-                    continue;
-                }
-                // search for a replacement watch
-                let len = self.db.lits(w.cref).len();
-                for k in 2..len {
-                    let lk = self.db.lits(w.cref)[k];
-                    if self.lit_value(lk) != Value::False {
-                        let c = self.db.get_mut(w.cref);
-                        c.lits.swap(1, k);
-                        let new_watch = c.lits[1];
-                        self.watches[new_watch.code()].push(Watch {
+                // one arena borrow per visit: normalize, test the other
+                // watch, scan for a replacement (field-disjoint borrows of
+                // `db` and `assign8` keep the scan over a single slice)
+                let visit = self.db.propagate_visit(w.cref, false_lit, &self.assign8);
+                match visit {
+                    Visit::Relocated(first, lk) => {
+                        self.watches[lk.code()].push(Watch {
                             cref: w.cref,
                             blocker: first,
                         });
-                        continue 'watches;
                     }
-                }
-                // no replacement: unit or conflict
-                ws[j] = Watch {
-                    cref: w.cref,
-                    blocker: first,
-                };
-                j += 1;
-                if self.lit_value(first) == Value::False {
-                    conflict = Some(w.cref);
-                    // keep the remaining watches
-                    while i < ws.len() {
-                        ws[j] = ws[i];
+                    Visit::Satisfied(first) | Visit::Unit(first) => {
+                        let keep = Watch {
+                            cref: w.cref,
+                            blocker: first,
+                        };
+                        unsafe { self.watch_set(code, j, keep) };
                         j += 1;
-                        i += 1;
+                        if matches!(visit, Visit::Unit(_)) {
+                            self.enqueue(first, w.cref);
+                        }
                     }
-                    break;
+                    Visit::Conflict(first) => {
+                        let keep = Watch {
+                            cref: w.cref,
+                            blocker: first,
+                        };
+                        unsafe { self.watch_set(code, j, keep) };
+                        j += 1;
+                        conflict = Some(w.cref);
+                        // keep the remaining watches
+                        while i < n {
+                            unsafe {
+                                let w = self.watch_at(code, i);
+                                self.watch_set(code, j, w);
+                            }
+                            j += 1;
+                            i += 1;
+                        }
+                        break;
+                    }
                 }
-                self.enqueue(first, w.cref);
             }
-            ws.truncate(j);
-            debug_assert!(self.watches[code].is_empty());
-            self.watches[code] = ws;
+            self.stats.work += visited;
+            self.watches[code].truncate(j);
             if conflict.is_some() {
                 self.qhead = self.trail.len();
                 return conflict;
@@ -883,6 +955,24 @@ impl Solver {
             .unwrap_or(false)
     }
 
+    /// The LBD ("glue") of a clause: distinct decision levels among its
+    /// literals. Computed *before* backtracking, while every literal is
+    /// still assigned. HordeSat-style clause quality: low glue ⇒ the
+    /// clause links few levels and stays useful across restarts.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_stamp_gen += 1;
+        let gen = self.lbd_stamp_gen;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let level = self.var_level[l.var().index()] as usize;
+            if self.lbd_stamp[level] != gen {
+                self.lbd_stamp[level] = gen;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     /// Apply a conflict analysis: backjump, add the learned clause,
     /// enqueue the asserting literal, and run periodic maintenance.
     pub fn learn(&mut self, analysis: &ConflictAnalysis) {
@@ -894,6 +984,8 @@ impl Solver {
                 level: conflict_level,
             });
         let lits = analysis.learned.lits().to_vec();
+        let lbd = self.compute_lbd(&lits);
+        self.stats.note_lbd(lbd);
         self.log_proof(ProofStep::Add(lits.clone()));
         self.backtrack(analysis.backjump);
 
@@ -914,7 +1006,7 @@ impl Solver {
                 Value::False => self.mark_unsat(),
             }
         } else {
-            let cref = self.db.insert(lits.clone(), true, analysis.global);
+            let cref = self.db.insert(&lits, true, analysis.global, lbd);
             self.attach(cref);
             debug_assert_eq!(self.lit_value(lits[0]), Value::Unassigned);
             self.enqueue(lits[0], cref);
@@ -925,9 +1017,15 @@ impl Solver {
             global: analysis.global,
         });
 
-        // sharing outbox (paper Section 3.2: only "short" clauses)
+        // sharing outbox (paper Section 3.2: only "short" clauses; the
+        // optional LBD filter additionally demands low glue — HordeSat's
+        // quality criterion for clauses worth network bandwidth)
         if let Some(limit) = self.config.share_len_limit {
-            if analysis.global && lits.len() <= limit {
+            let low_glue = self
+                .config
+                .share_lbd_limit
+                .is_none_or(|max_lbd| lbd <= max_lbd);
+            if analysis.global && lits.len() <= limit && low_glue {
                 self.outbox.push(analysis.learned.clone());
                 self.stats.shared_out += 1;
             }
@@ -948,18 +1046,29 @@ impl Solver {
         }
     }
 
-    /// Delete roughly half of the removable learned clauses, lowest
-    /// activity first (clauses that are antecedents are kept).
+    /// Delete roughly half of the removable learned clauses, worst glue
+    /// first (highest LBD, ties broken by lowest activity). Clauses that
+    /// are antecedents are kept, and glue ≤ `lbd_keep` clauses are never
+    /// deleted — low-glue clauses are the ones worth keeping forever
+    /// (HordeSat's clause-quality observation). Runs the relocating GC
+    /// afterwards when enough garbage has accumulated.
     pub fn reduce_db(&mut self) {
-        let mut candidates: Vec<(f32, ClauseRef)> = self
+        let lbd_keep = self.config.lbd_keep;
+        let mut candidates: Vec<(u32, f32, ClauseRef)> = self
             .db
             .iter_refs()
-            .filter(|&c| self.db.is_learned(c) && self.db.lits(c).len() > 2 && !self.is_locked(c))
-            .map(|c| (self.db.get_activity(c), c))
+            .filter(|&c| {
+                self.db.is_learned(c)
+                    && self.db.lits(c).len() > 2
+                    && self.db.lbd(c) > lbd_keep
+                    && !self.is_locked(c)
+            })
+            .map(|c| (self.db.lbd(c), self.db.activity(c), c))
             .collect();
-        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // delete-first ordering: highest LBD, then lowest activity
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
         let remove = candidates.len() / 2;
-        for &(_, cref) in &candidates[..remove] {
+        for &(_, _, cref) in &candidates[..remove] {
             self.delete_clause(cref, true);
             self.stats.deleted += 1;
         }
@@ -969,6 +1078,7 @@ impl Solver {
                 deleted: remove as u64,
                 live,
             });
+        self.maybe_gc();
     }
 
     /// The paper's level-0 pruning: delete clauses satisfied at level 0.
@@ -990,6 +1100,54 @@ impl Solver {
             self.stats.pruned += 1;
         }
         self.pruned_at = self.trail.len();
+        self.maybe_gc();
+    }
+
+    // ------------------------------------------------------------------
+    // Relocating garbage collection
+    // ------------------------------------------------------------------
+
+    /// Run the mark-compact collection if dead clauses hold more than
+    /// `config.gc_frac` of the arena.
+    fn maybe_gc(&mut self) {
+        if self.db.garbage_words() > 0 && self.db.garbage_frac() >= self.config.gc_frac {
+            self.gc();
+        }
+    }
+
+    /// Unconditionally compact the clause arena (tests force mid-search
+    /// collections through this; normal operation uses the threshold).
+    #[doc(hidden)]
+    pub fn force_gc(&mut self) {
+        self.gc();
+    }
+
+    /// Compact the arena and remap every held [`ClauseRef`]: watch-list
+    /// entries and the antecedents of trail literals. Only trail
+    /// variables can hold real reasons (backtracking resets the rest), so
+    /// those two sweeps cover every reference the solver stores.
+    fn gc(&mut self) {
+        let freed_words = self.db.garbage_words();
+        let map = self.db.collect();
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                w.cref = map.remap(w.cref);
+            }
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            let r = self.reason[v];
+            if r.is_real() {
+                self.reason[v] = map.remap(r);
+            }
+        }
+        self.stats.gc_runs += 1;
+        self.stats.gc_words += freed_words as u64;
+        let live = self.db.num_live() as u64;
+        self.obs.emit(self.obs_now, self.obs_node, || Event::DbGc {
+            freed_bytes: (freed_words * 4) as u64,
+            live,
+        });
     }
 
     fn note_db_peak(&mut self) {
@@ -1080,7 +1238,10 @@ impl Solver {
                 continue;
             }
             let implied = if unknown == 1 { Some(ordered[0]) } else { None };
-            let cref = self.db.insert(ordered, true, true);
+            // foreign clauses arrive without their sender's glue; score them
+            // pessimistically (LBD = length) so reduction treats them like
+            // any other long clause until they prove useful
+            let cref = self.db.insert(&ordered, true, true, ordered.len() as u32);
             self.attach(cref);
             self.stats.merged_in += 1;
             if let Some(l) = implied {
@@ -1375,6 +1536,15 @@ impl Solver {
         // every assigned var is on the trail exactly once
         let assigned = self.value.iter().filter(|v| v.is_assigned()).count();
         assert_eq!(assigned, self.trail.len());
+        // the branchless BCP mirror agrees with the canonical assignment
+        for (i, &v) in self.value.iter().enumerate() {
+            let expect = match v {
+                Value::True => LV_TRUE,
+                Value::False => crate::clausedb::LV_FALSE,
+                Value::Unassigned => LV_UNASSIGNED,
+            };
+            assert_eq!(self.assign8[i], expect, "assign8 out of sync at var {i}");
+        }
         // watch symmetry: clauses with >= 2 lits are watched at lits[0],lits[1]
         for cref in self.db.iter_refs() {
             let lits = self.db.lits(cref);
@@ -1387,12 +1557,34 @@ impl Solver {
                 }
             }
         }
-    }
-}
-
-// ClauseDb helper used by reduce_db (activity read without exposing DbClause).
-impl ClauseDb {
-    pub(crate) fn get_activity(&self, cref: ClauseRef) -> f32 {
-        self.get(cref).activity
+        // every watch points at a live clause and watches one of lits[0..2]
+        // (a relocating GC that missed a watch list would fail here)
+        for code in 0..self.watches.len() {
+            let wl = Lit::from_code(code);
+            for w in &self.watches[code] {
+                assert!(
+                    self.db.is_live(w.cref),
+                    "watch on {wl} references dead/stale {:?}",
+                    w.cref
+                );
+                let lits = self.db.lits(w.cref);
+                assert!(
+                    lits[..2].contains(&wl),
+                    "watch on {wl} not among first two lits of {:?}",
+                    w.cref
+                );
+            }
+        }
+        // antecedents of trail literals resolve to live clauses that imply them
+        for &l in &self.trail {
+            let r = self.reason[l.var().index()];
+            if r.is_real() {
+                assert!(self.db.is_live(r), "antecedent of {l} is dead/stale");
+                let lits = self.db.lits(r);
+                assert_eq!(lits[0], l, "antecedent of {l} does not imply it");
+            }
+        }
+        // arena byte/garbage accounting is internally consistent
+        self.db.check_accounting();
     }
 }

@@ -38,6 +38,13 @@ pub struct Stats {
     pub work: u64,
     /// Peak clause-database footprint in (model) bytes.
     pub peak_db_bytes: usize,
+    /// Relocating garbage collections of the clause arena.
+    pub gc_runs: u64,
+    /// Total arena words reclaimed by those collections.
+    pub gc_words: u64,
+    /// Histogram of learned-clause LBD (glue): bucket `i` counts clauses
+    /// with LBD `i + 1`; the last bucket collects everything ≥ 8.
+    pub lbd_hist: [u64; 8],
 }
 
 impl Stats {
@@ -63,6 +70,9 @@ impl Stats {
             max_level,
             work,
             peak_db_bytes,
+            gc_runs,
+            gc_words,
+            lbd_hist,
         } = *other;
         self.decisions += decisions;
         self.propagations += propagations;
@@ -78,6 +88,18 @@ impl Stats {
         self.max_level = self.max_level.max(max_level);
         self.work += work;
         self.peak_db_bytes = self.peak_db_bytes.max(peak_db_bytes);
+        self.gc_runs += gc_runs;
+        self.gc_words += gc_words;
+        for (acc, n) in self.lbd_hist.iter_mut().zip(lbd_hist) {
+            *acc += n;
+        }
+    }
+
+    /// Record the LBD of a freshly learned clause.
+    #[inline]
+    pub fn note_lbd(&mut self, lbd: u32) {
+        let bucket = (lbd.clamp(1, 8) - 1) as usize;
+        self.lbd_hist[bucket] += 1;
     }
 
     /// Bridge every counter into a [`MetricsRegistry`] under `prefix`
@@ -99,6 +121,9 @@ impl Stats {
             max_level,
             work,
             peak_db_bytes,
+            gc_runs,
+            gc_words,
+            lbd_hist,
         } = *self;
         reg.counter_add(&format!("{prefix}.decisions"), decisions);
         reg.counter_add(&format!("{prefix}.propagations"), propagations);
@@ -112,8 +137,15 @@ impl Stats {
         reg.counter_add(&format!("{prefix}.merge_discarded"), merge_discarded);
         reg.counter_add(&format!("{prefix}.merge_implications"), merge_implications);
         reg.counter_add(&format!("{prefix}.work"), work);
+        reg.counter_add(&format!("{prefix}.gc_runs"), gc_runs);
+        reg.counter_add(&format!("{prefix}.gc_words"), gc_words);
         reg.gauge_set(&format!("{prefix}.max_level"), max_level as f64);
         reg.gauge_set(&format!("{prefix}.peak_db_bytes"), peak_db_bytes as f64);
+        for (i, &n) in lbd_hist.iter().enumerate() {
+            if n > 0 {
+                reg.observe_n(&format!("{prefix}.lbd"), (i + 1) as f64, n);
+            }
+        }
     }
 }
 
@@ -139,6 +171,9 @@ mod tests {
             max_level: 12,
             work: 13,
             peak_db_bytes: 14,
+            gc_runs: 15,
+            gc_words: 16,
+            lbd_hist: [17, 18, 19, 20, 21, 22, 23, 24],
         }
     }
 
@@ -184,8 +219,22 @@ mod tests {
             max_level: 12, // max, not sum
             work: 26,
             peak_db_bytes: 14, // max, not sum
+            gc_runs: 30,
+            gc_words: 32,
+            lbd_hist: [34, 36, 38, 40, 42, 44, 46, 48],
         };
         assert_eq!(acc, expected);
+    }
+
+    #[test]
+    fn note_lbd_buckets_and_saturates() {
+        let mut s = Stats::default();
+        s.note_lbd(1);
+        s.note_lbd(2);
+        s.note_lbd(2);
+        s.note_lbd(8);
+        s.note_lbd(100); // saturates into the last bucket
+        assert_eq!(s.lbd_hist, [1, 2, 0, 0, 0, 0, 0, 2]);
     }
 
     #[test]
@@ -194,10 +243,15 @@ mod tests {
         full().export_metrics(&mut reg, "solver");
         assert_eq!(reg.counter("solver.decisions"), 1);
         assert_eq!(reg.counter("solver.work"), 13);
+        assert_eq!(reg.counter("solver.gc_runs"), 15);
+        assert_eq!(reg.counter("solver.gc_words"), 16);
         assert_eq!(reg.gauge("solver.max_level"), Some(12.0));
         assert_eq!(reg.gauge("solver.peak_db_bytes"), Some(14.0));
-        // 12 counters + 2 gauges, all present in the exposition
+        // every lbd_hist bucket lands in the histogram
+        let h = reg.histogram("solver.lbd").expect("lbd histogram");
+        assert_eq!(h.count(), (17..=24).sum::<u64>());
+        // 14 counters + 2 gauges + 1 histogram, all present in the exposition
         let text = reg.render_prometheus();
-        assert_eq!(text.matches("# TYPE solver_").count(), 14);
+        assert_eq!(text.matches("# TYPE solver_").count(), 17);
     }
 }
