@@ -1,0 +1,118 @@
+//! Chaos soak: sweep seeds x fault plans x instance families under the
+//! chaos-hardened profile, checking every completed run against the
+//! sequential solver as a SAT/UNSAT oracle (SAT models are re-verified
+//! against the formula). Any wedge, timeout, lost client, or oracle
+//! mismatch fails the sweep.
+//!
+//! Usage: cargo run --release -p gridsat-bench --bin chaos_soak \
+//!            [--fast] [--seeds N]
+//!
+//! `--fast` is the CI profile (few seeds); the default sweeps 20 seeds
+//! over all four fault plans and three instance families.
+
+use gridsat::chaos::FaultPlan;
+use gridsat::{experiment, GridConfig, GridOutcome};
+use gridsat_grid::Testbed;
+use gridsat_satgen as satgen;
+use gridsat_solver::SolveStatus;
+
+struct Family {
+    name: &'static str,
+    gen: fn(u64) -> gridsat_cnf::Formula,
+}
+
+const FAMILIES: &[Family] = &[
+    Family {
+        name: "random-3sat",
+        gen: |seed| satgen::random_ksat::random_ksat(30, 126, 3, seed),
+    },
+    Family {
+        name: "planted-3sat",
+        gen: |seed| satgen::random_ksat::planted_ksat(40, 168, 3, seed),
+    },
+    Family {
+        // alternate two pigeonhole sizes; always UNSAT
+        name: "php",
+        gen: |seed| {
+            let n = 5 + (seed % 2) as usize;
+            satgen::php::php(n + 1, n)
+        },
+    },
+];
+
+fn chaos_config() -> GridConfig {
+    GridConfig {
+        // small instances: force real protocol traffic (splits, shares)
+        min_split_timeout: 0.2,
+        work_quantum_s: 0.1,
+        ..GridConfig::chaos_hardened()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut seeds: u64 = if fast { 5 } else { 20 };
+    if let Some(i) = args.iter().position(|a| a == "--seeds") {
+        seeds = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--seeds N");
+    }
+
+    let mut runs = 0u64;
+    let mut retransmits = 0u64;
+    let mut recoveries = 0u64;
+    let mut requeues = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+
+    for family in FAMILIES {
+        for seed in 0..seeds {
+            let f = (family.gen)(seed);
+            let want = gridsat_solver::driver::decide(&f);
+            for plan in FaultPlan::roster(seed.wrapping_mul(31).wrapping_add(7)) {
+                runs += 1;
+                let config = chaos_config();
+                let cap = config.overall_timeout;
+                let mut sim = build(&f, config);
+                plan.apply(&mut sim);
+                sim.run_until(cap + 60.0);
+                let r = experiment::report(&sim, cap);
+                retransmits += r.reliable.retransmits;
+                recoveries += r.master.recoveries;
+                requeues += r.master.requeues + r.reliable.expired;
+                let label = format!("{}/seed{}/{}", family.name, seed, plan.name);
+                match (want, &r.outcome) {
+                    (SolveStatus::Sat, GridOutcome::Sat(model)) => {
+                        if !f.is_satisfied_by(model) {
+                            failures.push(format!("{label}: SAT model does not verify"));
+                        }
+                    }
+                    (SolveStatus::Unsat, GridOutcome::Unsat) => {}
+                    (want, got) => {
+                        failures.push(format!("{label}: oracle {want:?}, grid {got:?}"));
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "chaos soak: {runs} runs ({} families x {seeds} seeds x 4 plans)",
+        FAMILIES.len()
+    );
+    println!("  retransmits={retransmits} recoveries={recoveries} requeues={requeues}");
+    if failures.is_empty() {
+        println!("  all runs terminated with the oracle's answer");
+    } else {
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+        eprintln!("chaos soak: {} of {runs} runs failed", failures.len());
+        std::process::exit(1);
+    }
+}
+
+fn build(f: &gridsat_cnf::Formula, config: GridConfig) -> gridsat::GridSim {
+    experiment::build_sim(f, Testbed::uniform(4, 1000.0, 3 << 20), config)
+}

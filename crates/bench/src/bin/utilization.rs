@@ -37,7 +37,9 @@ fn main() {
         t += step;
         sim.run_until(t);
         let busy = (1..sim.num_nodes() as u32)
-            .filter(|i| matches!(sim.process(NodeId(*i)), GridNode::Client(c) if c.is_solving()))
+            .filter(
+                |i| matches!(sim.process(NodeId(*i)).inner(), GridNode::Client(c) if c.is_solving()),
+            )
             .count();
         peak = peak.max(busy);
         let _ = writeln!(csv, "{t:.0},{busy}");

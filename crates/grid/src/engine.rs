@@ -37,6 +37,10 @@ pub struct SimStats {
     pub dropped_link_down: u64,
     /// Dropped because the destination node had left the Grid.
     pub dropped_dead_peer: u64,
+    /// Dropped by injected chaos ([`Sim::set_net_chaos`] loss).
+    pub dropped_chaos: u64,
+    /// Messages hit by an injected delay spike (delivered late, not lost).
+    pub delay_spikes: u64,
     pub ticks: u64,
     pub events: u64,
 }
@@ -44,7 +48,7 @@ pub struct SimStats {
 impl SimStats {
     /// Total messages dropped, across all reasons.
     pub fn messages_dropped(&self) -> u64 {
-        self.dropped_capacity + self.dropped_link_down + self.dropped_dead_peer
+        self.dropped_capacity + self.dropped_link_down + self.dropped_dead_peer + self.dropped_chaos
     }
 
     /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
@@ -57,6 +61,8 @@ impl SimStats {
             dropped_capacity,
             dropped_link_down,
             dropped_dead_peer,
+            dropped_chaos,
+            delay_spikes,
             ticks,
             events,
         } = *self;
@@ -65,16 +71,72 @@ impl SimStats {
         reg.counter_add(&format!("{prefix}.dropped.capacity"), dropped_capacity);
         reg.counter_add(&format!("{prefix}.dropped.link_down"), dropped_link_down);
         reg.counter_add(&format!("{prefix}.dropped.dead_peer"), dropped_dead_peer);
+        reg.counter_add(&format!("{prefix}.dropped.chaos"), dropped_chaos);
+        reg.counter_add(&format!("{prefix}.delay_spikes"), delay_spikes);
         reg.counter_add(&format!("{prefix}.ticks"), ticks);
         reg.counter_add(&format!("{prefix}.events"), events);
     }
 }
 
+/// How a [`Sim::run_until`] call ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunEnd {
+    /// A process requested shutdown (normal termination).
+    Shutdown,
+    /// The deadline was reached with events still queued; a later
+    /// `run_until` can resume.
+    Deadline,
+    /// The event queue drained with no shutdown: nothing will ever
+    /// happen again. If the protocol still had open work, the run
+    /// wedged — callers should surface that explicitly.
+    Exhausted,
+}
+
+/// Seeded random network faults applied to every send.
+#[derive(Clone, Copy, Debug)]
+pub struct NetChaos {
+    /// Probability that a send is silently lost.
+    pub loss_prob: f64,
+    /// Probability that a delivery is hit by a delay spike.
+    pub delay_prob: f64,
+    /// Extra delivery delay of a spike, seconds.
+    pub delay_extra_s: f64,
+    /// RNG seed; same seed + same run = same faults.
+    pub seed: u64,
+}
+
+impl Default for NetChaos {
+    fn default() -> NetChaos {
+        NetChaos {
+            loss_prob: 0.0,
+            delay_prob: 0.0,
+            delay_extra_s: 5.0,
+            seed: 1,
+        }
+    }
+}
+
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Tick { node: NodeId },
-    NodeUp { node: NodeId },
-    NodeDown { node: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Tick {
+        node: NodeId,
+    },
+    NodeUp {
+        node: NodeId,
+    },
+    NodeDown {
+        node: NodeId,
+    },
+    /// Scheduled administrative link change (fault injection).
+    LinkSet {
+        a: NodeId,
+        b: NodeId,
+        up: bool,
+    },
 }
 
 struct Event<M> {
@@ -130,6 +192,11 @@ pub struct Sim<P: Process> {
     inflight_cap: Option<u64>,
     /// Administratively-downed links, as normalized (low, high) pairs.
     links_down: BTreeSet<(NodeId, NodeId)>,
+    /// Random loss/delay injection (off by default).
+    chaos: Option<NetChaos>,
+    chaos_rng: u64,
+    /// How the most recent `run_until` call ended.
+    last_run_end: Option<RunEnd>,
 }
 
 fn norm_pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -188,6 +255,9 @@ impl<P: Process> Sim<P> {
             inflight: HashMap::new(),
             inflight_cap: None,
             links_down: BTreeSet::new(),
+            chaos: None,
+            chaos_rng: 1,
+            last_run_end: None,
         }
     }
 
@@ -220,6 +290,43 @@ impl<P: Process> Sim<P> {
         self.links_down.remove(&norm_pair(a, b));
     }
 
+    /// Enable seeded random loss/delay injection on every send.
+    pub fn set_net_chaos(&mut self, chaos: NetChaos) {
+        self.chaos_rng = chaos.seed | 1;
+        self.chaos = Some(chaos);
+    }
+
+    fn push_event(&mut self, at_s: f64, kind: EventKind<P::Msg>) {
+        self.events.push(Reverse(Event {
+            time_us: (at_s * US) as u64,
+            seq: self.seq,
+            kind,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedule a node crash at `at_s` (fault injection). A no-op at
+    /// dispatch time if the node is already down.
+    pub fn schedule_node_down(&mut self, node: NodeId, at_s: f64) {
+        self.push_event(at_s, EventKind::NodeDown { node });
+    }
+
+    /// Schedule a node (re)start at `at_s`. A no-op at dispatch time if
+    /// the node is already up, so it composes with the start-up events.
+    pub fn schedule_node_up(&mut self, node: NodeId, at_s: f64) {
+        self.push_event(at_s, EventKind::NodeUp { node });
+    }
+
+    /// Schedule a link cut at `at_s` (fault injection).
+    pub fn schedule_link_down(&mut self, a: NodeId, b: NodeId, at_s: f64) {
+        self.push_event(at_s, EventKind::LinkSet { a, b, up: false });
+    }
+
+    /// Schedule a link heal at `at_s`.
+    pub fn schedule_link_up(&mut self, a: NodeId, b: NodeId, at_s: f64) {
+        self.push_event(at_s, EventKind::LinkSet { a, b, up: true });
+    }
+
     /// The recorded message trace.
     pub fn trace_events(&self) -> &[TraceEvent] {
         self.trace.as_deref().unwrap_or(&[])
@@ -245,23 +352,33 @@ impl<P: Process> Sim<P> {
         self.nodes.len()
     }
 
-    /// Run until shutdown, event exhaustion, or `max_time_s`.
-    pub fn run_until(&mut self, max_time_s: f64) {
+    /// Run until shutdown, event exhaustion, or `max_time_s`; says which.
+    pub fn run_until(&mut self, max_time_s: f64) -> RunEnd {
         let deadline_us = (max_time_s * US) as u64;
-        while !self.shutdown {
+        let end = loop {
+            if self.shutdown {
+                break RunEnd::Shutdown;
+            }
             let Some(Reverse(ev)) = self.events.pop() else {
-                break;
+                break RunEnd::Exhausted;
             };
             if ev.time_us > deadline_us {
                 // push back so a later run_until() can resume
                 self.events.push(Reverse(ev));
                 self.now_us = deadline_us;
-                break;
+                break RunEnd::Deadline;
             }
             self.now_us = ev.time_us;
             self.stats.events += 1;
             self.dispatch(ev);
-        }
+        };
+        self.last_run_end = Some(end);
+        end
+    }
+
+    /// How the most recent [`Sim::run_until`] call ended.
+    pub fn last_run_end(&self) -> Option<RunEnd> {
+        self.last_run_end
     }
 
     fn info(&self, id: NodeId) -> NodeInfo {
@@ -278,6 +395,9 @@ impl<P: Process> Sim<P> {
     fn dispatch(&mut self, ev: Event<P::Msg>) {
         match ev.kind {
             EventKind::NodeUp { node } => {
+                if self.nodes[node.0 as usize].up {
+                    return; // scheduled restart raced a live node
+                }
                 self.nodes[node.0 as usize].up = true;
                 self.obs.emit(self.now(), node.0, || ObsEvent::NodeUp);
                 let mut ctx = Ctx::new(self.info(node));
@@ -333,6 +453,17 @@ impl<P: Process> Sim<P> {
                     .on_message(from, msg, &mut ctx);
                 self.apply_actions(to, &mut ctx);
             }
+            EventKind::LinkSet { a, b, up } => {
+                if up {
+                    self.links_down.remove(&norm_pair(a, b));
+                } else {
+                    self.links_down.insert(norm_pair(a, b));
+                }
+                let verb = if up { "link_up" } else { "link_down" };
+                self.obs.emit(self.now(), a.0, || ObsEvent::FaultInject {
+                    what: format!("{verb} {}-{}", a.0, b.0),
+                });
+            }
             EventKind::Tick { node } => {
                 let n = &mut self.nodes[node.0 as usize];
                 if !n.up || n.next_tick_us != Some(ev.time_us) {
@@ -345,6 +476,15 @@ impl<P: Process> Sim<P> {
                 self.apply_actions(node, &mut ctx);
             }
         }
+    }
+
+    fn chaos_u01(&mut self) -> f64 {
+        let mut x = self.chaos_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.chaos_rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
     }
 
     fn apply_actions(&mut self, node: NodeId, ctx: &mut Ctx<P::Msg>) {
@@ -406,6 +546,19 @@ impl<P: Process> Sim<P> {
                         });
                         continue;
                     }
+                    if let Some(ch) = self.chaos {
+                        if ch.loss_prob > 0.0 && self.chaos_u01() < ch.loss_prob {
+                            self.stats.dropped_chaos += 1;
+                            self.obs.emit(self.now(), node.0, || ObsEvent::MsgDrop {
+                                from: node.0,
+                                to: to.0,
+                                label: msg.label(),
+                                bytes: bytes as u64,
+                                reason: DropReason::Chaos,
+                            });
+                            continue;
+                        }
+                    }
                     let inflight = self.inflight.entry(to).or_insert(0);
                     if self.inflight_cap.is_some_and(|cap| *inflight >= cap) {
                         self.stats.dropped_capacity += 1;
@@ -423,6 +576,15 @@ impl<P: Process> Sim<P> {
                     let to_site = self.testbed.hosts[to.0 as usize].site;
                     let link = self.testbed.net.link(from_site, to_site);
                     let mut arrival = end_us + (link.transfer_time(bytes) * US) as u64;
+                    if let Some(ch) = self.chaos {
+                        if ch.delay_prob > 0.0 && self.chaos_u01() < ch.delay_prob {
+                            self.stats.delay_spikes += 1;
+                            arrival += (ch.delay_extra_s * US) as u64;
+                            self.obs.emit(self.now(), node.0, || ObsEvent::FaultInject {
+                                what: format!("delay_spike {}-{}", node.0, to.0),
+                            });
+                        }
+                    }
                     // FIFO per link: never overtake an earlier message
                     let slot = self.last_delivery.entry((node, to)).or_insert(0);
                     arrival = arrival.max(*slot + 1);
@@ -744,11 +906,139 @@ mod tests {
             ticks: 0,
             quantum_work: 1000,
         });
-        sim.run_until(3.0);
+        assert_eq!(sim.run_until(3.0), RunEnd::Deadline);
         let a = sim.process(NodeId(0)).ticks;
-        sim.run_until(6.0);
+        assert_eq!(sim.run_until(6.0), RunEnd::Deadline);
         let b = sim.process(NodeId(0)).ticks;
         assert!(b > a);
         assert!((sim.now() - 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn run_until_distinguishes_shutdown_from_exhaustion() {
+        let mut sim = Sim::new(tiny_testbed(), |id| PingPong {
+            rounds: 2,
+            received: Vec::new(),
+            is_master: id == NodeId(0),
+        });
+        assert_eq!(sim.run_until(1e9), RunEnd::Shutdown);
+        assert_eq!(sim.last_run_end(), Some(RunEnd::Shutdown));
+
+        // Spam5 never ticks or replies: after the five deliveries the
+        // queue drains with nobody having asked to stop.
+        let mut sim = Sim::new(tiny_testbed(), |_| Spam5);
+        assert_eq!(sim.run_until(1e9), RunEnd::Exhausted);
+        assert_eq!(sim.last_run_end(), Some(RunEnd::Exhausted));
+    }
+
+    #[test]
+    fn chaos_loss_drops_sends_and_counts_them() {
+        let mut sim = Sim::new(tiny_testbed(), |_| Spam5);
+        sim.set_net_chaos(NetChaos {
+            loss_prob: 1.0,
+            seed: 7,
+            ..NetChaos::default()
+        });
+        sim.run_until(10.0);
+        assert_eq!(sim.stats.dropped_chaos, 5);
+        assert_eq!(sim.stats.messages_delivered, 0);
+        assert_eq!(sim.stats.messages_dropped(), 5);
+    }
+
+    #[test]
+    fn chaos_delay_spikes_postpone_but_deliver() {
+        let run = |chaos: Option<NetChaos>| {
+            let mut sim = Sim::new(tiny_testbed(), |_| Spam5);
+            if let Some(c) = chaos {
+                sim.set_net_chaos(c);
+            }
+            sim.run_until(1e9);
+            (sim.stats, sim.now())
+        };
+        let (calm, t_calm) = run(None);
+        let (spiky, t_spiky) = run(Some(NetChaos {
+            delay_prob: 1.0,
+            delay_extra_s: 5.0,
+            seed: 7,
+            ..NetChaos::default()
+        }));
+        assert_eq!(calm.messages_delivered, 5);
+        assert_eq!(spiky.messages_delivered, 5, "spikes delay, never lose");
+        assert_eq!(spiky.delay_spikes, 5);
+        assert!(t_spiky >= t_calm + 5.0, "{t_spiky} vs {t_calm}");
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(tiny_testbed(), |id| PingPong {
+                rounds: 20,
+                received: Vec::new(),
+                is_master: id == NodeId(0),
+            });
+            sim.set_net_chaos(NetChaos {
+                loss_prob: 0.3,
+                seed,
+                ..NetChaos::default()
+            });
+            sim.run_until(1e9);
+            sim.stats
+        };
+        assert_eq!(run(42), run(42));
+        // and a lossy ping-pong without retransmission eventually stalls
+        assert!(run(42).dropped_chaos > 0);
+    }
+
+    #[test]
+    fn scheduled_link_flap_cuts_and_heals() {
+        /// Sends one ping to node 1 every second.
+        struct Beacon;
+        impl Process for Beacon {
+            type Msg = Msg;
+            fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.schedule_tick(1.0);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Msg, _c: &mut Ctx<Msg>) {}
+            fn on_tick(&mut self, ctx: &mut Ctx<Msg>) {
+                ctx.send(NodeId(1), Msg::Ping(0));
+                ctx.schedule_tick(1.0);
+            }
+        }
+        let mut sim = Sim::new(tiny_testbed(), |_| Beacon);
+        sim.schedule_link_down(NodeId(0), NodeId(1), 2.5);
+        sim.schedule_link_up(NodeId(0), NodeId(1), 5.5);
+        sim.run_until(10.0);
+        // beacons at 1..=10 s; those at 3, 4, 5 s hit the cut link, and
+        // the one sent at 10 s is still in flight at the deadline
+        assert_eq!(sim.stats.dropped_link_down, 3);
+        assert_eq!(sim.stats.messages_delivered, 6);
+    }
+
+    #[test]
+    fn scheduled_node_restart_reenters_on_start() {
+        /// Counts how many times it was started.
+        struct Phoenix {
+            starts: u64,
+        }
+        impl Process for Phoenix {
+            type Msg = Msg;
+            fn on_start(&mut self, _ctx: &mut Ctx<Msg>) {
+                self.starts += 1;
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Msg, _c: &mut Ctx<Msg>) {}
+            fn on_tick(&mut self, _c: &mut Ctx<Msg>) {}
+        }
+        let mut sim = Sim::new(tiny_testbed(), |_| Phoenix { starts: 0 });
+        sim.schedule_node_down(NodeId(1), 3.0);
+        sim.schedule_node_up(NodeId(1), 6.0);
+        // redundant admin events are no-ops, not double starts/stops
+        sim.schedule_node_up(NodeId(1), 7.0);
+        sim.schedule_node_down(NodeId(0), 4.0);
+        sim.schedule_node_down(NodeId(0), 5.0);
+        sim.run_until(20.0);
+        assert_eq!(sim.process(NodeId(1)).starts, 2);
+        assert_eq!(sim.process(NodeId(0)).starts, 1);
     }
 }

@@ -14,18 +14,24 @@
 //!   per-host speed and NWS-style background-load traces, and manages
 //!   batch node windows;
 //! * [`threads`] — a real-thread backend running the same processes with
-//!   crossbeam channels for genuine parallelism.
+//!   crossbeam channels for genuine parallelism;
+//! * [`reliable`] — an acked at-least-once delivery wrapper for
+//!   control-plane messages (the paper's protocol assumes TCP streams;
+//!   the engine's drops and injected chaos need explicit recovery).
 //!
 //! Determinism: the engine breaks event ties by sequence number and draws
 //! all randomness from seeded traces, so a full experiment re-runs
-//! bit-for-bit.
+//! bit-for-bit — including injected faults ([`NetChaos`], scheduled
+//! crash/partition events), which are driven by their own seeds.
 
 pub mod engine;
 pub mod process;
+pub mod reliable;
 pub mod threads;
 pub mod topology;
 
-pub use engine::{Sim, SimStats, TraceEvent};
+pub use engine::{NetChaos, RunEnd, Sim, SimStats, TraceEvent};
 pub use process::{Action, Ctx, MessageSize, NodeInfo, Process};
+pub use reliable::{Reliable, ReliableConfig, ReliableProcess, ReliableStats, Wire};
 pub use threads::ThreadGrid;
 pub use topology::{HostSpec, Link, NetModel, NodeId, Site, Testbed};

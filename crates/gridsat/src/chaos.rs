@@ -1,0 +1,272 @@
+//! Declarative, seed-deterministic fault plans for chaos runs.
+//!
+//! A [`FaultPlan`] is data — crash windows, link outages, loss and delay
+//! probabilities — compiled onto the engine's admin hooks by
+//! [`FaultPlan::apply`]. Because the engine is a deterministic
+//! discrete-event simulator and every probabilistic choice is drawn from
+//! the plan's seed, a failing (plan, seed, instance) triple replays
+//! exactly.
+//!
+//! The paper's implementation "will not tolerate a machine crash"; these
+//! plans exist to prove the reliability extension does, by running them
+//! against the sequential solver as a SAT/UNSAT oracle (see the
+//! `chaos_soak` binary).
+
+use crate::experiment::GridSim;
+use gridsat_grid::{NetChaos, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A node outage: down at `down_at`, back (with a clean restart) at
+/// `up_at`, or gone for good when `up_at` is `None`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    pub node: u32,
+    pub down_at: f64,
+    pub up_at: Option<f64>,
+}
+
+/// A link outage between two nodes (both directions).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkWindow {
+    pub a: u32,
+    pub b: u32,
+    pub down_at: f64,
+    pub up_at: f64,
+}
+
+/// Everything that will go wrong during one run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Display name for matrices and failure reports.
+    pub name: String,
+    pub crashes: Vec<CrashWindow>,
+    pub links: Vec<LinkWindow>,
+    /// Per-send drop probability (applied to every message kind).
+    pub loss_prob: f64,
+    /// Per-send probability of a delay spike.
+    pub delay_prob: f64,
+    /// Extra latency of a delay spike, seconds.
+    pub delay_extra_s: f64,
+    /// Seed for the loss/delay draws.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Compile the plan onto a built simulation. Crash and link windows
+    /// naming nodes outside the testbed are skipped, so one plan works
+    /// across testbed sizes.
+    pub fn apply(&self, sim: &mut GridSim) {
+        let n = sim.num_nodes() as u32;
+        if self.loss_prob > 0.0 || self.delay_prob > 0.0 {
+            sim.set_net_chaos(NetChaos {
+                loss_prob: self.loss_prob,
+                delay_prob: self.delay_prob,
+                delay_extra_s: self.delay_extra_s,
+                seed: self.seed,
+            });
+        }
+        for c in &self.crashes {
+            if c.node >= n {
+                continue;
+            }
+            sim.schedule_node_down(NodeId(c.node), c.down_at);
+            if let Some(up) = c.up_at {
+                sim.schedule_node_up(NodeId(c.node), up);
+            }
+        }
+        for l in &self.links {
+            if l.a >= n || l.b >= n || l.a == l.b {
+                continue;
+            }
+            sim.schedule_link_down(NodeId(l.a), NodeId(l.b), l.down_at);
+            sim.schedule_link_up(NodeId(l.a), NodeId(l.b), l.up_at);
+        }
+    }
+
+    /// Random message loss plus occasional delay spikes, no outages.
+    /// Exercises retransmission, dedup, and undeliverable requeue.
+    pub fn drop_happy(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "drop-happy".into(),
+            loss_prob: 0.08,
+            delay_prob: 0.05,
+            delay_extra_s: 2.0,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Links flap up and down early in the run (including the
+    /// master-client link), with reordering-inducing delay spikes.
+    pub fn flaky_links(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "flaky-links".into(),
+            links: vec![
+                LinkWindow {
+                    a: 0,
+                    b: 1,
+                    down_at: 4.0,
+                    up_at: 12.0,
+                },
+                LinkWindow {
+                    a: 1,
+                    b: 2,
+                    down_at: 8.0,
+                    up_at: 18.0,
+                },
+                LinkWindow {
+                    a: 0,
+                    b: 2,
+                    down_at: 15.0,
+                    up_at: 24.0,
+                },
+            ],
+            delay_prob: 0.1,
+            delay_extra_s: 3.0,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// One client crashes and restarts; another dies for good later.
+    /// Exercises checkpoint recovery and restart re-registration.
+    pub fn crash_restart(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "crash-restart".into(),
+            crashes: vec![
+                CrashWindow {
+                    node: 1,
+                    down_at: 6.0,
+                    up_at: Some(18.0),
+                },
+                CrashWindow {
+                    node: 2,
+                    down_at: 25.0,
+                    up_at: None,
+                },
+            ],
+            loss_prob: 0.02,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The master itself blinks out briefly. Exercises epoch bumps,
+    /// client-side retry of soundness-critical reports, and the lease
+    /// grace on master restart.
+    pub fn master_blink(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "master-blink".into(),
+            crashes: vec![CrashWindow {
+                node: 0,
+                down_at: 10.0,
+                up_at: Some(21.0),
+            }],
+            loss_prob: 0.02,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The standard sweep roster for soak runs.
+    pub fn roster(seed: u64) -> Vec<FaultPlan> {
+        vec![
+            FaultPlan::drop_happy(seed),
+            FaultPlan::flaky_links(seed),
+            FaultPlan::crash_restart(seed),
+            FaultPlan::master_blink(seed),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GridConfig;
+    use crate::experiment::{build_sim, report};
+    use crate::master::GridOutcome;
+    use gridsat_grid::Testbed;
+
+    fn run_plan(plan: &FaultPlan, seed: u64) -> (GridOutcome, u64, u64) {
+        let f = gridsat_satgen::random_ksat::random_ksat(30, 126, 3, seed);
+        let config = GridConfig {
+            min_split_timeout: 0.2,
+            work_quantum_s: 0.1,
+            ..GridConfig::chaos_hardened()
+        };
+        let cap = config.overall_timeout;
+        let mut sim = build_sim(&f, Testbed::uniform(4, 1000.0, 3 << 20), config);
+        plan.apply(&mut sim);
+        sim.run_until(cap + 60.0);
+        let r = report(&sim, cap);
+        (r.outcome, r.reliable.retransmits, r.sim.messages_delivered)
+    }
+
+    #[test]
+    fn plans_replay_deterministically() {
+        let plan = FaultPlan::drop_happy(7);
+        let a = run_plan(&plan, 3);
+        let b = run_plan(&plan, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn a_lossy_network_still_reaches_the_right_answer() {
+        // several instances: a short run can finish before its first
+        // retransmit timer fires, but a handful cannot all do so
+        let mut total_retransmits = 0;
+        for seed in 0..4 {
+            let plan = FaultPlan::drop_happy(11 + seed);
+            let f = gridsat_satgen::random_ksat::random_ksat(30, 126, 3, seed);
+            let want = gridsat_solver::driver::decide(&f);
+            let (outcome, retransmits, _) = run_plan(&plan, seed);
+            match (want, outcome) {
+                (gridsat_solver::SolveStatus::Sat, GridOutcome::Sat(m)) => {
+                    assert!(f.is_satisfied_by(&m));
+                }
+                (gridsat_solver::SolveStatus::Unsat, GridOutcome::Unsat) => {}
+                (want, got) => panic!("seed {seed}: oracle {want:?}, chaos run {got:?}"),
+            }
+            total_retransmits += retransmits;
+        }
+        // with 8% loss the runs cannot all have been silent about it
+        assert!(total_retransmits > 0, "expected the reliable layer to work");
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_skipped() {
+        let plan = FaultPlan {
+            name: "oversized".into(),
+            crashes: vec![CrashWindow {
+                node: 99,
+                down_at: 1.0,
+                up_at: None,
+            }],
+            links: vec![LinkWindow {
+                a: 0,
+                b: 99,
+                down_at: 1.0,
+                up_at: 2.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let f = gridsat_cnf::paper::fig1_formula();
+        let config = GridConfig::chaos_hardened();
+        let cap = config.overall_timeout;
+        let mut sim = build_sim(&f, Testbed::uniform(3, 1000.0, 3 << 20), config);
+        plan.apply(&mut sim);
+        sim.run_until(cap + 60.0);
+        let r = report(&sim, cap);
+        assert!(matches!(r.outcome, GridOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn roster_covers_the_four_failure_modes() {
+        let plans = FaultPlan::roster(1);
+        let names: Vec<&str> = plans.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["drop-happy", "flaky-links", "crash-restart", "master-blink"]
+        );
+    }
+}

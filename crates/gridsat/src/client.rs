@@ -114,6 +114,8 @@ pub struct Client {
     split_requested_at: Option<f64>,
     last_load_report: f64,
     last_checkpoint: f64,
+    /// Last lease renewal sent to the master (reliability extension).
+    last_heartbeat: f64,
     /// Identity of the subproblem currently held.
     current_problem: Option<ProblemId>,
     /// Adaptive share-limit state: current limit and the merge counters
@@ -142,6 +144,7 @@ impl Client {
             split_requested_at: None,
             last_load_report: 0.0,
             last_checkpoint: 0.0,
+            last_heartbeat: 0.0,
             share_limit_now,
             tuning_mark: (0, 0),
             last_tuning: 0.0,
@@ -237,6 +240,49 @@ impl Client {
         ctx.schedule_tick(0.0);
     }
 
+    /// Renew the lease with the master when the period has elapsed
+    /// (reliability extension; no-op when reliability is off).
+    fn maybe_heartbeat(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let Some(rel) = self.config.reliability else {
+            return;
+        };
+        if ctx.now() - self.last_heartbeat >= rel.heartbeat_period {
+            self.last_heartbeat = ctx.now();
+            ctx.send(self.master, GridMsg::Heartbeat);
+        }
+    }
+
+    /// A control message toward `to` exhausted its retry budget or its
+    /// destination went down with the message unacked (reliability
+    /// extension).
+    pub fn on_undeliverable(&mut self, to: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        if matches!(self.state, State::Done) {
+            return;
+        }
+        match msg {
+            GridMsg::Subproblem { spec, .. } => {
+                // the peer died mid-transfer; hand the half back to the
+                // master so the search space is not lost
+                ctx.send(self.master, GridMsg::Requeue { spec });
+            }
+            GridMsg::Register { .. }
+            | GridMsg::SplitDone { .. }
+            | GridMsg::Result { .. }
+            | GridMsg::CheckpointMsg { .. }
+            | GridMsg::Requeue { .. }
+                if to == self.master =>
+            {
+                // soundness-critical reports to the master: keep trying
+                // with a fresh retry budget (the master may be mid-restart;
+                // the overall timeout bounds this)
+                ctx.send(self.master, msg);
+            }
+            // split requests re-arise from the time-out heuristic, and the
+            // rest is best-effort
+            _ => {}
+        }
+    }
+
     fn report_result(&mut self, result: SubResult, ctx: &mut Ctx<GridMsg>) {
         let problem = self.current_problem.take().expect("solving a problem");
         ctx.send(self.master, GridMsg::Result { result, problem });
@@ -289,25 +335,47 @@ impl Client {
     }
 
     fn maybe_checkpoint(&mut self, ctx: &mut Ctx<GridMsg>) {
-        if self.config.checkpoint == CheckpointMode::Off {
+        if ctx.now() - self.last_checkpoint < self.config.checkpoint_period {
             return;
         }
-        let now = ctx.now();
-        if now - self.last_checkpoint < self.config.checkpoint_period {
-            return;
-        }
-        let Some(solver) = &self.solver else { return };
-        self.last_checkpoint = now;
+        self.checkpoint_now(ctx);
+    }
+
+    /// Build a recovery image of the current search space, or `None`
+    /// when checkpointing is off or nothing is being solved.
+    fn build_checkpoint(&self) -> Option<Box<Checkpoint>> {
+        let solver = self.solver.as_ref()?;
         let level0 = solver.level0_assignment();
-        let cp = match self.config.checkpoint {
-            CheckpointMode::Light => Checkpoint::Light { level0 },
-            CheckpointMode::Heavy => Checkpoint::Heavy {
+        match self.config.checkpoint {
+            CheckpointMode::Off => None,
+            CheckpointMode::Light => Some(Box::new(Checkpoint::Light { level0 })),
+            CheckpointMode::Heavy => Some(Box::new(Checkpoint::Heavy {
                 level0,
                 learned: solver.export_clauses(),
-            },
-            CheckpointMode::Off => unreachable!(),
+            })),
+        }
+    }
+
+    /// Upload a checkpoint immediately (if checkpointing is on). Called
+    /// right after adopting or splitting a subproblem so the master's
+    /// copy of the guiding path is never older than the client's current
+    /// search space — a crash in the very first period is then
+    /// recoverable too.
+    fn checkpoint_now(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let Some(problem) = self.current_problem else {
+            return;
         };
-        ctx.send(self.master, GridMsg::CheckpointMsg(Box::new(cp)));
+        let Some(checkpoint) = self.build_checkpoint() else {
+            return;
+        };
+        self.last_checkpoint = ctx.now();
+        ctx.send(
+            self.master,
+            GridMsg::CheckpointMsg {
+                problem,
+                checkpoint,
+            },
+        );
     }
 
     /// Export the full current subproblem (for migration).
@@ -337,6 +405,15 @@ impl Process for Client {
             self.state = State::Done;
             return;
         }
+        // restart-safe: a client that crashed and came back drops any
+        // pre-crash solving state (the master has already recovered or
+        // requeued the subproblem) and registers as a fresh resource
+        self.state = State::Idle;
+        self.solver = None;
+        self.current_problem = None;
+        self.split_requested_at = None;
+        self.peers.clear();
+        self.last_heartbeat = ctx.now();
         ctx.send(
             self.master,
             GridMsg::Register {
@@ -344,6 +421,10 @@ impl Process for Client {
                 availability: ctx.info.availability,
             },
         );
+        if let Some(rel) = self.config.reliability {
+            // idle clients must keep ticking to renew their lease
+            ctx.schedule_tick(rel.heartbeat_period);
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
@@ -352,17 +433,48 @@ impl Process for Client {
         }
         match msg {
             GridMsg::Solve { spec, problem } => {
+                if matches!(self.state, State::Solving) {
+                    // the master's view went stale (reordered delivery);
+                    // never discard the search space we already hold
+                    if self.current_problem != Some(problem) {
+                        ctx.send(self.master, GridMsg::Requeue { spec });
+                    }
+                    return;
+                }
                 self.transfer_time = 0.0; // master-local dispatch, no estimate yet
                 self.adopt_problem(&spec, problem, ctx);
+                self.checkpoint_now(ctx);
             }
             GridMsg::Subproblem {
                 spec,
                 sent_at,
                 problem,
             } => {
+                if matches!(self.state, State::Solving) {
+                    // already working (e.g. the master falsely expired our
+                    // lease and re-dispatched): refuse rather than discard
+                    // our current search space, and hand the incoming half
+                    // back so it is not lost either
+                    ctx.send(
+                        self.master,
+                        GridMsg::SplitDone {
+                            requester: from,
+                            peer: ctx.me(),
+                            ok: false,
+                            problem: Some(problem),
+                            checkpoint: None,
+                        },
+                    );
+                    ctx.send(self.master, GridMsg::Requeue { spec });
+                    return;
+                }
                 self.transfer_time = (ctx.now() - sent_at).max(0.0);
                 self.adopt_problem(&spec, problem, ctx);
-                // Figure 3 message (4): receiver confirms the transfer
+                // Figure 3 message (4): receiver confirms the transfer.
+                // The initial recovery image rides along so the master
+                // never marks us Busy without one — a separate upload
+                // could still be in flight when we die.
+                self.last_checkpoint = ctx.now();
                 ctx.send(
                     self.master,
                     GridMsg::SplitDone {
@@ -370,6 +482,7 @@ impl Process for Client {
                         peer: ctx.me(),
                         ok: true,
                         problem: Some(problem),
+                        checkpoint: self.build_checkpoint(),
                     },
                 );
             }
@@ -381,6 +494,7 @@ impl Process for Client {
                     peer,
                     ok,
                     problem: None,
+                    checkpoint: None,
                 };
                 // stale grant: meant for a subproblem we no longer hold
                 if self.current_problem != Some(problem) {
@@ -412,6 +526,10 @@ impl Process for Client {
                         self.stats.splits += 1;
                         // the remaining half is a fresh, smaller problem
                         self.problem_started = ctx.now();
+                        // refresh the master's recovery image: the old
+                        // checkpoint predates the split and would resurrect
+                        // the half just handed away
+                        self.checkpoint_now(ctx);
                     }
                     None => {
                         ctx.send(self.master, done(false));
@@ -425,6 +543,7 @@ impl Process for Client {
                     peer,
                     ok,
                     problem: None,
+                    checkpoint: None,
                 };
                 if self.current_problem != Some(problem) {
                     // stale: this migration was meant for a previous problem
@@ -472,7 +591,9 @@ impl Process for Client {
             | GridMsg::SplitDone { .. }
             | GridMsg::Result { .. }
             | GridMsg::LoadReport { .. }
-            | GridMsg::CheckpointMsg(_) => {
+            | GridMsg::Heartbeat
+            | GridMsg::Requeue { .. }
+            | GridMsg::CheckpointMsg { .. } => {
                 debug_assert!(
                     false,
                     "client {:?} got master message from {from}",
@@ -484,6 +605,14 @@ impl Process for Client {
 
     fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
         if !matches!(self.state, State::Solving) {
+            if matches!(self.state, State::Idle) {
+                if let Some(rel) = self.config.reliability {
+                    // nothing to solve, but the lease must stay alive
+                    self.maybe_heartbeat(ctx);
+                    ctx.schedule_tick(rel.heartbeat_period);
+                    return;
+                }
+            }
             ctx.idle();
             return;
         }
@@ -538,6 +667,7 @@ impl Process for Client {
             );
         }
         self.maybe_checkpoint(ctx);
+        self.maybe_heartbeat(ctx);
         ctx.schedule_tick(0.0);
     }
 }
@@ -787,6 +917,154 @@ mod tests {
         c.on_message(NodeId(2), GridMsg::Share(vec![clause]), &mut cx);
         assert_eq!(c.stats.clauses_received, 1);
         assert_eq!(c.solver.as_ref().unwrap().pending_foreign(), 1);
+    }
+
+    #[test]
+    fn idle_client_heartbeats_under_reliability() {
+        let mut c = Client::new(NodeId(0), GridConfig::chaos_hardened());
+        let mut cx = ctx(0.0);
+        c.on_start(&mut cx);
+        let actions = cx.take_actions();
+        // registers AND keeps ticking so the lease stays renewable
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                msg: GridMsg::Register { .. },
+                ..
+            }
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, gridsat_grid::Action::ScheduleTick { .. })));
+        let mut cx = ctx(10.0);
+        c.on_tick(&mut cx);
+        let actions = cx.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::Heartbeat
+            }
+        )));
+        // paper-mode clients stay silent and simply go idle
+        let mut quiet = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        quiet.on_start(&mut cx);
+        let actions = cx.take_actions();
+        assert_eq!(actions.len(), 1); // just the Register
+    }
+
+    #[test]
+    fn restart_drops_stale_solving_state_and_reregisters() {
+        let mut c = Client::new(NodeId(0), GridConfig::chaos_hardened());
+        let mut cx = ctx(0.0);
+        c.on_start(&mut cx);
+        let _ = cx.take_actions();
+        let mut cx = ctx(1.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: Box::new(whole_problem()),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        assert!(c.is_solving());
+        // crash + restart: on_start fires again
+        let mut cx = ctx(50.0);
+        c.on_start(&mut cx);
+        assert!(!c.is_solving());
+        assert!(c.solver.is_none());
+        assert!(c.current_problem.is_none());
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                msg: GridMsg::Register { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn busy_client_refuses_a_transfer_and_requeues_it() {
+        let mut c = Client::new(NodeId(0), GridConfig::chaos_hardened());
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: Box::new(whole_problem()),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        let mut cx = ctx(1.0);
+        c.on_message(
+            NodeId(3),
+            GridMsg::Subproblem {
+                spec: Box::new(whole_problem()),
+                sent_at: 0.5,
+                problem: ProblemId::new(NodeId(3), 1),
+            },
+            &mut cx,
+        );
+        let actions = cx.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::SplitDone { ok: false, .. }
+            }
+        )));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::Requeue { .. }
+            }
+        )));
+        // still on the original problem
+        assert_eq!(c.current_problem, Some(ProblemId::new(NodeId(0), 1)));
+    }
+
+    #[test]
+    fn undeliverable_transfer_is_handed_back_to_the_master() {
+        let mut c = Client::new(NodeId(0), GridConfig::chaos_hardened());
+        let mut cx = ctx(0.0);
+        c.on_undeliverable(
+            NodeId(7),
+            GridMsg::Subproblem {
+                spec: Box::new(whole_problem()),
+                sent_at: 0.0,
+                problem: ProblemId::new(NodeId(1), 1),
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::Requeue { .. }
+            }
+        )));
+        // a result toward a blinking master is retried, not dropped
+        let mut cx = ctx(1.0);
+        c.on_undeliverable(
+            NodeId(0),
+            GridMsg::Result {
+                result: SubResult::Unsat,
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::Result { .. }
+            }
+        )));
     }
 
     #[test]

@@ -38,6 +38,44 @@ pub enum CheckpointMode {
     Heavy,
 }
 
+/// Reliable-delivery and failure-detection tunables (robustness
+/// extension; the paper's protocol assumes TCP and concedes it "will
+/// not tolerate a machine crash").
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Base retransmit time-out for control messages, seconds.
+    pub rto_s: f64,
+    /// Bandwidth assumed when scaling the time-out with message size
+    /// (matches the WAN floor, so in-flight transfers are never
+    /// retransmitted spuriously).
+    pub rto_bytes_per_s: f64,
+    /// Ceiling on exponential retransmit backoff, seconds.
+    pub backoff_cap_s: f64,
+    /// Retransmissions before a message is declared undeliverable.
+    pub max_retries: u32,
+    /// Retransmit jitter fraction (seeded; avoids retry storms).
+    pub jitter_frac: f64,
+    /// Client heartbeat period, seconds.
+    pub heartbeat_period: f64,
+    /// Consecutive missed heartbeats before the master expires a
+    /// client's lease and treats it as lost.
+    pub lease_misses: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            rto_s: 5.0,
+            rto_bytes_per_s: 4_000.0,
+            backoff_cap_s: 60.0,
+            max_retries: 5,
+            jitter_frac: 0.1,
+            heartbeat_period: 10.0,
+            lease_misses: 3,
+        }
+    }
+}
+
 /// Tunables of a GridSAT run. Defaults reproduce the paper's first
 /// experiment set (share limit 10, 100-second split time-out floor).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -81,6 +119,10 @@ pub struct GridConfig {
     pub assumed_bw_bytes_per_s: f64,
     /// Share-limit tuning policy (extension; `Fixed` = paper behaviour).
     pub share_tuning: ShareTuning,
+    /// Reliable control-plane delivery + heartbeat leases. `None` (the
+    /// default) runs the paper's bare protocol — the wire is then
+    /// bit-identical to a build without the reliability layer.
+    pub reliability: Option<ReliabilityConfig>,
 }
 
 impl Default for GridConfig {
@@ -102,6 +144,7 @@ impl Default for GridConfig {
             checkpoint_period: 300.0,
             assumed_bw_bytes_per_s: 4_000.0,
             share_tuning: ShareTuning::Fixed,
+            reliability: None,
         }
     }
 }
@@ -128,6 +171,18 @@ impl GridConfig {
             ..GridConfig::default()
         }
     }
+
+    /// Survive-anything profile for chaos runs: reliable control-plane
+    /// delivery, heartbeat leases, and light checkpoints so a lost busy
+    /// client is recovered instead of ending the run.
+    pub fn chaos_hardened() -> GridConfig {
+        GridConfig {
+            reliability: Some(ReliabilityConfig::default()),
+            checkpoint: CheckpointMode::Light,
+            checkpoint_period: 30.0,
+            ..GridConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +202,12 @@ mod tests {
         let e2 = GridConfig::experiment2(200_000.0);
         assert_eq!(e2.share_len_limit, Some(3));
         assert_eq!(e2.overall_timeout, 200_000.0);
+
+        // the paper presets run the bare protocol: reliability stays off
+        assert!(e1.reliability.is_none());
+        assert!(e2.reliability.is_none());
+        let hardened = GridConfig::chaos_hardened();
+        assert!(hardened.reliability.is_some());
+        assert_eq!(hardened.checkpoint, CheckpointMode::Light);
     }
 }

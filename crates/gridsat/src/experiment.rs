@@ -6,7 +6,10 @@ use crate::config::GridConfig;
 use crate::master::{GridOutcome, Master, MasterStats};
 use crate::msg::GridMsg;
 use gridsat_cnf::Formula;
-use gridsat_grid::{Ctx, NodeId, Process, Sim, SimStats, Testbed};
+use gridsat_grid::{
+    Ctx, NodeId, Process, Reliable, ReliableConfig, ReliableProcess, ReliableStats, RunEnd, Sim,
+    SimStats, Testbed,
+};
 use gridsat_obs::{MetricsRegistry, Obs};
 use std::collections::BTreeMap;
 
@@ -45,6 +48,38 @@ impl Process for GridNode {
     }
 }
 
+impl ReliableProcess for GridNode {
+    fn is_control(msg: &GridMsg) -> bool {
+        msg.is_control()
+    }
+
+    fn on_undeliverable(&mut self, to: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        match self {
+            GridNode::Master(m) => m.on_undeliverable(to, msg, ctx),
+            GridNode::Client(c) => c.on_undeliverable(to, msg, ctx),
+        }
+    }
+}
+
+/// The simulation type for a GridSAT run: every node is wrapped in the
+/// reliability layer (a pure passthrough unless
+/// [`GridConfig::reliability`] is set).
+pub type GridSim = Sim<Reliable<GridNode>>;
+
+/// Map the run-level reliability knobs onto the wire-level wrapper
+/// config (the heartbeat/lease knobs live in the master and clients, not
+/// on the wire).
+fn wire_reliability(config: &GridConfig) -> Option<ReliableConfig> {
+    config.reliability.map(|r| ReliableConfig {
+        rto_s: r.rto_s,
+        rto_bytes_per_s: r.rto_bytes_per_s,
+        backoff_cap_s: r.backoff_cap_s,
+        max_retries: r.max_retries,
+        jitter_frac: r.jitter_frac,
+        ..ReliableConfig::default()
+    })
+}
+
 /// A finished GridSAT run.
 #[derive(Debug)]
 pub struct GridReport {
@@ -54,16 +89,18 @@ pub struct GridReport {
     pub master: MasterStats,
     /// Aggregated client counters.
     pub clients: ClientStats,
+    /// Aggregated reliability-layer counters (all zero when the layer is
+    /// off or the network was fault-free).
+    pub reliable: ReliableStats,
     pub sim: SimStats,
 }
 
 impl GridReport {
     /// Paper-style table cell: time in seconds, or the failure mode.
     pub fn table_cell(&self) -> String {
-        match self.outcome {
+        match &self.outcome {
             GridOutcome::Sat(_) | GridOutcome::Unsat => format!("{:.0}", self.seconds),
-            GridOutcome::TimeOut => "TIME_OUT".into(),
-            GridOutcome::ClientLost => "CLIENT_LOST".into(),
+            other => other.table_cell(),
         }
     }
 
@@ -74,6 +111,7 @@ impl GridReport {
         reg.gauge_set("run.seconds", self.seconds);
         self.master.export_metrics(&mut reg, "master");
         self.clients.export_metrics(&mut reg, "client");
+        self.reliable.export_metrics(&mut reg, "reliable");
         self.sim.export_metrics(&mut reg, "sim");
         reg
     }
@@ -81,18 +119,13 @@ impl GridReport {
 
 /// Build the simulation for a run (exposed so figures and tests can
 /// inspect the sim mid-flight).
-pub fn build_sim(formula: &Formula, testbed: Testbed, config: GridConfig) -> Sim<GridNode> {
+pub fn build_sim(formula: &Formula, testbed: Testbed, config: GridConfig) -> GridSim {
     build_sim_obs(formula, testbed, config, Obs::default())
 }
 
 /// Like [`build_sim`], but with an event sink threaded into the engine,
 /// the master, every client, and every solver the clients spawn.
-pub fn build_sim_obs(
-    formula: &Formula,
-    testbed: Testbed,
-    config: GridConfig,
-    obs: Obs,
-) -> Sim<GridNode> {
+pub fn build_sim_obs(formula: &Formula, testbed: Testbed, config: GridConfig, obs: Obs) -> GridSim {
     let master_id = NodeId(0);
     let speeds: BTreeMap<NodeId, (f64, gridsat_grid::Site)> = testbed
         .hosts
@@ -102,8 +135,9 @@ pub fn build_sim_obs(
         .collect();
     let formula = formula.clone();
     let node_obs = obs.clone();
+    let wire = wire_reliability(&config);
     let mut sim = Sim::new(testbed, move |id| {
-        if id == master_id {
+        let node = if id == master_id {
             let mut master = Master::new(formula.clone(), config.clone(), speeds.clone());
             master.set_obs(node_obs.clone());
             GridNode::Master(Box::new(master))
@@ -111,7 +145,10 @@ pub fn build_sim_obs(
             let mut client = Client::new(master_id, config.clone());
             client.set_obs(node_obs.clone());
             GridNode::Client(Box::new(client))
-        }
+        };
+        let mut wrapped = Reliable::new(node, wire).with_rng_salt(u64::from(id.0) + 1);
+        wrapped.set_obs(node_obs.clone());
+        wrapped
     });
     sim.set_obs(obs);
     sim
@@ -127,18 +164,30 @@ pub fn run(formula: &Formula, testbed: Testbed, config: GridConfig) -> GridRepor
 }
 
 /// Extract the report from a finished (or capped) simulation.
-pub fn report(sim: &Sim<GridNode>, cap: f64) -> GridReport {
-    let GridNode::Master(master) = sim.process(NodeId(0)) else {
+pub fn report(sim: &GridSim, cap: f64) -> GridReport {
+    let GridNode::Master(master) = sim.process(NodeId(0)).inner() else {
         panic!("node 0 is the master");
     };
-    let outcome = master.outcome().cloned().unwrap_or(GridOutcome::TimeOut);
+    let outcome = match master.outcome().cloned() {
+        Some(o) => o,
+        // no decision: distinguish "still grinding when the cap hit"
+        // from "the event queue drained with work open" (a lost message
+        // nobody recovered — the quiescence detector)
+        None => match sim.last_run_end() {
+            Some(RunEnd::Exhausted) => GridOutcome::Wedged,
+            _ => GridOutcome::TimeOut,
+        },
+    };
     let seconds = match outcome {
-        GridOutcome::TimeOut => cap,
+        GridOutcome::TimeOut | GridOutcome::Wedged => cap,
         _ => master.finished_at(),
     };
     let mut clients = ClientStats::default();
-    for i in 1..sim_num_nodes(sim) {
-        if let GridNode::Client(c) = sim.process(NodeId(i as u32)) {
+    let mut reliable = ReliableStats::default();
+    for i in 0..sim.num_nodes() {
+        let wrapper = sim.process(NodeId(i as u32));
+        reliable.absorb(&wrapper.stats);
+        if let GridNode::Client(c) = wrapper.inner() {
             clients.absorb(&c.stats);
         }
     }
@@ -147,12 +196,9 @@ pub fn report(sim: &Sim<GridNode>, cap: f64) -> GridReport {
         seconds,
         master: master.stats,
         clients,
+        reliable,
         sim: sim.stats,
     }
-}
-
-fn sim_num_nodes(sim: &Sim<GridNode>) -> usize {
-    sim.num_nodes()
 }
 
 #[cfg(test)]
@@ -206,6 +252,24 @@ mod tests {
         assert!(prom.contains("# TYPE client_work"));
         assert!(prom.contains("# TYPE sim_messages_delivered"));
         assert!(prom.contains("# TYPE run_seconds gauge"));
+    }
+
+    #[test]
+    fn reliability_layer_is_free_without_faults() {
+        let f = gridsat_cnf::paper::fig1_formula();
+        let bare = run(&f, tb(3), GridConfig::default());
+        assert!(matches!(bare.outcome, GridOutcome::Sat(_)));
+        // passthrough mode never tracks anything
+        assert_eq!(bare.reliable, ReliableStats::default());
+        // hardened on a clean network: tracked sends, but no recovery work
+        let hardened = run(&f, tb(3), GridConfig::chaos_hardened());
+        assert!(matches!(hardened.outcome, GridOutcome::Sat(_)));
+        assert!(hardened.reliable.data_sent > 0);
+        assert_eq!(hardened.reliable.retransmits, 0);
+        assert_eq!(hardened.reliable.dup_drops, 0);
+        assert_eq!(hardened.reliable.expired, 0);
+        assert_eq!(hardened.master.lease_expiries, 0);
+        assert_eq!(hardened.master.requeues, 0);
     }
 
     #[test]

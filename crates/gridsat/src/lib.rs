@@ -40,6 +40,7 @@
 //!   100 s split time-out, 60% memory fraction, checkpointing modes).
 
 pub mod campaign;
+pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod experiment;
@@ -47,9 +48,10 @@ pub mod master;
 pub mod msg;
 
 pub use campaign::{Comparison, ComparisonRow};
+pub use chaos::{CrashWindow, FaultPlan, LinkWindow};
 pub use client::Client;
-pub use config::{CheckpointMode, GridConfig, SchedPolicy};
-pub use experiment::{run, GridNode, GridReport};
+pub use config::{CheckpointMode, GridConfig, ReliabilityConfig, SchedPolicy};
+pub use experiment::{run, GridNode, GridReport, GridSim};
 pub use master::{
     ClientSnapshot, ClientState, GrantKind, GridOutcome, Master, MasterSnapshot, MasterStats,
 };

@@ -15,7 +15,7 @@ use gridsat_nws::{Adaptive, Forecaster};
 use gridsat_obs::{Event, MetricsRegistry, Obs};
 use gridsat_solver::SplitSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Final outcome of a GridSAT run.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +28,11 @@ pub enum GridOutcome {
     TimeOut,
     /// A busy client was lost without checkpointing.
     ClientLost,
+    /// The simulation went quiescent (event queue drained) while the
+    /// master still had open subproblems: a control message was lost and
+    /// never recovered. A correct reliability layer makes this
+    /// unreachable — it is a detector, not a legitimate end state.
+    Wedged,
 }
 
 impl GridOutcome {
@@ -37,6 +42,7 @@ impl GridOutcome {
             GridOutcome::Unsat => "UNSAT".into(),
             GridOutcome::TimeOut => "TIME_OUT".into(),
             GridOutcome::ClientLost => "CLIENT_LOST".into(),
+            GridOutcome::Wedged => "WEDGED".into(),
         }
     }
 }
@@ -59,6 +65,12 @@ pub struct MasterStats {
     pub results: u64,
     /// Recoveries from checkpoints (extension).
     pub recoveries: u64,
+    /// Client leases expired by missed heartbeats (reliability
+    /// extension).
+    pub lease_expiries: u64,
+    /// Subproblems taken back after an undeliverable assignment or
+    /// transfer (reliability extension).
+    pub requeues: u64,
 }
 
 impl MasterStats {
@@ -74,6 +86,8 @@ impl MasterStats {
             verification_failures,
             results,
             recoveries,
+            lease_expiries,
+            requeues,
         } = *other;
         self.max_active_clients = self.max_active_clients.max(max_active_clients);
         self.splits += splits;
@@ -82,6 +96,8 @@ impl MasterStats {
         self.verification_failures += verification_failures;
         self.results += results;
         self.recoveries += recoveries;
+        self.lease_expiries += lease_expiries;
+        self.requeues += requeues;
     }
 
     /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
@@ -94,6 +110,8 @@ impl MasterStats {
             verification_failures,
             results,
             recoveries,
+            lease_expiries,
+            requeues,
         } = *self;
         reg.gauge_set(
             &format!("{prefix}.max_active_clients"),
@@ -108,6 +126,8 @@ impl MasterStats {
         );
         reg.counter_add(&format!("{prefix}.results"), results);
         reg.counter_add(&format!("{prefix}.recoveries"), recoveries);
+        reg.counter_add(&format!("{prefix}.lease_expiries"), lease_expiries);
+        reg.counter_add(&format!("{prefix}.requeues"), requeues);
     }
 }
 
@@ -141,6 +161,10 @@ struct ClientInfo {
     problem: Option<ProblemId>,
     /// Last checkpoint uploaded by this client (extension).
     checkpoint: Option<Checkpoint>,
+    /// Simulated second of the last message from this client; heartbeats
+    /// keep it fresh so the master can expire silent clients
+    /// (reliability extension).
+    last_seen: f64,
 }
 
 /// The master process. Lives on node 0 of the testbed.
@@ -155,6 +179,10 @@ pub struct Master {
     /// requester -> (peer, kind) for in-flight grants.
     grants: BTreeMap<NodeId, (NodeId, GrantKind)>,
     first_problem_sent: bool,
+    /// Set by the first `on_start`; a second call means the master node
+    /// was restarted, which grants every client a fresh lease (their
+    /// heartbeats could not have reached us while we were down).
+    started: bool,
     /// Counter for subproblem ids minted by the master (dispatches).
     minted: u32,
     outcome: Option<GridOutcome>,
@@ -164,6 +192,11 @@ pub struct Master {
     /// Subproblems recovered from checkpoints of lost clients, awaiting
     /// an idle client (extension).
     pending_recovery: VecDeque<SplitSpec>,
+    /// Results that arrived before the transfer confirmation that would
+    /// have marked their sender Busy (at-least-once delivery reorders).
+    /// The late confirmation consumes the entry instead of resurrecting
+    /// an already-finished subproblem.
+    early_results: BTreeSet<(NodeId, ProblemId)>,
     pub stats: MasterStats,
     /// Event-tracing handle (disabled by default).
     obs: Obs,
@@ -239,12 +272,14 @@ impl Master {
             backlog: VecDeque::new(),
             grants: BTreeMap::new(),
             first_problem_sent: false,
+            started: false,
             minted: 0,
             outcome: None,
             finished_at: 0.0,
             rng_state,
             last_migration: f64::NEG_INFINITY,
             pending_recovery: VecDeque::new(),
+            early_results: BTreeSet::new(),
             stats: MasterStats::default(),
             obs: Obs::default(),
         }
@@ -568,16 +603,9 @@ impl Master {
         }
     }
 
-    /// Recover a lost busy client from its checkpoint (extension).
-    /// Returns `false` when no checkpoint exists (recovery impossible).
-    fn recover(&mut self, lost: NodeId, ctx: &mut Ctx<GridMsg>) -> bool {
-        let Some(info) = self.clients.get(&lost) else {
-            return false;
-        };
-        let Some(cp) = info.checkpoint.clone() else {
-            return false;
-        };
-        let spec = match cp {
+    /// Rebuild a dispatchable subproblem from a recovery image.
+    fn spec_from_checkpoint(&self, cp: Checkpoint) -> SplitSpec {
+        match cp {
             Checkpoint::Light { level0 } => {
                 // original clauses + recorded level-0 assignment
                 let mut spec = self.whole_problem();
@@ -589,11 +617,168 @@ impl Master {
                 assumptions: level0,
                 clauses: learned, // export_clauses() includes originals
             },
+        }
+    }
+
+    /// Recover a lost busy client from its checkpoint (extension).
+    /// Returns `false` when no checkpoint exists (recovery impossible).
+    fn recover(&mut self, lost: NodeId, ctx: &mut Ctx<GridMsg>) -> bool {
+        let Some(info) = self.clients.get(&lost) else {
+            return false;
         };
+        let Some(cp) = info.checkpoint.clone() else {
+            return false;
+        };
+        let spec = self.spec_from_checkpoint(cp);
         self.pending_recovery.push_back(spec);
         self.stats.recoveries += 1;
         self.dispatch_recoveries(ctx);
         true
+    }
+
+    /// Drop every open grant involving `node`, and free any still-tracked
+    /// peer those grants had reserved: a Receiving reservation must never
+    /// outlive the grant that made it, or the peer blocks the all-idle
+    /// UNSAT condition forever.
+    fn drop_grants_involving(&mut self, node: NodeId) {
+        let dropped: Vec<NodeId> = self
+            .grants
+            .iter()
+            .filter(|(r, (p, _))| **r == node || *p == node)
+            .map(|(r, _)| *r)
+            .collect();
+        for requester in dropped {
+            let Some((peer, _)) = self.grants.remove(&requester) else {
+                continue;
+            };
+            if peer == node {
+                continue;
+            }
+            if let Some(p) = self.clients.get_mut(&peer) {
+                if p.state == ClientState::Receiving {
+                    p.state = ClientState::Idle;
+                }
+            }
+        }
+    }
+
+    /// A client is gone (node down or lease expired): free its resources
+    /// and recover its subproblem if possible.
+    fn handle_client_loss(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
+        let Some(info) = self.clients.get(&node) else {
+            return;
+        };
+        self.early_results.retain(|(n, _)| *n != node);
+        match info.state {
+            ClientState::Idle => {
+                // "When an idle client is killed ... the master becomes
+                // aware of it and marks the resource as free."
+                self.clients.remove(&node);
+                self.backlog.retain(|id| *id != node);
+                self.broadcast_peers(ctx);
+            }
+            ClientState::Receiving if self.config.reliability.is_some() => {
+                // nothing to recover: the requester still holds the whole
+                // subproblem, and its undeliverable transfer will come
+                // back to us as a Requeue
+                self.clients.remove(&node);
+                self.backlog.retain(|id| *id != node);
+                self.drop_grants_involving(node);
+                self.broadcast_peers(ctx);
+                self.drain_backlog(ctx);
+            }
+            ClientState::Busy | ClientState::Receiving => {
+                // try checkpoint recovery; without it, the paper's current
+                // implementation "will not tolerate a machine crash"
+                if self.config.checkpoint != CheckpointMode::Off && self.recover(node, ctx) {
+                    self.clients.remove(&node);
+                    self.backlog.retain(|id| *id != node);
+                    self.drop_grants_involving(node);
+                    self.broadcast_peers(ctx);
+                    self.dispatch_recoveries(ctx);
+                    self.drain_backlog(ctx);
+                } else {
+                    self.finish(GridOutcome::ClientLost, EndReason::ClientLost, ctx);
+                }
+            }
+        }
+    }
+
+    /// Expire clients whose lease (heartbeat_period x lease_misses) ran
+    /// out: a partitioned or silently-dead client is treated exactly like
+    /// a crashed one (reliability extension).
+    fn expire_leases(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let Some(rel) = self.config.reliability else {
+            return;
+        };
+        let lease = rel.heartbeat_period * f64::from(rel.lease_misses);
+        let now = ctx.now();
+        let expired: Vec<NodeId> = self
+            .clients
+            .iter()
+            .filter(|(_, c)| now - c.last_seen > lease)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            self.stats.lease_expiries += 1;
+            self.obs
+                .emit(now, 0, || Event::LeaseExpire { client: id.0 });
+            self.handle_client_loss(id, ctx);
+            if self.outcome.is_some() {
+                return;
+            }
+        }
+    }
+
+    /// A control message toward `to` exhausted its retry budget or its
+    /// destination went down with the message unacked (reliability
+    /// extension). Undo whatever the send was supposed to accomplish.
+    pub fn on_undeliverable(&mut self, to: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        if self.outcome.is_some() {
+            return;
+        }
+        match msg {
+            GridMsg::Solve { spec, problem } => {
+                // the assignment never arrived: take the subproblem back
+                // and hand it to someone else
+                if let Some(info) = self.clients.get_mut(&to) {
+                    if info.problem == Some(problem) {
+                        info.state = ClientState::Idle;
+                        info.problem = None;
+                        info.checkpoint = None;
+                    }
+                }
+                self.pending_recovery.push_back(*spec);
+                self.stats.requeues += 1;
+                self.dispatch_recoveries(ctx);
+            }
+            GridMsg::SplitGrant { .. } | GridMsg::Migrate { .. } => {
+                // the grant never reached the requester: forget it and
+                // free the reserved peer
+                if let Some((peer, _)) = self.grants.remove(&to) {
+                    if let Some(p) = self.clients.get_mut(&peer) {
+                        if p.state == ClientState::Receiving {
+                            p.state = ClientState::Idle;
+                        }
+                    }
+                }
+                self.drain_backlog(ctx);
+            }
+            // peer lists are re-broadcast on every membership change and
+            // a terminate to a dead client changes nothing
+            _ => {}
+        }
+    }
+
+    /// Initial recovery image for a subproblem the master dispatches
+    /// itself: exactly the spec it is about to send, so a client crash
+    /// before its first own checkpoint still leaves the search space
+    /// recoverable.
+    fn synth_checkpoint(&self, spec: &SplitSpec) -> Option<Checkpoint> {
+        (self.config.checkpoint != CheckpointMode::Off).then(|| Checkpoint::Heavy {
+            level0: spec.assumptions.clone(),
+            learned: spec.clauses.clone(),
+        })
     }
 
     /// Hand queued recovered subproblems to idle clients.
@@ -605,6 +790,7 @@ impl Master {
             let spec = self.pending_recovery.pop_front().expect("non-empty");
             self.minted += 1;
             let problem = ProblemId::new(NodeId(0), self.minted);
+            let cp = self.synth_checkpoint(&spec);
             ctx.send(
                 target,
                 GridMsg::Solve {
@@ -616,6 +802,7 @@ impl Master {
             info.state = ClientState::Busy;
             info.problem_since = ctx.now();
             info.problem = Some(problem);
+            info.checkpoint = cp;
             self.obs
                 .emit(ctx.now(), 0, || Event::Assign { client: target.0 });
         }
@@ -626,12 +813,25 @@ impl Process for Master {
     type Msg = GridMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if self.started {
+            // restart: clients kept heartbeating into the void while we
+            // were down — give every lease a fresh start
+            let now = ctx.now();
+            for info in self.clients.values_mut() {
+                info.last_seen = now;
+            }
+        }
+        self.started = true;
         ctx.schedule_tick(self.config.master_period);
     }
 
     fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
         if self.outcome.is_some() {
             return;
+        }
+        // any traffic renews the sender's lease, not just heartbeats
+        if let Some(info) = self.clients.get_mut(&from) {
+            info.last_seen = ctx.now();
         }
         match msg {
             GridMsg::Register {
@@ -651,6 +851,7 @@ impl Process for Master {
                         problem_since: 0.0,
                         problem: None,
                         checkpoint: None,
+                        last_seen: ctx.now(),
                     },
                 );
                 self.broadcast_peers(ctx);
@@ -663,10 +864,12 @@ impl Process for Master {
                     let spec = self.whole_problem();
                     self.minted += 1;
                     let problem = ProblemId::new(NodeId(0), self.minted);
+                    let cp = self.synth_checkpoint(&spec);
                     let info = self.clients.get_mut(&from).expect("registered");
                     info.state = ClientState::Busy;
                     info.problem_since = ctx.now();
                     info.problem = Some(problem);
+                    info.checkpoint = cp;
                     ctx.send(
                         from,
                         GridMsg::Solve {
@@ -683,15 +886,26 @@ impl Process for Master {
                 self.note_activity();
             }
             GridMsg::SplitRequest { problem } => {
-                // refresh our notion of the requester's current subproblem
                 let busy = self
                     .clients
                     .get(&from)
                     .map(|c| c.state == ClientState::Busy)
                     .unwrap_or(false);
                 if busy {
-                    self.clients.get_mut(&from).expect("busy").problem = Some(problem);
-                    self.grant_split(from, ctx);
+                    let info = self.clients.get_mut(&from).expect("busy");
+                    if info.problem.is_none() {
+                        // learn the requester's subproblem if we missed it
+                        info.problem = Some(problem);
+                    }
+                    // grant only when the request names the subproblem we
+                    // believe the client holds: a retransmitted request
+                    // can land long after that subproblem was finished,
+                    // and taking its word would regress our view. The
+                    // client re-requests periodically, so a skipped grant
+                    // only delays the split.
+                    if info.problem == Some(problem) {
+                        self.grant_split(from, ctx);
+                    }
                 }
             }
             GridMsg::SplitDone {
@@ -699,6 +913,7 @@ impl Process for Master {
                 peer,
                 ok,
                 problem,
+                checkpoint,
             } => {
                 let grant = self.grants.get(&requester).copied();
                 if from == requester {
@@ -734,14 +949,63 @@ impl Process for Master {
                         (_, None) => {}
                     }
                 } else if from == peer {
-                    // Figure 3 message (4): the receiving peer's report
-                    if ok {
-                        let info = self.clients.get_mut(&from).expect("peer");
-                        info.state = ClientState::Busy;
-                        info.problem_since = ctx.now();
-                        info.problem = problem;
+                    // Figure 3 message (4): the receiving peer's report.
+                    // If the peer's result overtook this confirmation the
+                    // subproblem is already finished; marking the peer
+                    // Busy now would wedge the run waiting for a result
+                    // that was consumed long ago.
+                    let already_done =
+                        problem.is_some_and(|p| self.early_results.remove(&(from, p)));
+                    let grant_open = grant.is_some_and(|(p, _)| p == from);
+                    if ok && !already_done {
+                        if let Some(info) = self.clients.get_mut(&from) {
+                            // a confirmation from a tracked peer with no
+                            // open grant is a replay of one we already
+                            // processed (our dedup window died with a
+                            // restart); the subproblem it confirms has
+                            // long been handled
+                            if grant_open {
+                                info.state = ClientState::Busy;
+                                info.problem_since = ctx.now();
+                                info.problem = problem;
+                                // the confirmation bundles the peer's
+                                // initial recovery image, so a client is
+                                // never Busy without one — a crash at any
+                                // point after this stays recoverable
+                                if self.config.checkpoint != CheckpointMode::Off {
+                                    if let Some(cp) = checkpoint {
+                                        let heavy = matches!(*cp, Checkpoint::Heavy { .. });
+                                        info.checkpoint = Some(*cp);
+                                        self.obs.emit(ctx.now(), 0, || Event::CheckpointSaved {
+                                            client: from.0,
+                                            heavy,
+                                        });
+                                    }
+                                }
+                            }
+                        } else if let Some(cp) = checkpoint {
+                            // the peer's lease expired mid-transfer and it
+                            // was deregistered — yet the transfer landed
+                            // and it is now solving, untracked. Re-dispatch
+                            // from the bundled image: duplicated work, but
+                            // UNSAT must never close over a search space
+                            // the master has lost sight of.
+                            let spec = self.spec_from_checkpoint(*cp);
+                            self.pending_recovery.push_back(spec);
+                            self.stats.recoveries += 1;
+                            self.dispatch_recoveries(ctx);
+                        } else {
+                            // no image to recover from (checkpointing off)
+                            self.finish(GridOutcome::ClientLost, EndReason::ClientLost, ctx);
+                            return;
+                        }
                     }
                     self.grants.remove(&requester);
+                    if already_done {
+                        // closing the grant may have been the last thing
+                        // holding off an all-idle termination
+                        self.check_termination(ctx);
+                    }
                 }
                 self.note_activity();
                 self.drain_backlog(ctx);
@@ -753,10 +1017,20 @@ impl Process for Master {
                     client: from.0,
                     sat,
                 });
+                if self.grants.values().any(|(p, _)| *p == from) {
+                    // this client is the peer of an in-flight transfer:
+                    // its confirmation (Figure 3 message 4) is still on
+                    // the wire and must not re-open the subproblem when
+                    // it lands after this result
+                    self.early_results.insert((from, problem));
+                }
                 if let Some(info) = self.clients.get_mut(&from) {
-                    info.state = ClientState::Idle;
-                    info.checkpoint = None;
-                    if info.problem == Some(problem) {
+                    // a duplicate of an old result (client-side delivery
+                    // retries) must not idle a client that has since
+                    // been handed different work
+                    if info.problem == Some(problem) || info.problem.is_none() {
+                        info.state = ClientState::Idle;
+                        info.checkpoint = None;
                         info.problem = None;
                     }
                 }
@@ -796,15 +1070,47 @@ impl Process for Master {
                     info.forecast.update(availability);
                 }
             }
-            GridMsg::CheckpointMsg(cp) => {
+            // lease renewal; the blanket last_seen refresh above did the work
+            GridMsg::Heartbeat => {}
+            GridMsg::Requeue { spec } => {
+                // a client could not deliver a subproblem transfer; take
+                // the search space back so it is not lost
+                if let Some((peer, _)) = self.grants.remove(&from) {
+                    if let Some(p) = self.clients.get_mut(&peer) {
+                        if p.state == ClientState::Receiving {
+                            p.state = ClientState::Idle;
+                        }
+                    }
+                }
+                self.pending_recovery.push_back(*spec);
+                self.stats.requeues += 1;
+                self.dispatch_recoveries(ctx);
+                self.drain_backlog(ctx);
+            }
+            GridMsg::CheckpointMsg {
+                problem,
+                checkpoint,
+            } => {
                 if self.config.checkpoint != CheckpointMode::Off {
                     if let Some(info) = self.clients.get_mut(&from) {
-                        let heavy = matches!(*cp, Checkpoint::Heavy { .. });
-                        info.checkpoint = Some(*cp);
-                        self.obs.emit(ctx.now(), 0, || Event::CheckpointSaved {
-                            client: from.0,
-                            heavy,
-                        });
+                        // Reordering guard: only keep a checkpoint for
+                        // the subproblem the client is known to hold. A
+                        // Receiving peer's adopt-time checkpoint usually
+                        // beats the transfer confirmation here, so it
+                        // also teaches us the subproblem id early.
+                        let fresh =
+                            info.problem == Some(problem) || info.state == ClientState::Receiving;
+                        if fresh {
+                            if info.state == ClientState::Receiving {
+                                info.problem = Some(problem);
+                            }
+                            let heavy = matches!(*checkpoint, Checkpoint::Heavy { .. });
+                            info.checkpoint = Some(*checkpoint);
+                            self.obs.emit(ctx.now(), 0, || Event::CheckpointSaved {
+                                client: from.0,
+                                heavy,
+                            });
+                        }
                     }
                 }
             }
@@ -826,6 +1132,10 @@ impl Process for Master {
             ctx.idle();
             return;
         }
+        self.expire_leases(ctx);
+        if self.outcome.is_some() {
+            return;
+        }
         self.dispatch_recoveries(ctx);
         self.drain_backlog(ctx);
         self.maybe_migrate(ctx);
@@ -840,34 +1150,14 @@ impl Process for Master {
         if self.outcome.is_some() {
             return;
         }
-        let Some(info) = self.clients.get(&node) else {
-            return;
-        };
-        match info.state {
-            ClientState::Idle => {
-                // "When an idle client is killed ... the master becomes
-                // aware of it and marks the resource as free."
-                self.clients.remove(&node);
-                self.broadcast_peers(ctx);
-            }
-            ClientState::Busy | ClientState::Receiving => {
-                // try checkpoint recovery; without it, the paper's current
-                // implementation "will not tolerate a machine crash"
-                if self.config.checkpoint != CheckpointMode::Off && self.recover(node, ctx) {
-                    self.clients.remove(&node);
-                    self.grants.retain(|r, (p, _)| *r != node && *p != node);
-                    self.broadcast_peers(ctx);
-                } else {
-                    self.finish(GridOutcome::ClientLost, EndReason::ClientLost, ctx);
-                }
-            }
-        }
+        self.handle_client_loss(node, ctx);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gridsat_cnf::Clause;
     use gridsat_grid::{Action, NodeInfo};
 
     fn ctx(now: f64) -> Ctx<GridMsg> {
@@ -1017,11 +1307,128 @@ mod tests {
                 peer: NodeId(2),
                 ok: false,
                 problem: None,
+                checkpoint: None,
             },
             &mut cx,
         );
         assert_eq!(m.clients[&NodeId(2)].state, ClientState::Idle);
         assert!(m.grants.is_empty());
+    }
+
+    #[test]
+    fn undeliverable_grant_frees_the_peer() {
+        let mut m = master();
+        register(&mut m, 1, 0.0);
+        register(&mut m, 2, 0.0);
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Receiving);
+        // the grant toward node 1 exhausts its retry budget
+        let mut cx = ctx(40.0);
+        m.on_undeliverable(
+            NodeId(1),
+            GridMsg::SplitGrant {
+                peer: NodeId(2),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Idle);
+        assert!(m.grants.is_empty());
+    }
+
+    #[test]
+    fn undeliverable_assign_requeues_the_subproblem() {
+        let mut m = master();
+        let actions = register(&mut m, 1, 0.0);
+        let spec = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    msg: GridMsg::Solve { spec, .. },
+                    ..
+                } => Some(spec.clone()),
+                _ => None,
+            })
+            .expect("first registrant gets the problem");
+        register(&mut m, 2, 0.0);
+        // the whole-problem assignment to node 1 never got through
+        let mut cx = ctx(40.0);
+        m.on_undeliverable(
+            NodeId(1),
+            GridMsg::Solve {
+                spec,
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        assert_eq!(m.stats.requeues, 1);
+        assert_eq!(m.clients[&NodeId(1)].state, ClientState::Idle);
+        // the subproblem went straight back out to the idle node 2
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: NodeId(2),
+                msg: GridMsg::Solve { .. }
+            }
+        )));
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
+        assert!(m.pending_recovery.is_empty());
+    }
+
+    #[test]
+    fn requeue_message_returns_a_lost_transfer() {
+        // reliability on, so a peer dying mid-transfer is not fatal
+        let mut m = Master::new(
+            gridsat_cnf::paper::fig1_formula(),
+            GridConfig::chaos_hardened(),
+            speeds(4),
+        );
+        register(&mut m, 1, 0.0);
+        register(&mut m, 2, 0.0);
+        register(&mut m, 3, 0.0);
+        let mut cx = ctx(1.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::SplitRequest {
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        let (peer, _) = m.grants[&NodeId(1)];
+        // the peer died mid-transfer; the requester hands the half back
+        let mut cx = ctx(2.0);
+        m.on_node_down(peer, &mut cx);
+        let mut cx = ctx(3.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::Requeue {
+                spec: Box::new(SplitSpec {
+                    num_vars: 1,
+                    assumptions: vec![(gridsat_cnf::Lit::pos(0), true)],
+                    clauses: vec![],
+                }),
+            },
+            &mut cx,
+        );
+        assert_eq!(m.stats.requeues, 1);
+        assert!(m.grants.is_empty());
+        // re-dispatched to the remaining idle client
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: GridMsg::Solve { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1047,6 +1454,7 @@ mod tests {
                 peer: NodeId(2),
                 ok: true,
                 problem: Some(ProblemId::new(NodeId(1), 1)),
+                checkpoint: None,
             },
             &mut cx,
         );
@@ -1061,6 +1469,7 @@ mod tests {
                 peer: NodeId(2),
                 ok: true,
                 problem: Some(ProblemId::new(NodeId(1), 1)),
+                checkpoint: None,
             },
             &mut cx,
         );
@@ -1160,6 +1569,140 @@ mod tests {
     }
 
     #[test]
+    fn double_crash_recovers_from_light_then_heavy_checkpoint() {
+        let mut m = Master::new(
+            gridsat_cnf::paper::fig1_formula(),
+            GridConfig {
+                checkpoint: CheckpointMode::Heavy,
+                ..GridConfig::default()
+            },
+            speeds(4),
+        );
+        register(&mut m, 1, 0.0); // busy with the whole problem
+        register(&mut m, 2, 0.0);
+        // crash 1: recover node 1 from a light checkpoint
+        let light_level0 = vec![(gridsat_cnf::Lit::pos(0), true)];
+        let p1 = m.clients[&NodeId(1)].problem.expect("assigned");
+        let mut cx = ctx(10.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::CheckpointMsg {
+                problem: p1,
+                checkpoint: Box::new(Checkpoint::Light {
+                    level0: light_level0.clone(),
+                }),
+            },
+            &mut cx,
+        );
+        let mut cx = ctx(20.0);
+        m.on_node_down(NodeId(1), &mut cx);
+        assert_eq!(m.stats.recoveries, 1);
+        assert!(m.outcome().is_none());
+        // the recovered subproblem went to the idle node 2, carrying the
+        // checkpointed guiding path as its assumptions
+        let actions = cx.take_actions();
+        let spec = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    to: NodeId(2),
+                    msg: GridMsg::Solve { spec, .. },
+                } => Some(spec.clone()),
+                _ => None,
+            })
+            .expect("recovery dispatched");
+        assert_eq!(spec.assumptions, light_level0);
+        assert_eq!(spec.clauses.len(), 9); // light = original clauses
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
+        // crash 2: the inheritor checkpoints heavily, then dies too
+        let heavy_level0 = vec![
+            (gridsat_cnf::Lit::pos(0), true),
+            (gridsat_cnf::Lit::neg(1), false),
+        ];
+        let learned = vec![Clause::new([gridsat_cnf::Lit::pos(2)])];
+        let p2 = m.clients[&NodeId(2)].problem.expect("recovery assigned");
+        let mut cx = ctx(30.0);
+        m.on_message(
+            NodeId(2),
+            GridMsg::CheckpointMsg {
+                problem: p2,
+                checkpoint: Box::new(Checkpoint::Heavy {
+                    level0: heavy_level0.clone(),
+                    learned: learned.clone(),
+                }),
+            },
+            &mut cx,
+        );
+        let mut cx = ctx(40.0);
+        m.on_node_down(NodeId(2), &mut cx);
+        assert_eq!(m.stats.recoveries, 2);
+        assert!(m.outcome().is_none());
+        // no idle client yet: the spec waits in pending_recovery, so the
+        // UNSAT detector must hold its fire
+        assert_eq!(m.pending_recovery.len(), 1);
+        let mut cx = ctx(41.0);
+        m.check_termination(&mut cx);
+        assert!(m.outcome().is_none());
+        // a fresh registrant picks it up on the next housekeeping tick
+        register(&mut m, 3, 50.0);
+        let mut cx = ctx(55.0);
+        m.on_tick(&mut cx);
+        let actions = cx.take_actions();
+        let spec = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    to: NodeId(3),
+                    msg: GridMsg::Solve { spec, .. },
+                } => Some(spec.clone()),
+                _ => None,
+            })
+            .expect("second recovery dispatched");
+        // heavy = deeper guiding path plus the learned clauses
+        assert_eq!(spec.assumptions, heavy_level0);
+        assert_eq!(spec.clauses, learned);
+        assert!(m.pending_recovery.is_empty());
+    }
+
+    #[test]
+    fn silent_client_lease_expires_and_is_recovered() {
+        let (obs, ring) = Obs::ring(64);
+        let mut m = Master::new(
+            gridsat_cnf::paper::fig1_formula(),
+            GridConfig::chaos_hardened(),
+            speeds(4),
+        );
+        m.set_obs(obs);
+        register(&mut m, 1, 0.0); // busy with the whole problem
+        register(&mut m, 2, 0.0);
+        let p1 = m.clients[&NodeId(1)].problem.expect("assigned");
+        let mut cx = ctx(5.0);
+        m.on_message(
+            NodeId(1),
+            GridMsg::CheckpointMsg {
+                problem: p1,
+                checkpoint: Box::new(Checkpoint::Light { level0: vec![] }),
+            },
+            &mut cx,
+        );
+        // node 2 keeps renewing its lease; node 1 goes silent
+        let mut cx = ctx(45.0);
+        m.on_message(NodeId(2), GridMsg::Heartbeat, &mut cx);
+        // lease = heartbeat_period 10 x lease_misses 3 = 30 s
+        let mut cx = ctx(50.0);
+        m.on_tick(&mut cx);
+        assert_eq!(m.stats.lease_expiries, 1);
+        assert_eq!(m.stats.recoveries, 1);
+        assert!(!m.clients.contains_key(&NodeId(1)));
+        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
+        assert!(m.outcome().is_none());
+        let events = ring.lock().unwrap().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::LeaseExpire { client: 1 })));
+    }
+
+    #[test]
     fn idle_client_loss_is_tolerated() {
         let mut m = master();
         register(&mut m, 1, 0.0);
@@ -1181,16 +1724,14 @@ mod tests {
         m.clients.get_mut(&NodeId(2)).unwrap().problem_since = 10.0;
         m.clients.get_mut(&NodeId(3)).unwrap().state = ClientState::Busy;
         m.clients.get_mut(&NodeId(3)).unwrap().problem_since = 20.0;
-        // all busy: requests back up
+        // all busy: requests back up (naming the subproblem the master
+        // believes each client holds, as real clients do)
         for id in [2u32, 3, 1] {
+            let problem = m.clients[&NodeId(id)]
+                .problem
+                .unwrap_or(ProblemId::new(NodeId(id), 1));
             let mut cx = ctx(30.0);
-            m.on_message(
-                NodeId(id),
-                GridMsg::SplitRequest {
-                    problem: ProblemId::new(NodeId(id), 1),
-                },
-                &mut cx,
-            );
+            m.on_message(NodeId(id), GridMsg::SplitRequest { problem }, &mut cx);
         }
         assert_eq!(m.backlog.len(), 3);
         // node 1 has been running longest (since 0.0)
@@ -1232,6 +1773,8 @@ mod tests {
             verification_failures: 5,
             results: 6,
             recoveries: 7,
+            lease_expiries: 8,
+            requeues: 9,
         };
         let mut acc = MasterStats::default();
         acc.absorb(&full);
@@ -1246,11 +1789,14 @@ mod tests {
                 verification_failures: 10,
                 results: 12,
                 recoveries: 14,
+                lease_expiries: 16,
+                requeues: 18,
             }
         );
         let mut reg = MetricsRegistry::new();
         acc.export_metrics(&mut reg, "master");
         assert_eq!(reg.counter("master.splits"), 2);
+        assert_eq!(reg.counter("master.requeues"), 18);
         assert_eq!(reg.gauge("master.max_active_clients"), Some(3.0));
     }
 
@@ -1278,6 +1824,7 @@ mod tests {
                 peer: NodeId(2),
                 ok: true,
                 problem: Some(ProblemId::new(NodeId(1), 1)),
+                checkpoint: None,
             },
             &mut cx,
         );

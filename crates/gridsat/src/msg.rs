@@ -79,6 +79,11 @@ pub enum GridMsg {
         ok: bool,
         /// For the peer's confirmation: the subproblem it now holds.
         problem: Option<ProblemId>,
+        /// For the peer's confirmation: its initial recovery image,
+        /// bundled so the master never holds a Busy client without a
+        /// checkpoint (a separate upload could be lost while the client
+        /// dies, making the subproblem unrecoverable).
+        checkpoint: Option<Box<Checkpoint>>,
     },
     /// Subproblem finished.
     Result {
@@ -88,8 +93,20 @@ pub enum GridMsg {
     /// Periodic NWS-style load measurement feeding the master's
     /// forecasters.
     LoadReport { availability: f64 },
-    /// Checkpoint upload (extension).
-    CheckpointMsg(Box<Checkpoint>),
+    /// Checkpoint upload (extension). Tagged with the subproblem it
+    /// covers so the master can reject a checkpoint delivered after the
+    /// subproblem already finished (at-least-once delivery reorders).
+    CheckpointMsg {
+        problem: ProblemId,
+        checkpoint: Box<Checkpoint>,
+    },
+    /// Lease renewal: "I am alive" (reliability extension). Sent
+    /// periodically so the master detects silent loss itself instead of
+    /// relying solely on connection teardown.
+    Heartbeat,
+    /// A subproblem transfer became undeliverable; its spec is handed
+    /// back to the master for re-dispatch (reliability extension).
+    Requeue { spec: Box<SplitSpec> },
 
     // ---- master -> client ----
     /// Assign a (sub)problem; the first registered client receives the
@@ -126,12 +143,49 @@ pub enum GridMsg {
     Share(Vec<Clause>),
 }
 
+impl GridMsg {
+    /// Does losing this message threaten soundness or liveness of the
+    /// protocol? Control messages get acked at-least-once delivery under
+    /// the reliability layer; the rest is intentionally fire-and-forget:
+    /// clause shares and load reports are periodic best-effort streams,
+    /// peer-list updates are re-broadcast on every membership change, and
+    /// heartbeats exist precisely to be allowed to miss.
+    pub fn is_control(&self) -> bool {
+        match self {
+            GridMsg::Share(_)
+            | GridMsg::LoadReport { .. }
+            | GridMsg::Peers(_)
+            | GridMsg::Heartbeat => false,
+            GridMsg::Register { .. }
+            | GridMsg::SplitRequest { .. }
+            | GridMsg::SplitDone { .. }
+            | GridMsg::Result { .. }
+            | GridMsg::CheckpointMsg { .. }
+            | GridMsg::Solve { .. }
+            | GridMsg::SplitGrant { .. }
+            | GridMsg::Migrate { .. }
+            | GridMsg::Terminate(_)
+            | GridMsg::Subproblem { .. }
+            | GridMsg::Requeue { .. } => true,
+        }
+    }
+}
+
 impl MessageSize for GridMsg {
     fn size_bytes(&self) -> usize {
         match self {
             GridMsg::Register { .. } => 64,
             GridMsg::SplitRequest { .. } => 40,
-            GridMsg::SplitDone { .. } => 48,
+            GridMsg::SplitDone { checkpoint, .. } => {
+                48 + match checkpoint.as_deref() {
+                    None => 0,
+                    Some(Checkpoint::Light { level0 }) => 8 + level0.len() * 5,
+                    Some(Checkpoint::Heavy { level0, learned }) => {
+                        8 + level0.len() * 5
+                            + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
+                    }
+                }
+            }
             GridMsg::Result {
                 result: SubResult::Unsat,
                 ..
@@ -141,10 +195,12 @@ impl MessageSize for GridMsg {
                 ..
             } => 40 + lits.len() * 5,
             GridMsg::LoadReport { .. } => 32,
-            GridMsg::CheckpointMsg(cp) => match cp.as_ref() {
-                Checkpoint::Light { level0 } => 32 + level0.len() * 5,
+            GridMsg::Heartbeat => 24,
+            GridMsg::Requeue { spec } => spec.approx_message_bytes(),
+            GridMsg::CheckpointMsg { checkpoint, .. } => match checkpoint.as_ref() {
+                Checkpoint::Light { level0 } => 40 + level0.len() * 5,
                 Checkpoint::Heavy { level0, learned } => {
-                    32 + level0.len() * 5 + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
+                    40 + level0.len() * 5 + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
                 }
             },
             GridMsg::Solve { spec, .. } => spec.approx_message_bytes(),
@@ -173,7 +229,9 @@ impl MessageSize for GridMsg {
                 ..
             } => "result(UNSAT)".into(),
             GridMsg::LoadReport { .. } => "load-report".into(),
-            GridMsg::CheckpointMsg(_) => "checkpoint".into(),
+            GridMsg::Heartbeat => "heartbeat".into(),
+            GridMsg::Requeue { .. } => "requeue".into(),
+            GridMsg::CheckpointMsg { .. } => "checkpoint".into(),
             GridMsg::Solve { .. } => "solve".into(),
             GridMsg::SplitGrant { .. } => "split-grant(2)".into(),
             GridMsg::Migrate { .. } => "migrate".into(),
@@ -209,6 +267,26 @@ mod tests {
             problem: ProblemId::new(NodeId(1), 1),
         };
         assert_eq!(sub.size_bytes(), spec.approx_message_bytes());
+    }
+
+    #[test]
+    fn control_classification_protects_the_protocol_messages() {
+        assert!(GridMsg::Result {
+            result: SubResult::Unsat,
+            problem: ProblemId::new(NodeId(1), 0)
+        }
+        .is_control());
+        assert!(GridMsg::SplitGrant {
+            peer: NodeId(2),
+            problem: ProblemId::new(NodeId(0), 0)
+        }
+        .is_control());
+        assert!(GridMsg::Terminate(EndReason::Sat).is_control());
+        // the lossy-by-design streams
+        assert!(!GridMsg::Share(vec![]).is_control());
+        assert!(!GridMsg::LoadReport { availability: 1.0 }.is_control());
+        assert!(!GridMsg::Peers(vec![]).is_control());
+        assert!(!GridMsg::Heartbeat.is_control());
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub enum DropReason {
     LinkDown,
     /// The destination node had left the Grid before delivery.
     DeadPeer,
+    /// The chaos-injection layer lost the message (seeded fault plan).
+    Chaos,
 }
 
 impl DropReason {
@@ -27,6 +29,7 @@ impl DropReason {
             DropReason::Capacity => "capacity",
             DropReason::LinkDown => "link_down",
             DropReason::DeadPeer => "dead_peer",
+            DropReason::Chaos => "chaos",
         }
     }
 
@@ -35,6 +38,7 @@ impl DropReason {
             "capacity" => Some(DropReason::Capacity),
             "link_down" => Some(DropReason::LinkDown),
             "dead_peer" => Some(DropReason::DeadPeer),
+            "chaos" => Some(DropReason::Chaos),
             _ => None,
         }
     }
@@ -83,6 +87,22 @@ pub enum Event {
     NodeUp,
     /// The node went away.
     NodeDown,
+    /// A fault-plan action fired (link cut/heal, chaos delay spike).
+    FaultInject { what: String },
+
+    // ---- reliable delivery ----
+    /// An unacked control message was sent again (attempt is 1-based).
+    Retransmit {
+        to: u32,
+        label: String,
+        attempt: u64,
+    },
+    /// An acknowledgement closed an outstanding control message.
+    Acked { peer: u32 },
+    /// A duplicate delivery was suppressed by the receiver's dedup window.
+    DupDrop { from: u32, label: String },
+    /// The master's heartbeat lease on a client ran out.
+    LeaseExpire { client: u32 },
 
     // ---- master ----
     /// A client registered with the master.
@@ -120,6 +140,11 @@ impl Event {
             Event::MsgDrop { .. } => "msg_drop",
             Event::NodeUp => "node_up",
             Event::NodeDown => "node_down",
+            Event::FaultInject { .. } => "fault_inject",
+            Event::Retransmit { .. } => "retransmit",
+            Event::Acked { .. } => "ack",
+            Event::DupDrop { .. } => "dup_drop",
+            Event::LeaseExpire { .. } => "lease_expire",
             Event::ClientLaunch { .. } => "client_launch",
             Event::Assign { .. } => "assign",
             Event::Split { .. } => "split",
@@ -257,6 +282,23 @@ impl TimedEvent {
                     .str("reason", reason.as_str());
             }
             Event::NodeUp | Event::NodeDown => {}
+            Event::FaultInject { what } => {
+                w.str("what", what);
+            }
+            Event::Retransmit { to, label, attempt } => {
+                w.u64("to", u64::from(*to))
+                    .str("label", label)
+                    .u64("attempt", *attempt);
+            }
+            Event::Acked { peer } => {
+                w.u64("peer", u64::from(*peer));
+            }
+            Event::DupDrop { from, label } => {
+                w.u64("from", u64::from(*from)).str("label", label);
+            }
+            Event::LeaseExpire { client } => {
+                w.u64("client", u64::from(*client));
+            }
             Event::ClientLaunch { client } | Event::Assign { client } => {
                 w.u64("client", u64::from(*client));
             }
@@ -330,6 +372,24 @@ impl TimedEvent {
             },
             "node_up" => Event::NodeUp,
             "node_down" => Event::NodeDown,
+            "fault_inject" => Event::FaultInject {
+                what: string(&m, "what")?,
+            },
+            "retransmit" => Event::Retransmit {
+                to: u32f(&m, "to")?,
+                label: string(&m, "label")?,
+                attempt: u64f(&m, "attempt")?,
+            },
+            "ack" => Event::Acked {
+                peer: u32f(&m, "peer")?,
+            },
+            "dup_drop" => Event::DupDrop {
+                from: u32f(&m, "from")?,
+                label: string(&m, "label")?,
+            },
+            "lease_expire" => Event::LeaseExpire {
+                client: u32f(&m, "client")?,
+            },
             "client_launch" => Event::ClientLaunch {
                 client: u32f(&m, "client")?,
             },
@@ -503,6 +563,32 @@ mod tests {
                 },
             ),
             ev(13.0, 3, Event::NodeDown),
+            ev(
+                13.1,
+                0,
+                Event::FaultInject {
+                    what: "link_down 1-2".into(),
+                },
+            ),
+            ev(
+                13.2,
+                1,
+                Event::Retransmit {
+                    to: 0,
+                    label: "result(UNSAT)".into(),
+                    attempt: 1,
+                },
+            ),
+            ev(13.3, 1, Event::Acked { peer: 0 }),
+            ev(
+                13.4,
+                0,
+                Event::DupDrop {
+                    from: 1,
+                    label: "result(UNSAT)".into(),
+                },
+            ),
+            ev(13.5, 0, Event::LeaseExpire { client: 2 }),
             ev(
                 14.0,
                 0,

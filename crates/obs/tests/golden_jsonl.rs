@@ -114,6 +114,32 @@ fn golden_events() -> Vec<TimedEvent> {
         ),
         ev(13.0, 3, Event::NodeDown),
         ev(
+            13.1,
+            0,
+            Event::FaultInject {
+                what: "link_down 1-2".into(),
+            },
+        ),
+        ev(
+            13.2,
+            1,
+            Event::Retransmit {
+                to: 0,
+                label: "result(UNSAT)".into(),
+                attempt: 1,
+            },
+        ),
+        ev(13.3, 1, Event::Acked { peer: 0 }),
+        ev(
+            13.4,
+            0,
+            Event::DupDrop {
+                from: 1,
+                label: "result(UNSAT)".into(),
+            },
+        ),
+        ev(13.5, 0, Event::LeaseExpire { client: 2 }),
+        ev(
             14.0,
             0,
             Event::Outcome {
@@ -127,7 +153,7 @@ fn golden_events() -> Vec<TimedEvent> {
 fn golden_file_covers_every_event_kind() {
     let kinds: std::collections::BTreeSet<&str> =
         golden_events().iter().map(|e| e.event.kind()).collect();
-    assert_eq!(kinds.len(), 19, "update the golden trace when adding kinds");
+    assert_eq!(kinds.len(), 24, "update the golden trace when adding kinds");
 }
 
 #[test]

@@ -15,4 +15,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+# Opt-in: the chaos soak takes a few minutes at full width, so it runs
+# in its own CI job and only here when explicitly requested.
+if [[ "${CHECK_CHAOS:-0}" == "1" ]]; then
+  echo "== chaos soak (fast profile)"
+  cargo run --release -p gridsat-bench --bin chaos_soak -- --fast
+fi
+
 echo "OK"
