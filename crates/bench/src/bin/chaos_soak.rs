@@ -8,7 +8,9 @@
 //!            [--fast] [--seeds N]
 //!
 //! `--fast` is the CI profile (few seeds); the default sweeps 20 seeds
-//! over all four fault plans and three instance families.
+//! over all five fault plans and three instance families. The
+//! `master-gone` plan runs under the failover profile (standby + journal
+//! + conservation auditor); the rest use the chaos-hardened profile.
 
 use gridsat::chaos::FaultPlan;
 use gridsat::{experiment, GridConfig, GridOutcome};
@@ -49,6 +51,18 @@ fn chaos_config() -> GridConfig {
     }
 }
 
+/// Killing the master for good is only survivable with a standby; the
+/// auditor cross-checks that recovery never loses or double-assigns a
+/// cube (it panics the run on a violation, which the sweep reports).
+fn failover_config() -> GridConfig {
+    GridConfig {
+        min_split_timeout: 0.2,
+        work_quantum_s: 0.1,
+        audit: true,
+        ..GridConfig::failover_hardened()
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -72,7 +86,11 @@ fn main() {
             let want = gridsat_solver::driver::decide(&f);
             for plan in FaultPlan::roster(seed.wrapping_mul(31).wrapping_add(7)) {
                 runs += 1;
-                let config = chaos_config();
+                let config = if plan.name == "master-gone" {
+                    failover_config()
+                } else {
+                    chaos_config()
+                };
                 let cap = config.overall_timeout;
                 let mut sim = build(&f, config);
                 plan.apply(&mut sim);
@@ -98,7 +116,7 @@ fn main() {
     }
 
     println!(
-        "chaos soak: {runs} runs ({} families x {seeds} seeds x 4 plans)",
+        "chaos soak: {runs} runs ({} families x {seeds} seeds x 5 plans)",
         FAMILIES.len()
     );
     println!("  retransmits={retransmits} recoveries={recoveries} requeues={requeues}");

@@ -347,6 +347,11 @@ impl<P: Process> Sim<P> {
         &self.nodes[id.0 as usize].proc
     }
 
+    /// Mutable access to a node's process (for post-run stat draining).
+    pub fn process_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id.0 as usize].proc
+    }
+
     /// Number of nodes in the testbed.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()

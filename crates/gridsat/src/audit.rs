@@ -1,0 +1,479 @@
+//! Search-space conservation auditor (debug/chaos extension).
+//!
+//! Guiding-path solvers are only sound if the outstanding subproblems
+//! exactly partition the search space (Hyvärinen et al.'s model-splitting
+//! invariant): declaring UNSAT while a cube was silently dropped, or
+//! letting two unsanctioned owners race on the same cube, is the
+//! subtlest class of recovery bug. The auditor is an out-of-band,
+//! sim-global observer — one shared handle threaded into the master and
+//! every client — that folds every split, dispatch, adoption, recovery
+//! and retirement into a model of the partition and panics with a
+//! counterexample path the moment conservation is violated.
+//!
+//! The model tracks *pure decision paths*, not raw level-0 assignments:
+//! a transferred spec carries tainted level-0 implications (absorbed
+//! level-1 literals that hold only under that branch's assumptions), so
+//! syntactic cube comparison would false-alarm. Instead the auditor
+//! derives paths itself: the root problem is the empty path, and a split
+//! with kept pivot `d` extends the parent's path by `d` and creates a
+//! child on `parent ∪ {¬d}`. At UNSAT time the retired paths must cover
+//! the root by the recorded split tree — exact partition, no leaks.
+//!
+//! Crash recovery deliberately *duplicates* work (a falsely-expired
+//! client may still be solving the cube the master re-dispatched).
+//! Re-dispatched instances and every descendant of a dead or sanctioned
+//! instance are therefore marked `sanctioned`: they are legitimate
+//! duplicates and never count as double-ownership.
+
+use crate::msg::ProblemId;
+use gridsat_cnf::Lit;
+use gridsat_grid::NodeId;
+use gridsat_obs::{Event, Obs};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// Who currently holds an instance of a guiding-path cube.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Custody {
+    /// Dispatched or queued, not yet adopted by a client.
+    Queued,
+    Client(NodeId),
+    /// Finished, lost, or superseded by a re-dispatch.
+    Dead,
+}
+
+#[derive(Clone, Debug)]
+struct Instance {
+    /// Pure decision path: the pivots accumulated from the root.
+    path: BTreeSet<Lit>,
+    custody: Custody,
+    /// A sanctioned instance is a deliberate duplicate (crash recovery,
+    /// requeue) or a descendant of one; it never triggers the
+    /// double-ownership check.
+    sanctioned: bool,
+}
+
+struct Auditor {
+    instances: BTreeMap<ProblemId, Instance>,
+    /// Split tree: pre-split parent path -> pivots kept at that path.
+    splits: BTreeMap<Vec<Lit>, Vec<Lit>>,
+    /// Paths whose subtree has been refuted (or solved) and reported.
+    retired: Vec<BTreeSet<Lit>>,
+    /// The run reached a verified outcome; all further checks are moot.
+    done: bool,
+    /// A provenance gap was observed (an instance the auditor never saw
+    /// created); conservation can no longer be asserted exactly, so the
+    /// final coverage check is skipped rather than false-alarmed.
+    lossy: bool,
+    obs: Obs,
+}
+
+fn path_string(path: &BTreeSet<Lit>) -> String {
+    let lits: Vec<String> = path.iter().map(|l| l.to_dimacs().to_string()).collect();
+    format!("[{}]", lits.join(" "))
+}
+
+impl Auditor {
+    fn new() -> Auditor {
+        Auditor {
+            instances: BTreeMap::new(),
+            splits: BTreeMap::new(),
+            retired: Vec::new(),
+            done: false,
+            lossy: false,
+            obs: Obs::default(),
+        }
+    }
+
+    fn violate(&self, now: f64, why: &str, path: &BTreeSet<Lit>) -> ! {
+        let rendered = path_string(path);
+        let cell = rendered.clone();
+        self.obs
+            .emit(now, 0, || Event::AuditViolation { path: cell });
+        panic!("search-space audit violation: {why}: path {rendered}");
+    }
+
+    /// Two *live, unsanctioned* instances on the same path means the
+    /// same cube is owned twice — a real partition bug, not recovery
+    /// duplication.
+    fn check_double(&self, now: f64, pid: ProblemId) {
+        if self.done {
+            return;
+        }
+        let Some(inst) = self.instances.get(&pid) else {
+            return;
+        };
+        if inst.sanctioned || inst.custody == Custody::Dead {
+            return;
+        }
+        for (other_pid, other) in &self.instances {
+            if *other_pid == pid || other.sanctioned || other.custody == Custody::Dead {
+                continue;
+            }
+            if other.path == inst.path {
+                self.violate(now, "cube owned twice", &inst.path);
+            }
+        }
+    }
+
+    fn insert(&mut self, now: f64, pid: ProblemId, inst: Instance) {
+        self.instances.insert(pid, inst);
+        self.check_double(now, pid);
+    }
+
+    /// Is `path`'s subtree fully retired under the recorded split tree?
+    fn covered(&self, path: &BTreeSet<Lit>) -> bool {
+        if self.retired.iter().any(|r| r.is_subset(path)) {
+            return true;
+        }
+        let key: Vec<Lit> = path.iter().copied().collect();
+        if let Some(pivots) = self.splits.get(&key) {
+            for d in pivots {
+                let mut kept = path.clone();
+                kept.insert(*d);
+                let mut given = path.clone();
+                given.insert(!*d);
+                if self.covered(&kept) && self.covered(&given) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Descend to an uncovered leaf, for the counterexample.
+    fn uncovered_leaf(&self, path: &BTreeSet<Lit>) -> BTreeSet<Lit> {
+        let key: Vec<Lit> = path.iter().copied().collect();
+        if let Some(pivots) = self.splits.get(&key) {
+            for d in pivots {
+                let mut kept = path.clone();
+                kept.insert(*d);
+                if !self.covered(&kept) {
+                    return self.uncovered_leaf(&kept);
+                }
+                let mut given = path.clone();
+                given.insert(!*d);
+                if !self.covered(&given) {
+                    return self.uncovered_leaf(&given);
+                }
+            }
+        }
+        path.clone()
+    }
+}
+
+/// Cloneable handle to the (optional) sim-global auditor. The default
+/// handle is a no-op with one-branch overhead, so production runs pay
+/// nothing; [`Audit::enabled`] turns the checks on (chaos/debug runs).
+#[derive(Clone, Default)]
+pub struct Audit(Option<Arc<Mutex<Auditor>>>);
+
+impl Audit {
+    /// An active auditor.
+    pub fn enabled() -> Audit {
+        Audit(Some(Arc::new(Mutex::new(Auditor::new()))))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Route violation events into an event sink (in addition to the
+    /// panic).
+    pub fn set_obs(&self, obs: Obs) {
+        if let Some(a) = &self.0 {
+            a.lock().unwrap().obs = obs;
+        }
+    }
+
+    /// The root problem entered the system: the empty path.
+    pub fn assign_root(&self, now: f64, pid: ProblemId, owner: NodeId) {
+        let Some(a) = &self.0 else { return };
+        let mut a = a.lock().unwrap();
+        if a.done {
+            return;
+        }
+        a.insert(
+            now,
+            pid,
+            Instance {
+                path: BTreeSet::new(),
+                custody: Custody::Client(owner),
+                sanctioned: false,
+            },
+        );
+    }
+
+    /// Unsanctioned assignment of an explicit pure path (test hook, and
+    /// the strict form of root assignment): a second live unsanctioned
+    /// instance on the same path panics.
+    pub fn assign(&self, now: f64, pid: ProblemId, path: &[Lit], owner: NodeId) {
+        let Some(a) = &self.0 else { return };
+        let mut a = a.lock().unwrap();
+        if a.done {
+            return;
+        }
+        a.insert(
+            now,
+            pid,
+            Instance {
+                path: path.iter().copied().collect(),
+                custody: Custody::Client(owner),
+                sanctioned: false,
+            },
+        );
+    }
+
+    /// A cube was re-dispatched (checkpoint recovery, requeue): the
+    /// source instance dies and a *sanctioned* twin takes over its path.
+    /// Unknown provenance degrades the auditor to lossy instead of
+    /// guessing a path.
+    pub fn reassign(
+        &self,
+        now: f64,
+        source: Option<ProblemId>,
+        pid: ProblemId,
+        owner: Option<NodeId>,
+    ) {
+        let Some(a) = &self.0 else { return };
+        let mut a = a.lock().unwrap();
+        if a.done {
+            return;
+        }
+        let path = match source.and_then(|s| a.instances.get_mut(&s)) {
+            Some(src) => {
+                src.custody = Custody::Dead;
+                Some(src.path.clone())
+            }
+            None => None,
+        };
+        let Some(path) = path else {
+            a.lossy = true;
+            return;
+        };
+        a.insert(
+            now,
+            pid,
+            Instance {
+                path,
+                custody: owner.map_or(Custody::Queued, Custody::Client),
+                sanctioned: true,
+            },
+        );
+    }
+
+    /// A client split its cube: the parent keeps `keep_pivot` and the
+    /// child owns `parent ∪ {¬keep_pivot}`. A pivot already on the path
+    /// would make the child empty and the parent unchanged — a leak —
+    /// so it panics immediately.
+    pub fn split(&self, now: f64, parent: ProblemId, child: ProblemId, keep_pivot: Lit) {
+        let Some(a) = &self.0 else { return };
+        let mut a = a.lock().unwrap();
+        if a.done {
+            return;
+        }
+        let Some(p) = a.instances.get(&parent) else {
+            a.lossy = true;
+            return;
+        };
+        let pre_path = p.path.clone();
+        let sanctioned = p.sanctioned || p.custody == Custody::Dead;
+        if pre_path.contains(&keep_pivot) || pre_path.contains(&!keep_pivot) {
+            a.violate(now, "split pivot already on the path", &pre_path);
+        }
+        let key: Vec<Lit> = pre_path.iter().copied().collect();
+        let pivots = a.splits.entry(key).or_default();
+        if !pivots.contains(&keep_pivot) {
+            pivots.push(keep_pivot);
+        }
+        if let Some(p) = a.instances.get_mut(&parent) {
+            p.path.insert(keep_pivot);
+        }
+        let mut child_path = pre_path;
+        child_path.insert(!keep_pivot);
+        a.insert(
+            now,
+            child,
+            Instance {
+                path: child_path,
+                custody: Custody::Queued,
+                sanctioned,
+            },
+        );
+    }
+
+    /// A client adopted an instance: custody lands. The instance's pure
+    /// path must be consistent with the adopted spec's level-0 literals
+    /// (every pivot present, no complement present) — a mismatch means
+    /// the transfer delivered a different cube than the bookkeeping
+    /// says.
+    pub fn adopt(&self, now: f64, pid: ProblemId, owner: NodeId, level0: &[(Lit, bool)]) {
+        let Some(a) = &self.0 else { return };
+        let mut a = a.lock().unwrap();
+        if a.done {
+            return;
+        }
+        let Some(inst) = a.instances.get(&pid) else {
+            a.lossy = true;
+            return;
+        };
+        let lits: BTreeSet<Lit> = level0.iter().map(|(l, _)| *l).collect();
+        for d in &inst.path {
+            if lits.contains(&!*d) {
+                let path = inst.path.clone();
+                a.violate(now, "adopted spec contradicts the recorded path", &path);
+            }
+        }
+        if let Some(inst) = a.instances.get_mut(&pid) {
+            inst.custody = Custody::Client(owner);
+        }
+        a.check_double(now, pid);
+    }
+
+    /// An instance's subtree was refuted (or solved) and reported: its
+    /// path retires and covers its region of the search space.
+    pub fn retire(&self, now: f64, pid: ProblemId) {
+        let _ = now;
+        let Some(a) = &self.0 else { return };
+        let mut a = a.lock().unwrap();
+        if a.done {
+            return;
+        }
+        let Some(inst) = a.instances.get_mut(&pid) else {
+            a.lossy = true;
+            return;
+        };
+        inst.custody = Custody::Dead;
+        let path = inst.path.clone();
+        a.retired.push(path);
+    }
+
+    /// The run ended with a verified model (or inconclusively): no
+    /// conservation claim is made, stop checking.
+    pub fn conclude(&self) {
+        if let Some(a) = &self.0 {
+            a.lock().unwrap().done = true;
+        }
+    }
+
+    /// The master is about to declare UNSAT: the retired paths must
+    /// cover the entire search space under the recorded split tree.
+    /// A leak panics with the uncovered leaf path.
+    pub fn unsat_declared(&self, now: f64) {
+        let Some(a) = &self.0 else { return };
+        let mut a = a.lock().unwrap();
+        if a.done || a.lossy {
+            a.done = true;
+            return;
+        }
+        let root = BTreeSet::new();
+        if !a.covered(&root) {
+            let leaf = a.uncovered_leaf(&root);
+            a.violate(now, "UNSAT declared with an uncovered cube", &leaf);
+        }
+        a.done = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(node: u32, n: u32) -> ProblemId {
+        ProblemId::new(NodeId(node), n)
+    }
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let audit = Audit::default();
+        assert!(!audit.is_enabled());
+        audit.assign_root(0.0, pid(0, 1), NodeId(1));
+        audit.split(1.0, pid(0, 1), pid(1, 1), Lit::pos(3));
+        audit.unsat_declared(2.0);
+    }
+
+    #[test]
+    fn exact_partition_passes_the_unsat_check() {
+        let audit = Audit::enabled();
+        let root = pid(0, 1);
+        audit.assign_root(0.0, root, NodeId(1));
+        audit.adopt(0.5, root, NodeId(1), &[]);
+        // split on +3, child takes -3; then the kept side splits on -5
+        let c1 = pid(1, 1);
+        audit.split(1.0, root, c1, Lit::pos(3));
+        audit.adopt(
+            1.5,
+            c1,
+            NodeId(2),
+            &[(Lit::neg(3), false), (Lit::pos(7), false)],
+        );
+        let c2 = pid(1, 2);
+        audit.split(2.0, root, c2, Lit::neg(5));
+        // all three leaves refute
+        audit.retire(3.0, c1);
+        audit.retire(4.0, c2);
+        audit.retire(5.0, root);
+        audit.unsat_declared(6.0);
+    }
+
+    #[test]
+    fn leaked_cube_panics_with_the_path() {
+        let err = std::panic::catch_unwind(|| {
+            let audit = Audit::enabled();
+            let root = pid(0, 1);
+            audit.assign_root(0.0, root, NodeId(1));
+            let child = pid(1, 1);
+            audit.split(1.0, root, child, Lit::pos(3));
+            // only the kept side retires; the child's cube leaks
+            audit.retire(2.0, root);
+            audit.unsat_declared(3.0);
+        })
+        .expect_err("leak must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("uncovered cube"), "got: {msg}");
+        // the counterexample names the leaked branch -3 (dimacs -4)
+        assert!(msg.contains("[-4]"), "got: {msg}");
+    }
+
+    #[test]
+    fn double_assigned_cube_panics_with_the_path() {
+        let err = std::panic::catch_unwind(|| {
+            let audit = Audit::enabled();
+            audit.assign(0.0, pid(0, 1), &[Lit::pos(2), Lit::neg(4)], NodeId(1));
+            // deliberately hand the same cube to a second owner
+            audit.assign(1.0, pid(0, 2), &[Lit::neg(4), Lit::pos(2)], NodeId(2));
+        })
+        .expect_err("double assignment must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("owned twice"), "got: {msg}");
+        assert!(msg.contains("3") && msg.contains("-5"), "got: {msg}");
+    }
+
+    #[test]
+    fn sanctioned_recovery_twins_are_tolerated() {
+        let audit = Audit::enabled();
+        let root = pid(0, 1);
+        audit.assign_root(0.0, root, NodeId(1));
+        // the master falsely expired node 1 and re-dispatched; the twin
+        // shares the path but is sanctioned
+        let twin = pid(0, 2);
+        audit.reassign(5.0, Some(root), twin, Some(NodeId(2)));
+        audit.adopt(5.5, twin, NodeId(2), &[]);
+        // both twins split the same pivot deterministically
+        audit.split(6.0, root, pid(1, 1), Lit::pos(3));
+        audit.split(6.5, twin, pid(2, 1), Lit::pos(3));
+        // the sanctioned lineage finishes the job
+        audit.retire(7.0, twin);
+        audit.retire(8.0, pid(2, 1));
+        audit.unsat_declared(9.0);
+    }
+
+    #[test]
+    fn unknown_provenance_degrades_to_lossy_not_panic() {
+        let audit = Audit::enabled();
+        audit.assign_root(0.0, pid(0, 1), NodeId(1));
+        audit.reassign(1.0, None, pid(0, 2), None);
+        // nothing retired, but the auditor knows it lost track
+        audit.unsat_declared(2.0);
+    }
+}

@@ -168,6 +168,25 @@ impl FaultPlan {
         }
     }
 
+    /// The master dies for good mid-search, on a lossy network. Only a
+    /// standby promotion ([`GridConfig::failover_hardened`]) can finish
+    /// this run; in paper mode it wedges.
+    ///
+    /// [`GridConfig::failover_hardened`]: crate::config::GridConfig::failover_hardened
+    pub fn master_gone(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "master-gone".into(),
+            crashes: vec![CrashWindow {
+                node: 0,
+                down_at: 8.0,
+                up_at: None,
+            }],
+            loss_prob: 0.02,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
     /// The standard sweep roster for soak runs.
     pub fn roster(seed: u64) -> Vec<FaultPlan> {
         vec![
@@ -175,6 +194,7 @@ impl FaultPlan {
             FaultPlan::flaky_links(seed),
             FaultPlan::crash_restart(seed),
             FaultPlan::master_blink(seed),
+            FaultPlan::master_gone(seed),
         ]
     }
 }
@@ -261,12 +281,18 @@ mod tests {
     }
 
     #[test]
-    fn roster_covers_the_four_failure_modes() {
+    fn roster_covers_the_five_failure_modes() {
         let plans = FaultPlan::roster(1);
         let names: Vec<&str> = plans.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(
             names,
-            ["drop-happy", "flaky-links", "crash-restart", "master-blink"]
+            [
+                "drop-happy",
+                "flaky-links",
+                "crash-restart",
+                "master-blink",
+                "master-gone"
+            ]
         );
     }
 }

@@ -2,6 +2,7 @@
 //! requests splits, shares clauses, and hands halves of its search space
 //! to peers (paper Sections 3.1-3.3).
 
+use crate::audit::Audit;
 use crate::config::{CheckpointMode, GridConfig, ShareTuning};
 use crate::msg::{Checkpoint, GridMsg, ProblemId, SubResult};
 use gridsat_grid::{Ctx, NodeId, Process};
@@ -128,6 +129,8 @@ pub struct Client {
     pub stats: ClientStats,
     /// Event-tracing handle, installed into every solver this client runs.
     obs: Obs,
+    /// Search-space conservation auditor (disabled by default).
+    audit: Audit,
 }
 
 impl Client {
@@ -152,7 +155,13 @@ impl Client {
             minted: 0,
             stats: ClientStats::default(),
             obs: Obs::default(),
+            audit: Audit::default(),
         }
+    }
+
+    /// Install a search-space conservation auditor handle.
+    pub fn set_audit(&mut self, audit: Audit) {
+        self.audit = audit;
     }
 
     /// Install an event-tracing handle; it is threaded into the solver of
@@ -237,6 +246,8 @@ impl Client {
         self.problem_started = ctx.now();
         self.split_requested_at = None;
         self.stats.subproblems += 1;
+        self.audit
+            .adopt(ctx.now(), problem, ctx.me(), &spec.assumptions);
         ctx.schedule_tick(0.0);
     }
 
@@ -260,21 +271,28 @@ impl Client {
             return;
         }
         match msg {
-            GridMsg::Subproblem { spec, .. } => {
+            GridMsg::Subproblem { spec, problem, .. } => {
                 // the peer died mid-transfer; hand the half back to the
                 // master so the search space is not lost
-                ctx.send(self.master, GridMsg::Requeue { spec });
+                ctx.send(
+                    self.master,
+                    GridMsg::Requeue {
+                        spec,
+                        problem: Some(problem),
+                    },
+                );
             }
             GridMsg::Register { .. }
             | GridMsg::SplitDone { .. }
             | GridMsg::Result { .. }
             | GridMsg::CheckpointMsg { .. }
             | GridMsg::Requeue { .. }
-                if to == self.master =>
-            {
+            | GridMsg::Adopt { .. } => {
                 // soundness-critical reports to the master: keep trying
-                // with a fresh retry budget (the master may be mid-restart;
-                // the overall timeout bounds this)
+                // with a fresh retry budget, toward the *current* master —
+                // a takeover may have retargeted us while the send was in
+                // flight (the overall timeout bounds the retrying)
+                debug_assert!(to == self.master || self.config.failover.is_some());
                 ctx.send(self.master, msg);
             }
             // split requests re-arise from the time-out heuristic, and the
@@ -285,6 +303,7 @@ impl Client {
 
     fn report_result(&mut self, result: SubResult, ctx: &mut Ctx<GridMsg>) {
         let problem = self.current_problem.take().expect("solving a problem");
+        self.audit.retire(ctx.now(), problem);
         ctx.send(self.master, GridMsg::Result { result, problem });
         self.stats.results += 1;
         self.solver = None;
@@ -392,6 +411,25 @@ impl Client {
     pub fn is_solving(&self) -> bool {
         matches!(self.state, State::Solving)
     }
+
+    /// Has this client permanently retired?
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Surrender the in-progress subproblem and retire; the standby
+    /// promotion path queues the returned spec for re-dispatch so the
+    /// new master's host doubles as scheduler only.
+    pub(crate) fn hand_over(&mut self) -> Option<(SplitSpec, Option<ProblemId>)> {
+        let out = self
+            .export_subproblem()
+            .map(|spec| (spec, self.current_problem));
+        self.state = State::Done;
+        self.solver = None;
+        self.current_problem = None;
+        self.split_requested_at = None;
+        out
+    }
 }
 
 impl Process for Client {
@@ -437,7 +475,13 @@ impl Process for Client {
                     // the master's view went stale (reordered delivery);
                     // never discard the search space we already hold
                     if self.current_problem != Some(problem) {
-                        ctx.send(self.master, GridMsg::Requeue { spec });
+                        ctx.send(
+                            self.master,
+                            GridMsg::Requeue {
+                                spec,
+                                problem: Some(problem),
+                            },
+                        );
                     }
                     return;
                 }
@@ -465,7 +509,13 @@ impl Process for Client {
                             checkpoint: None,
                         },
                     );
-                    ctx.send(self.master, GridMsg::Requeue { spec });
+                    ctx.send(
+                        self.master,
+                        GridMsg::Requeue {
+                            spec,
+                            problem: Some(problem),
+                        },
+                    );
                     return;
                 }
                 self.transfer_time = (ctx.now() - sent_at).max(0.0);
@@ -507,6 +557,9 @@ impl Process for Client {
                 };
                 match solver.split_off() {
                     Some(spec) => {
+                        // the pivot we keep is the negation of the peer
+                        // half's last (deepest) assumption
+                        let keep_pivot = spec.assumptions.last().map(|&(lit, _)| !lit);
                         // "a client records the time it required to SEND or
                         // receive a problem": estimate the send cost so the
                         // split time-out backs off as the database grows
@@ -524,6 +577,9 @@ impl Process for Client {
                         // Figure 3 message (5): requester reports success
                         ctx.send(self.master, done(true));
                         self.stats.splits += 1;
+                        if let Some(pivot) = keep_pivot {
+                            self.audit.split(ctx.now(), problem, new_id, pivot);
+                        }
                         // the remaining half is a fresh, smaller problem
                         self.problem_started = ctx.now();
                         // refresh the master's recovery image: the old
@@ -579,13 +635,30 @@ impl Process for Client {
                 }
             }
             GridMsg::Peers(p) => self.peers = p,
+            GridMsg::Takeover => {
+                // a promoted standby is the master now: retarget control
+                // traffic and re-register with our in-progress state so
+                // the new master's roster covers our search space
+                self.master = from;
+                self.split_requested_at = None;
+                self.last_heartbeat = ctx.now();
+                ctx.send(
+                    self.master,
+                    GridMsg::Adopt {
+                        memory: ctx.info.memory,
+                        availability: ctx.info.availability,
+                        problem: self.current_problem,
+                        checkpoint: self.build_checkpoint(),
+                    },
+                );
+            }
             GridMsg::Terminate(_) => {
                 self.state = State::Done;
                 self.solver = None;
                 self.current_problem = None;
                 ctx.idle();
             }
-            // master-bound messages are not for us
+            // master- or standby-bound messages are not for us
             GridMsg::Register { .. }
             | GridMsg::SplitRequest { .. }
             | GridMsg::SplitDone { .. }
@@ -593,7 +666,10 @@ impl Process for Client {
             | GridMsg::LoadReport { .. }
             | GridMsg::Heartbeat
             | GridMsg::Requeue { .. }
-            | GridMsg::CheckpointMsg { .. } => {
+            | GridMsg::CheckpointMsg { .. }
+            | GridMsg::JournalBatch { .. }
+            | GridMsg::JournalAck { .. }
+            | GridMsg::Adopt { .. } => {
                 debug_assert!(
                     false,
                     "client {:?} got master message from {from}",

@@ -76,6 +76,28 @@ impl Default for ReliabilityConfig {
     }
 }
 
+/// Master failover (robustness extension). A designated standby client
+/// tails the master's write-ahead journal over the control plane and
+/// promotes itself to master when the journal feed goes quiet for
+/// longer than the grace period.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FailoverConfig {
+    /// Node that doubles as the journal-tailing standby.
+    pub standby_node: u32,
+    /// Silence (no journal batches, not even keepalives) the standby
+    /// tolerates before promoting itself, seconds.
+    pub promote_grace_s: f64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            standby_node: 1,
+            promote_grace_s: 20.0,
+        }
+    }
+}
+
 /// Tunables of a GridSAT run. Defaults reproduce the paper's first
 /// experiment set (share limit 10, 100-second split time-out floor).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -123,6 +145,15 @@ pub struct GridConfig {
     /// default) runs the paper's bare protocol — the wire is then
     /// bit-identical to a build without the reliability layer.
     pub reliability: Option<ReliabilityConfig>,
+    /// Journal-tailing standby master. `None` (the default, and the
+    /// paper's behaviour) means a dead master wedges the run.
+    #[serde(default)]
+    pub failover: Option<FailoverConfig>,
+    /// Run the search-space conservation auditor alongside the run,
+    /// panicking with a counterexample guiding path if the outstanding
+    /// cubes ever stop partitioning the search space exactly.
+    #[serde(default)]
+    pub audit: bool,
 }
 
 impl Default for GridConfig {
@@ -145,6 +176,8 @@ impl Default for GridConfig {
             assumed_bw_bytes_per_s: 4_000.0,
             share_tuning: ShareTuning::Fixed,
             reliability: None,
+            failover: None,
+            audit: false,
         }
     }
 }
@@ -183,6 +216,15 @@ impl GridConfig {
             ..GridConfig::default()
         }
     }
+
+    /// Chaos profile that also survives losing the master: node 1 tails
+    /// the journal as a standby and takes over after the grace period.
+    pub fn failover_hardened() -> GridConfig {
+        GridConfig {
+            failover: Some(FailoverConfig::default()),
+            ..GridConfig::chaos_hardened()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -209,5 +251,12 @@ mod tests {
         let hardened = GridConfig::chaos_hardened();
         assert!(hardened.reliability.is_some());
         assert_eq!(hardened.checkpoint, CheckpointMode::Light);
+        assert!(hardened.failover.is_none());
+
+        let failover = GridConfig::failover_hardened();
+        assert!(failover.reliability.is_some());
+        let fo = failover.failover.expect("failover preset sets a standby");
+        assert_eq!(fo.standby_node, 1);
+        assert!(fo.promote_grace_s > 0.0);
     }
 }

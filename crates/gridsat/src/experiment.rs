@@ -1,10 +1,12 @@
 //! End-to-end experiment driver: wire a formula, a testbed and a
 //! configuration into the discrete-event engine, run, and report.
 
+use crate::audit::Audit;
 use crate::client::{Client, ClientStats};
 use crate::config::GridConfig;
 use crate::master::{GridOutcome, Master, MasterStats};
 use crate::msg::GridMsg;
+use crate::standby::StandbyNode;
 use gridsat_cnf::Formula;
 use gridsat_grid::{
     Ctx, NodeId, Process, Reliable, ReliableConfig, ReliableProcess, ReliableStats, RunEnd, Sim,
@@ -13,10 +15,12 @@ use gridsat_grid::{
 use gridsat_obs::{MetricsRegistry, Obs};
 use std::collections::BTreeMap;
 
-/// Either role, so one `Sim` hosts both process kinds.
+/// Any role, so one `Sim` hosts all process kinds.
 pub enum GridNode {
     Master(Box<Master>),
     Client(Box<Client>),
+    /// A client doubling as the journal-tailing standby master.
+    Standby(Box<StandbyNode>),
 }
 
 impl Process for GridNode {
@@ -26,24 +30,28 @@ impl Process for GridNode {
         match self {
             GridNode::Master(m) => m.on_start(ctx),
             GridNode::Client(c) => c.on_start(ctx),
+            GridNode::Standby(s) => s.on_start(ctx),
         }
     }
     fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
         match self {
             GridNode::Master(m) => m.on_message(from, msg, ctx),
             GridNode::Client(c) => c.on_message(from, msg, ctx),
+            GridNode::Standby(s) => s.on_message(from, msg, ctx),
         }
     }
     fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
         match self {
             GridNode::Master(m) => m.on_tick(ctx),
             GridNode::Client(c) => c.on_tick(ctx),
+            GridNode::Standby(s) => s.on_tick(ctx),
         }
     }
     fn on_node_down(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
         match self {
             GridNode::Master(m) => m.on_node_down(node, ctx),
             GridNode::Client(c) => c.on_node_down(node, ctx),
+            GridNode::Standby(s) => s.on_node_down(node, ctx),
         }
     }
 }
@@ -57,6 +65,7 @@ impl ReliableProcess for GridNode {
         match self {
             GridNode::Master(m) => m.on_undeliverable(to, msg, ctx),
             GridNode::Client(c) => c.on_undeliverable(to, msg, ctx),
+            GridNode::Standby(s) => s.on_undeliverable(to, msg, ctx),
         }
     }
 }
@@ -136,15 +145,38 @@ pub fn build_sim_obs(formula: &Formula, testbed: Testbed, config: GridConfig, ob
     let formula = formula.clone();
     let node_obs = obs.clone();
     let wire = wire_reliability(&config);
+    let audit = if config.audit {
+        Audit::enabled()
+    } else {
+        Audit::default()
+    };
+    audit.set_obs(obs.clone());
+    let standby_id = config
+        .failover
+        .map(|fo| NodeId(fo.standby_node))
+        .filter(|&id| id != master_id);
     let mut sim = Sim::new(testbed, move |id| {
         let node = if id == master_id {
             let mut master = Master::new(formula.clone(), config.clone(), speeds.clone());
             master.set_obs(node_obs.clone());
+            master.set_audit(audit.clone());
             GridNode::Master(Box::new(master))
         } else {
             let mut client = Client::new(master_id, config.clone());
             client.set_obs(node_obs.clone());
-            GridNode::Client(Box::new(client))
+            client.set_audit(audit.clone());
+            if Some(id) == standby_id {
+                GridNode::Standby(Box::new(StandbyNode::new(
+                    client,
+                    formula.clone(),
+                    config.clone(),
+                    speeds.clone(),
+                    node_obs.clone(),
+                    audit.clone(),
+                )))
+            } else {
+                GridNode::Client(Box::new(client))
+            }
         };
         let mut wrapped = Reliable::new(node, wire).with_rng_salt(u64::from(id.0) + 1);
         wrapped.set_obs(node_obs.clone());
@@ -168,8 +200,31 @@ pub fn report(sim: &GridSim, cap: f64) -> GridReport {
     let GridNode::Master(master) = sim.process(NodeId(0)).inner() else {
         panic!("node 0 is the master");
     };
-    let outcome = match master.outcome().cloned() {
-        Some(o) => o,
+    let mut master_stats = master.stats;
+    let mut decided = master.outcome().cloned().map(|o| (o, master.finished_at()));
+    let mut clients = ClientStats::default();
+    let mut reliable = ReliableStats::default();
+    for i in 0..sim.num_nodes() {
+        let wrapper = sim.process(NodeId(i as u32));
+        reliable.absorb(&wrapper.stats);
+        match wrapper.inner() {
+            GridNode::Client(c) => clients.absorb(&c.stats),
+            GridNode::Standby(s) => {
+                clients.absorb(&s.client().stats);
+                // a promoted standby carried the run after node 0 died:
+                // fold its scheduling stats in and take its verdict
+                if let Some(m) = s.promoted_master() {
+                    master_stats.absorb(&m.stats);
+                    if decided.is_none() {
+                        decided = m.outcome().cloned().map(|o| (o, m.finished_at()));
+                    }
+                }
+            }
+            GridNode::Master(_) => {}
+        }
+    }
+    let outcome = match decided {
+        Some((ref o, _)) => o.clone(),
         // no decision: distinguish "still grinding when the cap hit"
         // from "the event queue drained with work open" (a lost message
         // nobody recovered — the quiescence detector)
@@ -180,21 +235,12 @@ pub fn report(sim: &GridSim, cap: f64) -> GridReport {
     };
     let seconds = match outcome {
         GridOutcome::TimeOut | GridOutcome::Wedged => cap,
-        _ => master.finished_at(),
+        _ => decided.expect("decided outcome has a timestamp").1,
     };
-    let mut clients = ClientStats::default();
-    let mut reliable = ReliableStats::default();
-    for i in 0..sim.num_nodes() {
-        let wrapper = sim.process(NodeId(i as u32));
-        reliable.absorb(&wrapper.stats);
-        if let GridNode::Client(c) = wrapper.inner() {
-            clients.absorb(&c.stats);
-        }
-    }
     GridReport {
         outcome,
         seconds,
-        master: master.stats,
+        master: master_stats,
         clients,
         reliable,
         sim: sim.stats,

@@ -1,0 +1,759 @@
+//! Write-ahead journal for the master's scheduling state (durability
+//! extension).
+//!
+//! Every scheduling decision the master takes — launch, assign, grant,
+//! backlog movement, checkpoint accept, recovery, adoption — is first
+//! appended to the [`MasterJournal`] as a typed [`JournalRecord`] and
+//! only then applied to the in-memory [`MasterCore`]. The core is a
+//! deterministic fold over the journal: `replay(formula, config,
+//! records)` rebuilds the exact client roster, grants, backlog and
+//! checkpoint set, which is what lets a restarted master self-check its
+//! state and lets a standby promote itself after tailing the record
+//! stream piggybacked on control traffic.
+//!
+//! Records are *unconditional* state deltas: every conditional the live
+//! master evaluates (problem-id matches, grant-open checks, checkpoint
+//! freshness) is resolved at emit time, so `apply` never needs to guess
+//! and replay can never diverge from the live fold.
+
+use crate::config::{CheckpointMode, GridConfig};
+use crate::master::{ClientState, GrantKind};
+use crate::msg::{Checkpoint, ProblemId};
+use gridsat_grid::NodeId;
+use gridsat_nws::{Adaptive, Forecaster};
+use gridsat_solver::SplitSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A recovered or requeued subproblem awaiting an idle client, plus the
+/// identity of the instance it re-covers (for audit provenance: the
+/// re-dispatch owns the same guiding-path cube as `source`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySpec {
+    pub spec: SplitSpec,
+    pub source: Option<ProblemId>,
+}
+
+/// One appended scheduling decision. Every variant is a plain state
+/// delta; the journal is the authoritative history and [`MasterCore`] is
+/// its fold.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A client registered (or re-registered after a restart).
+    Launch {
+        client: NodeId,
+        memory: usize,
+        speed: f64,
+        availability: f64,
+        at: f64,
+    },
+    /// A client left the roster (loss, lease expiry, or promotion of the
+    /// standby out of client duty).
+    Deregister { client: NodeId },
+    /// The first registrant was handed the entire problem.
+    AssignWhole {
+        client: NodeId,
+        problem: ProblemId,
+        at: f64,
+    },
+    /// The head of the recovery queue was dispatched to an idle client.
+    AssignRecovery {
+        client: NodeId,
+        problem: ProblemId,
+        at: f64,
+    },
+    /// The master learned which subproblem a busy client holds (from a
+    /// split request naming a problem we had lost track of).
+    ProblemLearned { client: NodeId, problem: ProblemId },
+    /// A split request found no idle peer and joined the backlog.
+    BacklogPush { client: NodeId },
+    /// A client left the backlog (served, finished, or deregistered).
+    BacklogRemove { client: NodeId },
+    /// A split or migrate grant opened: `peer` turns Receiving.
+    GrantOpen {
+        requester: NodeId,
+        peer: NodeId,
+        kind: GrantKind,
+    },
+    /// A grant closed; `free_peer` records whether the reserved peer
+    /// returns to Idle (transfer failed / grant dropped) or not (the
+    /// transfer confirmation already made it Busy, or the peer is gone).
+    GrantClose { requester: NodeId, free_peer: bool },
+    /// Figure 3 message (5): the requester kept its half on a fresh
+    /// clock.
+    SplitKept { requester: NodeId, at: f64 },
+    /// A migration source handed its subproblem off and went idle.
+    MigrateSent { requester: NodeId },
+    /// Figure 3 message (4): the receiving peer confirmed the transfer
+    /// and is now busy, with its bundled initial recovery image.
+    TransferIn {
+        peer: NodeId,
+        problem: Option<ProblemId>,
+        checkpoint: Option<Checkpoint>,
+        at: f64,
+    },
+    /// A checkpoint upload passed the freshness guard. `learn_problem`
+    /// records that the upload also taught us a Receiving peer's
+    /// subproblem id.
+    CheckpointAccept {
+        client: NodeId,
+        problem: ProblemId,
+        checkpoint: Checkpoint,
+        learn_problem: bool,
+    },
+    /// A client finished (or was confirmed finished) and went idle.
+    ClientIdle { client: NodeId },
+    /// A result arrived from the peer of an in-flight transfer before
+    /// the transfer confirmation; remember it so the late confirmation
+    /// cannot resurrect a finished subproblem.
+    EarlyResultNote { client: NodeId, problem: ProblemId },
+    /// The late transfer confirmation consumed an early result.
+    EarlyResultConsume { client: NodeId, problem: ProblemId },
+    /// A subproblem was taken back (checkpoint recovery, undeliverable
+    /// assignment, or a client's Requeue) and queued for re-dispatch.
+    RecoveryQueued { recovery: RecoverySpec },
+    /// Narrative marker: a client's heartbeat lease ran out (the state
+    /// consequences follow as Deregister/RecoveryQueued records).
+    LeaseExpired { client: NodeId },
+    /// A client re-registered with its in-progress state after a
+    /// takeover (failover extension).
+    AdoptClaim {
+        client: NodeId,
+        memory: usize,
+        speed: f64,
+        availability: f64,
+        busy: bool,
+        problem: Option<ProblemId>,
+        checkpoint: Option<Checkpoint>,
+        at: f64,
+    },
+    /// Narrative marker: `node` promoted itself to master at `at`.
+    Promoted { node: NodeId, at: f64 },
+}
+
+impl JournalRecord {
+    /// Wire-size contribution of this record inside a
+    /// [`crate::msg::GridMsg::JournalBatch`], under the same cost model
+    /// as the rest of the protocol.
+    pub fn approx_bytes(&self) -> usize {
+        fn cp_bytes(cp: &Checkpoint) -> usize {
+            match cp {
+                Checkpoint::Light { level0 } => 8 + level0.len() * 5,
+                Checkpoint::Heavy { level0, learned } => {
+                    8 + level0.len() * 5 + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
+                }
+            }
+        }
+        match self {
+            JournalRecord::Launch { .. } => 48,
+            JournalRecord::Deregister { .. }
+            | JournalRecord::BacklogPush { .. }
+            | JournalRecord::BacklogRemove { .. }
+            | JournalRecord::ClientIdle { .. }
+            | JournalRecord::MigrateSent { .. }
+            | JournalRecord::LeaseExpired { .. }
+            | JournalRecord::Promoted { .. } => 16,
+            JournalRecord::AssignWhole { .. }
+            | JournalRecord::AssignRecovery { .. }
+            | JournalRecord::ProblemLearned { .. }
+            | JournalRecord::SplitKept { .. }
+            | JournalRecord::EarlyResultNote { .. }
+            | JournalRecord::EarlyResultConsume { .. } => 24,
+            JournalRecord::GrantOpen { .. } | JournalRecord::GrantClose { .. } => 24,
+            JournalRecord::TransferIn { checkpoint, .. } => {
+                32 + checkpoint.as_ref().map_or(0, cp_bytes)
+            }
+            JournalRecord::CheckpointAccept { checkpoint, .. } => 32 + cp_bytes(checkpoint),
+            JournalRecord::AdoptClaim { checkpoint, .. } => {
+                64 + checkpoint.as_ref().map_or(0, cp_bytes)
+            }
+            JournalRecord::RecoveryQueued { recovery } => 16 + recovery.spec.approx_message_bytes(),
+        }
+    }
+}
+
+/// A client's row in the master's roster. All scheduling state lives in
+/// [`MasterCore`]; the forecaster and lease clock are live-only
+/// refinements excluded from replay equality (they are rebuilt from the
+/// availability carried in Launch/AdoptClaim records and from fresh
+/// traffic).
+pub(crate) struct ClientInfo {
+    pub(crate) state: ClientState,
+    pub(crate) memory: usize,
+    pub(crate) speed: f64,
+    pub(crate) forecast: Adaptive,
+    /// When the client's current subproblem was assigned.
+    pub(crate) problem_since: f64,
+    /// Identity of the client's current subproblem, as far as the master
+    /// knows (refreshed by dispatches, split confirmations and requests).
+    pub(crate) problem: Option<ProblemId>,
+    /// Last checkpoint uploaded by this client (extension).
+    pub(crate) checkpoint: Option<Checkpoint>,
+    /// Simulated second of the last message from this client; heartbeats
+    /// keep it fresh so the master can expire silent clients
+    /// (reliability extension).
+    pub(crate) last_seen: f64,
+}
+
+impl ClientInfo {
+    fn launched(memory: usize, speed: f64, availability: f64, at: f64) -> ClientInfo {
+        let mut forecast = Adaptive::standard();
+        forecast.update(availability);
+        ClientInfo {
+            state: ClientState::Idle,
+            memory,
+            speed,
+            forecast,
+            problem_since: 0.0,
+            problem: None,
+            checkpoint: None,
+            last_seen: at,
+        }
+    }
+}
+
+/// One client's row in a [`CoreImage`]: id, state, memory,
+/// problem-since, assigned problem, recovery image.
+pub type ClientImage = (
+    NodeId,
+    ClientState,
+    usize,
+    f64,
+    Option<ProblemId>,
+    Option<Checkpoint>,
+);
+
+/// Replay-equality image of a [`MasterCore`]: everything scheduling
+/// depends on, excluding the live-only forecaster state and lease
+/// clocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreImage {
+    pub clients: Vec<ClientImage>,
+    pub backlog: Vec<NodeId>,
+    pub grants: Vec<(NodeId, NodeId, GrantKind)>,
+    pub pending_recovery: Vec<RecoverySpec>,
+    pub early_results: Vec<(NodeId, ProblemId)>,
+    pub first_problem_sent: bool,
+}
+
+/// The journaled scheduling state: a deterministic fold over
+/// [`JournalRecord`]s.
+#[derive(Default)]
+pub(crate) struct MasterCore {
+    pub(crate) clients: BTreeMap<NodeId, ClientInfo>,
+    pub(crate) backlog: VecDeque<NodeId>,
+    /// requester -> (peer, kind) for in-flight grants.
+    pub(crate) grants: BTreeMap<NodeId, (NodeId, GrantKind)>,
+    /// Subproblems recovered from checkpoints of lost clients (or handed
+    /// back by clients), awaiting an idle client.
+    pub(crate) pending_recovery: VecDeque<RecoverySpec>,
+    /// Results that arrived before the transfer confirmation that would
+    /// have marked their sender Busy (at-least-once delivery reorders).
+    pub(crate) early_results: BTreeSet<(NodeId, ProblemId)>,
+    pub(crate) first_problem_sent: bool,
+}
+
+impl MasterCore {
+    /// Install a freshly dispatched subproblem on `client`, with the
+    /// synthesized initial recovery image (the exact spec sent, so a
+    /// crash before the client's first own checkpoint stays
+    /// recoverable).
+    fn install(
+        &mut self,
+        client: NodeId,
+        problem: ProblemId,
+        spec: &SplitSpec,
+        at: f64,
+        config: &GridConfig,
+    ) {
+        let Some(info) = self.clients.get_mut(&client) else {
+            return;
+        };
+        info.state = ClientState::Busy;
+        info.problem_since = at;
+        info.problem = Some(problem);
+        info.checkpoint = (config.checkpoint != CheckpointMode::Off).then(|| Checkpoint::Heavy {
+            level0: spec.assumptions.clone(),
+            learned: spec.clauses.clone(),
+        });
+    }
+
+    /// Rebuild a dispatchable subproblem from a recovery image.
+    pub(crate) fn spec_from_checkpoint(
+        formula: &gridsat_cnf::Formula,
+        cp: Checkpoint,
+    ) -> SplitSpec {
+        match cp {
+            Checkpoint::Light { level0 } => SplitSpec {
+                num_vars: formula.num_vars(),
+                assumptions: level0,
+                clauses: formula.clauses().to_vec(),
+            },
+            Checkpoint::Heavy { level0, learned } => SplitSpec {
+                num_vars: formula.num_vars(),
+                assumptions: level0,
+                clauses: learned, // export_clauses() includes originals
+            },
+        }
+    }
+
+    /// Apply one record. Returns the dispatched subproblem for the two
+    /// assignment records (the live master sends it; replay discards
+    /// it).
+    pub(crate) fn apply(
+        &mut self,
+        rec: &JournalRecord,
+        formula: &gridsat_cnf::Formula,
+        config: &GridConfig,
+    ) -> Option<RecoverySpec> {
+        match rec {
+            JournalRecord::Launch {
+                client,
+                memory,
+                speed,
+                availability,
+                at,
+            } => {
+                self.clients.insert(
+                    *client,
+                    ClientInfo::launched(*memory, *speed, *availability, *at),
+                );
+                None
+            }
+            JournalRecord::Deregister { client } => {
+                self.clients.remove(client);
+                self.backlog.retain(|id| id != client);
+                self.early_results.retain(|(n, _)| n != client);
+                None
+            }
+            JournalRecord::AssignWhole {
+                client,
+                problem,
+                at,
+            } => {
+                self.first_problem_sent = true;
+                let spec = SplitSpec {
+                    num_vars: formula.num_vars(),
+                    assumptions: Vec::new(),
+                    clauses: formula.clauses().to_vec(),
+                };
+                self.install(*client, *problem, &spec, *at, config);
+                Some(RecoverySpec { spec, source: None })
+            }
+            JournalRecord::AssignRecovery {
+                client,
+                problem,
+                at,
+            } => {
+                let recovery = self.pending_recovery.pop_front()?;
+                self.install(*client, *problem, &recovery.spec, *at, config);
+                Some(recovery)
+            }
+            JournalRecord::ProblemLearned { client, problem } => {
+                if let Some(info) = self.clients.get_mut(client) {
+                    info.problem = Some(*problem);
+                }
+                None
+            }
+            JournalRecord::BacklogPush { client } => {
+                if !self.backlog.contains(client) {
+                    self.backlog.push_back(*client);
+                }
+                None
+            }
+            JournalRecord::BacklogRemove { client } => {
+                self.backlog.retain(|id| id != client);
+                None
+            }
+            JournalRecord::GrantOpen {
+                requester,
+                peer,
+                kind,
+            } => {
+                if let Some(p) = self.clients.get_mut(peer) {
+                    p.state = ClientState::Receiving;
+                }
+                self.grants.insert(*requester, (*peer, *kind));
+                None
+            }
+            JournalRecord::GrantClose {
+                requester,
+                free_peer,
+            } => {
+                if let Some((peer, _)) = self.grants.remove(requester) {
+                    if *free_peer {
+                        if let Some(p) = self.clients.get_mut(&peer) {
+                            if p.state == ClientState::Receiving {
+                                p.state = ClientState::Idle;
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            JournalRecord::SplitKept { requester, at } => {
+                if let Some(r) = self.clients.get_mut(requester) {
+                    r.problem_since = *at;
+                }
+                None
+            }
+            JournalRecord::MigrateSent { requester } => {
+                if let Some(r) = self.clients.get_mut(requester) {
+                    r.state = ClientState::Idle;
+                }
+                None
+            }
+            JournalRecord::TransferIn {
+                peer,
+                problem,
+                checkpoint,
+                at,
+            } => {
+                if let Some(info) = self.clients.get_mut(peer) {
+                    info.state = ClientState::Busy;
+                    info.problem_since = *at;
+                    info.problem = *problem;
+                    if let Some(cp) = checkpoint {
+                        info.checkpoint = Some(cp.clone());
+                    }
+                }
+                None
+            }
+            JournalRecord::CheckpointAccept {
+                client,
+                problem,
+                checkpoint,
+                learn_problem,
+            } => {
+                if let Some(info) = self.clients.get_mut(client) {
+                    if *learn_problem {
+                        info.problem = Some(*problem);
+                    }
+                    info.checkpoint = Some(checkpoint.clone());
+                }
+                None
+            }
+            JournalRecord::ClientIdle { client } => {
+                if let Some(info) = self.clients.get_mut(client) {
+                    info.state = ClientState::Idle;
+                    info.problem = None;
+                    info.checkpoint = None;
+                }
+                None
+            }
+            JournalRecord::EarlyResultNote { client, problem } => {
+                self.early_results.insert((*client, *problem));
+                None
+            }
+            JournalRecord::EarlyResultConsume { client, problem } => {
+                self.early_results.remove(&(*client, *problem));
+                None
+            }
+            JournalRecord::RecoveryQueued { recovery } => {
+                self.pending_recovery.push_back(recovery.clone());
+                None
+            }
+            JournalRecord::LeaseExpired { .. } | JournalRecord::Promoted { .. } => None,
+            JournalRecord::AdoptClaim {
+                client,
+                memory,
+                speed,
+                availability,
+                busy,
+                problem,
+                checkpoint,
+                at,
+            } => {
+                let mut info = ClientInfo::launched(*memory, *speed, *availability, *at);
+                info.state = if *busy {
+                    ClientState::Busy
+                } else {
+                    ClientState::Idle
+                };
+                info.problem_since = *at;
+                info.problem = *problem;
+                info.checkpoint = checkpoint.clone();
+                self.clients.insert(*client, info);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn busy_count(&self) -> usize {
+        self.clients
+            .values()
+            .filter(|c| matches!(c.state, ClientState::Busy | ClientState::Receiving))
+            .count()
+    }
+
+    /// The replay-equality image (see [`CoreImage`]).
+    pub(crate) fn image(&self) -> CoreImage {
+        CoreImage {
+            clients: self
+                .clients
+                .iter()
+                .map(|(id, c)| {
+                    (
+                        *id,
+                        c.state,
+                        c.memory,
+                        c.problem_since,
+                        c.problem,
+                        c.checkpoint.clone(),
+                    )
+                })
+                .collect(),
+            backlog: self.backlog.iter().copied().collect(),
+            grants: self.grants.iter().map(|(r, (p, k))| (*r, *p, *k)).collect(),
+            pending_recovery: self.pending_recovery.iter().cloned().collect(),
+            early_results: self.early_results.iter().copied().collect(),
+            first_problem_sent: self.first_problem_sent,
+        }
+    }
+}
+
+/// The append-only record log. The live master appends before applying;
+/// a standby receives suffixes piggybacked on control traffic and can
+/// fold them at any time.
+#[derive(Default)]
+pub struct MasterJournal {
+    records: Vec<JournalRecord>,
+}
+
+impl MasterJournal {
+    pub fn new() -> MasterJournal {
+        MasterJournal::default()
+    }
+
+    /// Rebuild a journal from shipped records (standby side).
+    pub fn from_records(records: Vec<JournalRecord>) -> MasterJournal {
+        MasterJournal { records }
+    }
+
+    /// Append one record; returns its 0-based sequence number.
+    pub fn append(&mut self, rec: JournalRecord) -> u64 {
+        self.records.push(rec);
+        (self.records.len() - 1) as u64
+    }
+
+    pub fn len(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// The suffix starting at sequence number `start` (for shipping).
+    pub fn slice_from(&self, start: u64) -> &[JournalRecord] {
+        let start = (start as usize).min(self.records.len());
+        &self.records[start..]
+    }
+
+    /// Fold a record sequence into the scheduling state it encodes.
+    pub(crate) fn replay(
+        formula: &gridsat_cnf::Formula,
+        config: &GridConfig,
+        records: &[JournalRecord],
+    ) -> MasterCore {
+        let mut core = MasterCore::default();
+        for rec in records {
+            core.apply(rec, formula, config);
+        }
+        core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsat_cnf::Lit;
+
+    fn config() -> GridConfig {
+        GridConfig {
+            checkpoint: crate::config::CheckpointMode::Heavy,
+            ..GridConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_folds_a_launch_assign_split_sequence() {
+        let f = gridsat_cnf::paper::fig1_formula();
+        let cfg = config();
+        let n1 = NodeId(1);
+        let n2 = NodeId(2);
+        let p1 = ProblemId::new(NodeId(0), 1);
+        let p2 = ProblemId::new(n1, 1);
+        let records = vec![
+            JournalRecord::Launch {
+                client: n1,
+                memory: 1 << 20,
+                speed: 100.0,
+                availability: 1.0,
+                at: 0.0,
+            },
+            JournalRecord::AssignWhole {
+                client: n1,
+                problem: p1,
+                at: 0.0,
+            },
+            JournalRecord::Launch {
+                client: n2,
+                memory: 1 << 20,
+                speed: 200.0,
+                availability: 1.0,
+                at: 1.0,
+            },
+            JournalRecord::GrantOpen {
+                requester: n1,
+                peer: n2,
+                kind: GrantKind::Split,
+            },
+            JournalRecord::SplitKept {
+                requester: n1,
+                at: 3.0,
+            },
+            JournalRecord::TransferIn {
+                peer: n2,
+                problem: Some(p2),
+                checkpoint: Some(Checkpoint::Light {
+                    level0: vec![(Lit::pos(0), false)],
+                }),
+                at: 4.0,
+            },
+            JournalRecord::GrantClose {
+                requester: n1,
+                free_peer: false,
+            },
+        ];
+        let core = MasterJournal::replay(&f, &cfg, &records);
+        assert!(core.first_problem_sent);
+        assert_eq!(core.clients.len(), 2);
+        assert_eq!(core.clients[&n1].state, ClientState::Busy);
+        assert_eq!(core.clients[&n1].problem, Some(p1));
+        assert_eq!(core.clients[&n1].problem_since, 3.0);
+        assert_eq!(core.clients[&n2].state, ClientState::Busy);
+        assert_eq!(core.clients[&n2].problem, Some(p2));
+        assert!(core.grants.is_empty());
+        // the whole-problem dispatch synthesized a recovery image
+        assert!(matches!(
+            core.clients[&n1].checkpoint,
+            Some(Checkpoint::Heavy { .. })
+        ));
+    }
+
+    #[test]
+    fn assign_recovery_pops_the_queue_and_returns_the_spec() {
+        let f = gridsat_cnf::paper::fig1_formula();
+        let cfg = config();
+        let mut core = MasterCore::default();
+        core.apply(
+            &JournalRecord::Launch {
+                client: NodeId(3),
+                memory: 1 << 20,
+                speed: 100.0,
+                availability: 1.0,
+                at: 0.0,
+            },
+            &f,
+            &cfg,
+        );
+        let spec = SplitSpec {
+            num_vars: f.num_vars(),
+            assumptions: vec![(Lit::neg(2), false)],
+            clauses: vec![],
+        };
+        core.apply(
+            &JournalRecord::RecoveryQueued {
+                recovery: RecoverySpec {
+                    spec: spec.clone(),
+                    source: Some(ProblemId::new(NodeId(0), 1)),
+                },
+            },
+            &f,
+            &cfg,
+        );
+        assert_eq!(core.pending_recovery.len(), 1);
+        let out = core
+            .apply(
+                &JournalRecord::AssignRecovery {
+                    client: NodeId(3),
+                    problem: ProblemId::new(NodeId(0), 2),
+                    at: 5.0,
+                },
+                &f,
+                &cfg,
+            )
+            .expect("dispatch returns the spec");
+        assert_eq!(out.spec, spec);
+        assert_eq!(out.source, Some(ProblemId::new(NodeId(0), 1)));
+        assert!(core.pending_recovery.is_empty());
+        assert_eq!(core.clients[&NodeId(3)].state, ClientState::Busy);
+    }
+
+    #[test]
+    fn images_ignore_forecast_but_compare_scheduling_state() {
+        let f = gridsat_cnf::paper::fig1_formula();
+        let cfg = config();
+        let records = vec![JournalRecord::Launch {
+            client: NodeId(1),
+            memory: 1 << 20,
+            speed: 100.0,
+            availability: 1.0,
+            at: 0.0,
+        }];
+        let mut a = MasterJournal::replay(&f, &cfg, &records);
+        let b = MasterJournal::replay(&f, &cfg, &records);
+        // live-only refinements do not affect the image
+        a.clients.get_mut(&NodeId(1)).unwrap().forecast.update(0.5);
+        a.clients.get_mut(&NodeId(1)).unwrap().last_seen = 99.0;
+        assert_eq!(a.image(), b.image());
+        // scheduling state does
+        a.clients.get_mut(&NodeId(1)).unwrap().state = ClientState::Busy;
+        assert_ne!(a.image(), b.image());
+    }
+
+    #[test]
+    fn slice_from_clamps_and_ships_suffixes() {
+        let mut j = MasterJournal::new();
+        assert_eq!(
+            j.append(JournalRecord::LeaseExpired { client: NodeId(1) }),
+            0
+        );
+        assert_eq!(
+            j.append(JournalRecord::Promoted {
+                node: NodeId(1),
+                at: 3.0
+            }),
+            1
+        );
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.slice_from(1).len(), 1);
+        assert_eq!(j.slice_from(7).len(), 0);
+        let j2 = MasterJournal::from_records(j.records().to_vec());
+        assert_eq!(j2.len(), 2);
+    }
+
+    #[test]
+    fn record_sizes_scale_with_payload() {
+        let small = JournalRecord::CheckpointAccept {
+            client: NodeId(1),
+            problem: ProblemId::new(NodeId(1), 1),
+            checkpoint: Checkpoint::Light { level0: vec![] },
+            learn_problem: false,
+        };
+        let big = JournalRecord::CheckpointAccept {
+            client: NodeId(1),
+            problem: ProblemId::new(NodeId(1), 1),
+            checkpoint: Checkpoint::Light {
+                level0: (0..100).map(|v| (Lit::pos(v), false)).collect(),
+            },
+            learn_problem: false,
+        };
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

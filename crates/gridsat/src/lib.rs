@@ -39,20 +39,26 @@
 //! * [`config::GridConfig`] — the paper's parameters (share limits 10/3,
 //!   100 s split time-out, 60% memory fraction, checkpointing modes).
 
+pub mod audit;
 pub mod campaign;
 pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod experiment;
+pub mod journal;
 pub mod master;
 pub mod msg;
+pub mod standby;
 
+pub use audit::Audit;
 pub use campaign::{Comparison, ComparisonRow};
 pub use chaos::{CrashWindow, FaultPlan, LinkWindow};
 pub use client::Client;
-pub use config::{CheckpointMode, GridConfig, ReliabilityConfig, SchedPolicy};
+pub use config::{CheckpointMode, FailoverConfig, GridConfig, ReliabilityConfig, SchedPolicy};
 pub use experiment::{run, GridNode, GridReport, GridSim};
+pub use journal::{JournalRecord, MasterJournal, RecoverySpec};
 pub use master::{
     ClientSnapshot, ClientState, GrantKind, GridOutcome, Master, MasterSnapshot, MasterStats,
 };
 pub use msg::{EndReason, GridMsg, SubResult};
+pub use standby::StandbyNode;

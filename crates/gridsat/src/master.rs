@@ -6,16 +6,28 @@
 //! resources, keeps a backlog when everything is busy, verifies reported
 //! models against the original formula, and declares UNSAT when every
 //! client has gone idle.
+//!
+//! Durability extension: every scheduling decision is appended to a
+//! write-ahead [`MasterJournal`] *before* it is applied, and the
+//! scheduling state itself lives in a [`MasterCore`] that is a
+//! deterministic fold over the journal. A restarted master replays its
+//! own journal (and self-checks the fold); a designated standby tails
+//! journal batches piggybacked on control traffic and can promote
+//! itself with [`Master::promoted`] when the feed goes quiet.
 
+use crate::audit::Audit;
 use crate::config::{CheckpointMode, GridConfig, SchedPolicy};
+use crate::journal::{ClientInfo, JournalRecord, MasterCore, MasterJournal, RecoverySpec};
 use crate::msg::{Checkpoint, EndReason, GridMsg, ProblemId, SubResult};
 use gridsat_cnf::{Assignment, Formula};
 use gridsat_grid::{Ctx, NodeId, Process, Site};
-use gridsat_nws::{Adaptive, Forecaster};
+use gridsat_nws::Forecaster;
 use gridsat_obs::{Event, MetricsRegistry, Obs};
-use gridsat_solver::SplitSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeMap;
+
+#[cfg(doc)]
+use gridsat_solver::SplitSpec;
 
 /// Final outcome of a GridSAT run.
 #[derive(Clone, Debug, PartialEq)]
@@ -149,39 +161,46 @@ pub enum GrantKind {
     Migrate,
 }
 
-struct ClientInfo {
-    state: ClientState,
-    memory: usize,
-    speed: f64,
-    forecast: Adaptive,
-    /// When the client's current subproblem was assigned.
-    problem_since: f64,
-    /// Identity of the client's current subproblem, as far as the master
-    /// knows (refreshed by dispatches, split confirmations and requests).
-    problem: Option<ProblemId>,
-    /// Last checkpoint uploaded by this client (extension).
-    checkpoint: Option<Checkpoint>,
-    /// Simulated second of the last message from this client; heartbeats
-    /// keep it fresh so the master can expire silent clients
-    /// (reliability extension).
-    last_seen: f64,
+/// Replication link to the journal-tailing standby.
+struct StandbyLink {
+    node: NodeId,
+    /// Next sequence number to ship (records below it are in flight or
+    /// delivered).
+    sent: u64,
+    /// Standby's cumulative ack: it holds every record below this.
+    acked: u64,
 }
 
-/// The master process. Lives on node 0 of the testbed.
+/// The master process. Lives on node 0 of the testbed (or on the
+/// promoted standby's node after a takeover).
 pub struct Master {
     formula: Formula,
     config: GridConfig,
     /// Static host information from the Grid information service
     /// (MDS-style): peak speed and site.
     host_info: BTreeMap<NodeId, (f64, Site)>,
-    clients: BTreeMap<NodeId, ClientInfo>,
-    backlog: VecDeque<NodeId>,
-    /// requester -> (peer, kind) for in-flight grants.
-    grants: BTreeMap<NodeId, (NodeId, GrantKind)>,
-    first_problem_sent: bool,
+    /// This master's own node id: 0 for the initial master, the
+    /// standby's id after a promotion.
+    me: NodeId,
+    /// Journaled scheduling state: roster, grants, backlog, recovery
+    /// queue. Mutated exclusively through [`Master::commit`] so the
+    /// journal is always a faithful history.
+    pub(crate) core: MasterCore,
+    journal: MasterJournal,
+    standby: Option<StandbyLink>,
+    /// Simulated second of the last journal replay (restart or
+    /// promotion), for the snapshot.
+    last_replay: Option<f64>,
+    /// After a promotion, hold the all-idle UNSAT verdict until this
+    /// instant: adoption claims from surviving clients may still be in
+    /// flight, and the replayed journal suffix can be behind them.
+    reconcile_until: f64,
+    /// Search-space conservation auditor (disabled by default).
+    audit: Audit,
     /// Set by the first `on_start`; a second call means the master node
-    /// was restarted, which grants every client a fresh lease (their
-    /// heartbeats could not have reached us while we were down).
+    /// was restarted, which replays the journal and grants every client
+    /// a fresh lease (their heartbeats could not have reached us while
+    /// we were down).
     started: bool,
     /// Counter for subproblem ids minted by the master (dispatches).
     minted: u32,
@@ -189,14 +208,6 @@ pub struct Master {
     finished_at: f64,
     rng_state: u64,
     last_migration: f64,
-    /// Subproblems recovered from checkpoints of lost clients, awaiting
-    /// an idle client (extension).
-    pending_recovery: VecDeque<SplitSpec>,
-    /// Results that arrived before the transfer confirmation that would
-    /// have marked their sender Busy (at-least-once delivery reorders).
-    /// The late confirmation consumes the entry instead of resurrecting
-    /// an already-finished subproblem.
-    early_results: BTreeSet<(NodeId, ProblemId)>,
     pub stats: MasterStats,
     /// Event-tracing handle (disabled by default).
     obs: Obs,
@@ -227,6 +238,13 @@ pub struct MasterSnapshot {
     /// The outcome's table cell, once decided.
     pub outcome: Option<String>,
     pub stats: MasterStats,
+    /// Records appended to the write-ahead journal so far.
+    pub journal_len: u64,
+    /// Unacked journal suffix at the standby, when one is configured.
+    pub standby_lag: Option<u64>,
+    /// Simulated second of the last journal replay (restart or
+    /// promotion).
+    pub last_replay: Option<f64>,
 }
 
 impl std::fmt::Display for MasterSnapshot {
@@ -245,6 +263,14 @@ impl std::fmt::Display for MasterSnapshot {
         }
         writeln!(f, "backlog: {:?}", self.backlog)?;
         writeln!(f, "grants: {:?}", self.grants)?;
+        match self.standby_lag {
+            Some(lag) => writeln!(
+                f,
+                "journal: {} records, standby lag {lag}",
+                self.journal_len
+            )?,
+            None => writeln!(f, "journal: {} records", self.journal_len)?,
+        }
         if let Some(outcome) = &self.outcome {
             writeln!(f, "outcome: {outcome}")?;
         }
@@ -260,36 +286,157 @@ impl Master {
         config: GridConfig,
         host_info: BTreeMap<NodeId, (f64, Site)>,
     ) -> Master {
+        Master::boot(formula, config, host_info, NodeId(0))
+    }
+
+    fn boot(
+        formula: Formula,
+        config: GridConfig,
+        host_info: BTreeMap<NodeId, (f64, Site)>,
+        me: NodeId,
+    ) -> Master {
         let rng_state = match config.scheduler {
             SchedPolicy::Random(seed) => seed | 1,
             _ => 1,
         };
+        let standby = config.failover.and_then(|f| {
+            (f.standby_node != me.0).then_some(StandbyLink {
+                node: NodeId(f.standby_node),
+                sent: 0,
+                acked: 0,
+            })
+        });
         Master {
             formula,
             config,
             host_info,
-            clients: BTreeMap::new(),
-            backlog: VecDeque::new(),
-            grants: BTreeMap::new(),
-            first_problem_sent: false,
+            me,
+            core: MasterCore::default(),
+            journal: MasterJournal::new(),
+            standby,
+            last_replay: None,
+            reconcile_until: f64::NEG_INFINITY,
+            audit: Audit::default(),
             started: false,
             minted: 0,
             outcome: None,
             finished_at: 0.0,
             rng_state,
             last_migration: f64::NEG_INFINITY,
-            pending_recovery: VecDeque::new(),
-            early_results: BTreeSet::new(),
             stats: MasterStats::default(),
             obs: Obs::default(),
         }
     }
 
+    /// Construct a master on the standby's node from the journal records
+    /// it tailed: the scheduling state is the fold of `records`, every
+    /// surviving client's lease restarts at `now`, and the all-idle
+    /// UNSAT verdict is held until the adoption round has had a grace
+    /// period to reconcile the journal suffix the standby never saw.
+    #[allow(clippy::too_many_arguments)]
+    pub fn promoted(
+        formula: Formula,
+        config: GridConfig,
+        host_info: BTreeMap<NodeId, (f64, Site)>,
+        me: NodeId,
+        records: Vec<JournalRecord>,
+        now: f64,
+        obs: Obs,
+        audit: Audit,
+    ) -> Master {
+        let mut m = Master::boot(formula, config, host_info, me);
+        m.obs = obs;
+        m.audit = audit;
+        m.core = MasterJournal::replay(&m.formula, &m.config, &records);
+        m.journal = MasterJournal::from_records(records);
+        m.started = true;
+        m.last_replay = Some(now);
+        m.reconcile_until = now + m.config.failover.map_or(0.0, |f| f.promote_grace_s);
+        // This node already minted problem ids while it was a client;
+        // a high counter offset keeps the promoted master's mints from
+        // colliding with them.
+        m.minted = 1 << 31;
+        for info in m.core.clients.values_mut() {
+            info.last_seen = now;
+        }
+        let records_n = m.journal.len();
+        let node = me.0;
+        m.obs
+            .emit(now, node, || Event::JournalReplay { records: records_n });
+        m
+    }
+
+    /// After a promotion the standby stops being an ordinary client:
+    /// deregister it from the replayed roster and, if it was busy, queue
+    /// the subproblem it exported for re-dispatch.
+    pub fn absorb_own_client(
+        &mut self,
+        now: f64,
+        own: Option<(gridsat_solver::SplitSpec, Option<ProblemId>)>,
+    ) {
+        self.commit(
+            now,
+            JournalRecord::Promoted {
+                node: self.me,
+                at: now,
+            },
+        );
+        // Any handshake the dead master brokered can no longer complete:
+        // its SplitDone legs were addressed to a dead node, and the peer
+        // may be this very node's retired client. Drop the grants; the
+        // adoption round re-establishes who actually holds what, and a
+        // transfer that died on the wire comes back as the requester's
+        // Requeue.
+        for requester in self.core.grants.keys().copied().collect::<Vec<_>>() {
+            self.commit(
+                now,
+                JournalRecord::GrantClose {
+                    requester,
+                    free_peer: true,
+                },
+            );
+        }
+        if self.core.clients.contains_key(&self.me) {
+            self.commit(now, JournalRecord::Deregister { client: self.me });
+        }
+        if let Some((spec, source)) = own {
+            self.stats.recoveries += 1;
+            self.commit(
+                now,
+                JournalRecord::RecoveryQueued {
+                    recovery: RecoverySpec { spec, source },
+                },
+            );
+        }
+    }
+
+    /// Announce the takeover to every surviving client (they retarget
+    /// their control traffic and answer with
+    /// [`GridMsg::Adopt`]), dispatch whatever the replay queued, and
+    /// start the housekeeping clock.
+    pub fn announce_takeover(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let records = self.journal.len();
+        let node = self.me.0;
+        self.obs
+            .emit(ctx.now(), node, || Event::StandbyPromote { records });
+        for id in self.core.clients.keys().copied().collect::<Vec<_>>() {
+            ctx.send(id, GridMsg::Takeover);
+        }
+        self.dispatch_recoveries(ctx);
+        self.drain_backlog(ctx);
+        ctx.schedule_tick(self.config.master_period);
+    }
+
     /// Install an event-tracing handle: the master emits its scheduling
     /// decisions (launch, assign, split, backlog, migrate, checkpoint,
-    /// result, outcome) into it.
+    /// result, journal, outcome) into it.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Install a search-space conservation auditor handle.
+    pub fn set_audit(&mut self, audit: Audit) {
+        self.audit = audit;
     }
 
     /// The run's outcome, once decided.
@@ -307,6 +454,7 @@ impl Master {
     pub fn snapshot(&self) -> MasterSnapshot {
         MasterSnapshot {
             clients: self
+                .core
                 .clients
                 .iter()
                 .map(|(id, c)| ClientSnapshot {
@@ -316,16 +464,60 @@ impl Master {
                     has_checkpoint: c.checkpoint.is_some(),
                 })
                 .collect(),
-            backlog: self.backlog.iter().map(|id| id.0).collect(),
+            backlog: self.core.backlog.iter().map(|id| id.0).collect(),
             grants: self
+                .core
                 .grants
                 .iter()
                 .map(|(r, (p, k))| (r.0, p.0, *k))
                 .collect(),
-            pending_recoveries: self.pending_recovery.len(),
+            pending_recoveries: self.core.pending_recovery.len(),
             outcome: self.outcome.as_ref().map(|o| o.table_cell()),
             stats: self.stats,
+            journal_len: self.journal.len(),
+            standby_lag: self
+                .standby
+                .as_ref()
+                .map(|s| self.journal.len().saturating_sub(s.acked)),
+            last_replay: self.last_replay,
         }
+    }
+
+    /// Append a record to the write-ahead journal, then apply it to the
+    /// core. This is the *only* mutation path for scheduling state: the
+    /// journal is always a complete history of the core.
+    fn commit(&mut self, now: f64, rec: JournalRecord) -> Option<RecoverySpec> {
+        let seq = self.journal.append(rec.clone());
+        let lag = self
+            .standby
+            .as_ref()
+            .map_or(0, |s| self.journal.len().saturating_sub(s.acked));
+        let node = self.me.0;
+        self.obs
+            .emit(now, node, || Event::JournalAppend { seq, lag });
+        self.core.apply(&rec, &self.formula, &self.config)
+    }
+
+    /// Ship the unsent journal suffix to the standby. With `keepalive`
+    /// an empty batch is sent even when nothing is new — the periodic
+    /// feed is what lets the standby distinguish a dead master from a
+    /// quiet one.
+    fn ship_journal(&mut self, ctx: &mut Ctx<GridMsg>, keepalive: bool) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let Some(link) = &self.standby else { return };
+        let start = link.sent;
+        let to = link.node;
+        let records = self.journal.slice_from(start).to_vec();
+        if records.is_empty() && !keepalive {
+            return;
+        }
+        let len = self.journal.len();
+        if let Some(link) = self.standby.as_mut() {
+            link.sent = len;
+        }
+        ctx.send(to, GridMsg::JournalBatch { start, records });
     }
 
     fn rank(&self, id: NodeId, info: &ClientInfo) -> f64 {
@@ -370,6 +562,7 @@ impl Master {
     /// NWS policy toward transfer locality.
     fn pick_idle(&mut self, exclude: NodeId, near: Option<Site>) -> Option<NodeId> {
         let idle: Vec<NodeId> = self
+            .core
             .clients
             .iter()
             .filter(|(id, c)| **id != exclude && c.state == ClientState::Idle)
@@ -380,13 +573,13 @@ impl Master {
         }
         match self.config.scheduler {
             SchedPolicy::NwsRank => idle.into_iter().max_by(|a, b| {
-                let ra = self.placement_score(*a, &self.clients[a], near);
-                let rb = self.placement_score(*b, &self.clients[b], near);
+                let ra = self.placement_score(*a, &self.core.clients[a], near);
+                let rb = self.placement_score(*b, &self.core.clients[b], near);
                 ra.total_cmp(&rb).then(b.cmp(a)) // deterministic ties: lower id
             }),
             SchedPolicy::WorstRank => idle.into_iter().min_by(|a, b| {
-                let ra = self.rank(*a, &self.clients[a]);
-                let rb = self.rank(*b, &self.clients[b]);
+                let ra = self.rank(*a, &self.core.clients[a]);
+                let rb = self.rank(*b, &self.core.clients[b]);
                 ra.total_cmp(&rb).then(a.cmp(b))
             }),
             SchedPolicy::Random(_) => {
@@ -398,13 +591,13 @@ impl Master {
 
     /// The longest-running busy client with a backlogged request
     /// ("the master splits clients which have been running the longest").
-    fn pop_backlog(&mut self) -> Option<NodeId> {
-        if self.backlog.is_empty() {
+    fn pop_backlog(&mut self, now: f64) -> Option<NodeId> {
+        if self.core.backlog.is_empty() {
             return None;
         }
-        let mut best: Option<(usize, f64)> = None;
-        for (i, id) in self.backlog.iter().enumerate() {
-            let Some(info) = self.clients.get(id) else {
+        let mut best: Option<(NodeId, f64)> = None;
+        for id in self.core.backlog.iter() {
+            let Some(info) = self.core.clients.get(id) else {
                 continue;
             };
             if info.state != ClientState::Busy {
@@ -412,47 +605,56 @@ impl Master {
             }
             match best {
                 Some((_, t)) if info.problem_since >= t => {}
-                _ => best = Some((i, info.problem_since)),
+                _ => best = Some((*id, info.problem_since)),
             }
         }
-        let (i, _) = best?;
-        self.backlog.remove(i)
+        let (id, _) = best?;
+        self.commit(now, JournalRecord::BacklogRemove { client: id });
+        Some(id)
     }
 
     fn grant_split(&mut self, requester: NodeId, ctx: &mut Ctx<GridMsg>) -> bool {
-        if self.grants.contains_key(&requester) {
+        if self.core.grants.contains_key(&requester) {
             return false;
         }
-        let Some(problem) = self.clients.get(&requester).and_then(|c| c.problem) else {
+        let Some(problem) = self.core.clients.get(&requester).and_then(|c| c.problem) else {
             return false;
         };
         let near = self.site_of(requester);
         let Some(peer) = self.pick_idle(requester, near) else {
-            if !self.backlog.contains(&requester) {
-                self.backlog.push_back(requester);
+            if !self.core.backlog.contains(&requester) {
+                self.commit(ctx.now(), JournalRecord::BacklogPush { client: requester });
                 self.stats.backlogged += 1;
-                let depth = self.backlog.len() as u64;
-                self.obs.emit(ctx.now(), 0, || Event::BacklogEnqueue {
+                let depth = self.core.backlog.len() as u64;
+                let node = self.me.0;
+                self.obs.emit(ctx.now(), node, || Event::BacklogEnqueue {
                     client: requester.0,
                     depth,
                 });
             }
             return false;
         };
-        self.clients.get_mut(&peer).expect("picked idle").state = ClientState::Receiving;
-        self.grants.insert(requester, (peer, GrantKind::Split));
+        self.commit(
+            ctx.now(),
+            JournalRecord::GrantOpen {
+                requester,
+                peer,
+                kind: GrantKind::Split,
+            },
+        );
         ctx.send(requester, GridMsg::SplitGrant { peer, problem });
         true
     }
 
     /// Serve backlog entries while idle clients remain.
     fn drain_backlog(&mut self, ctx: &mut Ctx<GridMsg>) {
-        while let Some(requester) = self.pop_backlog() {
+        while let Some(requester) = self.pop_backlog(ctx.now()) {
             if !self.grant_split(requester, ctx) {
                 break; // no idle peers left (requester went back to backlog)
             }
-            let depth = self.backlog.len() as u64;
-            self.obs.emit(ctx.now(), 0, || Event::BacklogDequeue {
+            let depth = self.core.backlog.len() as u64;
+            let node = self.me.0;
+            self.obs.emit(ctx.now(), node, || Event::BacklogDequeue {
                 client: requester.0,
                 depth,
             });
@@ -462,7 +664,7 @@ impl Master {
     /// Migration policy: if a busy client sits on a much weaker host
     /// than the best idle one, move its problem (paper Section 3.4).
     fn maybe_migrate(&mut self, ctx: &mut Ctx<GridMsg>) {
-        if !self.config.migration || !self.backlog.is_empty() {
+        if !self.config.migration || !self.core.backlog.is_empty() {
             return;
         }
         // Migration is a coarse, rare event in the paper ("when the
@@ -476,20 +678,21 @@ impl Master {
         // subproblem restarts its search (keeping learned clauses), so
         // mid-run migration costs more than it saves.
         let idle_count = self
+            .core
             .clients
             .values()
             .filter(|c| c.state == ClientState::Idle)
             .count();
-        let busy = self.busy_count();
-        if idle_count < 3 || busy * 4 > self.clients.len() {
+        let busy = self.core.busy_count();
+        if idle_count < 3 || busy * 4 > self.core.clients.len() {
             return;
         }
         // weakest busy client, not already involved in a grant and old
         // enough on its subproblem that moving it is worth the transfer
         let min_age = (2.0 * self.config.min_split_timeout).max(200.0);
         let mut weakest: Option<(NodeId, f64)> = None;
-        for (id, c) in &self.clients {
-            if c.state != ClientState::Busy || self.grants.contains_key(id) {
+        for (id, c) in &self.core.clients {
+            if c.state != ClientState::Busy || self.core.grants.contains_key(id) {
                 continue;
             }
             if ctx.now() - c.problem_since < min_age {
@@ -508,6 +711,7 @@ impl Master {
         // weak host would defeat the point
         let near = self.site_of(weak_id);
         let best_idle = self
+            .core
             .clients
             .iter()
             .filter(|(id, c)| **id != weak_id && c.state == ClientState::Idle)
@@ -518,13 +722,19 @@ impl Master {
             })
             .map(|(id, _)| *id);
         let Some(best_idle) = best_idle else { return };
-        let idle_rank = self.rank(best_idle, &self.clients[&best_idle]);
-        let Some(problem) = self.clients.get(&weak_id).and_then(|c| c.problem) else {
+        let idle_rank = self.rank(best_idle, &self.core.clients[&best_idle]);
+        let Some(problem) = self.core.clients.get(&weak_id).and_then(|c| c.problem) else {
             return;
         };
         if idle_rank >= weak_rank * self.config.migration_factor {
-            self.clients.get_mut(&best_idle).expect("idle").state = ClientState::Receiving;
-            self.grants.insert(weak_id, (best_idle, GrantKind::Migrate));
+            self.commit(
+                ctx.now(),
+                JournalRecord::GrantOpen {
+                    requester: weak_id,
+                    peer: best_idle,
+                    kind: GrantKind::Migrate,
+                },
+            );
             ctx.send(
                 weak_id,
                 GridMsg::Migrate {
@@ -534,34 +744,35 @@ impl Master {
             );
             self.last_migration = ctx.now();
             self.stats.migrations += 1;
-            self.obs.emit(ctx.now(), 0, || Event::Migrate {
+            let node = self.me.0;
+            self.obs.emit(ctx.now(), node, || Event::Migrate {
                 from: weak_id.0,
                 to: best_idle.0,
             });
         }
     }
 
-    fn busy_count(&self) -> usize {
-        self.clients
-            .values()
-            .filter(|c| matches!(c.state, ClientState::Busy | ClientState::Receiving))
-            .count()
-    }
-
     fn note_activity(&mut self) {
-        self.stats.max_active_clients = self.stats.max_active_clients.max(self.busy_count());
+        self.stats.max_active_clients = self.stats.max_active_clients.max(self.core.busy_count());
     }
 
     fn finish(&mut self, outcome: GridOutcome, reason: EndReason, ctx: &mut Ctx<GridMsg>) {
         if self.outcome.is_some() {
             return;
         }
+        // the auditor's conservation check fires exactly at the UNSAT
+        // declaration; every other outcome releases it
+        match &outcome {
+            GridOutcome::Unsat => self.audit.unsat_declared(ctx.now()),
+            _ => self.audit.conclude(),
+        }
         self.finished_at = ctx.now();
         let cell = outcome.table_cell();
+        let node = self.me.0;
         self.obs
-            .emit(ctx.now(), 0, || Event::Outcome { outcome: cell });
+            .emit(ctx.now(), node, || Event::Outcome { outcome: cell });
         self.outcome = Some(outcome);
-        for id in self.clients.keys().copied().collect::<Vec<_>>() {
+        for id in self.core.clients.keys().copied().collect::<Vec<_>>() {
             ctx.send(id, GridMsg::Terminate(reason));
         }
         ctx.shutdown();
@@ -576,12 +787,14 @@ impl Master {
             return;
         }
         // "All the clients are idle" => unsatisfiable. Guard against
-        // in-flight transfers via the Receiving state, open grants, and
-        // queued recoveries.
-        if self.first_problem_sent
-            && self.busy_count() == 0
-            && self.grants.is_empty()
-            && self.pending_recovery.is_empty()
+        // in-flight transfers via the Receiving state, open grants,
+        // queued recoveries, and a just-promoted master's reconcile
+        // window.
+        if self.core.first_problem_sent
+            && self.core.busy_count() == 0
+            && self.core.grants.is_empty()
+            && self.core.pending_recovery.is_empty()
+            && ctx.now() >= self.reconcile_until
         {
             self.finish(GridOutcome::Unsat, EndReason::Unsat, ctx);
         }
@@ -589,48 +802,29 @@ impl Master {
 
     /// Broadcast the registered-client list (clause-sharing fan-out).
     fn broadcast_peers(&mut self, ctx: &mut Ctx<GridMsg>) {
-        let peers: Vec<NodeId> = self.clients.keys().copied().collect();
+        let peers: Vec<NodeId> = self.core.clients.keys().copied().collect();
         for id in &peers {
             ctx.send(*id, GridMsg::Peers(peers.clone()));
-        }
-    }
-
-    fn whole_problem(&self) -> SplitSpec {
-        SplitSpec {
-            num_vars: self.formula.num_vars(),
-            assumptions: Vec::new(),
-            clauses: self.formula.clauses().to_vec(),
-        }
-    }
-
-    /// Rebuild a dispatchable subproblem from a recovery image.
-    fn spec_from_checkpoint(&self, cp: Checkpoint) -> SplitSpec {
-        match cp {
-            Checkpoint::Light { level0 } => {
-                // original clauses + recorded level-0 assignment
-                let mut spec = self.whole_problem();
-                spec.assumptions = level0;
-                spec
-            }
-            Checkpoint::Heavy { level0, learned } => SplitSpec {
-                num_vars: self.formula.num_vars(),
-                assumptions: level0,
-                clauses: learned, // export_clauses() includes originals
-            },
         }
     }
 
     /// Recover a lost busy client from its checkpoint (extension).
     /// Returns `false` when no checkpoint exists (recovery impossible).
     fn recover(&mut self, lost: NodeId, ctx: &mut Ctx<GridMsg>) -> bool {
-        let Some(info) = self.clients.get(&lost) else {
+        let Some(info) = self.core.clients.get(&lost) else {
             return false;
         };
+        let source = info.problem;
         let Some(cp) = info.checkpoint.clone() else {
             return false;
         };
-        let spec = self.spec_from_checkpoint(cp);
-        self.pending_recovery.push_back(spec);
+        let spec = MasterCore::spec_from_checkpoint(&self.formula, cp);
+        self.commit(
+            ctx.now(),
+            JournalRecord::RecoveryQueued {
+                recovery: RecoverySpec { spec, source },
+            },
+        );
         self.stats.recoveries += 1;
         self.dispatch_recoveries(ctx);
         true
@@ -640,50 +834,44 @@ impl Master {
     /// peer those grants had reserved: a Receiving reservation must never
     /// outlive the grant that made it, or the peer blocks the all-idle
     /// UNSAT condition forever.
-    fn drop_grants_involving(&mut self, node: NodeId) {
-        let dropped: Vec<NodeId> = self
+    fn drop_grants_involving(&mut self, node: NodeId, now: f64) {
+        let dropped: Vec<(NodeId, NodeId)> = self
+            .core
             .grants
             .iter()
             .filter(|(r, (p, _))| **r == node || *p == node)
-            .map(|(r, _)| *r)
+            .map(|(r, (p, _))| (*r, *p))
             .collect();
-        for requester in dropped {
-            let Some((peer, _)) = self.grants.remove(&requester) else {
-                continue;
-            };
-            if peer == node {
-                continue;
-            }
-            if let Some(p) = self.clients.get_mut(&peer) {
-                if p.state == ClientState::Receiving {
-                    p.state = ClientState::Idle;
-                }
-            }
+        for (requester, peer) in dropped {
+            self.commit(
+                now,
+                JournalRecord::GrantClose {
+                    requester,
+                    free_peer: peer != node,
+                },
+            );
         }
     }
 
     /// A client is gone (node down or lease expired): free its resources
     /// and recover its subproblem if possible.
     fn handle_client_loss(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
-        let Some(info) = self.clients.get(&node) else {
+        let Some(info) = self.core.clients.get(&node) else {
             return;
         };
-        self.early_results.retain(|(n, _)| *n != node);
         match info.state {
             ClientState::Idle => {
                 // "When an idle client is killed ... the master becomes
                 // aware of it and marks the resource as free."
-                self.clients.remove(&node);
-                self.backlog.retain(|id| *id != node);
+                self.commit(ctx.now(), JournalRecord::Deregister { client: node });
                 self.broadcast_peers(ctx);
             }
             ClientState::Receiving if self.config.reliability.is_some() => {
                 // nothing to recover: the requester still holds the whole
                 // subproblem, and its undeliverable transfer will come
                 // back to us as a Requeue
-                self.clients.remove(&node);
-                self.backlog.retain(|id| *id != node);
-                self.drop_grants_involving(node);
+                self.commit(ctx.now(), JournalRecord::Deregister { client: node });
+                self.drop_grants_involving(node, ctx.now());
                 self.broadcast_peers(ctx);
                 self.drain_backlog(ctx);
             }
@@ -691,9 +879,8 @@ impl Master {
                 // try checkpoint recovery; without it, the paper's current
                 // implementation "will not tolerate a machine crash"
                 if self.config.checkpoint != CheckpointMode::Off && self.recover(node, ctx) {
-                    self.clients.remove(&node);
-                    self.backlog.retain(|id| *id != node);
-                    self.drop_grants_involving(node);
+                    self.commit(ctx.now(), JournalRecord::Deregister { client: node });
+                    self.drop_grants_involving(node, ctx.now());
                     self.broadcast_peers(ctx);
                     self.dispatch_recoveries(ctx);
                     self.drain_backlog(ctx);
@@ -714,6 +901,7 @@ impl Master {
         let lease = rel.heartbeat_period * f64::from(rel.lease_misses);
         let now = ctx.now();
         let expired: Vec<NodeId> = self
+            .core
             .clients
             .iter()
             .filter(|(_, c)| now - c.last_seen > lease)
@@ -721,8 +909,10 @@ impl Master {
             .collect();
         for id in expired {
             self.stats.lease_expiries += 1;
+            let node = self.me.0;
             self.obs
-                .emit(now, 0, || Event::LeaseExpire { client: id.0 });
+                .emit(now, node, || Event::LeaseExpire { client: id.0 });
+            self.commit(now, JournalRecord::LeaseExpired { client: id });
             self.handle_client_loss(id, ctx);
             if self.outcome.is_some() {
                 return;
@@ -741,70 +931,86 @@ impl Master {
             GridMsg::Solve { spec, problem } => {
                 // the assignment never arrived: take the subproblem back
                 // and hand it to someone else
-                if let Some(info) = self.clients.get_mut(&to) {
-                    if info.problem == Some(problem) {
-                        info.state = ClientState::Idle;
-                        info.problem = None;
-                        info.checkpoint = None;
-                    }
+                if self
+                    .core
+                    .clients
+                    .get(&to)
+                    .is_some_and(|i| i.problem == Some(problem))
+                {
+                    self.commit(ctx.now(), JournalRecord::ClientIdle { client: to });
                 }
-                self.pending_recovery.push_back(*spec);
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::RecoveryQueued {
+                        recovery: RecoverySpec {
+                            spec: *spec,
+                            source: Some(problem),
+                        },
+                    },
+                );
                 self.stats.requeues += 1;
                 self.dispatch_recoveries(ctx);
             }
             GridMsg::SplitGrant { .. } | GridMsg::Migrate { .. } => {
                 // the grant never reached the requester: forget it and
                 // free the reserved peer
-                if let Some((peer, _)) = self.grants.remove(&to) {
-                    if let Some(p) = self.clients.get_mut(&peer) {
-                        if p.state == ClientState::Receiving {
-                            p.state = ClientState::Idle;
-                        }
-                    }
+                if self.core.grants.contains_key(&to) {
+                    self.commit(
+                        ctx.now(),
+                        JournalRecord::GrantClose {
+                            requester: to,
+                            free_peer: true,
+                        },
+                    );
                 }
                 self.drain_backlog(ctx);
+            }
+            GridMsg::JournalBatch { start, .. } => {
+                // the standby missed a batch: rewind the ship cursor so
+                // the next ship re-sends from the gap
+                if let Some(link) = self.standby.as_mut() {
+                    if link.node == to {
+                        link.sent = link.sent.min(start);
+                    }
+                }
             }
             // peer lists are re-broadcast on every membership change and
             // a terminate to a dead client changes nothing
             _ => {}
         }
-    }
-
-    /// Initial recovery image for a subproblem the master dispatches
-    /// itself: exactly the spec it is about to send, so a client crash
-    /// before its first own checkpoint still leaves the search space
-    /// recoverable.
-    fn synth_checkpoint(&self, spec: &SplitSpec) -> Option<Checkpoint> {
-        (self.config.checkpoint != CheckpointMode::Off).then(|| Checkpoint::Heavy {
-            level0: spec.assumptions.clone(),
-            learned: spec.clauses.clone(),
-        })
+        self.ship_journal(ctx, false);
     }
 
     /// Hand queued recovered subproblems to idle clients.
     fn dispatch_recoveries(&mut self, ctx: &mut Ctx<GridMsg>) {
-        while !self.pending_recovery.is_empty() {
+        while !self.core.pending_recovery.is_empty() {
             let Some(target) = self.pick_idle(NodeId(u32::MAX), None) else {
                 return;
             };
-            let spec = self.pending_recovery.pop_front().expect("non-empty");
             self.minted += 1;
-            let problem = ProblemId::new(NodeId(0), self.minted);
-            let cp = self.synth_checkpoint(&spec);
+            let problem = ProblemId::new(self.me, self.minted);
+            let rec = self
+                .commit(
+                    ctx.now(),
+                    JournalRecord::AssignRecovery {
+                        client: target,
+                        problem,
+                        at: ctx.now(),
+                    },
+                )
+                .expect("non-empty recovery queue returns the spec");
+            self.audit
+                .reassign(ctx.now(), rec.source, problem, Some(target));
             ctx.send(
                 target,
                 GridMsg::Solve {
-                    spec: Box::new(spec),
+                    spec: Box::new(rec.spec),
                     problem,
                 },
             );
-            let info = self.clients.get_mut(&target).expect("idle");
-            info.state = ClientState::Busy;
-            info.problem_since = ctx.now();
-            info.problem = Some(problem);
-            info.checkpoint = cp;
+            let node = self.me.0;
             self.obs
-                .emit(ctx.now(), 0, || Event::Assign { client: target.0 });
+                .emit(ctx.now(), node, || Event::Assign { client: target.0 });
         }
     }
 }
@@ -814,11 +1020,30 @@ impl Process for Master {
 
     fn on_start(&mut self, ctx: &mut Ctx<GridMsg>) {
         if self.started {
-            // restart: clients kept heartbeating into the void while we
-            // were down — give every lease a fresh start
+            // restart: rebuild the scheduling state from the write-ahead
+            // journal and self-check the fold against the live state,
+            // then give every lease a fresh start (clients kept
+            // heartbeating into the void while we were down)
             let now = ctx.now();
-            for info in self.clients.values_mut() {
+            let replayed =
+                MasterJournal::replay(&self.formula, &self.config, self.journal.records());
+            debug_assert_eq!(
+                replayed.image(),
+                self.core.image(),
+                "journal replay must reproduce the live scheduling state"
+            );
+            self.core = replayed;
+            for info in self.core.clients.values_mut() {
                 info.last_seen = now;
+            }
+            let records = self.journal.len();
+            let node = self.me.0;
+            self.obs
+                .emit(now, node, || Event::JournalReplay { records });
+            self.last_replay = Some(now);
+            // anything shipped but unacked may have died with us
+            if let Some(link) = self.standby.as_mut() {
+                link.sent = link.acked;
             }
         }
         self.started = true;
@@ -830,7 +1055,7 @@ impl Process for Master {
             return;
         }
         // any traffic renews the sender's lease, not just heartbeats
-        if let Some(info) = self.clients.get_mut(&from) {
+        if let Some(info) = self.core.clients.get_mut(&from) {
             info.last_seen = ctx.now();
         }
         match msg {
@@ -838,47 +1063,46 @@ impl Process for Master {
                 memory,
                 availability,
             } => {
-                let mut forecast = Adaptive::standard();
-                forecast.update(availability);
                 let speed = self.host_info.get(&from).map(|(s, _)| *s).unwrap_or(1.0);
-                self.clients.insert(
-                    from,
-                    ClientInfo {
-                        state: ClientState::Idle,
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::Launch {
+                        client: from,
                         memory,
                         speed,
-                        forecast,
-                        problem_since: 0.0,
-                        problem: None,
-                        checkpoint: None,
-                        last_seen: ctx.now(),
+                        availability,
+                        at: ctx.now(),
                     },
                 );
                 self.broadcast_peers(ctx);
+                let node = self.me.0;
                 self.obs
-                    .emit(ctx.now(), 0, || Event::ClientLaunch { client: from.0 });
-                if !self.first_problem_sent {
+                    .emit(ctx.now(), node, || Event::ClientLaunch { client: from.0 });
+                if !self.core.first_problem_sent {
                     // "The first client to register with the master is
                     // sent the entire problem to solve."
-                    self.first_problem_sent = true;
-                    let spec = self.whole_problem();
                     self.minted += 1;
-                    let problem = ProblemId::new(NodeId(0), self.minted);
-                    let cp = self.synth_checkpoint(&spec);
-                    let info = self.clients.get_mut(&from).expect("registered");
-                    info.state = ClientState::Busy;
-                    info.problem_since = ctx.now();
-                    info.problem = Some(problem);
-                    info.checkpoint = cp;
+                    let problem = ProblemId::new(self.me, self.minted);
+                    let rec = self
+                        .commit(
+                            ctx.now(),
+                            JournalRecord::AssignWhole {
+                                client: from,
+                                problem,
+                                at: ctx.now(),
+                            },
+                        )
+                        .expect("whole-problem dispatch returns the spec");
+                    self.audit.assign_root(ctx.now(), problem, from);
                     ctx.send(
                         from,
                         GridMsg::Solve {
-                            spec: Box::new(spec),
+                            spec: Box::new(rec.spec),
                             problem,
                         },
                     );
                     self.obs
-                        .emit(ctx.now(), 0, || Event::Assign { client: from.0 });
+                        .emit(ctx.now(), node, || Event::Assign { client: from.0 });
                 } else {
                     // a fresh resource may unblock the backlog
                     self.drain_backlog(ctx);
@@ -887,15 +1111,21 @@ impl Process for Master {
             }
             GridMsg::SplitRequest { problem } => {
                 let busy = self
+                    .core
                     .clients
                     .get(&from)
                     .map(|c| c.state == ClientState::Busy)
                     .unwrap_or(false);
                 if busy {
-                    let info = self.clients.get_mut(&from).expect("busy");
-                    if info.problem.is_none() {
+                    if self.core.clients[&from].problem.is_none() {
                         // learn the requester's subproblem if we missed it
-                        info.problem = Some(problem);
+                        self.commit(
+                            ctx.now(),
+                            JournalRecord::ProblemLearned {
+                                client: from,
+                                problem,
+                            },
+                        );
                     }
                     // grant only when the request names the subproblem we
                     // believe the client holds: a retransmitted request
@@ -903,7 +1133,7 @@ impl Process for Master {
                     // and taking its word would regress our view. The
                     // client re-requests periodically, so a skipped grant
                     // only delays the split.
-                    if info.problem == Some(problem) {
+                    if self.core.clients[&from].problem == Some(problem) {
                         self.grant_split(from, ctx);
                     }
                 }
@@ -915,35 +1145,39 @@ impl Process for Master {
                 problem,
                 checkpoint,
             } => {
-                let grant = self.grants.get(&requester).copied();
+                let grant = self.core.grants.get(&requester).copied();
                 if from == requester {
                     // Figure 3 message (5): the requester's report
                     match (ok, grant) {
                         (false, Some((granted_peer, _))) => {
                             // transfer never happened; free the peer
                             debug_assert_eq!(granted_peer, peer);
-                            if let Some(p) = self.clients.get_mut(&granted_peer) {
-                                if p.state == ClientState::Receiving {
-                                    p.state = ClientState::Idle;
-                                }
-                            }
-                            self.grants.remove(&requester);
+                            self.commit(
+                                ctx.now(),
+                                JournalRecord::GrantClose {
+                                    requester,
+                                    free_peer: true,
+                                },
+                            );
                         }
                         (true, Some((_, GrantKind::Split))) => {
                             // requester keeps its half on a fresh clock
-                            if let Some(r) = self.clients.get_mut(&requester) {
-                                r.problem_since = ctx.now();
-                            }
+                            self.commit(
+                                ctx.now(),
+                                JournalRecord::SplitKept {
+                                    requester,
+                                    at: ctx.now(),
+                                },
+                            );
                             self.stats.splits += 1;
-                            self.obs.emit(ctx.now(), 0, || Event::Split {
+                            let node = self.me.0;
+                            self.obs.emit(ctx.now(), node, || Event::Split {
                                 requester: requester.0,
                                 peer: peer.0,
                             });
                         }
                         (true, Some((_, GrantKind::Migrate))) => {
-                            if let Some(r) = self.clients.get_mut(&requester) {
-                                r.state = ClientState::Idle;
-                            }
+                            self.commit(ctx.now(), JournalRecord::MigrateSent { requester });
                         }
                         // peer's confirmation already closed the grant
                         (_, None) => {}
@@ -955,32 +1189,51 @@ impl Process for Master {
                     // Busy now would wedge the run waiting for a result
                     // that was consumed long ago.
                     let already_done =
-                        problem.is_some_and(|p| self.early_results.remove(&(from, p)));
+                        problem.is_some_and(|p| self.core.early_results.contains(&(from, p)));
+                    if already_done {
+                        self.commit(
+                            ctx.now(),
+                            JournalRecord::EarlyResultConsume {
+                                client: from,
+                                problem: problem.expect("checked above"),
+                            },
+                        );
+                    }
                     let grant_open = grant.is_some_and(|(p, _)| p == from);
                     if ok && !already_done {
-                        if let Some(info) = self.clients.get_mut(&from) {
+                        if self.core.clients.contains_key(&from) {
                             // a confirmation from a tracked peer with no
                             // open grant is a replay of one we already
                             // processed (our dedup window died with a
                             // restart); the subproblem it confirms has
                             // long been handled
                             if grant_open {
-                                info.state = ClientState::Busy;
-                                info.problem_since = ctx.now();
-                                info.problem = problem;
                                 // the confirmation bundles the peer's
                                 // initial recovery image, so a client is
                                 // never Busy without one — a crash at any
                                 // point after this stays recoverable
-                                if self.config.checkpoint != CheckpointMode::Off {
-                                    if let Some(cp) = checkpoint {
-                                        let heavy = matches!(*cp, Checkpoint::Heavy { .. });
-                                        info.checkpoint = Some(*cp);
-                                        self.obs.emit(ctx.now(), 0, || Event::CheckpointSaved {
-                                            client: from.0,
-                                            heavy,
-                                        });
-                                    }
+                                let cp = if self.config.checkpoint != CheckpointMode::Off {
+                                    checkpoint.map(|b| *b)
+                                } else {
+                                    None
+                                };
+                                let heavy =
+                                    cp.as_ref().map(|c| matches!(c, Checkpoint::Heavy { .. }));
+                                self.commit(
+                                    ctx.now(),
+                                    JournalRecord::TransferIn {
+                                        peer: from,
+                                        problem,
+                                        checkpoint: cp,
+                                        at: ctx.now(),
+                                    },
+                                );
+                                if let Some(heavy) = heavy {
+                                    let node = self.me.0;
+                                    self.obs.emit(ctx.now(), node, || Event::CheckpointSaved {
+                                        client: from.0,
+                                        heavy,
+                                    });
                                 }
                             }
                         } else if let Some(cp) = checkpoint {
@@ -990,8 +1243,16 @@ impl Process for Master {
                             // from the bundled image: duplicated work, but
                             // UNSAT must never close over a search space
                             // the master has lost sight of.
-                            let spec = self.spec_from_checkpoint(*cp);
-                            self.pending_recovery.push_back(spec);
+                            let spec = MasterCore::spec_from_checkpoint(&self.formula, *cp);
+                            self.commit(
+                                ctx.now(),
+                                JournalRecord::RecoveryQueued {
+                                    recovery: RecoverySpec {
+                                        spec,
+                                        source: problem,
+                                    },
+                                },
+                            );
                             self.stats.recoveries += 1;
                             self.dispatch_recoveries(ctx);
                         } else {
@@ -1000,7 +1261,15 @@ impl Process for Master {
                             return;
                         }
                     }
-                    self.grants.remove(&requester);
+                    if grant.is_some() {
+                        self.commit(
+                            ctx.now(),
+                            JournalRecord::GrantClose {
+                                requester,
+                                free_peer: false,
+                            },
+                        );
+                    }
                     if already_done {
                         // closing the grant may have been the last thing
                         // holding off an all-idle termination
@@ -1013,28 +1282,38 @@ impl Process for Master {
             GridMsg::Result { result, problem } => {
                 self.stats.results += 1;
                 let sat = matches!(result, SubResult::Sat(_));
-                self.obs.emit(ctx.now(), 0, || Event::ResultReport {
+                let node = self.me.0;
+                self.obs.emit(ctx.now(), node, || Event::ResultReport {
                     client: from.0,
                     sat,
                 });
-                if self.grants.values().any(|(p, _)| *p == from) {
+                if self.core.grants.values().any(|(p, _)| *p == from) {
                     // this client is the peer of an in-flight transfer:
                     // its confirmation (Figure 3 message 4) is still on
                     // the wire and must not re-open the subproblem when
                     // it lands after this result
-                    self.early_results.insert((from, problem));
+                    self.commit(
+                        ctx.now(),
+                        JournalRecord::EarlyResultNote {
+                            client: from,
+                            problem,
+                        },
+                    );
                 }
-                if let Some(info) = self.clients.get_mut(&from) {
-                    // a duplicate of an old result (client-side delivery
-                    // retries) must not idle a client that has since
-                    // been handed different work
-                    if info.problem == Some(problem) || info.problem.is_none() {
-                        info.state = ClientState::Idle;
-                        info.checkpoint = None;
-                        info.problem = None;
-                    }
+                // a duplicate of an old result (client-side delivery
+                // retries) must not idle a client that has since
+                // been handed different work
+                if self
+                    .core
+                    .clients
+                    .get(&from)
+                    .is_some_and(|i| i.problem == Some(problem) || i.problem.is_none())
+                {
+                    self.commit(ctx.now(), JournalRecord::ClientIdle { client: from });
                 }
-                self.backlog.retain(|id| *id != from);
+                if self.core.backlog.contains(&from) {
+                    self.commit(ctx.now(), JournalRecord::BacklogRemove { client: from });
+                }
                 match result {
                     SubResult::Sat(lits) => {
                         // the paper's master verifies the assignment stack
@@ -1066,23 +1345,33 @@ impl Process for Master {
                 }
             }
             GridMsg::LoadReport { availability } => {
-                if let Some(info) = self.clients.get_mut(&from) {
+                if let Some(info) = self.core.clients.get_mut(&from) {
                     info.forecast.update(availability);
                 }
             }
             // lease renewal; the blanket last_seen refresh above did the work
             GridMsg::Heartbeat => {}
-            GridMsg::Requeue { spec } => {
+            GridMsg::Requeue { spec, problem } => {
                 // a client could not deliver a subproblem transfer; take
                 // the search space back so it is not lost
-                if let Some((peer, _)) = self.grants.remove(&from) {
-                    if let Some(p) = self.clients.get_mut(&peer) {
-                        if p.state == ClientState::Receiving {
-                            p.state = ClientState::Idle;
-                        }
-                    }
+                if self.core.grants.contains_key(&from) {
+                    self.commit(
+                        ctx.now(),
+                        JournalRecord::GrantClose {
+                            requester: from,
+                            free_peer: true,
+                        },
+                    );
                 }
-                self.pending_recovery.push_back(*spec);
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::RecoveryQueued {
+                        recovery: RecoverySpec {
+                            spec: *spec,
+                            source: problem,
+                        },
+                    },
+                );
                 self.stats.requeues += 1;
                 self.dispatch_recoveries(ctx);
                 self.drain_backlog(ctx);
@@ -1092,7 +1381,7 @@ impl Process for Master {
                 checkpoint,
             } => {
                 if self.config.checkpoint != CheckpointMode::Off {
-                    if let Some(info) = self.clients.get_mut(&from) {
+                    if let Some(info) = self.core.clients.get(&from) {
                         // Reordering guard: only keep a checkpoint for
                         // the subproblem the client is known to hold. A
                         // Receiving peer's adopt-time checkpoint usually
@@ -1101,12 +1390,19 @@ impl Process for Master {
                         let fresh =
                             info.problem == Some(problem) || info.state == ClientState::Receiving;
                         if fresh {
-                            if info.state == ClientState::Receiving {
-                                info.problem = Some(problem);
-                            }
+                            let learn_problem = info.state == ClientState::Receiving;
                             let heavy = matches!(*checkpoint, Checkpoint::Heavy { .. });
-                            info.checkpoint = Some(*checkpoint);
-                            self.obs.emit(ctx.now(), 0, || Event::CheckpointSaved {
+                            self.commit(
+                                ctx.now(),
+                                JournalRecord::CheckpointAccept {
+                                    client: from,
+                                    problem,
+                                    checkpoint: *checkpoint,
+                                    learn_problem,
+                                },
+                            );
+                            let node = self.me.0;
+                            self.obs.emit(ctx.now(), node, || Event::CheckpointSaved {
                                 client: from.0,
                                 heavy,
                             });
@@ -1114,17 +1410,76 @@ impl Process for Master {
                     }
                 }
             }
+            GridMsg::JournalAck { next } => {
+                if let Some(link) = self.standby.as_mut() {
+                    if link.node == from {
+                        link.acked = link.acked.max(next);
+                    }
+                }
+            }
+            // a Takeover or JournalBatch reaching an alive master is the
+            // split-brain race (the standby promoted while we were merely
+            // slow); clients follow whoever spoke last, so staying silent
+            // and continuing to ship our own journal is the safe move
+            GridMsg::Takeover | GridMsg::JournalBatch { .. } => {}
+            GridMsg::Adopt {
+                memory,
+                availability,
+                problem,
+                checkpoint,
+            } => {
+                // re-registration with in-progress state after a takeover
+                let speed = self.host_info.get(&from).map(|(s, _)| *s).unwrap_or(1.0);
+                let busy = problem.is_some();
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::AdoptClaim {
+                        client: from,
+                        memory,
+                        speed,
+                        availability,
+                        busy,
+                        problem,
+                        checkpoint: checkpoint.map(|b| *b),
+                        at: ctx.now(),
+                    },
+                );
+                self.broadcast_peers(ctx);
+                let node = self.me.0;
+                self.obs
+                    .emit(ctx.now(), node, || Event::ClientLaunch { client: from.0 });
+                self.dispatch_recoveries(ctx);
+                self.drain_backlog(ctx);
+                self.note_activity();
+            }
+            // a subproblem transfer addressed to this node's retired
+            // client role can still land after a promotion (the dead
+            // master brokered the split): recover the cube instead of
+            // dropping it
+            GridMsg::Subproblem { spec, problem, .. } => {
+                self.stats.recoveries += 1;
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::RecoveryQueued {
+                        recovery: RecoverySpec {
+                            spec: *spec,
+                            source: Some(problem),
+                        },
+                    },
+                );
+                self.dispatch_recoveries(ctx);
+            }
             // client-bound messages
             GridMsg::Solve { .. }
             | GridMsg::SplitGrant { .. }
             | GridMsg::Migrate { .. }
             | GridMsg::Peers(_)
             | GridMsg::Terminate(_)
-            | GridMsg::Subproblem { .. }
             | GridMsg::Share(_) => {
                 debug_assert!(false, "master got client message from {from}");
             }
         }
+        self.ship_journal(ctx, false);
     }
 
     fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
@@ -1141,6 +1496,9 @@ impl Process for Master {
         self.maybe_migrate(ctx);
         self.check_termination(ctx);
         self.note_activity();
+        // keepalive: an empty batch tells the standby we are alive even
+        // when nothing was decided this period
+        self.ship_journal(ctx, true);
         if self.outcome.is_none() {
             ctx.schedule_tick(self.config.master_period);
         }
@@ -1151,730 +1509,9 @@ impl Process for Master {
             return;
         }
         self.handle_client_loss(node, ctx);
+        self.ship_journal(ctx, false);
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use gridsat_cnf::Clause;
-    use gridsat_grid::{Action, NodeInfo};
-
-    fn ctx(now: f64) -> Ctx<GridMsg> {
-        Ctx::new(NodeInfo {
-            id: NodeId(0),
-            speed: 500.0,
-            memory: 3 << 20,
-            now,
-            availability: 1.0,
-        })
-    }
-
-    fn speeds(n: u32) -> BTreeMap<NodeId, (f64, Site)> {
-        (1..=n)
-            .map(|i| (NodeId(i), (100.0 * f64::from(i), Site::Ucsd)))
-            .collect()
-    }
-
-    fn master() -> Master {
-        Master::new(
-            gridsat_cnf::paper::fig1_formula(),
-            GridConfig::default(),
-            speeds(4),
-        )
-    }
-
-    fn register(m: &mut Master, id: u32, t: f64) -> Vec<Action<GridMsg>> {
-        let mut cx = ctx(t);
-        m.on_message(
-            NodeId(id),
-            GridMsg::Register {
-                memory: 3 << 20,
-                availability: 1.0,
-            },
-            &mut cx,
-        );
-        cx.take_actions()
-    }
-
-    #[test]
-    fn first_registrant_gets_the_whole_problem() {
-        let mut m = master();
-        let actions = register(&mut m, 2, 0.0);
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send { to: NodeId(2), msg: GridMsg::Solve { spec, .. } }
-                if spec.assumptions.is_empty() && spec.clauses.len() == 9
-        )));
-        // second registrant gets peers but no problem
-        let actions = register(&mut m, 3, 1.0);
-        assert!(!actions.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: GridMsg::Solve { .. },
-                ..
-            }
-        )));
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: GridMsg::Peers(_),
-                ..
-            }
-        )));
-    }
-
-    #[test]
-    fn split_request_grants_best_ranked_idle_peer() {
-        let mut m = master();
-        register(&mut m, 1, 0.0); // gets the problem (busy)
-        register(&mut m, 2, 0.0);
-        register(&mut m, 3, 0.0);
-        register(&mut m, 4, 0.0);
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        let actions = cx.take_actions();
-        // rank = speed * availability: node 4 is fastest idle
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                to: NodeId(1),
-                msg: GridMsg::SplitGrant {
-                    peer: NodeId(4),
-                    ..
-                }
-            }
-        )));
-    }
-
-    #[test]
-    fn no_idle_peer_means_backlog() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        assert!(cx.take_actions().is_empty());
-        assert_eq!(m.backlog.len(), 1);
-        assert_eq!(m.stats.backlogged, 1);
-
-        // a registering client frees the backlog
-        let actions = register(&mut m, 2, 2.0);
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                to: NodeId(1),
-                msg: GridMsg::SplitGrant {
-                    peer: NodeId(2),
-                    ..
-                }
-            }
-        )));
-        assert!(m.backlog.is_empty());
-    }
-
-    #[test]
-    fn failed_split_frees_the_peer() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        register(&mut m, 2, 0.0);
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        let _ = cx.take_actions();
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Receiving);
-        let mut cx = ctx(2.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitDone {
-                requester: NodeId(1),
-                peer: NodeId(2),
-                ok: false,
-                problem: None,
-                checkpoint: None,
-            },
-            &mut cx,
-        );
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Idle);
-        assert!(m.grants.is_empty());
-    }
-
-    #[test]
-    fn undeliverable_grant_frees_the_peer() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        register(&mut m, 2, 0.0);
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        let _ = cx.take_actions();
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Receiving);
-        // the grant toward node 1 exhausts its retry budget
-        let mut cx = ctx(40.0);
-        m.on_undeliverable(
-            NodeId(1),
-            GridMsg::SplitGrant {
-                peer: NodeId(2),
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Idle);
-        assert!(m.grants.is_empty());
-    }
-
-    #[test]
-    fn undeliverable_assign_requeues_the_subproblem() {
-        let mut m = master();
-        let actions = register(&mut m, 1, 0.0);
-        let spec = actions
-            .iter()
-            .find_map(|a| match a {
-                Action::Send {
-                    msg: GridMsg::Solve { spec, .. },
-                    ..
-                } => Some(spec.clone()),
-                _ => None,
-            })
-            .expect("first registrant gets the problem");
-        register(&mut m, 2, 0.0);
-        // the whole-problem assignment to node 1 never got through
-        let mut cx = ctx(40.0);
-        m.on_undeliverable(
-            NodeId(1),
-            GridMsg::Solve {
-                spec,
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        assert_eq!(m.stats.requeues, 1);
-        assert_eq!(m.clients[&NodeId(1)].state, ClientState::Idle);
-        // the subproblem went straight back out to the idle node 2
-        assert!(cx.take_actions().iter().any(|a| matches!(
-            a,
-            Action::Send {
-                to: NodeId(2),
-                msg: GridMsg::Solve { .. }
-            }
-        )));
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
-        assert!(m.pending_recovery.is_empty());
-    }
-
-    #[test]
-    fn requeue_message_returns_a_lost_transfer() {
-        // reliability on, so a peer dying mid-transfer is not fatal
-        let mut m = Master::new(
-            gridsat_cnf::paper::fig1_formula(),
-            GridConfig::chaos_hardened(),
-            speeds(4),
-        );
-        register(&mut m, 1, 0.0);
-        register(&mut m, 2, 0.0);
-        register(&mut m, 3, 0.0);
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        let _ = cx.take_actions();
-        let (peer, _) = m.grants[&NodeId(1)];
-        // the peer died mid-transfer; the requester hands the half back
-        let mut cx = ctx(2.0);
-        m.on_node_down(peer, &mut cx);
-        let mut cx = ctx(3.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::Requeue {
-                spec: Box::new(SplitSpec {
-                    num_vars: 1,
-                    assumptions: vec![(gridsat_cnf::Lit::pos(0), true)],
-                    clauses: vec![],
-                }),
-            },
-            &mut cx,
-        );
-        assert_eq!(m.stats.requeues, 1);
-        assert!(m.grants.is_empty());
-        // re-dispatched to the remaining idle client
-        assert!(cx.take_actions().iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: GridMsg::Solve { .. },
-                ..
-            }
-        )));
-    }
-
-    #[test]
-    fn successful_split_protocol_transitions() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        register(&mut m, 2, 0.0);
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        let _ = cx.take_actions();
-        // message (5) from requester
-        let mut cx = ctx(2.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitDone {
-                requester: NodeId(1),
-                peer: NodeId(2),
-                ok: true,
-                problem: Some(ProblemId::new(NodeId(1), 1)),
-                checkpoint: None,
-            },
-            &mut cx,
-        );
-        assert_eq!(m.stats.splits, 1);
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Receiving);
-        // message (4) from the peer completes the grant
-        let mut cx = ctx(3.0);
-        m.on_message(
-            NodeId(2),
-            GridMsg::SplitDone {
-                requester: NodeId(1),
-                peer: NodeId(2),
-                ok: true,
-                problem: Some(ProblemId::new(NodeId(1), 1)),
-                checkpoint: None,
-            },
-            &mut cx,
-        );
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
-        assert!(m.grants.is_empty());
-        assert_eq!(m.stats.max_active_clients, 2);
-    }
-
-    #[test]
-    fn sat_result_is_verified_and_ends_the_run() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        // a genuine model of the fig1 formula
-        let f = gridsat_cnf::paper::fig1_formula();
-        let model = gridsat_solver::driver::solve(
-            &f,
-            gridsat_solver::SolverConfig::default(),
-            gridsat_solver::Limits::default(),
-        );
-        let lits = match model.outcome {
-            gridsat_solver::Outcome::Sat(a) => a.to_lits(),
-            _ => panic!(),
-        };
-        let mut cx = ctx(5.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::Result {
-                result: SubResult::Sat(lits),
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        assert!(matches!(m.outcome(), Some(GridOutcome::Sat(_))));
-        assert_eq!(m.stats.verification_failures, 0);
-        let actions = cx.take_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: GridMsg::Terminate(EndReason::Sat),
-                ..
-            }
-        )));
-        assert!(actions.iter().any(|a| matches!(a, Action::Shutdown)));
-    }
-
-    #[test]
-    fn bogus_sat_result_is_rejected() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        let mut cx = ctx(5.0);
-        // V14 false violates clause 9
-        m.on_message(
-            NodeId(1),
-            GridMsg::Result {
-                result: SubResult::Sat(vec![gridsat_cnf::Var(13).negative()]),
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        assert_eq!(m.stats.verification_failures, 1);
-        assert!(m.outcome().is_none());
-    }
-
-    #[test]
-    fn all_idle_means_unsat() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        let mut cx = ctx(5.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::Result {
-                result: SubResult::Unsat,
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        assert_eq!(m.outcome(), Some(&GridOutcome::Unsat));
-        assert_eq!(m.finished_at(), 5.0);
-    }
-
-    #[test]
-    fn overall_timeout_fires_on_tick() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        let mut cx = ctx(6001.0);
-        m.on_tick(&mut cx);
-        assert_eq!(m.outcome(), Some(&GridOutcome::TimeOut));
-    }
-
-    #[test]
-    fn busy_client_loss_without_checkpoint_ends_the_run() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        let mut cx = ctx(3.0);
-        m.on_node_down(NodeId(1), &mut cx);
-        assert_eq!(m.outcome(), Some(&GridOutcome::ClientLost));
-    }
-
-    #[test]
-    fn double_crash_recovers_from_light_then_heavy_checkpoint() {
-        let mut m = Master::new(
-            gridsat_cnf::paper::fig1_formula(),
-            GridConfig {
-                checkpoint: CheckpointMode::Heavy,
-                ..GridConfig::default()
-            },
-            speeds(4),
-        );
-        register(&mut m, 1, 0.0); // busy with the whole problem
-        register(&mut m, 2, 0.0);
-        // crash 1: recover node 1 from a light checkpoint
-        let light_level0 = vec![(gridsat_cnf::Lit::pos(0), true)];
-        let p1 = m.clients[&NodeId(1)].problem.expect("assigned");
-        let mut cx = ctx(10.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::CheckpointMsg {
-                problem: p1,
-                checkpoint: Box::new(Checkpoint::Light {
-                    level0: light_level0.clone(),
-                }),
-            },
-            &mut cx,
-        );
-        let mut cx = ctx(20.0);
-        m.on_node_down(NodeId(1), &mut cx);
-        assert_eq!(m.stats.recoveries, 1);
-        assert!(m.outcome().is_none());
-        // the recovered subproblem went to the idle node 2, carrying the
-        // checkpointed guiding path as its assumptions
-        let actions = cx.take_actions();
-        let spec = actions
-            .iter()
-            .find_map(|a| match a {
-                Action::Send {
-                    to: NodeId(2),
-                    msg: GridMsg::Solve { spec, .. },
-                } => Some(spec.clone()),
-                _ => None,
-            })
-            .expect("recovery dispatched");
-        assert_eq!(spec.assumptions, light_level0);
-        assert_eq!(spec.clauses.len(), 9); // light = original clauses
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
-        // crash 2: the inheritor checkpoints heavily, then dies too
-        let heavy_level0 = vec![
-            (gridsat_cnf::Lit::pos(0), true),
-            (gridsat_cnf::Lit::neg(1), false),
-        ];
-        let learned = vec![Clause::new([gridsat_cnf::Lit::pos(2)])];
-        let p2 = m.clients[&NodeId(2)].problem.expect("recovery assigned");
-        let mut cx = ctx(30.0);
-        m.on_message(
-            NodeId(2),
-            GridMsg::CheckpointMsg {
-                problem: p2,
-                checkpoint: Box::new(Checkpoint::Heavy {
-                    level0: heavy_level0.clone(),
-                    learned: learned.clone(),
-                }),
-            },
-            &mut cx,
-        );
-        let mut cx = ctx(40.0);
-        m.on_node_down(NodeId(2), &mut cx);
-        assert_eq!(m.stats.recoveries, 2);
-        assert!(m.outcome().is_none());
-        // no idle client yet: the spec waits in pending_recovery, so the
-        // UNSAT detector must hold its fire
-        assert_eq!(m.pending_recovery.len(), 1);
-        let mut cx = ctx(41.0);
-        m.check_termination(&mut cx);
-        assert!(m.outcome().is_none());
-        // a fresh registrant picks it up on the next housekeeping tick
-        register(&mut m, 3, 50.0);
-        let mut cx = ctx(55.0);
-        m.on_tick(&mut cx);
-        let actions = cx.take_actions();
-        let spec = actions
-            .iter()
-            .find_map(|a| match a {
-                Action::Send {
-                    to: NodeId(3),
-                    msg: GridMsg::Solve { spec, .. },
-                } => Some(spec.clone()),
-                _ => None,
-            })
-            .expect("second recovery dispatched");
-        // heavy = deeper guiding path plus the learned clauses
-        assert_eq!(spec.assumptions, heavy_level0);
-        assert_eq!(spec.clauses, learned);
-        assert!(m.pending_recovery.is_empty());
-    }
-
-    #[test]
-    fn silent_client_lease_expires_and_is_recovered() {
-        let (obs, ring) = Obs::ring(64);
-        let mut m = Master::new(
-            gridsat_cnf::paper::fig1_formula(),
-            GridConfig::chaos_hardened(),
-            speeds(4),
-        );
-        m.set_obs(obs);
-        register(&mut m, 1, 0.0); // busy with the whole problem
-        register(&mut m, 2, 0.0);
-        let p1 = m.clients[&NodeId(1)].problem.expect("assigned");
-        let mut cx = ctx(5.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::CheckpointMsg {
-                problem: p1,
-                checkpoint: Box::new(Checkpoint::Light { level0: vec![] }),
-            },
-            &mut cx,
-        );
-        // node 2 keeps renewing its lease; node 1 goes silent
-        let mut cx = ctx(45.0);
-        m.on_message(NodeId(2), GridMsg::Heartbeat, &mut cx);
-        // lease = heartbeat_period 10 x lease_misses 3 = 30 s
-        let mut cx = ctx(50.0);
-        m.on_tick(&mut cx);
-        assert_eq!(m.stats.lease_expiries, 1);
-        assert_eq!(m.stats.recoveries, 1);
-        assert!(!m.clients.contains_key(&NodeId(1)));
-        assert_eq!(m.clients[&NodeId(2)].state, ClientState::Busy);
-        assert!(m.outcome().is_none());
-        let events = ring.lock().unwrap().events();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e.event, Event::LeaseExpire { client: 1 })));
-    }
-
-    #[test]
-    fn idle_client_loss_is_tolerated() {
-        let mut m = master();
-        register(&mut m, 1, 0.0);
-        register(&mut m, 2, 0.0);
-        let mut cx = ctx(3.0);
-        m.on_node_down(NodeId(2), &mut cx);
-        assert!(m.outcome().is_none());
-        assert!(!m.clients.contains_key(&NodeId(2)));
-    }
-
-    #[test]
-    fn backlog_prefers_longest_running_requester() {
-        let mut m = master();
-        register(&mut m, 1, 0.0); // busy since 0
-                                  // make 2 and 3 busy via manual state (simulating earlier splits)
-        register(&mut m, 2, 0.0);
-        register(&mut m, 3, 0.0);
-        m.clients.get_mut(&NodeId(2)).unwrap().state = ClientState::Busy;
-        m.clients.get_mut(&NodeId(2)).unwrap().problem_since = 10.0;
-        m.clients.get_mut(&NodeId(3)).unwrap().state = ClientState::Busy;
-        m.clients.get_mut(&NodeId(3)).unwrap().problem_since = 20.0;
-        // all busy: requests back up (naming the subproblem the master
-        // believes each client holds, as real clients do)
-        for id in [2u32, 3, 1] {
-            let problem = m.clients[&NodeId(id)]
-                .problem
-                .unwrap_or(ProblemId::new(NodeId(id), 1));
-            let mut cx = ctx(30.0);
-            m.on_message(NodeId(id), GridMsg::SplitRequest { problem }, &mut cx);
-        }
-        assert_eq!(m.backlog.len(), 3);
-        // node 1 has been running longest (since 0.0)
-        assert_eq!(m.pop_backlog(), Some(NodeId(1)));
-        assert_eq!(m.pop_backlog(), Some(NodeId(2)));
-        assert_eq!(m.pop_backlog(), Some(NodeId(3)));
-    }
-
-    #[test]
-    fn snapshot_is_structured_and_displays_like_the_old_dump() {
-        let mut m = master();
-        register(&mut m, 1, 0.0); // busy with the whole problem
-        register(&mut m, 2, 0.0);
-        let snap = m.snapshot();
-        assert_eq!(snap.clients.len(), 2);
-        let busy = snap.clients.iter().find(|c| c.id == 1).unwrap();
-        assert_eq!(busy.state, ClientState::Busy);
-        assert!(!busy.has_checkpoint);
-        assert_eq!(snap.backlog, Vec::<u32>::new());
-        assert_eq!(snap.outcome, None);
-        assert_eq!(snap.stats, m.stats);
-        let text = snap.to_string();
-        assert!(text.contains("n1: Busy since 0"));
-        assert!(text.contains("backlog: []"));
-        // snapshots of identical state compare equal (structured contract)
-        let mut m2 = master();
-        register(&mut m2, 1, 0.0);
-        register(&mut m2, 2, 0.0);
-        assert_eq!(m2.snapshot(), snap);
-    }
-
-    #[test]
-    fn master_stats_absorb_is_lossless() {
-        let full = MasterStats {
-            max_active_clients: 3,
-            splits: 1,
-            backlogged: 2,
-            migrations: 4,
-            verification_failures: 5,
-            results: 6,
-            recoveries: 7,
-            lease_expiries: 8,
-            requeues: 9,
-        };
-        let mut acc = MasterStats::default();
-        acc.absorb(&full);
-        acc.absorb(&full);
-        assert_eq!(
-            acc,
-            MasterStats {
-                max_active_clients: 3, // max, not sum
-                splits: 2,
-                backlogged: 4,
-                migrations: 8,
-                verification_failures: 10,
-                results: 12,
-                recoveries: 14,
-                lease_expiries: 16,
-                requeues: 18,
-            }
-        );
-        let mut reg = MetricsRegistry::new();
-        acc.export_metrics(&mut reg, "master");
-        assert_eq!(reg.counter("master.splits"), 2);
-        assert_eq!(reg.counter("master.requeues"), 18);
-        assert_eq!(reg.gauge("master.max_active_clients"), Some(3.0));
-    }
-
-    #[test]
-    fn scheduling_events_reach_the_obs_sink() {
-        let (obs, ring) = Obs::ring(256);
-        let mut m = master();
-        m.set_obs(obs);
-        register(&mut m, 1, 0.0);
-        register(&mut m, 2, 0.5);
-        // backlog then drain: 2 is idle, so the split grants straight away
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        let mut cx = ctx(2.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitDone {
-                requester: NodeId(1),
-                peer: NodeId(2),
-                ok: true,
-                problem: Some(ProblemId::new(NodeId(1), 1)),
-                checkpoint: None,
-            },
-            &mut cx,
-        );
-        let events = ring.lock().unwrap().events();
-        let count = |k: &str| events.iter().filter(|e| e.event.kind() == k).count();
-        assert_eq!(count("client_launch"), 2);
-        assert_eq!(count("assign"), 1);
-        assert_eq!(count("split"), 1);
-        let split = events.iter().find(|e| e.event.kind() == "split").unwrap();
-        assert_eq!(split.t_s, 2.0);
-        match split.event {
-            Event::Split { requester, peer } => {
-                assert_eq!((requester, peer), (1, 2));
-            }
-            _ => unreachable!(),
-        }
-    }
-
-    #[test]
-    fn worst_rank_policy_picks_slowest() {
-        let mut m = Master::new(
-            gridsat_cnf::paper::fig1_formula(),
-            GridConfig {
-                scheduler: SchedPolicy::WorstRank,
-                ..GridConfig::default()
-            },
-            speeds(4),
-        );
-        register(&mut m, 1, 0.0);
-        register(&mut m, 2, 0.0);
-        register(&mut m, 3, 0.0);
-        register(&mut m, 4, 0.0);
-        let mut cx = ctx(1.0);
-        m.on_message(
-            NodeId(1),
-            GridMsg::SplitRequest {
-                problem: ProblemId::new(NodeId(0), 1),
-            },
-            &mut cx,
-        );
-        let actions = cx.take_actions();
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                msg: GridMsg::SplitGrant {
-                    peer: NodeId(2),
-                    ..
-                },
-                ..
-            }
-        )));
-    }
-}
+mod tests; // see master/tests.rs

@@ -1,0 +1,1016 @@
+use super::*;
+use gridsat_cnf::Clause;
+use gridsat_grid::{Action, NodeInfo};
+use gridsat_solver::SplitSpec;
+
+fn ctx_at(id: u32, now: f64) -> Ctx<GridMsg> {
+    Ctx::new(NodeInfo {
+        id: NodeId(id),
+        speed: 500.0,
+        memory: 3 << 20,
+        now,
+        availability: 1.0,
+    })
+}
+
+fn ctx(now: f64) -> Ctx<GridMsg> {
+    ctx_at(0, now)
+}
+
+fn speeds(n: u32) -> BTreeMap<NodeId, (f64, Site)> {
+    (1..=n)
+        .map(|i| (NodeId(i), (100.0 * f64::from(i), Site::Ucsd)))
+        .collect()
+}
+
+fn master() -> Master {
+    Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig::default(),
+        speeds(4),
+    )
+}
+
+fn register(m: &mut Master, id: u32, t: f64) -> Vec<Action<GridMsg>> {
+    let mut cx = ctx(t);
+    m.on_message(
+        NodeId(id),
+        GridMsg::Register {
+            memory: 3 << 20,
+            availability: 1.0,
+        },
+        &mut cx,
+    );
+    cx.take_actions()
+}
+
+#[test]
+fn first_registrant_gets_the_whole_problem() {
+    let mut m = master();
+    let actions = register(&mut m, 2, 0.0);
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send { to: NodeId(2), msg: GridMsg::Solve { spec, .. } }
+            if spec.assumptions.is_empty() && spec.clauses.len() == 9
+    )));
+    // second registrant gets peers but no problem
+    let actions = register(&mut m, 3, 1.0);
+    assert!(!actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            msg: GridMsg::Solve { .. },
+            ..
+        }
+    )));
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            msg: GridMsg::Peers(_),
+            ..
+        }
+    )));
+}
+
+#[test]
+fn split_request_grants_best_ranked_idle_peer() {
+    let mut m = master();
+    register(&mut m, 1, 0.0); // gets the problem (busy)
+    register(&mut m, 2, 0.0);
+    register(&mut m, 3, 0.0);
+    register(&mut m, 4, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let actions = cx.take_actions();
+    // rank = speed * availability: node 4 is fastest idle
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            to: NodeId(1),
+            msg: GridMsg::SplitGrant {
+                peer: NodeId(4),
+                ..
+            }
+        }
+    )));
+}
+
+#[test]
+fn no_idle_peer_means_backlog() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    assert!(cx.take_actions().is_empty());
+    assert_eq!(m.core.backlog.len(), 1);
+    assert_eq!(m.stats.backlogged, 1);
+
+    // a registering client frees the backlog
+    let actions = register(&mut m, 2, 2.0);
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            to: NodeId(1),
+            msg: GridMsg::SplitGrant {
+                peer: NodeId(2),
+                ..
+            }
+        }
+    )));
+    assert!(m.core.backlog.is_empty());
+}
+
+#[test]
+fn failed_split_frees_the_peer() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    register(&mut m, 2, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let _ = cx.take_actions();
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Receiving);
+    let mut cx = ctx(2.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitDone {
+            requester: NodeId(1),
+            peer: NodeId(2),
+            ok: false,
+            problem: None,
+            checkpoint: None,
+        },
+        &mut cx,
+    );
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Idle);
+    assert!(m.core.grants.is_empty());
+}
+
+#[test]
+fn undeliverable_grant_frees_the_peer() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    register(&mut m, 2, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let _ = cx.take_actions();
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Receiving);
+    // the grant toward node 1 exhausts its retry budget
+    let mut cx = ctx(40.0);
+    m.on_undeliverable(
+        NodeId(1),
+        GridMsg::SplitGrant {
+            peer: NodeId(2),
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Idle);
+    assert!(m.core.grants.is_empty());
+}
+
+#[test]
+fn undeliverable_assign_requeues_the_subproblem() {
+    let mut m = master();
+    let actions = register(&mut m, 1, 0.0);
+    let spec = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::Send {
+                msg: GridMsg::Solve { spec, .. },
+                ..
+            } => Some(spec.clone()),
+            _ => None,
+        })
+        .expect("first registrant gets the problem");
+    register(&mut m, 2, 0.0);
+    // the whole-problem assignment to node 1 never got through
+    let mut cx = ctx(40.0);
+    m.on_undeliverable(
+        NodeId(1),
+        GridMsg::Solve {
+            spec,
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    assert_eq!(m.stats.requeues, 1);
+    assert_eq!(m.core.clients[&NodeId(1)].state, ClientState::Idle);
+    // the subproblem went straight back out to the idle node 2
+    assert!(cx.take_actions().iter().any(|a| matches!(
+        a,
+        Action::Send {
+            to: NodeId(2),
+            msg: GridMsg::Solve { .. }
+        }
+    )));
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Busy);
+    assert!(m.core.pending_recovery.is_empty());
+}
+
+#[test]
+fn requeue_message_returns_a_lost_transfer() {
+    // reliability on, so a peer dying mid-transfer is not fatal
+    let mut m = Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig::chaos_hardened(),
+        speeds(4),
+    );
+    register(&mut m, 1, 0.0);
+    register(&mut m, 2, 0.0);
+    register(&mut m, 3, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let _ = cx.take_actions();
+    let (peer, _) = m.core.grants[&NodeId(1)];
+    // the peer died mid-transfer; the requester hands the half back
+    let mut cx = ctx(2.0);
+    m.on_node_down(peer, &mut cx);
+    let mut cx = ctx(3.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::Requeue {
+            spec: Box::new(SplitSpec {
+                num_vars: 1,
+                assumptions: vec![(gridsat_cnf::Lit::pos(0), true)],
+                clauses: vec![],
+            }),
+            problem: None,
+        },
+        &mut cx,
+    );
+    assert_eq!(m.stats.requeues, 1);
+    assert!(m.core.grants.is_empty());
+    // re-dispatched to the remaining idle client
+    assert!(cx.take_actions().iter().any(|a| matches!(
+        a,
+        Action::Send {
+            msg: GridMsg::Solve { .. },
+            ..
+        }
+    )));
+}
+
+#[test]
+fn successful_split_protocol_transitions() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    register(&mut m, 2, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let _ = cx.take_actions();
+    // message (5) from requester
+    let mut cx = ctx(2.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitDone {
+            requester: NodeId(1),
+            peer: NodeId(2),
+            ok: true,
+            problem: Some(ProblemId::new(NodeId(1), 1)),
+            checkpoint: None,
+        },
+        &mut cx,
+    );
+    assert_eq!(m.stats.splits, 1);
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Receiving);
+    // message (4) from the peer completes the grant
+    let mut cx = ctx(3.0);
+    m.on_message(
+        NodeId(2),
+        GridMsg::SplitDone {
+            requester: NodeId(1),
+            peer: NodeId(2),
+            ok: true,
+            problem: Some(ProblemId::new(NodeId(1), 1)),
+            checkpoint: None,
+        },
+        &mut cx,
+    );
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Busy);
+    assert!(m.core.grants.is_empty());
+    assert_eq!(m.stats.max_active_clients, 2);
+}
+
+#[test]
+fn sat_result_is_verified_and_ends_the_run() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    // a genuine model of the fig1 formula
+    let f = gridsat_cnf::paper::fig1_formula();
+    let model = gridsat_solver::driver::solve(
+        &f,
+        gridsat_solver::SolverConfig::default(),
+        gridsat_solver::Limits::default(),
+    );
+    let lits = match model.outcome {
+        gridsat_solver::Outcome::Sat(a) => a.to_lits(),
+        _ => panic!(),
+    };
+    let mut cx = ctx(5.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::Result {
+            result: SubResult::Sat(lits),
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    assert!(matches!(m.outcome(), Some(GridOutcome::Sat(_))));
+    assert_eq!(m.stats.verification_failures, 0);
+    let actions = cx.take_actions();
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            msg: GridMsg::Terminate(EndReason::Sat),
+            ..
+        }
+    )));
+    assert!(actions.iter().any(|a| matches!(a, Action::Shutdown)));
+}
+
+#[test]
+fn bogus_sat_result_is_rejected() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    let mut cx = ctx(5.0);
+    // V14 false violates clause 9
+    m.on_message(
+        NodeId(1),
+        GridMsg::Result {
+            result: SubResult::Sat(vec![gridsat_cnf::Var(13).negative()]),
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    assert_eq!(m.stats.verification_failures, 1);
+    assert!(m.outcome().is_none());
+}
+
+#[test]
+fn all_idle_means_unsat() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    let mut cx = ctx(5.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::Result {
+            result: SubResult::Unsat,
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    assert_eq!(m.outcome(), Some(&GridOutcome::Unsat));
+    assert_eq!(m.finished_at(), 5.0);
+}
+
+#[test]
+fn overall_timeout_fires_on_tick() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    let mut cx = ctx(6001.0);
+    m.on_tick(&mut cx);
+    assert_eq!(m.outcome(), Some(&GridOutcome::TimeOut));
+}
+
+#[test]
+fn busy_client_loss_without_checkpoint_ends_the_run() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    let mut cx = ctx(3.0);
+    m.on_node_down(NodeId(1), &mut cx);
+    assert_eq!(m.outcome(), Some(&GridOutcome::ClientLost));
+}
+
+#[test]
+fn double_crash_recovers_from_light_then_heavy_checkpoint() {
+    let mut m = Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig {
+            checkpoint: CheckpointMode::Heavy,
+            ..GridConfig::default()
+        },
+        speeds(4),
+    );
+    register(&mut m, 1, 0.0); // busy with the whole problem
+    register(&mut m, 2, 0.0);
+    // crash 1: recover node 1 from a light checkpoint
+    let light_level0 = vec![(gridsat_cnf::Lit::pos(0), true)];
+    let p1 = m.core.clients[&NodeId(1)].problem.expect("assigned");
+    let mut cx = ctx(10.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::CheckpointMsg {
+            problem: p1,
+            checkpoint: Box::new(Checkpoint::Light {
+                level0: light_level0.clone(),
+            }),
+        },
+        &mut cx,
+    );
+    let mut cx = ctx(20.0);
+    m.on_node_down(NodeId(1), &mut cx);
+    assert_eq!(m.stats.recoveries, 1);
+    assert!(m.outcome().is_none());
+    // the recovered subproblem went to the idle node 2, carrying the
+    // checkpointed guiding path as its assumptions
+    let actions = cx.take_actions();
+    let spec = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::Send {
+                to: NodeId(2),
+                msg: GridMsg::Solve { spec, .. },
+            } => Some(spec.clone()),
+            _ => None,
+        })
+        .expect("recovery dispatched");
+    assert_eq!(spec.assumptions, light_level0);
+    assert_eq!(spec.clauses.len(), 9); // light = original clauses
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Busy);
+    // crash 2: the inheritor checkpoints heavily, then dies too
+    let heavy_level0 = vec![
+        (gridsat_cnf::Lit::pos(0), true),
+        (gridsat_cnf::Lit::neg(1), false),
+    ];
+    let learned = vec![Clause::new([gridsat_cnf::Lit::pos(2)])];
+    let p2 = m.core.clients[&NodeId(2)]
+        .problem
+        .expect("recovery assigned");
+    let mut cx = ctx(30.0);
+    m.on_message(
+        NodeId(2),
+        GridMsg::CheckpointMsg {
+            problem: p2,
+            checkpoint: Box::new(Checkpoint::Heavy {
+                level0: heavy_level0.clone(),
+                learned: learned.clone(),
+            }),
+        },
+        &mut cx,
+    );
+    let mut cx = ctx(40.0);
+    m.on_node_down(NodeId(2), &mut cx);
+    assert_eq!(m.stats.recoveries, 2);
+    assert!(m.outcome().is_none());
+    // no idle client yet: the spec waits in pending_recovery, so the
+    // UNSAT detector must hold its fire
+    assert_eq!(m.core.pending_recovery.len(), 1);
+    let mut cx = ctx(41.0);
+    m.check_termination(&mut cx);
+    assert!(m.outcome().is_none());
+    // a fresh registrant picks it up on the next housekeeping tick
+    register(&mut m, 3, 50.0);
+    let mut cx = ctx(55.0);
+    m.on_tick(&mut cx);
+    let actions = cx.take_actions();
+    let spec = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::Send {
+                to: NodeId(3),
+                msg: GridMsg::Solve { spec, .. },
+            } => Some(spec.clone()),
+            _ => None,
+        })
+        .expect("second recovery dispatched");
+    // heavy = deeper guiding path plus the learned clauses
+    assert_eq!(spec.assumptions, heavy_level0);
+    assert_eq!(spec.clauses, learned);
+    assert!(m.core.pending_recovery.is_empty());
+}
+
+#[test]
+fn silent_client_lease_expires_and_is_recovered() {
+    let (obs, ring) = Obs::ring(64);
+    let mut m = Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig::chaos_hardened(),
+        speeds(4),
+    );
+    m.set_obs(obs);
+    register(&mut m, 1, 0.0); // busy with the whole problem
+    register(&mut m, 2, 0.0);
+    let p1 = m.core.clients[&NodeId(1)].problem.expect("assigned");
+    let mut cx = ctx(5.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::CheckpointMsg {
+            problem: p1,
+            checkpoint: Box::new(Checkpoint::Light { level0: vec![] }),
+        },
+        &mut cx,
+    );
+    // node 2 keeps renewing its lease; node 1 goes silent
+    let mut cx = ctx(45.0);
+    m.on_message(NodeId(2), GridMsg::Heartbeat, &mut cx);
+    // lease = heartbeat_period 10 x lease_misses 3 = 30 s
+    let mut cx = ctx(50.0);
+    m.on_tick(&mut cx);
+    assert_eq!(m.stats.lease_expiries, 1);
+    assert_eq!(m.stats.recoveries, 1);
+    assert!(!m.core.clients.contains_key(&NodeId(1)));
+    assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Busy);
+    assert!(m.outcome().is_none());
+    let events = ring.lock().unwrap().events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, Event::LeaseExpire { client: 1 })));
+}
+
+#[test]
+fn idle_client_loss_is_tolerated() {
+    let mut m = master();
+    register(&mut m, 1, 0.0);
+    register(&mut m, 2, 0.0);
+    let mut cx = ctx(3.0);
+    m.on_node_down(NodeId(2), &mut cx);
+    assert!(m.outcome().is_none());
+    assert!(!m.core.clients.contains_key(&NodeId(2)));
+}
+
+#[test]
+fn backlog_prefers_longest_running_requester() {
+    let mut m = master();
+    register(&mut m, 1, 0.0); // busy since 0
+                              // make 2 and 3 busy via manual state (simulating earlier splits)
+    register(&mut m, 2, 0.0);
+    register(&mut m, 3, 0.0);
+    m.core.clients.get_mut(&NodeId(2)).unwrap().state = ClientState::Busy;
+    m.core.clients.get_mut(&NodeId(2)).unwrap().problem_since = 10.0;
+    m.core.clients.get_mut(&NodeId(3)).unwrap().state = ClientState::Busy;
+    m.core.clients.get_mut(&NodeId(3)).unwrap().problem_since = 20.0;
+    // all busy: requests back up (naming the subproblem the master
+    // believes each client holds, as real clients do)
+    for id in [2u32, 3, 1] {
+        let problem = m.core.clients[&NodeId(id)]
+            .problem
+            .unwrap_or(ProblemId::new(NodeId(id), 1));
+        let mut cx = ctx(30.0);
+        m.on_message(NodeId(id), GridMsg::SplitRequest { problem }, &mut cx);
+    }
+    assert_eq!(m.core.backlog.len(), 3);
+    // node 1 has been running longest (since 0.0)
+    assert_eq!(m.pop_backlog(30.0), Some(NodeId(1)));
+    assert_eq!(m.pop_backlog(30.0), Some(NodeId(2)));
+    assert_eq!(m.pop_backlog(30.0), Some(NodeId(3)));
+}
+
+#[test]
+fn snapshot_is_structured_and_displays_like_the_old_dump() {
+    let mut m = master();
+    register(&mut m, 1, 0.0); // busy with the whole problem
+    register(&mut m, 2, 0.0);
+    let snap = m.snapshot();
+    assert_eq!(snap.clients.len(), 2);
+    let busy = snap.clients.iter().find(|c| c.id == 1).unwrap();
+    assert_eq!(busy.state, ClientState::Busy);
+    assert!(!busy.has_checkpoint);
+    assert_eq!(snap.backlog, Vec::<u32>::new());
+    assert_eq!(snap.outcome, None);
+    assert_eq!(snap.stats, m.stats);
+    let text = snap.to_string();
+    assert!(text.contains("n1: Busy since 0"));
+    assert!(text.contains("backlog: []"));
+    // snapshots of identical state compare equal (structured contract)
+    let mut m2 = master();
+    register(&mut m2, 1, 0.0);
+    register(&mut m2, 2, 0.0);
+    assert_eq!(m2.snapshot(), snap);
+}
+
+#[test]
+fn master_stats_absorb_is_lossless() {
+    let full = MasterStats {
+        max_active_clients: 3,
+        splits: 1,
+        backlogged: 2,
+        migrations: 4,
+        verification_failures: 5,
+        results: 6,
+        recoveries: 7,
+        lease_expiries: 8,
+        requeues: 9,
+    };
+    let mut acc = MasterStats::default();
+    acc.absorb(&full);
+    acc.absorb(&full);
+    assert_eq!(
+        acc,
+        MasterStats {
+            max_active_clients: 3, // max, not sum
+            splits: 2,
+            backlogged: 4,
+            migrations: 8,
+            verification_failures: 10,
+            results: 12,
+            recoveries: 14,
+            lease_expiries: 16,
+            requeues: 18,
+        }
+    );
+    let mut reg = MetricsRegistry::new();
+    acc.export_metrics(&mut reg, "master");
+    assert_eq!(reg.counter("master.splits"), 2);
+    assert_eq!(reg.counter("master.requeues"), 18);
+    assert_eq!(reg.gauge("master.max_active_clients"), Some(3.0));
+}
+
+#[test]
+fn scheduling_events_reach_the_obs_sink() {
+    let (obs, ring) = Obs::ring(256);
+    let mut m = master();
+    m.set_obs(obs);
+    register(&mut m, 1, 0.0);
+    register(&mut m, 2, 0.5);
+    // backlog then drain: 2 is idle, so the split grants straight away
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let mut cx = ctx(2.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitDone {
+            requester: NodeId(1),
+            peer: NodeId(2),
+            ok: true,
+            problem: Some(ProblemId::new(NodeId(1), 1)),
+            checkpoint: None,
+        },
+        &mut cx,
+    );
+    let events = ring.lock().unwrap().events();
+    let count = |k: &str| events.iter().filter(|e| e.event.kind() == k).count();
+    assert_eq!(count("client_launch"), 2);
+    assert_eq!(count("assign"), 1);
+    assert_eq!(count("split"), 1);
+    // every scheduling decision is journaled before it is applied
+    assert!(count("journal_append") >= 4);
+    let split = events.iter().find(|e| e.event.kind() == "split").unwrap();
+    assert_eq!(split.t_s, 2.0);
+    match split.event {
+        Event::Split { requester, peer } => {
+            assert_eq!((requester, peer), (1, 2));
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn worst_rank_policy_picks_slowest() {
+    let mut m = Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig {
+            scheduler: SchedPolicy::WorstRank,
+            ..GridConfig::default()
+        },
+        speeds(4),
+    );
+    register(&mut m, 1, 0.0);
+    register(&mut m, 2, 0.0);
+    register(&mut m, 3, 0.0);
+    register(&mut m, 4, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let actions = cx.take_actions();
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            msg: GridMsg::SplitGrant {
+                peer: NodeId(2),
+                ..
+            },
+            ..
+        }
+    )));
+}
+
+#[test]
+fn master_restart_replays_its_journal() {
+    let mut m = Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig::chaos_hardened(),
+        speeds(4),
+    );
+    let mut cx = ctx(0.0);
+    m.on_start(&mut cx);
+    register(&mut m, 1, 0.0); // busy with the whole problem
+    register(&mut m, 2, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let image = m.core.image();
+    // the master node restarts: a second on_start folds the journal back
+    // into the same scheduling state (and self-checks the fold)
+    let mut cx = ctx(50.0);
+    m.on_start(&mut cx);
+    assert_eq!(m.core.image(), image);
+    let snap = m.snapshot();
+    assert_eq!(snap.last_replay, Some(50.0));
+    assert!(snap.journal_len >= 3); // launches, assignment, grant
+                                    // every lease restarts: heartbeats could not reach a dead master
+    assert!(m.core.clients.values().all(|c| c.last_seen == 50.0));
+}
+
+#[test]
+fn journal_ships_and_acks_trim_the_standby_lag() {
+    let mut m = Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig::failover_hardened(),
+        speeds(4),
+    );
+    let mut cx = ctx(0.0);
+    m.on_start(&mut cx);
+    let actions = register(&mut m, 2, 0.0);
+    // the commit batch (Launch + AssignWhole) is shipped to standby node 1
+    let batch = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::Send {
+                to: NodeId(1),
+                msg: GridMsg::JournalBatch { start, records },
+            } => Some((*start, records.clone())),
+            _ => None,
+        })
+        .expect("journal batch shipped to the standby");
+    assert_eq!(batch.0, 0);
+    assert!(batch.1.len() >= 2);
+    let snap = m.snapshot();
+    assert_eq!(snap.standby_lag, Some(snap.journal_len));
+    // the standby's cumulative ack trims the lag to zero
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::JournalAck {
+            next: snap.journal_len,
+        },
+        &mut cx,
+    );
+    assert_eq!(m.snapshot().standby_lag, Some(0));
+    // a quiet housekeeping tick still ships an empty keepalive batch:
+    // that is how the standby tells a dead master from an idle one
+    let mut cx = ctx(5.0);
+    m.on_tick(&mut cx);
+    assert!(cx.take_actions().iter().any(|a| matches!(
+        a,
+        Action::Send {
+            to: NodeId(1),
+            msg: GridMsg::JournalBatch { records, .. },
+        } if records.is_empty()
+    )));
+}
+
+#[test]
+fn promoted_standby_resumes_from_shipped_records() {
+    fn harvest(actions: &[Action<GridMsg>], shipped: &mut Vec<JournalRecord>) {
+        for a in actions {
+            if let Action::Send {
+                to: NodeId(1),
+                msg: GridMsg::JournalBatch { start, records },
+            } = a
+            {
+                // batches arrive gapless and in order on a healthy link
+                assert_eq!(*start, shipped.len() as u64);
+                shipped.extend(records.iter().cloned());
+            }
+        }
+    }
+    let f = gridsat_cnf::paper::fig1_formula();
+    let cfg = GridConfig::failover_hardened();
+    let mut m = Master::new(f.clone(), cfg.clone(), speeds(4));
+    let mut cx = ctx(0.0);
+    m.on_start(&mut cx);
+    let mut shipped: Vec<JournalRecord> = Vec::new();
+    // node 1 doubles as standby and first client: it gets the problem
+    let actions = register(&mut m, 1, 0.0);
+    harvest(&actions, &mut shipped);
+    let own_spec = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::Send {
+                to: NodeId(1),
+                msg: GridMsg::Solve { spec, .. },
+            } => Some((**spec).clone()),
+            _ => None,
+        })
+        .expect("first registrant gets the problem");
+    let own_problem = ProblemId::new(NodeId(0), 1);
+    harvest(&register(&mut m, 2, 1.0), &mut shipped);
+    harvest(&register(&mut m, 3, 2.0), &mut shipped);
+    // node 0 dies for good; the standby promotes from what it tailed
+    let mut p = Master::promoted(
+        f,
+        cfg,
+        speeds(4),
+        NodeId(1),
+        shipped,
+        60.0,
+        Obs::default(),
+        Audit::default(),
+    );
+    p.absorb_own_client(60.0, Some((own_spec, Some(own_problem))));
+    let mut cx = ctx_at(1, 60.0);
+    p.announce_takeover(&mut cx);
+    let actions = cx.take_actions();
+    // survivors are told to re-register; the promoted master skips itself
+    for id in [2u32, 3] {
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::Send { to, msg: GridMsg::Takeover } if *to == NodeId(id))
+        ));
+    }
+    assert!(!actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            to: NodeId(1),
+            msg: GridMsg::Takeover
+        }
+    )));
+    // the subproblem the standby was solving as a client goes back out
+    assert!(actions.iter().any(|a| matches!(
+        a,
+        Action::Send {
+            msg: GridMsg::Solve { .. },
+            ..
+        }
+    )));
+    let snap = p.snapshot();
+    assert_eq!(snap.last_replay, Some(60.0));
+    assert!(snap.standby_lag.is_none()); // a promoted master has no standby
+}
+
+#[test]
+fn randomized_schedules_replay_to_the_live_state() {
+    // hand-rolled xorshift64: deterministic, no external dependency
+    fn xs(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+    let f = gridsat_cnf::paper::fig1_formula();
+    let cfg = GridConfig {
+        checkpoint: CheckpointMode::Heavy,
+        ..GridConfig::chaos_hardened()
+    };
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    for round in 0..20 {
+        let mut m = Master::new(f.clone(), cfg.clone(), speeds(6));
+        let mut known: Vec<ProblemId> = Vec::new();
+        let mut child = 0u32;
+        let mut t = 0.0;
+        for _ in 0..40 {
+            t += 0.5; // stays far under the 30 s lease
+            let node = NodeId(1 + (xs(&mut seed) % 6) as u32);
+            match xs(&mut seed) % 6 {
+                0 => {
+                    let mut cx = ctx(t);
+                    m.on_message(
+                        node,
+                        GridMsg::Register {
+                            memory: 3 << 20,
+                            availability: 1.0,
+                        },
+                        &mut cx,
+                    );
+                }
+                1 => {
+                    let problem = m
+                        .core
+                        .clients
+                        .get(&node)
+                        .and_then(|c| c.problem)
+                        .unwrap_or(ProblemId::new(node, 1));
+                    let mut cx = ctx(t);
+                    m.on_message(node, GridMsg::SplitRequest { problem }, &mut cx);
+                }
+                2 => {
+                    // complete an open grant with the full (5)+(4) pair
+                    let grant = m.core.grants.iter().next().map(|(r, (p, _))| (*r, *p));
+                    if let Some((requester, peer)) = grant {
+                        child += 1;
+                        let p_child = ProblemId::new(requester, child);
+                        known.push(p_child);
+                        let mut cx = ctx(t);
+                        m.on_message(
+                            requester,
+                            GridMsg::SplitDone {
+                                requester,
+                                peer,
+                                ok: true,
+                                problem: Some(p_child),
+                                checkpoint: None,
+                            },
+                            &mut cx,
+                        );
+                        let mut cx = ctx(t);
+                        m.on_message(
+                            peer,
+                            GridMsg::SplitDone {
+                                requester,
+                                peer,
+                                ok: true,
+                                problem: Some(p_child),
+                                checkpoint: Some(Box::new(Checkpoint::Light { level0: vec![] })),
+                            },
+                            &mut cx,
+                        );
+                    }
+                }
+                3 => {
+                    if let Some(&p) = known.first() {
+                        let mut cx = ctx(t);
+                        m.on_message(
+                            node,
+                            GridMsg::Result {
+                                result: SubResult::Unsat,
+                                problem: p,
+                            },
+                            &mut cx,
+                        );
+                    }
+                }
+                4 => {
+                    let lit = gridsat_cnf::Lit::pos((xs(&mut seed) % 14) as u32);
+                    if let Some(p) = m.core.clients.get(&node).and_then(|c| c.problem) {
+                        let mut cx = ctx(t);
+                        m.on_message(
+                            node,
+                            GridMsg::CheckpointMsg {
+                                problem: p,
+                                checkpoint: Box::new(Checkpoint::Light {
+                                    level0: vec![(lit, true)],
+                                }),
+                            },
+                            &mut cx,
+                        );
+                    }
+                }
+                _ => {
+                    if m.core.clients.len() > 1 && m.core.clients.contains_key(&node) {
+                        let mut cx = ctx(t);
+                        m.on_node_down(node, &mut cx);
+                    }
+                }
+            }
+            if m.outcome().is_some() {
+                break;
+            }
+        }
+        let replayed = MasterJournal::replay(&f, &cfg, m.journal.records());
+        assert_eq!(
+            replayed.image(),
+            m.core.image(),
+            "round {round}: replayed scheduling state diverged from live state"
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! which is why it travels client-to-client rather than through the
 //! master.
 
+use crate::journal::JournalRecord;
 use gridsat_cnf::{Clause, Lit};
 use gridsat_grid::{MessageSize, NodeId};
 use gridsat_solver::SplitSpec;
@@ -47,7 +48,7 @@ pub enum SubResult {
 }
 
 /// Checkpoint payloads (paper Section 3.4, implemented as an extension).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Checkpoint {
     /// Level-0 assignment only ("light checkpoint").
     Light { level0: Vec<(Lit, bool)> },
@@ -106,7 +107,12 @@ pub enum GridMsg {
     Heartbeat,
     /// A subproblem transfer became undeliverable; its spec is handed
     /// back to the master for re-dispatch (reliability extension).
-    Requeue { spec: Box<SplitSpec> },
+    /// `problem` names the lost instance when the sender knows it, so
+    /// the re-dispatch can be attributed to the original subproblem.
+    Requeue {
+        spec: Box<SplitSpec>,
+        problem: Option<ProblemId>,
+    },
 
     // ---- master -> client ----
     /// Assign a (sub)problem; the first registered client receives the
@@ -141,6 +147,29 @@ pub enum GridMsg {
     },
     /// Learned clauses broadcast to peers (paper Section 3.2).
     Share(Vec<Clause>),
+
+    // ---- master <-> standby (durability extension) ----
+    /// Journal records `start..start+records.len()` shipped from the
+    /// active master to the standby so a promotion can replay scheduling
+    /// history it never witnessed.
+    JournalBatch {
+        start: u64,
+        records: Vec<JournalRecord>,
+    },
+    /// Standby's cumulative ack: it holds every record below `next`.
+    /// Lossy by design — a missed ack only inflates the reported lag.
+    JournalAck { next: u64 },
+    /// A promoted standby announces itself; clients retarget their
+    /// control traffic and answer with [`GridMsg::Adopt`].
+    Takeover,
+    /// Re-registration with state: what the client is working on right
+    /// now, so the new master can reconcile the journal suffix it lost.
+    Adopt {
+        memory: usize,
+        availability: f64,
+        problem: Option<ProblemId>,
+        checkpoint: Option<Box<Checkpoint>>,
+    },
 }
 
 impl GridMsg {
@@ -155,8 +184,12 @@ impl GridMsg {
             GridMsg::Share(_)
             | GridMsg::LoadReport { .. }
             | GridMsg::Peers(_)
+            | GridMsg::JournalAck { .. }
             | GridMsg::Heartbeat => false,
             GridMsg::Register { .. }
+            | GridMsg::JournalBatch { .. }
+            | GridMsg::Takeover
+            | GridMsg::Adopt { .. }
             | GridMsg::SplitRequest { .. }
             | GridMsg::SplitDone { .. }
             | GridMsg::Result { .. }
@@ -196,7 +229,7 @@ impl MessageSize for GridMsg {
             } => 40 + lits.len() * 5,
             GridMsg::LoadReport { .. } => 32,
             GridMsg::Heartbeat => 24,
-            GridMsg::Requeue { spec } => spec.approx_message_bytes(),
+            GridMsg::Requeue { spec, .. } => spec.approx_message_bytes(),
             GridMsg::CheckpointMsg { checkpoint, .. } => match checkpoint.as_ref() {
                 Checkpoint::Light { level0 } => 40 + level0.len() * 5,
                 Checkpoint::Heavy { level0, learned } => {
@@ -210,6 +243,24 @@ impl MessageSize for GridMsg {
             GridMsg::Terminate(_) => 32,
             GridMsg::Subproblem { spec, .. } => spec.approx_message_bytes(),
             GridMsg::Share(clauses) => 16 + clauses.iter().map(|c| 8 + c.len() * 4).sum::<usize>(),
+            GridMsg::JournalBatch { records, .. } => {
+                24 + records
+                    .iter()
+                    .map(JournalRecord::approx_bytes)
+                    .sum::<usize>()
+            }
+            GridMsg::JournalAck { .. } => 24,
+            GridMsg::Takeover => 24,
+            GridMsg::Adopt { checkpoint, .. } => {
+                64 + match checkpoint.as_deref() {
+                    None => 0,
+                    Some(Checkpoint::Light { level0 }) => 8 + level0.len() * 5,
+                    Some(Checkpoint::Heavy { level0, learned }) => {
+                        8 + level0.len() * 5
+                            + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
+                    }
+                }
+            }
         }
     }
 
@@ -239,6 +290,10 @@ impl MessageSize for GridMsg {
             GridMsg::Terminate(_) => "terminate".into(),
             GridMsg::Subproblem { .. } => "subproblem(3)".into(),
             GridMsg::Share(_) => "share".into(),
+            GridMsg::JournalBatch { records, .. } => format!("journal-batch({})", records.len()),
+            GridMsg::JournalAck { .. } => "journal-ack".into(),
+            GridMsg::Takeover => "takeover".into(),
+            GridMsg::Adopt { .. } => "adopt".into(),
         }
     }
 }

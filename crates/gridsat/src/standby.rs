@@ -1,0 +1,199 @@
+//! Journal-tailing standby master (robustness extension).
+//!
+//! The designated standby node runs an ordinary [`Client`] — it
+//! registers, solves, splits — while also tailing the master's
+//! write-ahead journal: every [`GridMsg::JournalBatch`] piggybacked on
+//! the control plane is staged, applied in sequence order, and
+//! cumulatively acknowledged. The master sends an *empty* batch every
+//! housekeeping period as a keepalive, so a quiet feed and a dead master
+//! are distinguishable: when the feed has been silent for longer than
+//! [`FailoverConfig::promote_grace_s`](crate::config::FailoverConfig)
+//! the standby folds its journal copy into a fresh [`Master`], stops
+//! being a client (its own subproblem is queued for re-dispatch), and
+//! announces the takeover so the survivors re-register with their
+//! in-progress state.
+
+use crate::audit::Audit;
+use crate::client::Client;
+use crate::config::GridConfig;
+use crate::journal::JournalRecord;
+use crate::master::Master;
+use crate::msg::GridMsg;
+use gridsat_cnf::Formula;
+use gridsat_grid::{Ctx, NodeId, Process, Site};
+use gridsat_obs::Obs;
+use std::collections::BTreeMap;
+
+/// A client that doubles as the journal-tailing standby master.
+pub struct StandbyNode {
+    client: Client,
+    formula: Formula,
+    config: GridConfig,
+    host_info: BTreeMap<NodeId, (f64, Site)>,
+    /// Contiguous journal prefix received so far.
+    records: Vec<JournalRecord>,
+    /// Out-of-order batches, keyed by their start sequence.
+    staged: BTreeMap<u64, Vec<JournalRecord>>,
+    /// Simulated second of the last journal batch (keepalives count).
+    last_feed: f64,
+    /// Set once this standby has taken over; every callback delegates
+    /// here from then on.
+    promoted: Option<Box<Master>>,
+    obs: Obs,
+    audit: Audit,
+}
+
+impl StandbyNode {
+    pub fn new(
+        client: Client,
+        formula: Formula,
+        config: GridConfig,
+        host_info: BTreeMap<NodeId, (f64, Site)>,
+        obs: Obs,
+        audit: Audit,
+    ) -> StandbyNode {
+        StandbyNode {
+            client,
+            formula,
+            config,
+            host_info,
+            records: Vec::new(),
+            staged: BTreeMap::new(),
+            last_feed: 0.0,
+            promoted: None,
+            obs,
+            audit,
+        }
+    }
+
+    /// The master this standby became, if it took over.
+    pub fn promoted_master(&self) -> Option<&Master> {
+        self.promoted.as_deref()
+    }
+
+    /// The inner client (its counters stay valid after a promotion).
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Journal records tailed so far (test introspection).
+    pub fn tailed(&self) -> usize {
+        self.records.len()
+    }
+
+    fn grace(&self) -> f64 {
+        self.config
+            .failover
+            .map_or(f64::INFINITY, |f| f.promote_grace_s)
+    }
+
+    /// Fold a batch into the contiguous prefix; stage it when it starts
+    /// beyond what we hold (an earlier batch was lost and will be
+    /// re-shipped once the master notices the undeliverable).
+    fn absorb_batch(&mut self, start: u64, batch: Vec<JournalRecord>) {
+        let have = self.records.len() as u64;
+        if start <= have {
+            let skip = (have - start) as usize;
+            if skip < batch.len() {
+                self.records.extend(batch.into_iter().skip(skip));
+            }
+        } else {
+            self.staged.insert(start, batch);
+        }
+        loop {
+            let have = self.records.len() as u64;
+            let Some((&s, _)) = self.staged.iter().next() else {
+                break;
+            };
+            if s > have {
+                break;
+            }
+            let batch = self.staged.remove(&s).expect("key just observed");
+            let skip = (have - s) as usize;
+            if skip < batch.len() {
+                self.records.extend(batch.into_iter().skip(skip));
+            }
+        }
+    }
+
+    /// The feed went quiet past the grace period: fold the tailed
+    /// journal into a master, hand this node's own subproblem back to
+    /// the scheduling queue, and take over.
+    fn promote(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let own = self.client.hand_over();
+        let mut master = Master::promoted(
+            self.formula.clone(),
+            self.config.clone(),
+            self.host_info.clone(),
+            ctx.me(),
+            std::mem::take(&mut self.records),
+            ctx.now(),
+            self.obs.clone(),
+            self.audit.clone(),
+        );
+        master.absorb_own_client(ctx.now(), own);
+        master.announce_takeover(ctx);
+        self.promoted = Some(Box::new(master));
+    }
+
+    /// Reliability-layer callback, routed here by the experiment driver.
+    pub fn on_undeliverable(&mut self, to: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        match &mut self.promoted {
+            Some(m) => m.on_undeliverable(to, msg, ctx),
+            None => self.client.on_undeliverable(to, msg, ctx),
+        }
+    }
+}
+
+impl Process for StandbyNode {
+    type Msg = GridMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<GridMsg>) {
+        // a (re)starting standby gives the master a full grace period
+        // before it can conclude the feed is dead
+        self.last_feed = ctx.now();
+        match &mut self.promoted {
+            Some(m) => m.on_start(ctx),
+            None => self.client.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
+        if let Some(m) = &mut self.promoted {
+            m.on_message(from, msg, ctx);
+            return;
+        }
+        match msg {
+            GridMsg::JournalBatch { start, records } => {
+                self.last_feed = ctx.now();
+                self.absorb_batch(start, records);
+                ctx.send(
+                    from,
+                    GridMsg::JournalAck {
+                        next: self.records.len() as u64,
+                    },
+                );
+            }
+            other => self.client.on_message(from, other, ctx),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if let Some(m) = &mut self.promoted {
+            m.on_tick(ctx);
+            return;
+        }
+        if !self.client.is_done() && ctx.now() - self.last_feed >= self.grace() {
+            self.promote(ctx);
+            return;
+        }
+        self.client.on_tick(ctx);
+    }
+
+    fn on_node_down(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
+        match &mut self.promoted {
+            Some(m) => m.on_node_down(node, ctx),
+            None => self.client.on_node_down(node, ctx),
+        }
+    }
+}

@@ -124,6 +124,19 @@ pub enum Event {
     ResultReport { client: u32, sat: bool },
     /// The run ended (`SAT`/`UNSAT`/`TIME_OUT`/`CLIENT_LOST`).
     Outcome { outcome: String },
+
+    // ---- master durability ----
+    /// A scheduling decision was appended to the master journal.
+    /// `seq` is the 0-based record index; `lag` is how many records the
+    /// standby has not yet acknowledged.
+    JournalAppend { seq: u64, lag: u64 },
+    /// A restarted master rebuilt its state by folding the journal.
+    JournalReplay { records: u64 },
+    /// A standby promoted itself to master after the lease lapsed.
+    StandbyPromote { records: u64 },
+    /// The search-space conservation auditor found a leaked or
+    /// doubly-owned guiding-path cube (the run aborts right after).
+    AuditViolation { path: String },
 }
 
 impl Event {
@@ -154,6 +167,10 @@ impl Event {
             Event::CheckpointSaved { .. } => "checkpoint",
             Event::ResultReport { .. } => "result",
             Event::Outcome { .. } => "outcome",
+            Event::JournalAppend { .. } => "journal_append",
+            Event::JournalReplay { .. } => "journal_replay",
+            Event::StandbyPromote { .. } => "standby_promote",
+            Event::AuditViolation { .. } => "audit_violation",
         }
     }
 }
@@ -321,6 +338,15 @@ impl TimedEvent {
             Event::Outcome { outcome } => {
                 w.str("outcome", outcome);
             }
+            Event::JournalAppend { seq, lag } => {
+                w.u64("seq", *seq).u64("lag", *lag);
+            }
+            Event::JournalReplay { records } | Event::StandbyPromote { records } => {
+                w.u64("records", *records);
+            }
+            Event::AuditViolation { path } => {
+                w.str("path", path);
+            }
         }
         w.finish()
     }
@@ -422,6 +448,19 @@ impl TimedEvent {
             },
             "outcome" => Event::Outcome {
                 outcome: string(&m, "outcome")?,
+            },
+            "journal_append" => Event::JournalAppend {
+                seq: u64f(&m, "seq")?,
+                lag: u64f(&m, "lag")?,
+            },
+            "journal_replay" => Event::JournalReplay {
+                records: u64f(&m, "records")?,
+            },
+            "standby_promote" => Event::StandbyPromote {
+                records: u64f(&m, "records")?,
+            },
+            "audit_violation" => Event::AuditViolation {
+                path: string(&m, "path")?,
             },
             other => return Err(DecodeError::UnknownKind(other.to_string())),
         };
@@ -589,6 +628,16 @@ mod tests {
                 },
             ),
             ev(13.5, 0, Event::LeaseExpire { client: 2 }),
+            ev(13.6, 0, Event::JournalAppend { seq: 41, lag: 3 }),
+            ev(13.7, 5, Event::JournalReplay { records: 42 }),
+            ev(13.8, 1, Event::StandbyPromote { records: 42 }),
+            ev(
+                13.9,
+                0,
+                Event::AuditViolation {
+                    path: "[-3 7]".into(),
+                },
+            ),
             ev(
                 14.0,
                 0,

@@ -47,6 +47,9 @@ pub struct UtilizationReport {
     pub peak_active: usize,
     /// Event counts by kind, for a quick look at what the trace holds.
     pub event_counts: BTreeMap<String, u64>,
+    /// Worst standby replication lag seen on `journal_append` events
+    /// (records the standby had not yet acknowledged).
+    pub max_journal_lag: u64,
 }
 
 impl UtilizationReport {
@@ -222,6 +225,9 @@ pub fn fold_utilization(events: &[TimedEvent]) -> UtilizationReport {
                         ev.t_s,
                     );
                 }
+            }
+            Event::JournalAppend { lag, .. } => {
+                report.max_journal_lag = report.max_journal_lag.max(*lag);
             }
             _ => {}
         }

@@ -139,6 +139,16 @@ fn golden_events() -> Vec<TimedEvent> {
             },
         ),
         ev(13.5, 0, Event::LeaseExpire { client: 2 }),
+        ev(13.6, 0, Event::JournalAppend { seq: 41, lag: 3 }),
+        ev(13.7, 5, Event::JournalReplay { records: 42 }),
+        ev(13.8, 1, Event::StandbyPromote { records: 42 }),
+        ev(
+            13.9,
+            0,
+            Event::AuditViolation {
+                path: "[-3 7]".into(),
+            },
+        ),
         ev(
             14.0,
             0,
@@ -153,7 +163,7 @@ fn golden_events() -> Vec<TimedEvent> {
 fn golden_file_covers_every_event_kind() {
     let kinds: std::collections::BTreeSet<&str> =
         golden_events().iter().map(|e| e.event.kind()).collect();
-    assert_eq!(kinds.len(), 24, "update the golden trace when adding kinds");
+    assert_eq!(kinds.len(), 28, "update the golden trace when adding kinds");
 }
 
 #[test]

@@ -72,7 +72,7 @@ pub enum Step {
 /// Contains the level-0 assignment (with per-literal "globally derivable"
 /// flags) and every clause not already satisfied at level 0. Clauses are
 /// transferred *unstripped* so they remain valid for the original problem.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SplitSpec {
     /// Variable universe size (shared by all clients).
     pub num_vars: usize,

@@ -22,4 +22,14 @@ if [[ "${CHECK_CHAOS:-0}" == "1" ]]; then
   cargo run --release -p gridsat-bench --bin chaos_soak -- --fast
 fi
 
+# Opt-in: the search-space conservation audit — journal/auditor unit
+# tests plus the failover integration tests with the auditor armed
+# (any lost or double-assigned cube panics the run).
+if [[ "${CHECK_AUDIT:-0}" == "1" ]]; then
+  echo "== conservation audit (journal + failover under the auditor)"
+  cargo test --release -q -p gridsat -- audit journal
+  cargo test --release -q -p gridsat-tests --test reliability -- \
+    dead_master_fails_over_to_the_standby failover_preserves_sat_models
+fi
+
 echo "OK"

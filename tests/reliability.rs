@@ -99,6 +99,56 @@ fn sat_models_survive_chaos() {
 }
 
 #[test]
+fn dead_master_fails_over_to_the_standby() {
+    // the master dies for good at t=8 on a lossy network; under the
+    // failover profile node 1 tails the journal, notices the silence,
+    // promotes itself, re-adopts the survivors, and drives the run to
+    // the oracle's answer — with the conservation auditor cross-checking
+    // that no cube is ever lost or double-assigned along the way
+    let f = satgen::php::php(7, 6);
+    let plan = FaultPlan::master_gone(3);
+    let config = GridConfig {
+        min_split_timeout: 0.2,
+        work_quantum_s: 0.1,
+        audit: true,
+        ..GridConfig::failover_hardened()
+    };
+    let cap = config.overall_timeout;
+    let mut sim = experiment::build_sim(&f, Testbed::uniform(4, 1000.0, 3 << 20), config);
+    plan.apply(&mut sim);
+    sim.run_until(cap + 60.0);
+    let gridsat::GridNode::Standby(standby) = sim.process(gridsat_grid::NodeId(1)).inner() else {
+        panic!("node 1 is the standby under failover_hardened");
+    };
+    let promoted = standby
+        .promoted_master()
+        .expect("the standby must have taken over");
+    let snap = promoted.snapshot();
+    assert!(snap.journal_len > 0, "the takeover master keeps journaling");
+    // node 0 never came back, so only the promoted master can decide
+    let r = experiment::report(&sim, cap);
+    assert_eq!(r.outcome, GridOutcome::Unsat);
+    assert_eq!(r.master.verification_failures, 0);
+}
+
+#[test]
+fn failover_preserves_sat_models() {
+    let f = satgen::random_ksat::planted_ksat(40, 160, 3, 5);
+    let plan = FaultPlan::master_gone(5);
+    let config = GridConfig {
+        min_split_timeout: 0.2,
+        work_quantum_s: 0.1,
+        audit: true,
+        ..GridConfig::failover_hardened()
+    };
+    let r = run_with_plan(&f, &plan, config);
+    match r.outcome {
+        GridOutcome::Sat(model) => assert!(f.is_satisfied_by(&model)),
+        other => panic!("expected SAT through the failover, got {other:?}"),
+    }
+}
+
+#[test]
 fn unreliable_control_plane_wedges_detectably() {
     // kill the master for good under the paper-mode config (no acked
     // delivery, no leases, no master restart): the clients' reports go
