@@ -320,11 +320,13 @@ impl Client {
         if clauses.is_empty() {
             return;
         }
+        // build the batch once; every peer's message shares it by refcount
+        let batch = std::sync::Arc::new(clauses);
         let me = ctx.me();
         let mut sent = false;
         for &peer in &self.peers {
             if peer != me && peer != self.master {
-                ctx.send(peer, GridMsg::Share(clauses.clone()));
+                ctx.send(peer, GridMsg::Share(batch.clone()));
                 sent = true;
             }
         }
@@ -629,8 +631,8 @@ impl Process for Client {
             GridMsg::Share(clauses) => {
                 if let Some(solver) = &mut self.solver {
                     self.stats.clauses_received += clauses.len() as u64;
-                    for c in clauses {
-                        solver.queue_foreign(c);
+                    for c in clauses.iter() {
+                        solver.queue_foreign(c.clone());
                     }
                 }
             }
@@ -990,7 +992,11 @@ mod tests {
         let _ = cx.take_actions();
         let clause = gridsat_cnf::Clause::new([gridsat_cnf::Lit::pos(0)]);
         let mut cx = ctx(0.5);
-        c.on_message(NodeId(2), GridMsg::Share(vec![clause]), &mut cx);
+        c.on_message(
+            NodeId(2),
+            GridMsg::Share(std::sync::Arc::new(vec![clause])),
+            &mut cx,
+        );
         assert_eq!(c.stats.clauses_received, 1);
         assert_eq!(c.solver.as_ref().unwrap().pending_foreign(), 1);
     }
@@ -1234,7 +1240,7 @@ mod adaptive_tests {
             let mut cx = ctx(0.5);
             c.on_message(
                 NodeId(2),
-                GridMsg::Share(vec![gridsat_cnf::Clause::new(lits)]),
+                GridMsg::Share(std::sync::Arc::new(vec![gridsat_cnf::Clause::new(lits)])),
                 &mut cx,
             );
         }

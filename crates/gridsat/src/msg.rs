@@ -10,6 +10,7 @@ use gridsat_cnf::{Clause, Lit};
 use gridsat_grid::{MessageSize, NodeId};
 use gridsat_solver::SplitSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Globally unique subproblem identity: creator node in the high bits,
 /// per-creator counter in the low bits. Control messages carry it so the
@@ -145,8 +146,11 @@ pub enum GridMsg {
         sent_at: f64,
         problem: ProblemId,
     },
-    /// Learned clauses broadcast to peers (paper Section 3.2).
-    Share(Vec<Clause>),
+    /// Learned clauses broadcast to peers (paper Section 3.2). The batch
+    /// is built once per drain and shared by reference across the whole
+    /// fan-out — cloning the message for every peer bumps a refcount
+    /// instead of deep-copying the clauses.
+    Share(Arc<Vec<Clause>>),
 
     // ---- master <-> standby (durability extension) ----
     /// Journal records `start..start+records.len()` shipped from the
@@ -304,11 +308,11 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_payload() {
-        let small = GridMsg::Share(vec![Clause::new([Lit::pos(0)])]);
-        let big = GridMsg::Share(vec![
+        let small = GridMsg::Share(Arc::new(vec![Clause::new([Lit::pos(0)])]));
+        let big = GridMsg::Share(Arc::new(vec![
             Clause::new((0..50).map(Lit::pos)),
             Clause::new((0..50).map(Lit::neg)),
-        ]);
+        ]));
         assert!(big.size_bytes() > small.size_bytes());
 
         let spec = SplitSpec {
@@ -338,7 +342,7 @@ mod tests {
         .is_control());
         assert!(GridMsg::Terminate(EndReason::Sat).is_control());
         // the lossy-by-design streams
-        assert!(!GridMsg::Share(vec![]).is_control());
+        assert!(!GridMsg::Share(Arc::new(vec![])).is_control());
         assert!(!GridMsg::LoadReport { availability: 1.0 }.is_control());
         assert!(!GridMsg::Peers(vec![]).is_control());
         assert!(!GridMsg::Heartbeat.is_control());
