@@ -1,0 +1,125 @@
+//! Share-path throughput snapshot: runs the clause-sharing workload and
+//! prints one flat JSON object with share traffic (messages and bytes on
+//! the wire), merge pressure, and wall-clock, for `BENCH_share.json` at
+//! the repo root (the perf trajectory of the share data path across PRs,
+//! in the style of `bcp_snapshot`/`BENCH_bcp.json`).
+//!
+//! Run with `cargo run --release -p gridsat-bench --bin share_throughput`
+//! (`--test` runs a reduced instance once, for CI smoke).
+
+use gridsat::{experiment, GridConfig, GridOutcome};
+use gridsat_grid::Testbed;
+use gridsat_satgen as satgen;
+use std::time::Instant;
+
+struct Sample {
+    outcome: &'static str,
+    sim_seconds: f64,
+    wall_ms: f64,
+    share_msgs: u64,
+    share_bytes: u64,
+    total_bytes: u64,
+    share_batches_sent: u64,
+    clauses_received: u64,
+    dup_share_drops: u64,
+    shares_forwarded: u64,
+}
+
+/// One traced run: the share traffic is read off the engine's message
+/// trace (every delivered message, with its label and modeled wire size).
+fn run_traced(f: &gridsat_cnf::Formula, hosts: usize, config: GridConfig) -> Sample {
+    let cap = config.overall_timeout;
+    let tb = Testbed::uniform(hosts, 1000.0, 3 << 20);
+    let mut sim = experiment::build_sim(f, tb, config);
+    sim.enable_trace();
+    let wall = Instant::now();
+    sim.run_until(cap + 60.0);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let r = experiment::report(&sim, cap);
+    let (mut share_msgs, mut share_bytes, mut total_bytes) = (0u64, 0u64, 0u64);
+    for ev in sim.trace_events() {
+        total_bytes += ev.bytes as u64;
+        if ev.label == "share" {
+            share_msgs += 1;
+            share_bytes += ev.bytes as u64;
+        }
+    }
+    let outcome = match r.outcome {
+        GridOutcome::Sat(_) => "SAT",
+        GridOutcome::Unsat => "UNSAT",
+        _ => "OTHER",
+    };
+    Sample {
+        outcome,
+        sim_seconds: r.seconds,
+        wall_ms,
+        share_msgs,
+        share_bytes,
+        total_bytes,
+        share_batches_sent: r.clients.share_batches_sent,
+        clauses_received: r.clients.clauses_received,
+        dup_share_drops: r.clients.dup_share_drops,
+        shares_forwarded: r.clients.shares_forwarded,
+    }
+}
+
+fn sharing_config() -> GridConfig {
+    GridConfig {
+        min_split_timeout: 0.5,
+        work_quantum_s: 0.25,
+        share_len_limit: Some(10),
+        ..GridConfig::default()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    // the scaling workload: a hard UNSAT XOR chain where every client
+    // stays busy and the learned-clause stream is dense (the regime the
+    // share data path lives in); --test runs one reduced PHP refutation
+    let (f, hosts, rounds) = if smoke {
+        (satgen::php::php(7, 6), 6, 1)
+    } else {
+        (satgen::xor::urquhart(13, 38), 12, 3)
+    };
+    let mut acc: Option<Sample> = None;
+    for _ in 0..rounds {
+        let s = run_traced(&f, hosts, sharing_config());
+        assert_eq!(s.outcome, "UNSAT", "workload is an UNSAT refutation");
+        acc = Some(match acc {
+            None => s,
+            Some(a) => Sample {
+                outcome: s.outcome,
+                sim_seconds: a.sim_seconds + s.sim_seconds,
+                wall_ms: a.wall_ms + s.wall_ms,
+                share_msgs: a.share_msgs + s.share_msgs,
+                share_bytes: a.share_bytes + s.share_bytes,
+                total_bytes: a.total_bytes + s.total_bytes,
+                share_batches_sent: a.share_batches_sent + s.share_batches_sent,
+                clauses_received: a.clauses_received + s.clauses_received,
+                dup_share_drops: a.dup_share_drops + s.dup_share_drops,
+                shares_forwarded: a.shares_forwarded + s.shares_forwarded,
+            },
+        });
+    }
+    let s = acc.expect("at least one round");
+    println!(
+        "{{\"bench\":\"share_throughput\",\
+         \"workload\":\"{} x{hosts} hosts x{rounds} rounds\",\
+         \"outcome\":\"{}\",\"sim_seconds\":{:.1},\"wall_ms\":{:.0},\
+         \"share_msgs\":{},\"share_bytes\":{},\"total_bytes\":{},\
+         \"share_batches_sent\":{},\"clauses_received\":{},\
+         \"dup_share_drops\":{},\"shares_forwarded\":{}}}",
+        f.name().unwrap_or("?"),
+        s.outcome,
+        s.sim_seconds,
+        s.wall_ms,
+        s.share_msgs,
+        s.share_bytes,
+        s.total_bytes,
+        s.share_batches_sent,
+        s.clauses_received,
+        s.dup_share_drops,
+        s.shares_forwarded,
+    );
+}

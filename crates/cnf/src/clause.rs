@@ -112,6 +112,30 @@ impl Clause {
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Clause>() + self.lits.capacity() * std::mem::size_of::<Lit>()
     }
+
+    /// A 64-bit fingerprint of the clause as a *set* of literals: a
+    /// splitmix64-style mix folded over the sorted, deduplicated literal
+    /// codes. Permutations and repeated literals fingerprint identically,
+    /// so the distributed share path can recognize a clause it has
+    /// already merged without comparing literal vectors.
+    pub fn fingerprint(&self) -> u64 {
+        let mut codes: Vec<u32> = self.lits.iter().map(|l| l.code() as u32).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let mut h = fp_mix(0x9e37_79b9_7f4a_7c15 ^ codes.len() as u64);
+        for c in codes {
+            h = fp_mix(h ^ (c as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        }
+        h
+    }
+}
+
+/// splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+#[inline]
+fn fp_mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl FromIterator<Lit> for Clause {
@@ -205,6 +229,33 @@ mod tests {
             .normalized()
             .is_none());
         assert!(Clause::new([lit(2), lit(5)]).normalized().is_some());
+    }
+
+    #[test]
+    fn fingerprint_is_a_set_hash() {
+        let a = Clause::new([lit(1), lit(-2), lit(3)]);
+        let b = Clause::new([lit(3), lit(1), lit(-2)]); // permutation
+        let c = Clause::new([lit(1), lit(1), lit(-2), lit(3)]); // duplicate
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+
+        // sign, membership and length all perturb the fingerprint
+        assert_ne!(
+            a.fingerprint(),
+            Clause::new([lit(1), lit(2), lit(3)]).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            Clause::new([lit(1), lit(-2)]).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            Clause::new([lit(1), lit(-2), lit(4)]).fingerprint()
+        );
+        assert_ne!(
+            Clause::empty().fingerprint(),
+            Clause::new([lit(1)]).fingerprint()
+        );
     }
 
     #[test]

@@ -5,10 +5,17 @@
 use crate::audit::Audit;
 use crate::config::{CheckpointMode, GridConfig, ShareTuning};
 use crate::msg::{Checkpoint, GridMsg, ProblemId, SubResult};
+use crate::wire::{self, EncodedBatch};
 use gridsat_grid::{Ctx, NodeId, Process};
-use gridsat_obs::{MetricsRegistry, Obs};
-use gridsat_solver::{Solver, SolverConfig, SplitSpec, Step};
+use gridsat_obs::{Event, MetricsRegistry, Obs};
+use gridsat_solver::{FpWindow, Solver, SolverConfig, SplitSpec, Step};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Capacity of the per-client fingerprint window that deduplicates
+/// share traffic in both directions (HordeSat-style recently-sent /
+/// recently-received filter).
+const SHARE_FP_WINDOW: usize = 1 << 16;
 
 /// Client-side counters, aggregated into the experiment report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +30,13 @@ pub struct ClientStats {
     pub share_batches_sent: u64,
     /// Clauses received from peers.
     pub clauses_received: u64,
+    /// Received shared clauses dropped by the fingerprint window before
+    /// any merge work was spent on them.
+    pub dup_share_drops: u64,
+    /// Share batches forwarded down the relay tree on behalf of peers.
+    pub shares_forwarded: u64,
+    /// Bytes of share traffic put on the wire (originated + forwarded).
+    pub share_bytes_sent: u64,
     /// Solver work executed.
     pub work: u64,
     /// Results reported (SAT or UNSAT subproblems).
@@ -44,6 +58,9 @@ impl ClientStats {
             split_requests,
             share_batches_sent,
             clauses_received,
+            dup_share_drops,
+            shares_forwarded,
+            share_bytes_sent,
             work,
             results,
             migrations,
@@ -54,6 +71,9 @@ impl ClientStats {
         self.split_requests += split_requests;
         self.share_batches_sent += share_batches_sent;
         self.clauses_received += clauses_received;
+        self.dup_share_drops += dup_share_drops;
+        self.shares_forwarded += shares_forwarded;
+        self.share_bytes_sent += share_bytes_sent;
         self.work += work;
         self.results += results;
         self.migrations += migrations;
@@ -68,6 +88,9 @@ impl ClientStats {
             split_requests,
             share_batches_sent,
             clauses_received,
+            dup_share_drops,
+            shares_forwarded,
+            share_bytes_sent,
             work,
             results,
             migrations,
@@ -78,6 +101,9 @@ impl ClientStats {
         reg.counter_add(&format!("{prefix}.split_requests"), split_requests);
         reg.counter_add(&format!("{prefix}.share_batches_sent"), share_batches_sent);
         reg.counter_add(&format!("{prefix}.clauses_received"), clauses_received);
+        reg.counter_add(&format!("{prefix}.dup_share_drops"), dup_share_drops);
+        reg.counter_add(&format!("{prefix}.shares_forwarded"), shares_forwarded);
+        reg.counter_add(&format!("{prefix}.share_bytes_sent"), share_bytes_sent);
         reg.counter_add(&format!("{prefix}.work"), work);
         reg.counter_add(&format!("{prefix}.results"), results);
         reg.counter_add(&format!("{prefix}.migrations"), migrations);
@@ -85,6 +111,63 @@ impl ClientStats {
             &format!("{prefix}.share_limit_changes"),
             share_limit_changes,
         );
+    }
+}
+
+/// Children of `me` in the `branch`-ary relay tree rooted at `origin`,
+/// derived purely from the shared roster: rotate the roster so the
+/// origin sits at position 0, lay the positions out as a heap (children
+/// of position `p` are `branch*p + 1 ..= branch*p + branch`), and map
+/// positions back to node ids. Every client derives the same tree from
+/// the same roster, so one batch reaches all `n-1` other clients in
+/// exactly `n-1` messages with per-node fan-out at most `branch`.
+/// Nodes absent from the roster have no children (stale trees die out).
+pub(crate) fn relay_children(
+    peers: &[NodeId],
+    origin: NodeId,
+    me: NodeId,
+    branch: usize,
+) -> Vec<NodeId> {
+    let n = peers.len();
+    let (Some(oi), Some(mi)) = (
+        peers.iter().position(|&p| p == origin),
+        peers.iter().position(|&p| p == me),
+    ) else {
+        return Vec::new();
+    };
+    let pos = (mi + n - oi) % n;
+    let first = branch * pos + 1;
+    let mut out = Vec::new();
+    for slot in first..first.saturating_add(branch) {
+        if slot >= n {
+            break;
+        }
+        out.push(peers[(slot + oi) % n]);
+    }
+    out
+}
+
+/// Pure decision core of the adaptive share tuner: given one window's
+/// merge evidence, pick the next share-length limit. The limit is left
+/// alone when the evidence is thin (warm-up) or the implication rate
+/// sits in the dead band, and it never leaves `[min, max]`.
+fn tuned_share_limit(
+    current: usize,
+    merged: u64,
+    implications: u64,
+    min: usize,
+    max: usize,
+) -> usize {
+    if merged < 10 {
+        return current; // not enough evidence this window
+    }
+    let rate = implications as f64 / merged as f64;
+    if rate < 0.05 {
+        current.saturating_sub(1).max(min)
+    } else if rate > 0.25 {
+        (current + 1).min(max)
+    } else {
+        current
     }
 }
 
@@ -104,6 +187,13 @@ pub struct Client {
     state: State,
     solver: Option<Solver>,
     peers: Vec<NodeId>,
+    /// Roster generation the current `peers` list belongs to; tags
+    /// outgoing shares so forwards routed on a stale tree die at the
+    /// first hop after a membership change.
+    peers_epoch: u64,
+    /// Fingerprints of clauses that recently crossed this node's wire,
+    /// in either direction; duplicates are dropped on both paths.
+    fp_window: FpWindow,
     /// When the current subproblem started (for the split time-out).
     problem_started: f64,
     /// Transfer time of the problem we received; the split time-out is
@@ -142,6 +232,8 @@ impl Client {
             state: State::Idle,
             solver: None,
             peers: Vec::new(),
+            peers_epoch: 0,
+            fp_window: FpWindow::new(SHARE_FP_WINDOW),
             problem_started: 0.0,
             transfer_time: 0.0,
             split_requested_at: None,
@@ -208,18 +300,8 @@ impl Client {
         let merged = st.merged_in - m0;
         let implications = st.merge_implications - i0;
         self.tuning_mark = (st.merged_in, st.merge_implications);
-        if merged < 10 {
-            return; // not enough evidence this window
-        }
-        let rate = implications as f64 / merged as f64;
         let current = self.share_limit_now.unwrap_or(max);
-        let next = if rate < 0.05 {
-            current.saturating_sub(1).max(min)
-        } else if rate > 0.25 {
-            (current + 1).min(max)
-        } else {
-            current
-        };
+        let next = tuned_share_limit(current, merged, implications, min, max);
         if next != current {
             self.share_limit_now = Some(next);
             solver.set_share_len_limit(Some(next));
@@ -312,27 +394,59 @@ impl Client {
         ctx.idle();
     }
 
+    /// Where a batch goes next from this node: our children in the relay
+    /// tree rooted at `origin`, or — relay disabled — every other client
+    /// (the paper's all-pairs broadcast).
+    fn share_targets(&self, origin: NodeId, me: NodeId) -> Vec<NodeId> {
+        match self.config.share_relay_branch {
+            Some(branch) => relay_children(&self.peers, origin, me, branch)
+                .into_iter()
+                .filter(|&p| p != self.master && p != me)
+                .collect(),
+            None => self
+                .peers
+                .iter()
+                .copied()
+                .filter(|&p| p != me && p != self.master)
+                .collect(),
+        }
+    }
+
     fn drain_shares(&mut self, ctx: &mut Ctx<GridMsg>) {
         let Some(solver) = &mut self.solver else {
             return;
         };
-        let clauses = solver.take_shared();
-        if clauses.is_empty() {
+        let mut shares = solver.take_shared();
+        if shares.is_empty() {
             return;
         }
-        // build the batch once; every peer's message shares it by refcount
-        let batch = std::sync::Arc::new(clauses);
+        // recently-sent filter: clauses that already crossed this node's
+        // wire (in either direction) are not offered to the grid again
+        shares.retain(|&(_, fp)| self.fp_window.insert(fp));
+        if shares.is_empty() {
+            return;
+        }
+        // encode once; every recipient's message shares the bytes by
+        // refcount and the simulated wire carries the encoded length
+        let batch = Arc::new(EncodedBatch::encode(&shares));
         let me = ctx.me();
-        let mut sent = false;
-        for &peer in &self.peers {
-            if peer != me && peer != self.master {
-                ctx.send(peer, GridMsg::Share(batch.clone()));
-                sent = true;
-            }
+        let targets = self.share_targets(me, me);
+        if targets.is_empty() {
+            return;
         }
-        if sent {
-            self.stats.share_batches_sent += 1;
+        let bytes = (24 + batch.wire_len()) as u64;
+        for peer in targets {
+            self.stats.share_bytes_sent += bytes;
+            ctx.send(
+                peer,
+                GridMsg::Share {
+                    batch: batch.clone(),
+                    origin: me,
+                    epoch: self.peers_epoch,
+                },
+            );
         }
+        self.stats.share_batches_sent += 1;
     }
 
     fn maybe_request_split(&mut self, ctx: &mut Ctx<GridMsg>) {
@@ -453,6 +567,7 @@ impl Process for Client {
         self.current_problem = None;
         self.split_requested_at = None;
         self.peers.clear();
+        self.peers_epoch = 0;
         self.last_heartbeat = ctx.now();
         ctx.send(
             self.master,
@@ -565,8 +680,8 @@ impl Process for Client {
                         // "a client records the time it required to SEND or
                         // receive a problem": estimate the send cost so the
                         // split time-out backs off as the database grows
-                        let est =
-                            spec.approx_message_bytes() as f64 / self.config.assumed_bw_bytes_per_s;
+                        let est = wire::spec_wire_bytes(&spec) as f64
+                            / self.config.assumed_bw_bytes_per_s;
                         self.transfer_time = self.transfer_time.max(est);
                         ctx.send(
                             peer,
@@ -628,15 +743,67 @@ impl Process for Client {
                     ctx.send(self.master, done(false));
                 }
             }
-            GridMsg::Share(clauses) => {
-                if let Some(solver) = &mut self.solver {
-                    self.stats.clauses_received += clauses.len() as u64;
-                    for c in clauses.iter() {
-                        solver.queue_foreign(c.clone());
+            GridMsg::Share {
+                batch,
+                origin,
+                epoch,
+            } => {
+                let decoded = match batch.decode() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        debug_assert!(false, "undecodable share batch: {e}");
+                        return;
+                    }
+                };
+                let total = decoded.len() as u64;
+                self.stats.clauses_received += total;
+                let mut fresh = 0u64;
+                for (clause, fp) in decoded {
+                    if !self.fp_window.insert(fp) {
+                        continue;
+                    }
+                    fresh += 1;
+                    if let Some(solver) = &mut self.solver {
+                        solver.queue_foreign_fp(clause, fp);
+                    }
+                }
+                let dropped = total - fresh;
+                if dropped > 0 {
+                    self.stats.dup_share_drops += dropped;
+                    self.obs
+                        .emit(ctx.now(), ctx.me().0, || Event::ShareDedup { dropped });
+                }
+                // forward the same encoded batch down our subtree — but
+                // only when it was routed on the roster we currently hold
+                // and carried at least one clause this node had not seen
+                // (a fully-duplicate batch means our subtree got it too)
+                if fresh > 0
+                    && epoch == self.peers_epoch
+                    && self.config.share_relay_branch.is_some()
+                {
+                    let bytes = (24 + batch.wire_len()) as u64;
+                    for peer in self.share_targets(origin, ctx.me()) {
+                        self.stats.shares_forwarded += 1;
+                        self.stats.share_bytes_sent += bytes;
+                        ctx.send(
+                            peer,
+                            GridMsg::Share {
+                                batch: batch.clone(),
+                                origin,
+                                epoch,
+                            },
+                        );
                     }
                 }
             }
-            GridMsg::Peers(p) => self.peers = p,
+            GridMsg::Peers { epoch, peers } => {
+                // accept rosters at least as new as the one held; older
+                // broadcasts can arrive reordered on the lossy plane
+                if epoch >= self.peers_epoch {
+                    self.peers_epoch = epoch;
+                    self.peers = peers;
+                }
+            }
             GridMsg::Takeover => {
                 // a promoted standby is the master now: retarget control
                 // traffic and re-register with our in-progress state so
@@ -774,6 +941,23 @@ mod tests {
         }
     }
 
+    /// Build a Share message the way a peer would: fingerprint each
+    /// clause and encode the batch once.
+    pub(crate) fn share_msg(from: NodeId, clauses: Vec<gridsat_cnf::Clause>) -> GridMsg {
+        let shares: Vec<(gridsat_cnf::Clause, u64)> = clauses
+            .into_iter()
+            .map(|c| {
+                let fp = c.fingerprint();
+                (c, fp)
+            })
+            .collect();
+        GridMsg::Share {
+            batch: Arc::new(EncodedBatch::encode(&shares)),
+            origin: from,
+            epoch: 0,
+        }
+    }
+
     #[test]
     fn client_stats_absorb_is_lossless() {
         let full = ClientStats {
@@ -782,6 +966,9 @@ mod tests {
             split_requests: 3,
             share_batches_sent: 4,
             clauses_received: 5,
+            dup_share_drops: 10,
+            shares_forwarded: 11,
+            share_bytes_sent: 12,
             work: 6,
             results: 7,
             migrations: 8,
@@ -799,6 +986,9 @@ mod tests {
                 split_requests: 6,
                 share_batches_sent: 8,
                 clauses_received: 10,
+                dup_share_drops: 20,
+                shares_forwarded: 22,
+                share_bytes_sent: 24,
                 work: 12,
                 results: 14,
                 migrations: 16,
@@ -809,8 +999,60 @@ mod tests {
         let mut reg = MetricsRegistry::default();
         full.export_metrics(&mut reg, "client");
         assert_eq!(reg.counter("client.subproblems"), 1);
+        assert_eq!(reg.counter("client.dup_share_drops"), 10);
+        assert_eq!(reg.counter("client.share_bytes_sent"), 12);
         assert_eq!(reg.counter("client.share_limit_changes"), 9);
-        assert_eq!(reg.render_prometheus().matches("# TYPE client_").count(), 9);
+        assert_eq!(
+            reg.render_prometheus().matches("# TYPE client_").count(),
+            12
+        );
+    }
+
+    #[test]
+    fn relay_tree_reaches_every_peer_exactly_once() {
+        let peers: Vec<NodeId> = (1..=9).map(NodeId).collect();
+        for &origin in &peers {
+            for branch in [1usize, 2, 4, 8] {
+                let mut received: std::collections::BTreeMap<u32, usize> = Default::default();
+                for &me in &peers {
+                    let kids = relay_children(&peers, origin, me, branch);
+                    assert!(kids.len() <= branch, "fan-out bounded by the branch factor");
+                    for kid in kids {
+                        assert_ne!(kid, origin, "the origin never re-receives its batch");
+                        assert_ne!(kid, me, "no self-sends");
+                        *received.entry(kid.0).or_default() += 1;
+                    }
+                }
+                // union over all nodes: everyone but the origin, once —
+                // n-1 messages total, the O(n) fan-out guarantee
+                assert_eq!(received.len(), peers.len() - 1);
+                assert!(received.values().all(|&n| n == 1));
+            }
+        }
+        // nodes outside the roster have no children (stale-tree safety)
+        assert!(relay_children(&peers, NodeId(99), NodeId(1), 4).is_empty());
+        assert!(relay_children(&peers, NodeId(1), NodeId(99), 4).is_empty());
+        assert!(relay_children(&[], NodeId(1), NodeId(1), 4).is_empty());
+    }
+
+    #[test]
+    fn share_tuning_needs_enough_evidence() {
+        // fewer than 10 merges in the window: hold, even at rate 0 or 1
+        assert_eq!(tuned_share_limit(6, 9, 0, 2, 16), 6);
+        assert_eq!(tuned_share_limit(6, 9, 9, 2, 16), 6);
+        // the tenth merge is enough
+        assert_eq!(tuned_share_limit(6, 10, 0, 2, 16), 5);
+    }
+
+    #[test]
+    fn share_tuning_clamps_at_both_bounds() {
+        assert_eq!(tuned_share_limit(2, 100, 0, 2, 16), 2); // min clamp
+        assert_eq!(tuned_share_limit(16, 100, 100, 2, 16), 16); // max clamp
+        assert_eq!(tuned_share_limit(5, 100, 100, 2, 16), 6); // widen inside
+        assert_eq!(tuned_share_limit(5, 100, 4, 2, 16), 4); // rate .04 < .05
+        assert_eq!(tuned_share_limit(5, 100, 5, 2, 16), 5); // rate .05: dead band
+        assert_eq!(tuned_share_limit(5, 100, 25, 2, 16), 5); // rate .25: dead band
+        assert_eq!(tuned_share_limit(5, 100, 26, 2, 16), 6); // rate .26 > .25
     }
 
     #[test]
@@ -994,11 +1236,129 @@ mod tests {
         let mut cx = ctx(0.5);
         c.on_message(
             NodeId(2),
-            GridMsg::Share(std::sync::Arc::new(vec![clause])),
+            share_msg(NodeId(2), vec![clause.clone()]),
             &mut cx,
         );
         assert_eq!(c.stats.clauses_received, 1);
+        assert_eq!(c.stats.dup_share_drops, 0);
         assert_eq!(c.solver.as_ref().unwrap().pending_foreign(), 1);
+
+        // the same clause again: the fingerprint window drops it before
+        // it reaches the solver
+        let mut cx = ctx(0.6);
+        c.on_message(NodeId(3), share_msg(NodeId(3), vec![clause]), &mut cx);
+        assert_eq!(c.stats.clauses_received, 2);
+        assert_eq!(c.stats.dup_share_drops, 1);
+        assert_eq!(c.solver.as_ref().unwrap().pending_foreign(), 1);
+    }
+
+    #[test]
+    fn fresh_shares_are_forwarded_down_the_relay_tree() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        // roster of 8 clients; we are node 1
+        let peers: Vec<NodeId> = (1..=8).map(NodeId).collect();
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Peers {
+                epoch: 7,
+                peers: peers.clone(),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        // a fresh batch from node 2, routed on the same epoch: we are at
+        // tree position (1 + 8 - 2) % 8 = 7, a leaf — then from node 8,
+        // position 1, an inner node with children at slots 5..=8
+        let clause = gridsat_cnf::Clause::new([gridsat_cnf::Lit::pos(0)]);
+        let mut cx = ctx(0.5);
+        let GridMsg::Share { batch, .. } = share_msg(NodeId(2), vec![clause]) else {
+            unreachable!();
+        };
+        c.on_message(
+            NodeId(2),
+            GridMsg::Share {
+                batch: batch.clone(),
+                origin: NodeId(2),
+                epoch: 7,
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().is_empty(), "leaves do not forward");
+        assert_eq!(c.stats.shares_forwarded, 0);
+
+        let other = gridsat_cnf::Clause::new([gridsat_cnf::Lit::neg(1)]);
+        let mut cx = ctx(0.6);
+        let GridMsg::Share { batch, .. } = share_msg(NodeId(8), vec![other]) else {
+            unreachable!();
+        };
+        c.on_message(
+            NodeId(8),
+            GridMsg::Share {
+                batch: batch.clone(),
+                origin: NodeId(8),
+                epoch: 7,
+            },
+            &mut cx,
+        );
+        let forwards: Vec<_> = cx
+            .take_actions()
+            .into_iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    gridsat_grid::Action::Send {
+                        msg: GridMsg::Share { .. },
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert!(!forwards.is_empty(), "inner nodes forward fresh batches");
+        assert_eq!(c.stats.shares_forwarded, forwards.len() as u64);
+        assert!(c.stats.share_bytes_sent > 0);
+
+        // a batch tagged with a stale epoch is merged but never forwarded
+        let stale = gridsat_cnf::Clause::new([gridsat_cnf::Lit::pos(2)]);
+        let mut cx = ctx(0.7);
+        let GridMsg::Share { batch, .. } = share_msg(NodeId(8), vec![stale]) else {
+            unreachable!();
+        };
+        c.on_message(
+            NodeId(8),
+            GridMsg::Share {
+                batch,
+                origin: NodeId(8),
+                epoch: 3,
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().is_empty(), "stale-epoch forwards die");
+    }
+
+    #[test]
+    fn stale_peer_rosters_are_ignored() {
+        let mut c = Client::new(NodeId(0), GridConfig::default());
+        let mut cx = ctx(0.0);
+        let fresh: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        c.on_message(
+            NodeId(0),
+            GridMsg::Peers {
+                epoch: 5,
+                peers: fresh.clone(),
+            },
+            &mut cx,
+        );
+        c.on_message(
+            NodeId(0),
+            GridMsg::Peers {
+                epoch: 4,
+                peers: vec![NodeId(1)],
+            },
+            &mut cx,
+        );
+        assert_eq!(c.peers, fresh, "a reordered older roster must not win");
+        assert_eq!(c.peers_epoch, 5);
     }
 
     #[test]
@@ -1240,7 +1600,7 @@ mod adaptive_tests {
             let mut cx = ctx(0.5);
             c.on_message(
                 NodeId(2),
-                GridMsg::Share(std::sync::Arc::new(vec![gridsat_cnf::Clause::new(lits)])),
+                super::tests::share_msg(NodeId(2), vec![gridsat_cnf::Clause::new(lits)]),
                 &mut cx,
             );
         }
@@ -1254,6 +1614,41 @@ mod adaptive_tests {
         let _ = cx.take_actions();
         let after = c.share_limit_now.unwrap();
         assert!(after <= before, "limit should not widen on useless merges");
+    }
+
+    #[test]
+    fn pinned_at_the_minimum_nothing_is_counted_as_a_change() {
+        // min == max == current: the tuner always lands on the same
+        // limit, so share_limit_changes must stay zero no matter how
+        // useless the merged clauses are
+        let mut c = Client::new(
+            NodeId(0),
+            GridConfig {
+                share_len_limit: Some(6),
+                share_tuning: ShareTuning::Adaptive { min: 6, max: 6 },
+                load_report_period: 1.0,
+                ..GridConfig::default()
+            },
+        );
+        give_problem(&mut c, 0.0);
+        for i in 0..40u32 {
+            let lits: Vec<gridsat_cnf::Lit> = (0..3)
+                .map(|j| gridsat_cnf::Lit::new((((i * 3 + j) % 40) + 1).into(), j % 2 == 0))
+                .collect();
+            let mut cx = ctx(0.5);
+            c.on_message(
+                NodeId(2),
+                super::tests::share_msg(NodeId(2), vec![gridsat_cnf::Clause::new(lits)]),
+                &mut cx,
+            );
+        }
+        for t in 1..6 {
+            let mut cx = ctx(t as f64);
+            c.on_tick(&mut cx);
+            let _ = cx.take_actions();
+        }
+        assert_eq!(c.share_limit_now, Some(6));
+        assert_eq!(c.stats.share_limit_changes, 0);
     }
 
     #[test]

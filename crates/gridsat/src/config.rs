@@ -141,6 +141,12 @@ pub struct GridConfig {
     pub assumed_bw_bytes_per_s: f64,
     /// Share-limit tuning policy (extension; `Fixed` = paper behaviour).
     pub share_tuning: ShareTuning,
+    /// Fan-out of the k-ary relay tree used for clause-share traffic.
+    /// `Some(k)` routes each batch along a tree derived from the client
+    /// roster (O(n) messages per batch, at most `k` sends per node);
+    /// `None` is the paper's all-pairs broadcast (O(n²) per round).
+    #[serde(default = "default_share_relay_branch")]
+    pub share_relay_branch: Option<usize>,
     /// Reliable control-plane delivery + heartbeat leases. `None` (the
     /// default) runs the paper's bare protocol — the wire is then
     /// bit-identical to a build without the reliability layer.
@@ -154,6 +160,10 @@ pub struct GridConfig {
     /// cubes ever stop partitioning the search space exactly.
     #[serde(default)]
     pub audit: bool,
+}
+
+fn default_share_relay_branch() -> Option<usize> {
+    Some(4)
 }
 
 impl Default for GridConfig {
@@ -175,6 +185,7 @@ impl Default for GridConfig {
             checkpoint_period: 300.0,
             assumed_bw_bytes_per_s: 4_000.0,
             share_tuning: ShareTuning::Fixed,
+            share_relay_branch: default_share_relay_branch(),
             reliability: None,
             failover: None,
             audit: false,
@@ -244,6 +255,9 @@ mod tests {
         let e2 = GridConfig::experiment2(200_000.0);
         assert_eq!(e2.share_len_limit, Some(3));
         assert_eq!(e2.overall_timeout, 200_000.0);
+
+        // relay-tree fan-out is on by default with a small branch factor
+        assert_eq!(e1.share_relay_branch, Some(4));
 
         // the paper presets run the bare protocol: reliability stays off
         assert!(e1.reliability.is_none());

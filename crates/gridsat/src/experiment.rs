@@ -384,6 +384,81 @@ mod tests {
     }
 
     #[test]
+    fn relay_tree_bounds_share_traffic_on_a_wide_grid() {
+        // tb(13) is a master plus 13 worker clients: wide enough that
+        // the k-ary relay tree and all-pairs flooding behave very
+        // differently
+        let f = satgen::php::php(9, 8);
+        let config = GridConfig {
+            min_split_timeout: 0.5,
+            work_quantum_s: 0.25,
+            share_len_limit: Some(10),
+            ..GridConfig::default()
+        };
+        let branch = config.share_relay_branch.expect("relay on by default");
+        let cap = config.overall_timeout;
+        let mut sim = build_sim(&f, tb(13), config);
+        sim.enable_trace();
+        sim.run_until(cap + 60.0);
+        let r = report(&sim, cap);
+        assert_eq!(r.outcome, GridOutcome::Unsat, "oracle answer first");
+        assert!(r.clients.share_batches_sent > 0);
+        assert!(r.clients.clauses_received > 0);
+        assert!(
+            r.clients.shares_forwarded > 0,
+            "inner tree nodes must relay batches"
+        );
+
+        // sim-level O(n) guarantee: a batch visits each of the n-1 other
+        // clients at most once, so total share messages on the wire stay
+        // within batches * (n-1) — all-pairs flooding with re-forwarding
+        // would blow through this immediately
+        let n = 13u64; // clients in tb(13); the roster excludes the master
+        let share_sends = sim
+            .trace_events()
+            .iter()
+            .filter(|e| e.label == "share")
+            .count() as u64;
+        assert!(share_sends > 0);
+        assert!(
+            share_sends <= r.clients.share_batches_sent * (n - 1),
+            "{share_sends} share msgs for {} batches",
+            r.clients.share_batches_sent
+        );
+
+        // per-node egress: nobody ever sends more than branch-factor
+        // share messages at one instant per batch in flight; the
+        // all-pairs baseline would burst n-1 = 12 from the origin
+        let mut bursts: std::collections::HashMap<(u32, u64), u64> = Default::default();
+        for e in sim.trace_events().iter().filter(|e| e.label == "share") {
+            *bursts.entry((e.from.0, e.time_s.to_bits())).or_default() += 1;
+        }
+        let max_burst = bursts.values().copied().max().unwrap_or(0);
+        assert!(
+            max_burst <= 2 * branch as u64,
+            "egress burst {max_burst} exceeds the relay fan-out bound"
+        );
+
+        // against the all-pairs ablation: the tree must answer the same
+        // and never put more share bytes on the wire
+        let flood_config = GridConfig {
+            min_split_timeout: 0.5,
+            work_quantum_s: 0.25,
+            share_len_limit: Some(10),
+            share_relay_branch: None,
+            ..GridConfig::default()
+        };
+        let flood = run(&f, tb(13), flood_config);
+        assert_eq!(flood.outcome, GridOutcome::Unsat);
+        assert!(
+            r.clients.share_bytes_sent <= flood.clients.share_bytes_sent,
+            "relay tree sent {} share bytes, all-pairs {}",
+            r.clients.share_bytes_sent,
+            flood.clients.share_bytes_sent
+        );
+    }
+
+    #[test]
     fn sat_answers_match_sequential_on_random_instances() {
         for seed in 0..8 {
             let f = satgen::random_ksat::random_ksat(30, 126, 3, seed);

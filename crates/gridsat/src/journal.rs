@@ -234,6 +234,7 @@ pub struct CoreImage {
     pub pending_recovery: Vec<RecoverySpec>,
     pub early_results: Vec<(NodeId, ProblemId)>,
     pub first_problem_sent: bool,
+    pub peers_epoch: u64,
 }
 
 /// The journaled scheduling state: a deterministic fold over
@@ -251,6 +252,11 @@ pub(crate) struct MasterCore {
     /// have marked their sender Busy (at-least-once delivery reorders).
     pub(crate) early_results: BTreeSet<(NodeId, ProblemId)>,
     pub(crate) first_problem_sent: bool,
+    /// Roster generation for the clause-share relay tree: bumped by every
+    /// membership change, jumped far ahead on promotion so shares routed
+    /// on any pre-takeover roster are never forwarded again. Folded from
+    /// the journal, so a replayed master agrees with the live one.
+    pub(crate) peers_epoch: u64,
 }
 
 impl MasterCore {
@@ -318,12 +324,14 @@ impl MasterCore {
                     *client,
                     ClientInfo::launched(*memory, *speed, *availability, *at),
                 );
+                self.peers_epoch += 1;
                 None
             }
             JournalRecord::Deregister { client } => {
                 self.clients.remove(client);
                 self.backlog.retain(|id| id != client);
                 self.early_results.retain(|(n, _)| n != client);
+                self.peers_epoch += 1;
                 None
             }
             JournalRecord::AssignWhole {
@@ -453,7 +461,14 @@ impl MasterCore {
                 self.pending_recovery.push_back(recovery.clone());
                 None
             }
-            JournalRecord::LeaseExpired { .. } | JournalRecord::Promoted { .. } => None,
+            JournalRecord::LeaseExpired { .. } => None,
+            JournalRecord::Promoted { .. } => {
+                // the epoch leaps on takeover so every pre-promotion
+                // roster is retired at once, even if the new master then
+                // issues fewer membership changes than the old one did
+                self.peers_epoch += 1 << 20;
+                None
+            }
             JournalRecord::AdoptClaim {
                 client,
                 memory,
@@ -474,6 +489,7 @@ impl MasterCore {
                 info.problem = *problem;
                 info.checkpoint = checkpoint.clone();
                 self.clients.insert(*client, info);
+                self.peers_epoch += 1;
                 None
             }
         }
@@ -508,6 +524,7 @@ impl MasterCore {
             pending_recovery: self.pending_recovery.iter().cloned().collect(),
             early_results: self.early_results.iter().copied().collect(),
             first_problem_sent: self.first_problem_sent,
+            peers_epoch: self.peers_epoch,
         }
     }
 }

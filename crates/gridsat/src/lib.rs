@@ -49,6 +49,7 @@ pub mod journal;
 pub mod master;
 pub mod msg;
 pub mod standby;
+pub mod wire;
 
 pub use audit::Audit;
 pub use campaign::{Comparison, ComparisonRow};
@@ -62,3 +63,4 @@ pub use master::{
 };
 pub use msg::{EndReason, GridMsg, SubResult};
 pub use standby::StandbyNode;
+pub use wire::{EncodedBatch, WireError};

@@ -801,10 +801,24 @@ impl Master {
     }
 
     /// Broadcast the registered-client list (clause-sharing fan-out).
+    /// The roster carries its epoch so clients agree on which relay tree
+    /// a share batch was routed on; every membership change bumps it.
     fn broadcast_peers(&mut self, ctx: &mut Ctx<GridMsg>) {
         let peers: Vec<NodeId> = self.core.clients.keys().copied().collect();
+        let epoch = self.core.peers_epoch;
+        self.obs
+            .emit(ctx.now(), ctx.me().0, || Event::RelayRebuild {
+                epoch,
+                peers: peers.len() as u64,
+            });
         for id in &peers {
-            ctx.send(*id, GridMsg::Peers(peers.clone()));
+            ctx.send(
+                *id,
+                GridMsg::Peers {
+                    epoch,
+                    peers: peers.clone(),
+                },
+            );
         }
     }
 
@@ -1469,13 +1483,16 @@ impl Process for Master {
                 );
                 self.dispatch_recoveries(ctx);
             }
+            // clause-share gossip addressed to this host's retired client
+            // can still be in flight when a standby promotes; sharing is
+            // lossy best-effort traffic, so it is dropped, not an error
+            GridMsg::Share { .. } => {}
             // client-bound messages
             GridMsg::Solve { .. }
             | GridMsg::SplitGrant { .. }
             | GridMsg::Migrate { .. }
-            | GridMsg::Peers(_)
-            | GridMsg::Terminate(_)
-            | GridMsg::Share(_) => {
+            | GridMsg::Peers { .. }
+            | GridMsg::Terminate(_) => {
                 debug_assert!(false, "master got client message from {from}");
             }
         }

@@ -65,7 +65,7 @@ fn first_registrant_gets_the_whole_problem() {
     assert!(actions.iter().any(|a| matches!(
         a,
         Action::Send {
-            msg: GridMsg::Peers(_),
+            msg: GridMsg::Peers { .. },
             ..
         }
     )));

@@ -6,6 +6,7 @@
 //! master.
 
 use crate::journal::JournalRecord;
+use crate::wire::{self, EncodedBatch};
 use gridsat_cnf::{Clause, Lit};
 use gridsat_grid::{MessageSize, NodeId};
 use gridsat_solver::SplitSpec;
@@ -131,7 +132,9 @@ pub enum GridMsg {
     /// Move the current subproblem to `peer` (backlog/migration).
     Migrate { peer: NodeId, problem: ProblemId },
     /// Current set of registered clients (for clause-sharing fan-out).
-    Peers(Vec<NodeId>),
+    /// `epoch` counts membership changes; clients use it to agree on the
+    /// relay tree and to drop share forwards routed on a stale tree.
+    Peers { epoch: u64, peers: Vec<NodeId> },
     /// End of run.
     Terminate(EndReason),
 
@@ -147,10 +150,16 @@ pub enum GridMsg {
         problem: ProblemId,
     },
     /// Learned clauses broadcast to peers (paper Section 3.2). The batch
-    /// is built once per drain and shared by reference across the whole
-    /// fan-out — cloning the message for every peer bumps a refcount
-    /// instead of deep-copying the clauses.
-    Share(Arc<Vec<Clause>>),
+    /// is encoded once per drain ([`EncodedBatch`]) and shared by
+    /// reference across the whole fan-out — every relay hop forwards the
+    /// same buffer by refcount, never re-serializing. `origin` roots the
+    /// relay tree; `epoch` is the peer-list epoch the sender routed on,
+    /// so forwards computed against a stale tree are dropped.
+    Share {
+        batch: Arc<EncodedBatch>,
+        origin: NodeId,
+        epoch: u64,
+    },
 
     // ---- master <-> standby (durability extension) ----
     /// Journal records `start..start+records.len()` shipped from the
@@ -185,9 +194,9 @@ impl GridMsg {
     /// heartbeats exist precisely to be allowed to miss.
     pub fn is_control(&self) -> bool {
         match self {
-            GridMsg::Share(_)
+            GridMsg::Share { .. }
             | GridMsg::LoadReport { .. }
-            | GridMsg::Peers(_)
+            | GridMsg::Peers { .. }
             | GridMsg::JournalAck { .. }
             | GridMsg::Heartbeat => false,
             GridMsg::Register { .. }
@@ -233,20 +242,22 @@ impl MessageSize for GridMsg {
             } => 40 + lits.len() * 5,
             GridMsg::LoadReport { .. } => 32,
             GridMsg::Heartbeat => 24,
-            GridMsg::Requeue { spec, .. } => spec.approx_message_bytes(),
+            GridMsg::Requeue { spec, .. } => 24 + wire::spec_wire_bytes(spec),
             GridMsg::CheckpointMsg { checkpoint, .. } => match checkpoint.as_ref() {
                 Checkpoint::Light { level0 } => 40 + level0.len() * 5,
                 Checkpoint::Heavy { level0, learned } => {
                     40 + level0.len() * 5 + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
                 }
             },
-            GridMsg::Solve { spec, .. } => spec.approx_message_bytes(),
+            GridMsg::Solve { spec, .. } => 24 + wire::spec_wire_bytes(spec),
             GridMsg::SplitGrant { .. } => 32,
             GridMsg::Migrate { .. } => 32,
-            GridMsg::Peers(p) => 16 + p.len() * 4,
+            GridMsg::Peers { peers, .. } => 24 + peers.len() * 4,
             GridMsg::Terminate(_) => 32,
-            GridMsg::Subproblem { spec, .. } => spec.approx_message_bytes(),
-            GridMsg::Share(clauses) => 16 + clauses.iter().map(|c| 8 + c.len() * 4).sum::<usize>(),
+            GridMsg::Subproblem { spec, .. } => 24 + wire::spec_wire_bytes(spec),
+            // 24-byte frame (origin + epoch + framing) plus the actual
+            // encoded batch — the real cost the bandwidth model charges
+            GridMsg::Share { batch, .. } => 24 + batch.wire_len(),
             GridMsg::JournalBatch { records, .. } => {
                 24 + records
                     .iter()
@@ -290,10 +301,10 @@ impl MessageSize for GridMsg {
             GridMsg::Solve { .. } => "solve".into(),
             GridMsg::SplitGrant { .. } => "split-grant(2)".into(),
             GridMsg::Migrate { .. } => "migrate".into(),
-            GridMsg::Peers(_) => "peers".into(),
+            GridMsg::Peers { .. } => "peers".into(),
             GridMsg::Terminate(_) => "terminate".into(),
             GridMsg::Subproblem { .. } => "subproblem(3)".into(),
-            GridMsg::Share(_) => "share".into(),
+            GridMsg::Share { .. } => "share".into(),
             GridMsg::JournalBatch { records, .. } => format!("journal-batch({})", records.len()),
             GridMsg::JournalAck { .. } => "journal-ack".into(),
             GridMsg::Takeover => "takeover".into(),
@@ -306,13 +317,28 @@ impl MessageSize for GridMsg {
 mod tests {
     use super::*;
 
+    fn share_of(clauses: Vec<Clause>) -> GridMsg {
+        let shares: Vec<(Clause, u64)> = clauses
+            .into_iter()
+            .map(|c| {
+                let fp = c.fingerprint();
+                (c, fp)
+            })
+            .collect();
+        GridMsg::Share {
+            batch: Arc::new(EncodedBatch::encode(&shares)),
+            origin: NodeId(1),
+            epoch: 0,
+        }
+    }
+
     #[test]
     fn sizes_scale_with_payload() {
-        let small = GridMsg::Share(Arc::new(vec![Clause::new([Lit::pos(0)])]));
-        let big = GridMsg::Share(Arc::new(vec![
+        let small = share_of(vec![Clause::new([Lit::pos(0)])]);
+        let big = share_of(vec![
             Clause::new((0..50).map(Lit::pos)),
             Clause::new((0..50).map(Lit::neg)),
-        ]));
+        ]);
         assert!(big.size_bytes() > small.size_bytes());
 
         let spec = SplitSpec {
@@ -325,7 +351,10 @@ mod tests {
             sent_at: 0.0,
             problem: ProblemId::new(NodeId(1), 1),
         };
-        assert_eq!(sub.size_bytes(), spec.approx_message_bytes());
+        // the size model is the exact encoded length plus the frame —
+        // and tighter than the old approximate model for short clauses
+        assert_eq!(sub.size_bytes(), 24 + wire::spec_wire_bytes(&spec));
+        assert!(sub.size_bytes() < 24 + spec.approx_message_bytes());
     }
 
     #[test]
@@ -342,9 +371,13 @@ mod tests {
         .is_control());
         assert!(GridMsg::Terminate(EndReason::Sat).is_control());
         // the lossy-by-design streams
-        assert!(!GridMsg::Share(Arc::new(vec![])).is_control());
+        assert!(!share_of(vec![]).is_control());
         assert!(!GridMsg::LoadReport { availability: 1.0 }.is_control());
-        assert!(!GridMsg::Peers(vec![]).is_control());
+        assert!(!GridMsg::Peers {
+            epoch: 0,
+            peers: vec![]
+        }
+        .is_control());
         assert!(!GridMsg::Heartbeat.is_control());
     }
 

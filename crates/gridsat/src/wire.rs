@@ -1,0 +1,521 @@
+//! Encode-once wire codec for the distributed data path.
+//!
+//! The simulator never pushes real bytes through sockets, but the
+//! bandwidth/latency model and the NWS transfer forecasts are only as
+//! honest as [`GridMsg::size_bytes`](crate::msg::GridMsg::size_bytes).
+//! This module gives the two bulk payloads — share batches and
+//! subproblem specs — a concrete binary layout so message sizes are the
+//! *actual* encoded length, and so a share batch is serialized exactly
+//! once per drain no matter how wide the fan-out is.
+//!
+//! ## Layout
+//!
+//! Everything is LEB128 varints. A clause is
+//!
+//! ```text
+//! varint(len) · zigzag(code₀) · zigzag(code₁ − code₀) · …
+//! ```
+//!
+//! i.e. first literal code absolute, the rest delta-coded against the
+//! previous literal. Share batches canonicalize each clause (sorted,
+//! deduplicated literal codes) before encoding, so deltas are small and
+//! positive and the receiver can recompute the clause
+//! [fingerprint](Clause::fingerprint) from the decoded literals — the
+//! 8-byte fingerprints never travel on the wire. Subproblem specs keep
+//! their literal order (the zigzag handles negative deltas), so
+//! encode→decode is the identity.
+//!
+//! A share batch is `varint(count)` followed by the clauses; a
+//! [`SplitSpec`] is
+//!
+//! ```text
+//! varint(num_vars) · varint(#assumptions) · varint(code≪1 | global)* ·
+//! varint(#clauses) · clause*
+//! ```
+//!
+//! [`spec_wire_bytes`] computes a spec's encoded length without
+//! materializing the buffer; it replaces the old hand-waved
+//! `approx_message_bytes` cost model in the message layer.
+
+use gridsat_cnf::{Clause, Lit};
+use gridsat_solver::SplitSpec;
+use std::fmt;
+
+/// Decoding failure. The simulator never corrupts payloads, so hitting
+/// one of these indicates an encoder/decoder mismatch, not line noise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended mid-value.
+    Truncated,
+    /// A varint exceeded 64 bits or a literal code exceeded the
+    /// representable range.
+    Overflow,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire payload truncated"),
+            WireError::Overflow => write!(f, "wire varint overflow"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Varint primitives
+// ----------------------------------------------------------------------
+
+fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(WireError::Overflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::Overflow);
+        }
+    }
+}
+
+/// Encoded length of `v` as a varint, without encoding it.
+fn varint_len(v: u64) -> usize {
+    // ceil(bits/7) where bits = 64 - leading_zeros, at least one byte
+    ((70 - (v | 1).leading_zeros()) / 7) as usize
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ----------------------------------------------------------------------
+// Clause codec
+// ----------------------------------------------------------------------
+
+/// Encode literal codes in the given order (first absolute, rest
+/// delta-coded). Callers canonicalize when they want canonical form.
+fn encode_codes(codes: &[u32], out: &mut Vec<u8>) {
+    write_varint(codes.len() as u64, out);
+    let mut prev = 0i64;
+    for (i, &c) in codes.iter().enumerate() {
+        let code = i64::from(c);
+        let d = if i == 0 { code } else { code - prev };
+        write_varint(zigzag(d), out);
+        prev = code;
+    }
+}
+
+fn clause_wire_len(clause: &Clause) -> usize {
+    let mut n = varint_len(clause.len() as u64);
+    let mut prev = 0i64;
+    for (i, l) in clause.iter().enumerate() {
+        let code = l.code() as i64;
+        let d = if i == 0 { code } else { code - prev };
+        n += varint_len(zigzag(d));
+        prev = code;
+    }
+    n
+}
+
+fn decode_clause(buf: &[u8], pos: &mut usize) -> Result<Clause, WireError> {
+    let len = read_varint(buf, pos)?;
+    if len > buf.len() as u64 {
+        // each literal takes ≥ 1 byte; an impossible count means garbage
+        return Err(WireError::Truncated);
+    }
+    let mut lits = Vec::with_capacity(len as usize);
+    let mut prev = 0i64;
+    for i in 0..len {
+        let d = unzigzag(read_varint(buf, pos)?);
+        let code = if i == 0 { d } else { prev + d };
+        if !(0..=i64::from(u32::MAX)).contains(&code) {
+            return Err(WireError::Overflow);
+        }
+        lits.push(Lit::from_code(code as usize));
+        prev = code;
+    }
+    Ok(Clause::new(lits))
+}
+
+// ----------------------------------------------------------------------
+// Share batches
+// ----------------------------------------------------------------------
+
+/// A share batch serialized once at drain time and fanned out by
+/// `Arc` — every peer's message references the same buffer.
+///
+/// Clauses are stored canonicalized (sorted, deduplicated literal
+/// codes); the per-clause fingerprints ride alongside in memory for the
+/// sender's dedup filter but are *not* part of the wire image — the
+/// receiver recomputes them from the decoded literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedBatch {
+    bytes: Vec<u8>,
+    fingerprints: Vec<u64>,
+}
+
+impl EncodedBatch {
+    /// Serialize `(clause, fingerprint)` pairs into one buffer.
+    pub fn encode(shares: &[(Clause, u64)]) -> EncodedBatch {
+        let mut bytes = Vec::new();
+        write_varint(shares.len() as u64, &mut bytes);
+        let mut fingerprints = Vec::with_capacity(shares.len());
+        for (clause, fp) in shares {
+            let mut codes: Vec<u32> = clause.iter().map(|l| l.code() as u32).collect();
+            codes.sort_unstable();
+            codes.dedup();
+            encode_codes(&codes, &mut bytes);
+            fingerprints.push(*fp);
+        }
+        EncodedBatch {
+            bytes,
+            fingerprints,
+        }
+    }
+
+    /// Decode back into `(clause, fingerprint)` pairs. Fingerprints are
+    /// recomputed from the canonical decoded literals, so they agree
+    /// with what [`encode`](EncodedBatch::encode) was handed as long as
+    /// the sender used [`Clause::fingerprint`].
+    pub fn decode(&self) -> Result<Vec<(Clause, u64)>, WireError> {
+        let buf = &self.bytes;
+        let mut pos = 0usize;
+        let count = read_varint(buf, &mut pos)?;
+        if count > buf.len() as u64 {
+            return Err(WireError::Truncated);
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let clause = decode_clause(buf, &mut pos)?;
+            let fp = clause.fingerprint();
+            out.push((clause, fp));
+        }
+        Ok(out)
+    }
+
+    /// Number of clauses in the batch.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// `true` iff the batch holds no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// The sender-side fingerprints, index-aligned with the clauses.
+    pub fn fingerprints(&self) -> &[u64] {
+        &self.fingerprints
+    }
+
+    /// Bytes on the wire: the encoded buffer length (fingerprints are
+    /// in-memory only).
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Subproblem specs
+// ----------------------------------------------------------------------
+
+/// Serialize a subproblem spec (guiding-path assumptions + level-0
+/// units and unsatisfied clauses).
+pub fn encode_spec(spec: &SplitSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(spec.num_vars as u64, &mut out);
+    write_varint(spec.assumptions.len() as u64, &mut out);
+    for &(lit, global) in &spec.assumptions {
+        write_varint((lit.code() as u64) << 1 | u64::from(global), &mut out);
+    }
+    write_varint(spec.clauses.len() as u64, &mut out);
+    for clause in &spec.clauses {
+        let codes: Vec<u32> = clause.iter().map(|l| l.code() as u32).collect();
+        encode_codes(&codes, &mut out);
+    }
+    out
+}
+
+/// Decode a subproblem spec. Inverse of [`encode_spec`]: specs keep
+/// their literal order on the wire, so the round-trip is the identity.
+pub fn decode_spec(buf: &[u8]) -> Result<SplitSpec, WireError> {
+    let mut pos = 0usize;
+    let num_vars = read_varint(buf, &mut pos)?;
+    let n_asm = read_varint(buf, &mut pos)?;
+    if n_asm > buf.len() as u64 {
+        return Err(WireError::Truncated);
+    }
+    let mut assumptions = Vec::with_capacity(n_asm as usize);
+    for _ in 0..n_asm {
+        let packed = read_varint(buf, &mut pos)?;
+        let code = packed >> 1;
+        if code > u64::from(u32::MAX) {
+            return Err(WireError::Overflow);
+        }
+        assumptions.push((Lit::from_code(code as usize), packed & 1 == 1));
+    }
+    let n_clauses = read_varint(buf, &mut pos)?;
+    if n_clauses > buf.len() as u64 {
+        return Err(WireError::Truncated);
+    }
+    let mut clauses = Vec::with_capacity(n_clauses as usize);
+    for _ in 0..n_clauses {
+        clauses.push(decode_clause(buf, &mut pos)?);
+    }
+    Ok(SplitSpec {
+        num_vars: num_vars as usize,
+        assumptions,
+        clauses,
+    })
+}
+
+/// Exact [`encode_spec`] output length, computed without allocating the
+/// buffer. This is the transfer-size model for `Solve` / `Subproblem` /
+/// `Requeue` messages and the NWS transfer-time forecasts.
+pub fn spec_wire_bytes(spec: &SplitSpec) -> usize {
+    let mut n = varint_len(spec.num_vars as u64);
+    n += varint_len(spec.assumptions.len() as u64);
+    for &(lit, global) in &spec.assumptions {
+        n += varint_len((lit.code() as u64) << 1 | u64::from(global));
+    }
+    n += varint_len(spec.clauses.len() as u64);
+    for clause in &spec.clauses {
+        n += clause_wire_len(clause);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* — the codec property tests run in
+    /// environments without the `proptest`/`rand` crates, so the random
+    /// cases are hand-rolled.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn clause(&mut self, max_var: u64, max_len: u64) -> Clause {
+            let len = self.below(max_len + 1);
+            Clause::new((0..len).map(|_| {
+                Lit::new(
+                    gridsat_cnf::Var(self.below(max_var) as u32),
+                    self.below(2) == 1,
+                )
+            }))
+        }
+    }
+
+    fn canonical(c: &Clause) -> Clause {
+        let mut codes: Vec<usize> = c.iter().map(|l| l.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        Clause::new(codes.into_iter().map(Lit::from_code))
+    }
+
+    #[test]
+    fn varint_round_trips_at_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            assert_eq!(buf.len(), varint_len(v), "len model for {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overflowing_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_varint(300, &mut buf);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf[..1], &mut pos), Err(WireError::Truncated));
+        let eleven = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&eleven, &mut pos), Err(WireError::Overflow));
+        // a batch whose count field promises more clauses than bytes
+        let batch = EncodedBatch {
+            bytes: vec![0x05, 0x02],
+            fingerprints: vec![],
+        };
+        assert!(batch.decode().is_err());
+    }
+
+    #[test]
+    fn random_batches_round_trip_canonically() {
+        let mut rng = Rng(0x1234_5678_9abc_def0);
+        for _ in 0..200 {
+            let n = rng.below(8) as usize;
+            let shares: Vec<(Clause, u64)> = (0..n)
+                .map(|_| {
+                    let c = rng.clause(5000, 12);
+                    let fp = c.fingerprint();
+                    (c, fp)
+                })
+                .collect();
+            let batch = EncodedBatch::encode(&shares);
+            assert_eq!(batch.len(), n);
+            assert_eq!(batch.wire_len(), batch.bytes.len());
+            let decoded = batch.decode().expect("round trip");
+            assert_eq!(decoded.len(), n);
+            for ((orig, fp), (dec, dec_fp)) in shares.iter().zip(&decoded) {
+                assert_eq!(*dec, canonical(orig), "canonical clause survives");
+                assert_eq!(dec_fp, fp, "receiver recomputes the same fingerprint");
+                assert_eq!(dec.fingerprint(), *fp);
+            }
+            // the in-memory fingerprints match, index-aligned
+            assert_eq!(
+                batch.fingerprints(),
+                shares.iter().map(|(_, f)| *f).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn random_specs_round_trip_identically() {
+        let mut rng = Rng(0xfeed_beef_cafe_f00d);
+        for _ in 0..200 {
+            let n_asm = rng.below(6) as usize;
+            let n_cl = rng.below(10) as usize;
+            let spec = SplitSpec {
+                num_vars: rng.below(100_000) as usize,
+                assumptions: (0..n_asm)
+                    .map(|_| {
+                        (
+                            Lit::new(gridsat_cnf::Var(rng.below(5000) as u32), rng.below(2) == 1),
+                            rng.below(2) == 1,
+                        )
+                    })
+                    .collect(),
+                clauses: (0..n_cl).map(|_| rng.clause(5000, 12)).collect(),
+            };
+            let bytes = encode_spec(&spec);
+            assert_eq!(
+                bytes.len(),
+                spec_wire_bytes(&spec),
+                "size model is exact, not approximate"
+            );
+            assert_eq!(decode_spec(&bytes), Ok(spec), "identity round trip");
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_monotone_in_clause_count_and_magnitude() {
+        // more clauses → strictly more bytes
+        let clause = |base: u32| {
+            let c = Clause::new((base..base + 3).map(Lit::pos));
+            let fp = c.fingerprint();
+            (c, fp)
+        };
+        let mut prev = EncodedBatch::encode(&[]).wire_len();
+        for n in 1..20u32 {
+            let shares: Vec<_> = (0..n).map(|i| clause(i * 10)).collect();
+            let len = EncodedBatch::encode(&shares).wire_len();
+            assert!(len > prev, "batch of {n} clauses not larger than {}", n - 1);
+            prev = len;
+        }
+        // larger literal magnitudes → no fewer bytes (first code absolute,
+        // deltas unchanged), and eventually strictly more
+        let spread = |base: u32| {
+            let c = Clause::new([Lit::pos(base), Lit::pos(base + 5), Lit::pos(base + 9)]);
+            let fp = c.fingerprint();
+            vec![(c, fp)]
+        };
+        let mut prev = 0usize;
+        for base in [0u32, 50, 1_000, 100_000, 10_000_000] {
+            let len = EncodedBatch::encode(&spread(base)).wire_len();
+            assert!(len >= prev, "magnitude {base} shrank the encoding");
+            prev = len;
+        }
+        assert!(
+            EncodedBatch::encode(&spread(10_000_000)).wire_len()
+                > EncodedBatch::encode(&spread(0)).wire_len()
+        );
+        // same shape for specs: monotone in clause count
+        let mut spec = SplitSpec {
+            num_vars: 100,
+            assumptions: vec![(Lit::pos(3), true)],
+            clauses: vec![],
+        };
+        let mut prev = spec_wire_bytes(&spec);
+        for i in 0..10u32 {
+            spec.clauses
+                .push(Clause::new([Lit::pos(i), Lit::neg(i + 1)]));
+            let len = spec_wire_bytes(&spec);
+            assert!(len > prev);
+            prev = len;
+        }
+    }
+
+    #[test]
+    fn share_encoding_beats_the_old_cost_model() {
+        // the pre-codec model charged 8 bytes per clause + 4 per literal;
+        // short sorted clauses over a realistic variable range should come
+        // in well under half of that
+        let shares: Vec<(Clause, u64)> = (0..50u32)
+            .map(|i| {
+                let c = Clause::new([
+                    Lit::pos(i * 7 % 400),
+                    Lit::neg((i * 13 + 5) % 400),
+                    Lit::pos((i * 29 + 11) % 400),
+                ]);
+                let fp = c.fingerprint();
+                (c, fp)
+            })
+            .collect();
+        let old_model: usize = shares.iter().map(|(c, _)| 8 + c.len() * 4).sum();
+        let encoded = EncodedBatch::encode(&shares).wire_len();
+        assert!(
+            encoded * 2 <= old_model,
+            "encoded {encoded} vs old model {old_model}"
+        );
+    }
+}

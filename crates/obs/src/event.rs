@@ -137,6 +137,14 @@ pub enum Event {
     /// The search-space conservation auditor found a leaked or
     /// doubly-owned guiding-path cube (the run aborts right after).
     AuditViolation { path: String },
+
+    // ---- clause sharing ----
+    /// Duplicate shared clauses dropped by a receiver's fingerprint
+    /// window before any merge work was spent on them.
+    ShareDedup { dropped: u64 },
+    /// The master rebroadcast the peer roster; clients derive a new
+    /// share relay tree for this epoch.
+    RelayRebuild { epoch: u64, peers: u64 },
 }
 
 impl Event {
@@ -171,6 +179,8 @@ impl Event {
             Event::JournalReplay { .. } => "journal_replay",
             Event::StandbyPromote { .. } => "standby_promote",
             Event::AuditViolation { .. } => "audit_violation",
+            Event::ShareDedup { .. } => "share_dedup",
+            Event::RelayRebuild { .. } => "relay_rebuild",
         }
     }
 }
@@ -347,6 +357,12 @@ impl TimedEvent {
             Event::AuditViolation { path } => {
                 w.str("path", path);
             }
+            Event::ShareDedup { dropped } => {
+                w.u64("dropped", *dropped);
+            }
+            Event::RelayRebuild { epoch, peers } => {
+                w.u64("epoch", *epoch).u64("peers", *peers);
+            }
         }
         w.finish()
     }
@@ -461,6 +477,13 @@ impl TimedEvent {
             },
             "audit_violation" => Event::AuditViolation {
                 path: string(&m, "path")?,
+            },
+            "share_dedup" => Event::ShareDedup {
+                dropped: u64f(&m, "dropped")?,
+            },
+            "relay_rebuild" => Event::RelayRebuild {
+                epoch: u64f(&m, "epoch")?,
+                peers: u64f(&m, "peers")?,
             },
             other => return Err(DecodeError::UnknownKind(other.to_string())),
         };
@@ -638,6 +661,8 @@ mod tests {
                     path: "[-3 7]".into(),
                 },
             ),
+            ev(13.92, 2, Event::ShareDedup { dropped: 6 }),
+            ev(13.95, 0, Event::RelayRebuild { epoch: 3, peers: 5 }),
             ev(
                 14.0,
                 0,

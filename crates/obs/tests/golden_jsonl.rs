@@ -149,6 +149,8 @@ fn golden_events() -> Vec<TimedEvent> {
                 path: "[-3 7]".into(),
             },
         ),
+        ev(13.92, 2, Event::ShareDedup { dropped: 6 }),
+        ev(13.95, 0, Event::RelayRebuild { epoch: 3, peers: 5 }),
         ev(
             14.0,
             0,
@@ -163,7 +165,7 @@ fn golden_events() -> Vec<TimedEvent> {
 fn golden_file_covers_every_event_kind() {
     let kinds: std::collections::BTreeSet<&str> =
         golden_events().iter().map(|e| e.event.kind()).collect();
-    assert_eq!(kinds.len(), 28, "update the golden trace when adding kinds");
+    assert_eq!(kinds.len(), 30, "update the golden trace when adding kinds");
 }
 
 #[test]

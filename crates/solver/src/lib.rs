@@ -37,6 +37,7 @@ mod config;
 pub mod driver;
 pub mod preprocess;
 pub mod proof;
+mod share;
 mod solver;
 mod stats;
 mod vsids;
@@ -45,6 +46,7 @@ pub use clausedb::ClauseRef;
 pub use config::{RestartConfig, SolverConfig};
 pub use driver::{Limits, Outcome, Report};
 pub use proof::{Proof, ProofError, ProofStep};
+pub use share::FpWindow;
 pub use solver::{
     ConflictAnalysis, GraphNode, ResolutionStep, SolveStatus, Solver, SplitSpec, Step,
 };

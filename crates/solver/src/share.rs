@@ -1,0 +1,119 @@
+//! Fingerprint windows for clause-sharing dedup (HordeSat-style).
+//!
+//! Every clause that crosses the network carries a 64-bit fingerprint of
+//! its literal set ([`gridsat_cnf::Clause::fingerprint`]). A node keeps a
+//! bounded window of recently seen fingerprints: the solver uses one to
+//! skip re-merging clauses it already knows (including its own learned
+//! clauses echoed back by the grid), and the grid client uses one per
+//! direction to stop duplicate broadcasts at the wire. The window is a
+//! FIFO over a hash set — O(1) insert/lookup, strictly bounded memory,
+//! oldest fingerprints forgotten first (a forgotten duplicate is merely
+//! re-merged, never wrongly dropped, so a bounded window is safe).
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Pass-through hasher for clause fingerprints. Fingerprints come out
+/// of a splitmix64 finalizer, so every bit is already well mixed and
+/// re-hashing them through SipHash on each window probe is pure waste.
+#[derive(Clone, Default)]
+pub struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint windows only hash u64 keys");
+    }
+
+    fn write_u64(&mut self, fp: u64) {
+        self.0 = fp;
+    }
+}
+
+type FpSet = HashSet<u64, BuildHasherDefault<FpHasher>>;
+
+/// A bounded first-in-first-out set of recently seen clause fingerprints.
+#[derive(Clone, Debug, Default)]
+pub struct FpWindow {
+    set: FpSet,
+    fifo: VecDeque<u64>,
+    cap: usize,
+}
+
+impl FpWindow {
+    /// A window remembering at most `cap` fingerprints. `cap` bounds
+    /// eviction, it is not a capacity hint: windows are created per
+    /// solver instance and most see far fewer fingerprints than the
+    /// bound, so the backing storage grows on demand.
+    pub fn new(cap: usize) -> FpWindow {
+        FpWindow {
+            set: FpSet::default(),
+            fifo: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Record `fp`. Returns `true` iff it was *not* already in the
+    /// window (i.e. the clause is fresh); evicts the oldest entry when
+    /// the window is full.
+    pub fn insert(&mut self, fp: u64) -> bool {
+        if !self.set.insert(fp) {
+            return false;
+        }
+        self.fifo.push_back(fp);
+        if self.fifo.len() > self.cap {
+            if let Some(old) = self.fifo.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// `true` iff `fp` is currently remembered.
+    pub fn contains(&self, fp: u64) -> bool {
+        self.set.contains(&fp)
+    }
+
+    /// Number of remembered fingerprints.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// `true` iff nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_freshness_and_dedups() {
+        let mut w = FpWindow::new(8);
+        assert!(w.insert(1));
+        assert!(w.insert(2));
+        assert!(!w.insert(1), "repeat is not fresh");
+        assert!(w.contains(1));
+        assert!(!w.contains(3));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut w = FpWindow::new(3);
+        for fp in [10, 20, 30] {
+            assert!(w.insert(fp));
+        }
+        assert!(w.insert(40), "new entry fits by evicting");
+        assert!(!w.contains(10), "oldest forgotten");
+        assert!(w.contains(20) && w.contains(30) && w.contains(40));
+        assert_eq!(w.len(), 3);
+        // a forgotten fingerprint reads as fresh again
+        assert!(w.insert(10));
+    }
+}

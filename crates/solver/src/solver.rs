@@ -35,12 +35,18 @@
 use crate::clausedb::{ClauseDb, ClauseRef, Visit, LV_TRUE, LV_UNASSIGNED};
 use crate::config::SolverConfig;
 use crate::proof::{Proof, ProofStep};
+use crate::share::FpWindow;
 use crate::stats::Stats;
 use crate::vsids::Vsids;
 use gridsat_cnf::{Assignment, Clause, Formula, Lit, Value, Var};
 use gridsat_obs::{Event, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Capacity of the known-clause fingerprint window. Sized so that on a
+/// busy grid the window covers minutes of share traffic; an evicted
+/// fingerprint only costs a redundant (sound) re-merge.
+const KNOWN_FP_WINDOW: usize = 1 << 16;
 
 /// Terminal status of a (sub)problem.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -166,10 +172,15 @@ pub struct Solver {
     stats: Stats,
     status: Option<SolveStatus>,
     assumptions: Vec<Lit>,
-    /// Learned clauses awaiting pickup for sharing.
-    outbox: Vec<Clause>,
+    /// Learned clauses awaiting pickup for sharing, with fingerprints.
+    outbox: Vec<(Clause, u64)>,
     /// Foreign clauses awaiting merge at level 0.
     inbox: VecDeque<Clause>,
+    /// Fingerprints of clauses this solver already knows: its own shared
+    /// learned clauses plus every foreign clause accepted for merge.
+    /// Bounded window — duplicates arriving within it are skipped
+    /// before any merge work.
+    known_fps: FpWindow,
     seen: Vec<bool>,
     max_learned: f64,
     next_restart: Option<u64>,
@@ -241,6 +252,7 @@ impl Solver {
             assumptions: Vec::new(),
             outbox: Vec::new(),
             inbox: VecDeque::new(),
+            known_fps: FpWindow::new(KNOWN_FP_WINDOW),
             seen: vec![false; num_vars],
             max_learned: 0.0,
             next_restart: config.restart.map(|r| r.first_interval),
@@ -1026,7 +1038,10 @@ impl Solver {
                 .share_lbd_limit
                 .is_none_or(|max_lbd| lbd <= max_lbd);
             if analysis.global && lits.len() <= limit && low_glue {
-                self.outbox.push(analysis.learned.clone());
+                let fp = analysis.learned.fingerprint();
+                // remember own shared clauses so grid echoes are skipped
+                self.known_fps.insert(fp);
+                self.outbox.push((analysis.learned.clone(), fp));
                 self.stats.shared_out += 1;
             }
         }
@@ -1158,8 +1173,9 @@ impl Solver {
     // Clause sharing (paper Section 3.2)
     // ------------------------------------------------------------------
 
-    /// Drain learned clauses collected for sharing.
-    pub fn take_shared(&mut self) -> Vec<Clause> {
+    /// Drain learned clauses collected for sharing, each paired with
+    /// its 64-bit fingerprint (computed once, at learn time).
+    pub fn take_shared(&mut self) -> Vec<(Clause, u64)> {
         std::mem::take(&mut self.outbox)
     }
 
@@ -1177,6 +1193,20 @@ impl Solver {
     /// Queue a clause received from a peer; it is merged the next time
     /// the solver is at decision level 0 ("merged in batches").
     pub fn queue_foreign(&mut self, clause: Clause) {
+        let fp = clause.fingerprint();
+        self.queue_foreign_fp(clause, fp);
+    }
+
+    /// [`queue_foreign`](Solver::queue_foreign) with a precomputed
+    /// fingerprint (the wire codec ships clauses pre-fingerprinted).
+    /// Clauses whose fingerprint is already known — merged before, or
+    /// learned and shared by this very solver — are dropped without any
+    /// merge work and counted in `merge_skipped`.
+    pub fn queue_foreign_fp(&mut self, clause: Clause, fp: u64) {
+        if !self.known_fps.insert(fp) {
+            self.stats.merge_skipped += 1;
+            return;
+        }
         self.inbox.push_back(clause);
     }
 

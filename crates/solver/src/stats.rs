@@ -32,6 +32,9 @@ pub struct Stats {
     pub merge_discarded: u64,
     /// Foreign clauses that caused an immediate implication on merge.
     pub merge_implications: u64,
+    /// Foreign clauses dropped before any merge work because their
+    /// fingerprint was already known (duplicate share traffic).
+    pub merge_skipped: u64,
     /// Deepest decision level reached.
     pub max_level: u64,
     /// Abstract work units (see type docs).
@@ -67,6 +70,7 @@ impl Stats {
             merged_in,
             merge_discarded,
             merge_implications,
+            merge_skipped,
             max_level,
             work,
             peak_db_bytes,
@@ -85,6 +89,7 @@ impl Stats {
         self.merged_in += merged_in;
         self.merge_discarded += merge_discarded;
         self.merge_implications += merge_implications;
+        self.merge_skipped += merge_skipped;
         self.max_level = self.max_level.max(max_level);
         self.work += work;
         self.peak_db_bytes = self.peak_db_bytes.max(peak_db_bytes);
@@ -118,6 +123,7 @@ impl Stats {
             merged_in,
             merge_discarded,
             merge_implications,
+            merge_skipped,
             max_level,
             work,
             peak_db_bytes,
@@ -136,6 +142,7 @@ impl Stats {
         reg.counter_add(&format!("{prefix}.merged_in"), merged_in);
         reg.counter_add(&format!("{prefix}.merge_discarded"), merge_discarded);
         reg.counter_add(&format!("{prefix}.merge_implications"), merge_implications);
+        reg.counter_add(&format!("{prefix}.merge_skipped"), merge_skipped);
         reg.counter_add(&format!("{prefix}.work"), work);
         reg.counter_add(&format!("{prefix}.gc_runs"), gc_runs);
         reg.counter_add(&format!("{prefix}.gc_words"), gc_words);
@@ -168,6 +175,7 @@ mod tests {
             merged_in: 9,
             merge_discarded: 10,
             merge_implications: 11,
+            merge_skipped: 25,
             max_level: 12,
             work: 13,
             peak_db_bytes: 14,
@@ -216,6 +224,7 @@ mod tests {
             merged_in: 18,
             merge_discarded: 20,
             merge_implications: 22,
+            merge_skipped: 50,
             max_level: 12, // max, not sum
             work: 26,
             peak_db_bytes: 14, // max, not sum
@@ -250,8 +259,8 @@ mod tests {
         // every lbd_hist bucket lands in the histogram
         let h = reg.histogram("solver.lbd").expect("lbd histogram");
         assert_eq!(h.count(), (17..=24).sum::<u64>());
-        // 14 counters + 2 gauges + 1 histogram, all present in the exposition
+        // 15 counters + 2 gauges + 1 histogram, all present in the exposition
         let text = reg.render_prometheus();
-        assert_eq!(text.matches("# TYPE solver_").count(), 17);
+        assert_eq!(text.matches("# TYPE solver_").count(), 18);
     }
 }

@@ -113,7 +113,7 @@ fn outbox_respects_the_share_length_limit() {
     let mut s = Solver::new(&f, config);
     while s.status().is_none() {
         let _ = s.step(50_000);
-        for c in s.take_shared() {
+        for (c, _) in s.take_shared() {
             assert!(c.len() <= 4, "shared clause {c} exceeds the limit");
         }
     }

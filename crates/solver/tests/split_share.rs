@@ -138,11 +138,12 @@ proptest! {
             }
             for s in &mut solvers {
                 let _ = s.step(20_000);
-                for clause in s.take_shared() {
+                for (clause, fp) in s.take_shared() {
                     prop_assert!(
                         implied_by(&f, &clause),
                         "shared clause {clause} is not implied by the original formula"
                     );
+                    prop_assert_eq!(fp, clause.fingerprint());
                 }
             }
         }
@@ -215,12 +216,12 @@ proptest! {
             if sat.is_some() {
                 break;
             }
-            // exchange clauses both ways
-            for c in a.take_shared() {
-                b.queue_foreign(c);
+            // exchange clauses both ways (wire-style: fingerprints ride along)
+            for (c, fp) in a.take_shared() {
+                b.queue_foreign_fp(c, fp);
             }
-            for c in b.take_shared() {
-                a.queue_foreign(c);
+            for (c, fp) in b.take_shared() {
+                a.queue_foreign_fp(c, fp);
             }
             if done
                 && a.status() == Some(SolveStatus::Unsat)
@@ -413,7 +414,7 @@ proptest! {
         let mut s = Solver::new(&f, config);
         loop {
             let step = s.step(5_000);
-            for clause in s.take_shared() {
+            for (clause, _) in s.take_shared() {
                 prop_assert!(
                     implied_by(&f, &clause),
                     "minimized clause {clause} not implied"
