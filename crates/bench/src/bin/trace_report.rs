@@ -1,6 +1,7 @@
 //! Fold a JSONL event trace into the paper-style per-client utilization
-//! summary: busy/idle spans per client, peak active clients, and mean
-//! utilization over the run.
+//! summary. Kept as a compatibility alias: `grid_report` renders this
+//! summary plus the causal timeline, critical-path breakdown, and
+//! anomaly flags, so prefer it for new scripts.
 //!
 //! Capture a trace with the `--trace` flag of the `table1` or `fig1`
 //! binaries (or via `gridsat::experiment::build_sim_obs` in code), then:
@@ -12,7 +13,7 @@ use std::process::exit;
 
 fn main() {
     let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace_report <trace.jsonl>");
+        eprintln!("usage: trace_report <trace.jsonl> (see also: grid_report)");
         exit(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -26,6 +27,7 @@ fn main() {
         Ok(events) => {
             println!("{} events from {path}\n", events.len());
             print!("{}", fold_utilization(&events).render_text());
+            eprintln!("\n(for the causal critical-path breakdown, run: grid_report {path})");
         }
         Err((line, e)) => {
             eprintln!("trace_report: {path}:{line}: {e}");

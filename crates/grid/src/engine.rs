@@ -121,6 +121,10 @@ enum EventKind<M> {
         from: NodeId,
         to: NodeId,
         msg: M,
+        /// Causal stamp of the matching `msg_send` event on `from`
+        /// (0 when tracing is off or unclocked), so the delivery can be
+        /// recorded as caused-by the send across nodes.
+        send_seq: u64,
     },
     Tick {
         node: NodeId,
@@ -404,10 +408,13 @@ impl<P: Process> Sim<P> {
                     return; // scheduled restart raced a live node
                 }
                 self.nodes[node.0 as usize].up = true;
-                self.obs.emit(self.now(), node.0, || ObsEvent::NodeUp);
+                let up_seq = self.obs.emit_seq(self.now(), node.0, || ObsEvent::NodeUp);
+                // startup actions are caused by coming up
+                self.obs.set_cause(node.0, up_seq);
                 let mut ctx = Ctx::new(self.info(node));
                 self.nodes[node.0 as usize].proc.on_start(&mut ctx);
                 self.apply_actions(node, &mut ctx);
+                self.obs.restore_anchor(node.0);
             }
             EventKind::NodeDown { node } => {
                 if !self.nodes[node.0 as usize].up {
@@ -425,9 +432,15 @@ impl<P: Process> Sim<P> {
                     let mut ctx = Ctx::new(self.info(id));
                     self.nodes[i].proc.on_node_down(node, &mut ctx);
                     self.apply_actions(id, &mut ctx);
+                    self.obs.restore_anchor(id.0);
                 }
             }
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                send_seq,
+            } => {
                 // the message leaves the network either way
                 if let Some(n) = self.inflight.get_mut(&to) {
                     *n = n.saturating_sub(1);
@@ -446,17 +459,26 @@ impl<P: Process> Sim<P> {
                 }
                 self.stats.messages_delivered += 1;
                 self.stats.bytes_delivered += bytes;
-                self.obs.emit(self.now(), to.0, || ObsEvent::MsgDeliver {
-                    from: from.0,
-                    to: to.0,
-                    label: msg.label(),
-                    bytes,
-                });
+                // Lamport merge before stamping: the delivery's seq must
+                // order after the send's on the receiver clock, and its
+                // cause points back at the send event on `from`.
+                self.obs.recv_merge(to.0, send_seq);
+                let deliver_seq =
+                    self.obs
+                        .emit_caused(self.now(), to.0, send_seq, || ObsEvent::MsgDeliver {
+                            from: from.0,
+                            to: to.0,
+                            label: msg.label(),
+                            bytes,
+                        });
+                // events the handler emits hang off the delivery
+                self.obs.set_cause(to.0, deliver_seq);
                 let mut ctx = Ctx::new(self.info(to));
                 self.nodes[to.0 as usize]
                     .proc
                     .on_message(from, msg, &mut ctx);
                 self.apply_actions(to, &mut ctx);
+                self.obs.restore_anchor(to.0);
             }
             EventKind::LinkSet { a, b, up } => {
                 if up {
@@ -479,6 +501,7 @@ impl<P: Process> Sim<P> {
                 let mut ctx = Ctx::new(self.info(node));
                 self.nodes[node.0 as usize].proc.on_tick(&mut ctx);
                 self.apply_actions(node, &mut ctx);
+                self.obs.restore_anchor(node.0);
             }
         }
     }
@@ -603,7 +626,7 @@ impl<P: Process> Sim<P> {
                             bytes,
                         });
                     }
-                    self.obs.emit(self.now(), node.0, || ObsEvent::MsgSend {
+                    let send_seq = self.obs.emit_seq(self.now(), node.0, || ObsEvent::MsgSend {
                         from: node.0,
                         to: to.0,
                         label: msg.label(),
@@ -616,6 +639,7 @@ impl<P: Process> Sim<P> {
                             from: node,
                             to,
                             msg,
+                            send_seq,
                         },
                     }));
                     self.seq += 1;

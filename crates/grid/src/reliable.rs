@@ -157,6 +157,10 @@ struct Pending<M> {
     /// Retransmissions so far (0 = only the original send).
     attempt: u32,
     next_at: f64,
+    /// Causal stamp of the most recent `retransmit` event for this
+    /// message (0 = none yet), so successive retransmissions chain into
+    /// one backoff run in the trace.
+    last_rtx_seq: u64,
 }
 
 /// Receiver-side dedup state for one sender.
@@ -270,6 +274,7 @@ impl<P: ReliableProcess> Reliable<P> {
                                 bytes,
                                 attempt: 0,
                                 next_at,
+                                last_rtx_seq: 0,
                             },
                         );
                         self.stats.data_sent += 1;
@@ -325,21 +330,34 @@ impl<P: ReliableProcess> Reliable<P> {
                 expired.push((to, p.msg));
                 continue;
             }
-            let (bytes, attempt, msg) = {
+            let (bytes, attempt, msg, prev_rtx) = {
                 let p = self.outstanding.get_mut(&(to, seq)).expect("due entry");
                 p.attempt += 1;
-                (p.bytes, p.attempt, p.msg.clone())
+                (p.bytes, p.attempt, p.msg.clone(), p.last_rtx_seq)
             };
             let next_at = now + self.rto(bytes, attempt);
-            self.outstanding.get_mut(&(to, seq)).expect("due").next_at = next_at;
             self.stats.retransmits += 1;
             let label = msg.label();
             let me = ctx.me().0;
-            self.obs.emit(now, me, || ObsEvent::Retransmit {
+            // chain each retransmission of the same message onto the
+            // previous one so a backoff run reads as one causal run
+            let mk = || ObsEvent::Retransmit {
                 to: to.0,
                 label,
                 attempt: u64::from(attempt),
-            });
+            };
+            let rtx_seq = if prev_rtx == 0 {
+                self.obs.emit_seq(now, me, mk)
+            } else {
+                self.obs.emit_caused(now, me, prev_rtx, mk)
+            };
+            // the engine-level msg_send of the re-send hangs off it too
+            self.obs.set_cause(me, rtx_seq);
+            {
+                let p = self.outstanding.get_mut(&(to, seq)).expect("due");
+                p.next_at = next_at;
+                p.last_rtx_seq = rtx_seq;
+            }
             ctx.send(
                 to,
                 Wire::Data {

@@ -325,6 +325,10 @@ impl Client {
         self.solver = Some(solver);
         self.current_problem = Some(problem);
         self.state = State::Solving;
+        // anchor this node's causal register on the adoption: solver
+        // events emitted from later ticks chain back to the delivery
+        // that brought the subproblem, not to unrelated traffic
+        self.obs.anchor_current(ctx.me().0);
         self.problem_started = ctx.now();
         self.split_requested_at = None;
         self.stats.subproblems += 1;
@@ -391,6 +395,8 @@ impl Client {
         self.solver = None;
         self.state = State::Idle;
         self.split_requested_at = None;
+        // the subproblem is over; later events must not chain to it
+        self.obs.clear_anchor(ctx.me().0);
         ctx.idle();
     }
 
@@ -825,6 +831,7 @@ impl Process for Client {
                 self.state = State::Done;
                 self.solver = None;
                 self.current_problem = None;
+                self.obs.clear_anchor(ctx.me().0);
                 ctx.idle();
             }
             // master- or standby-bound messages are not for us

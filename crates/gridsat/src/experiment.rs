@@ -4,7 +4,7 @@
 use crate::audit::Audit;
 use crate::client::{Client, ClientStats};
 use crate::config::GridConfig;
-use crate::master::{GridOutcome, Master, MasterStats};
+use crate::master::{GridOutcome, Master, MasterStats, MasterTelemetry};
 use crate::msg::GridMsg;
 use crate::standby::StandbyNode;
 use gridsat_cnf::Formula;
@@ -102,6 +102,10 @@ pub struct GridReport {
     /// off or the network was fault-free).
     pub reliable: ReliableStats,
     pub sim: SimStats,
+    /// Control-plane latency telemetry (queue depth, per-kind service
+    /// times, split-request -> grant waits), merged across the original
+    /// master and any promoted standby.
+    pub telemetry: MasterTelemetry,
 }
 
 impl GridReport {
@@ -119,6 +123,7 @@ impl GridReport {
         let mut reg = MetricsRegistry::new();
         reg.gauge_set("run.seconds", self.seconds);
         self.master.export_metrics(&mut reg, "master");
+        self.telemetry.export_metrics(&mut reg, "master");
         self.clients.export_metrics(&mut reg, "client");
         self.reliable.export_metrics(&mut reg, "reliable");
         self.sim.export_metrics(&mut reg, "sim");
@@ -201,6 +206,7 @@ pub fn report(sim: &GridSim, cap: f64) -> GridReport {
         panic!("node 0 is the master");
     };
     let mut master_stats = master.stats;
+    let mut telemetry = master.telemetry.clone();
     let mut decided = master.outcome().cloned().map(|o| (o, master.finished_at()));
     let mut clients = ClientStats::default();
     let mut reliable = ReliableStats::default();
@@ -215,6 +221,7 @@ pub fn report(sim: &GridSim, cap: f64) -> GridReport {
                 // fold its scheduling stats in and take its verdict
                 if let Some(m) = s.promoted_master() {
                     master_stats.absorb(&m.stats);
+                    telemetry.absorb(&m.telemetry);
                     if decided.is_none() {
                         decided = m.outcome().cloned().map(|o| (o, m.finished_at()));
                     }
@@ -244,6 +251,7 @@ pub fn report(sim: &GridSim, cap: f64) -> GridReport {
         clients,
         reliable,
         sim: sim.stats,
+        telemetry,
     }
 }
 
@@ -456,6 +464,73 @@ mod tests {
             r.clients.share_bytes_sent,
             flood.clients.share_bytes_sent
         );
+    }
+
+    #[test]
+    fn causal_trace_critical_path_covers_a_wide_run() {
+        // 13 workers on PHP(9,8) with splits forced early: the same
+        // shape as the relay-tree test, but traced with Lamport stamps
+        // so the analyzer can walk the causal chain back from the
+        // UNSAT verdict.
+        let f = satgen::php::php(9, 8);
+        let config = GridConfig {
+            min_split_timeout: 0.5,
+            work_quantum_s: 0.25,
+            ..GridConfig::default()
+        };
+        let cap = config.overall_timeout;
+        let (obs, ring) = Obs::causal_ring(1 << 20);
+        let mut sim = build_sim_obs(&f, tb(13), config, obs);
+        sim.run_until(cap + 60.0);
+        let r = report(&sim, cap);
+        assert_eq!(r.outcome, GridOutcome::Unsat);
+
+        let ring = ring.lock().unwrap();
+        assert_eq!(ring.evicted(), 0, "ring must hold the whole trace");
+        let events = ring.events();
+        let analysis = gridsat_obs::analyze(&events);
+        assert!(
+            analysis.anomalies.is_empty(),
+            "clean run flagged: {:?}",
+            analysis.anomalies
+        );
+
+        // the chain exists, ends at the master's verdict, and stays
+        // inside the simulated run
+        let cp = analysis.critical.expect("causal trace has a path");
+        assert_eq!(cp.answer_kind, "outcome");
+        assert_eq!(cp.answer_node, 0);
+        assert!(cp.end_s <= r.seconds + 1e-6);
+        assert!(cp.total_s() > 0.0);
+
+        // segments and the per-kind breakdown both cover the chain's
+        // span to within 1% — no unattributed time
+        let covered: f64 = cp.segments.iter().map(|s| s.duration_s()).sum();
+        let attributed: f64 = cp.breakdown().values().sum();
+        let tol = 0.01 * cp.total_s();
+        assert!((covered - cp.total_s()).abs() <= tol, "{covered} segment-s");
+        assert!((attributed - cp.total_s()).abs() <= tol);
+        let solve = cp
+            .breakdown()
+            .get(&gridsat_obs::SegmentKind::Solve)
+            .copied()
+            .unwrap_or(0.0);
+        assert!(solve > 0.0, "some chain time must be solver work");
+
+        // control-plane telemetry reached the snapshot and the report
+        let GridNode::Master(master) = sim.process(NodeId(0)).inner() else {
+            panic!("node 0 is the master");
+        };
+        let snap = master.snapshot();
+        assert!(snap.queue_depth_max > 0, "backlog was sampled");
+        assert!(snap.split_wait.count > 0, "split waits were observed");
+        assert!(snap.split_wait.p99_s >= snap.split_wait.p50_s);
+        assert!(snap
+            .service
+            .iter()
+            .any(|(k, s)| k == "split_request" && s.count > 0));
+        let sw = r.telemetry.split_wait_summary();
+        assert_eq!(sw.count, snap.split_wait.count);
     }
 
     #[test]

@@ -59,7 +59,8 @@ pub use config::{CheckpointMode, FailoverConfig, GridConfig, ReliabilityConfig, 
 pub use experiment::{run, GridNode, GridReport, GridSim};
 pub use journal::{JournalRecord, MasterJournal, RecoverySpec};
 pub use master::{
-    ClientSnapshot, ClientState, GrantKind, GridOutcome, Master, MasterSnapshot, MasterStats,
+    ClientSnapshot, ClientState, GrantKind, GridOutcome, LatencySummary, Master, MasterSnapshot,
+    MasterStats, MasterTelemetry,
 };
 pub use msg::{EndReason, GridMsg, SubResult};
 pub use standby::StandbyNode;

@@ -22,7 +22,7 @@ use crate::msg::{Checkpoint, EndReason, GridMsg, ProblemId, SubResult};
 use gridsat_cnf::{Assignment, Formula};
 use gridsat_grid::{Ctx, NodeId, Process, Site};
 use gridsat_nws::Forecaster;
-use gridsat_obs::{Event, MetricsRegistry, Obs};
+use gridsat_obs::{Event, Histogram, MetricsRegistry, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -143,6 +143,142 @@ impl MasterStats {
     }
 }
 
+/// Quantile summary of a latency histogram, in seconds — the
+/// serializable face of [`Histogram`] for snapshots and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_s: f64,
+    pub p90_s: f64,
+    pub p99_s: f64,
+    pub mean_s: f64,
+}
+
+impl LatencySummary {
+    pub fn from_histogram(h: &Histogram) -> LatencySummary {
+        LatencySummary {
+            count: h.count(),
+            p50_s: h.p50(),
+            p90_s: h.p90(),
+            p99_s: h.p99(),
+            mean_s: h.mean(),
+        }
+    }
+}
+
+/// Control-plane latency telemetry (observability extension): how loaded
+/// the master's inbox is, how long each message kind takes to service,
+/// and how long a split request waits before its grant goes out. The
+/// service time is *modeled* (a per-message fixed cost plus a per-byte
+/// cost, scaled by the host's relative speed) — it feeds the report
+/// without perturbing the simulation's timing.
+#[derive(Clone, Debug)]
+pub struct MasterTelemetry {
+    /// Queue-depth proxy sampled on every handled message: backlogged
+    /// split requests plus recovered subproblems awaiting dispatch.
+    pub queue_depth: u64,
+    pub queue_depth_max: u64,
+    queue_depth_sum: u64,
+    queue_samples: u64,
+    /// Modeled service time per [`GridMsg::kind_str`] kind.
+    service: BTreeMap<&'static str, Histogram>,
+    /// Latency from a split request's arrival to its grant being sent.
+    split_wait: Histogram,
+}
+
+impl Default for MasterTelemetry {
+    fn default() -> MasterTelemetry {
+        MasterTelemetry {
+            queue_depth: 0,
+            queue_depth_max: 0,
+            queue_depth_sum: 0,
+            queue_samples: 0,
+            service: BTreeMap::new(),
+            split_wait: Histogram::latency_s(),
+        }
+    }
+}
+
+impl MasterTelemetry {
+    fn sample_queue(&mut self, depth: u64) {
+        self.queue_depth = depth;
+        self.queue_depth_max = self.queue_depth_max.max(depth);
+        self.queue_depth_sum += depth;
+        self.queue_samples += 1;
+    }
+
+    fn observe_service(&mut self, kind: &'static str, seconds: f64) {
+        self.service
+            .entry(kind)
+            .or_insert_with(Histogram::latency_s)
+            .observe(seconds);
+    }
+
+    fn observe_split_wait(&mut self, seconds: f64) {
+        self.split_wait.observe(seconds);
+    }
+
+    /// Mean sampled queue depth (0 when nothing was sampled).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_samples as f64
+        }
+    }
+
+    /// Number of queue-depth samples folded into the mean.
+    pub fn queue_samples(&self) -> u64 {
+        self.queue_samples
+    }
+
+    pub fn split_wait_summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(&self.split_wait)
+    }
+
+    /// Per-kind service-time summaries, alphabetical by kind.
+    pub fn service_summaries(&self) -> Vec<(String, LatencySummary)> {
+        self.service
+            .iter()
+            .map(|(k, h)| ((*k).to_string(), LatencySummary::from_histogram(h)))
+            .collect()
+    }
+
+    /// Fold another master's telemetry into this one (a promoted standby
+    /// absorbing the dead master's history).
+    pub fn absorb(&mut self, other: &MasterTelemetry) {
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.queue_depth_sum += other.queue_depth_sum;
+        self.queue_samples += other.queue_samples;
+        for (k, h) in &other.service {
+            self.service
+                .entry(k)
+                .or_insert_with(Histogram::latency_s)
+                .merge(h);
+        }
+        self.split_wait.merge(&other.split_wait);
+    }
+
+    /// Bridge the telemetry into a [`MetricsRegistry`] under `prefix`:
+    /// queue gauges plus the latency histograms themselves (exposition
+    /// renders their p50/p90/p99).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.gauge_set(&format!("{prefix}.queue_depth"), self.queue_depth as f64);
+        reg.gauge_set(
+            &format!("{prefix}.queue_depth_max"),
+            self.queue_depth_max as f64,
+        );
+        reg.gauge_set(
+            &format!("{prefix}.queue_depth_mean"),
+            self.mean_queue_depth(),
+        );
+        reg.insert_histogram(&format!("{prefix}.split_wait_s"), self.split_wait.clone());
+        for (k, h) in &self.service {
+            reg.insert_histogram(&format!("{prefix}.service_s.{k}"), h.clone());
+        }
+    }
+}
+
 /// A client's scheduling state as the master sees it.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum ClientState {
@@ -209,6 +345,12 @@ pub struct Master {
     rng_state: u64,
     last_migration: f64,
     pub stats: MasterStats,
+    /// Control-plane latency telemetry (always on; cheap counters).
+    pub telemetry: MasterTelemetry,
+    /// Pending split requests: requester -> (arrival time of the first
+    /// unanswered request, causal stamp of its delivery). Not journaled —
+    /// it feeds telemetry and trace causality, never scheduling.
+    pending_split_req: BTreeMap<NodeId, (f64, u64)>,
     /// Event-tracing handle (disabled by default).
     obs: Obs,
 }
@@ -245,6 +387,15 @@ pub struct MasterSnapshot {
     /// Simulated second of the last journal replay (restart or
     /// promotion).
     pub last_replay: Option<f64>,
+    /// Queue-depth proxy at snapshot time (backlog + pending
+    /// recoveries).
+    pub queue_depth: u64,
+    /// Highest queue depth sampled over the run.
+    pub queue_depth_max: u64,
+    /// Split-request -> grant wait latency quantiles.
+    pub split_wait: LatencySummary,
+    /// Modeled per-message-kind service-time quantiles.
+    pub service: Vec<(String, LatencySummary)>,
 }
 
 impl std::fmt::Display for MasterSnapshot {
@@ -324,6 +475,8 @@ impl Master {
             rng_state,
             last_migration: f64::NEG_INFINITY,
             stats: MasterStats::default(),
+            telemetry: MasterTelemetry::default(),
+            pending_split_req: BTreeMap::new(),
             obs: Obs::default(),
         }
     }
@@ -480,21 +633,31 @@ impl Master {
                 .as_ref()
                 .map(|s| self.journal.len().saturating_sub(s.acked)),
             last_replay: self.last_replay,
+            queue_depth: self.queue_depth(),
+            queue_depth_max: self.telemetry.queue_depth_max,
+            split_wait: self.telemetry.split_wait_summary(),
+            service: self.telemetry.service_summaries(),
         }
+    }
+
+    /// The master's inbox-pressure proxy: backlogged split requests plus
+    /// recovered subproblems waiting for an idle client.
+    fn queue_depth(&self) -> u64 {
+        (self.core.backlog.len() + self.core.pending_recovery.len()) as u64
     }
 
     /// Append a record to the write-ahead journal, then apply it to the
     /// core. This is the *only* mutation path for scheduling state: the
     /// journal is always a complete history of the core.
     fn commit(&mut self, now: f64, rec: JournalRecord) -> Option<RecoverySpec> {
-        let seq = self.journal.append(rec.clone());
+        let record = self.journal.append(rec.clone());
         let lag = self
             .standby
             .as_ref()
             .map_or(0, |s| self.journal.len().saturating_sub(s.acked));
         let node = self.me.0;
         self.obs
-            .emit(now, node, || Event::JournalAppend { seq, lag });
+            .emit(now, node, || Event::JournalAppend { record, lag });
         self.core.apply(&rec, &self.formula, &self.config)
     }
 
@@ -642,6 +805,17 @@ impl Master {
                 kind: GrantKind::Split,
             },
         );
+        // close the request->grant latency window, and re-anchor the
+        // grant's send on the request's delivery so a backlogged grant
+        // traces back to the request that asked for it, not to whatever
+        // message happened to unblock the backlog
+        if let Some((asked_at, cause)) = self.pending_split_req.remove(&requester) {
+            self.telemetry
+                .observe_split_wait((ctx.now() - asked_at).max(0.0));
+            if cause != 0 {
+                self.obs.set_cause(self.me.0, cause);
+            }
+        }
         ctx.send(requester, GridMsg::SplitGrant { peer, problem });
         true
     }
@@ -870,6 +1044,10 @@ impl Master {
     /// A client is gone (node down or lease expired): free its resources
     /// and recover its subproblem if possible.
     fn handle_client_loss(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
+        // a dead requester's split request will never be granted; drop
+        // it from the latency window so it cannot close much later
+        // against an unrelated requester incarnation
+        self.pending_split_req.remove(&node);
         let Some(info) = self.core.clients.get(&node) else {
             return;
         };
@@ -1068,6 +1246,17 @@ impl Process for Master {
         if self.outcome.is_some() {
             return;
         }
+        // control-plane telemetry on every handled message: inbox
+        // pressure, and a modeled service time (fixed per-message cost
+        // plus a per-byte cost, scaled by this host's relative speed —
+        // never charged against the simulation clock)
+        self.telemetry.sample_queue(self.queue_depth());
+        {
+            use gridsat_grid::MessageSize;
+            let speed_rel = (ctx.info.speed / 1000.0).max(1e-6);
+            let service_s = (50e-6 + msg.size_bytes() as f64 * 2e-9) / speed_rel;
+            self.telemetry.observe_service(msg.kind_str(), service_s);
+        }
         // any traffic renews the sender's lease, not just heartbeats
         if let Some(info) = self.core.clients.get_mut(&from) {
             info.last_seen = ctx.now();
@@ -1148,6 +1337,12 @@ impl Process for Master {
                     // client re-requests periodically, so a skipped grant
                     // only delays the split.
                     if self.core.clients[&from].problem == Some(problem) {
+                        // start the request->grant latency clock at the
+                        // *first* unanswered request; periodic re-requests
+                        // must not reset it
+                        self.pending_split_req
+                            .entry(from)
+                            .or_insert((ctx.now(), self.obs.cause_of(self.me.0)));
                         self.grant_split(from, ctx);
                     }
                 }
@@ -1324,6 +1519,9 @@ impl Process for Master {
                     .is_some_and(|i| i.problem == Some(problem) || i.problem.is_none())
                 {
                     self.commit(ctx.now(), JournalRecord::ClientIdle { client: from });
+                    // its subproblem is gone; an unanswered split request
+                    // for it can never be granted
+                    self.pending_split_req.remove(&from);
                 }
                 if self.core.backlog.contains(&from) {
                     self.commit(ctx.now(), JournalRecord::BacklogRemove { client: from });
@@ -1504,6 +1702,7 @@ impl Process for Master {
             ctx.idle();
             return;
         }
+        self.telemetry.sample_queue(self.queue_depth());
         self.expire_leases(ctx);
         if self.outcome.is_some() {
             return;

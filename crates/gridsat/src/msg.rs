@@ -215,6 +215,32 @@ impl GridMsg {
             | GridMsg::Requeue { .. } => true,
         }
     }
+
+    /// Stable short name of the message kind, used as the metric label
+    /// for the master's per-kind service-time histograms.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            GridMsg::Register { .. } => "register",
+            GridMsg::SplitRequest { .. } => "split_request",
+            GridMsg::SplitDone { .. } => "split_done",
+            GridMsg::Result { .. } => "result",
+            GridMsg::LoadReport { .. } => "load_report",
+            GridMsg::CheckpointMsg { .. } => "checkpoint",
+            GridMsg::Heartbeat => "heartbeat",
+            GridMsg::Requeue { .. } => "requeue",
+            GridMsg::Solve { .. } => "solve",
+            GridMsg::SplitGrant { .. } => "split_grant",
+            GridMsg::Migrate { .. } => "migrate",
+            GridMsg::Peers { .. } => "peers",
+            GridMsg::Terminate(_) => "terminate",
+            GridMsg::Subproblem { .. } => "subproblem",
+            GridMsg::Share { .. } => "share",
+            GridMsg::JournalBatch { .. } => "journal_batch",
+            GridMsg::JournalAck { .. } => "journal_ack",
+            GridMsg::Takeover => "takeover",
+            GridMsg::Adopt { .. } => "adopt",
+        }
+    }
 }
 
 impl MessageSize for GridMsg {

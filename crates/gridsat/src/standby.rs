@@ -121,6 +121,9 @@ impl StandbyNode {
     /// the scheduling queue, and take over.
     fn promote(&mut self, ctx: &mut Ctx<GridMsg>) {
         let own = self.client.hand_over();
+        // this node stops being a client: drop the causal anchor on its
+        // abandoned subproblem so master events don't chain to it
+        self.obs.clear_anchor(ctx.me().0);
         let mut master = Master::promoted(
             self.formula.clone(),
             self.config.clone(),

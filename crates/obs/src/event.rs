@@ -1,10 +1,13 @@
 //! The GridSAT lifecycle event taxonomy and its JSONL wire format.
 //!
 //! Every event is recorded as a [`TimedEvent`]: the simulated-time
-//! timestamp, the node it happened on, and the [`Event`] payload. One
-//! event serializes to one flat JSON object per line; field order is
-//! fixed (`t`, `node`, `kind`, then payload fields) so traces are
-//! byte-stable and diffable.
+//! timestamp, the node it happened on, its causal stamp (`seq`, a
+//! per-node Lamport clock, plus the `seq` of the event that caused it),
+//! and the [`Event`] payload. One event serializes to one flat JSON
+//! object per line; field order is fixed (`t`, `node`, `seq`, `cause`,
+//! `kind`, then payload fields) so traces are byte-stable and diffable.
+//! Traces written before the causal upgrade omit `seq`/`cause`; they
+//! decode with both stamps zero (the "unstamped" value).
 
 use crate::json::{parse_object, JsonScalar, ObjWriter};
 use std::collections::BTreeMap;
@@ -127,9 +130,11 @@ pub enum Event {
 
     // ---- master durability ----
     /// A scheduling decision was appended to the master journal.
-    /// `seq` is the 0-based record index; `lag` is how many records the
-    /// standby has not yet acknowledged.
-    JournalAppend { seq: u64, lag: u64 },
+    /// `record` is the 0-based record index; `lag` is how many records
+    /// the standby has not yet acknowledged. (Serialized as `record`;
+    /// pre-causal traces wrote it as `seq`, which now names the Lamport
+    /// stamp — the decoder accepts both.)
+    JournalAppend { record: u64, lag: u64 },
     /// A restarted master rebuilt its state by folding the journal.
     JournalReplay { records: u64 },
     /// A standby promoted itself to master after the lease lapsed.
@@ -185,13 +190,23 @@ impl Event {
     }
 }
 
-/// An [`Event`] with its simulated timestamp and originating node.
+/// An [`Event`] with its simulated timestamp, originating node, and
+/// causal stamp.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TimedEvent {
     /// Simulated seconds since the start of the run.
     pub t_s: f64,
     /// Node the event happened on (`NodeId.0`; the master is 0).
     pub node: u32,
+    /// Per-node Lamport sequence number. 0 means "unstamped" (trace
+    /// recorded without a causal clock, or a pre-causal trace); stamped
+    /// events start at 1, so `(node, seq)` is unique whenever `seq != 0`.
+    pub seq: u64,
+    /// `seq` of the event this one is a causal consequence of. The cause
+    /// lives on the *same* node, except for `msg_deliver` events whose
+    /// cause is the matching `msg_send`'s `seq` on the `from` node.
+    /// 0 means "no recorded cause" (a root, or an unstamped trace).
+    pub cause: u64,
     pub event: Event,
 }
 
@@ -256,11 +271,22 @@ fn boolean(m: &Fields, k: &'static str) -> Result<bool, DecodeError> {
     }
 }
 
+/// Optional non-negative integer, defaulting to 0 when absent — used for
+/// the causal stamps so pre-causal (PR-1-era) traces still decode.
+fn u64_or_zero(m: &Fields, k: &'static str) -> Result<u64, DecodeError> {
+    if m.contains_key(k) {
+        u64f(m, k)
+    } else {
+        Ok(0)
+    }
+}
+
 impl TimedEvent {
     /// Serialize to one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut w = ObjWriter::new();
         w.f64("t", self.t_s).u64("node", u64::from(self.node));
+        w.u64("seq", self.seq).u64("cause", self.cause);
         w.str("kind", self.event.kind());
         match &self.event {
             Event::Conflict { level } => {
@@ -348,8 +374,8 @@ impl TimedEvent {
             Event::Outcome { outcome } => {
                 w.str("outcome", outcome);
             }
-            Event::JournalAppend { seq, lag } => {
-                w.u64("seq", *seq).u64("lag", *lag);
+            Event::JournalAppend { record, lag } => {
+                w.u64("record", *record).u64("lag", *lag);
             }
             Event::JournalReplay { records } | Event::StandbyPromote { records } => {
                 w.u64("records", *records);
@@ -372,6 +398,8 @@ impl TimedEvent {
         let m = parse_object(line).map_err(DecodeError::Json)?;
         let t_s = num(&m, "t")?;
         let node = u32f(&m, "node")?;
+        let mut seq = u64_or_zero(&m, "seq")?;
+        let cause = u64_or_zero(&m, "cause")?;
         let kind = string(&m, "kind")?;
         let event = match kind.as_str() {
             "conflict" => Event::Conflict {
@@ -465,10 +493,24 @@ impl TimedEvent {
             "outcome" => Event::Outcome {
                 outcome: string(&m, "outcome")?,
             },
-            "journal_append" => Event::JournalAppend {
-                seq: u64f(&m, "seq")?,
-                lag: u64f(&m, "lag")?,
-            },
+            "journal_append" => {
+                let record = if m.contains_key("record") {
+                    u64f(&m, "record")?
+                } else {
+                    // pre-causal traces named the record index "seq"; in
+                    // that format (recognizable by the missing "cause")
+                    // the value we read into the stamp is the payload
+                    let r = u64f(&m, "seq")?;
+                    if !m.contains_key("cause") {
+                        seq = 0;
+                    }
+                    r
+                };
+                Event::JournalAppend {
+                    record,
+                    lag: u64f(&m, "lag")?,
+                }
+            }
             "journal_replay" => Event::JournalReplay {
                 records: u64f(&m, "records")?,
             },
@@ -487,7 +529,13 @@ impl TimedEvent {
             },
             other => return Err(DecodeError::UnknownKind(other.to_string())),
         };
-        Ok(TimedEvent { t_s, node, event })
+        Ok(TimedEvent {
+            t_s,
+            node,
+            seq,
+            cause,
+            event,
+        })
     }
 }
 
@@ -519,9 +567,17 @@ pub fn from_jsonl(text: &str) -> Result<Vec<TimedEvent>, (usize, DecodeError)> {
 mod tests {
     use super::*;
 
-    /// One of every event kind, with representative payloads.
+    /// One of every event kind, with representative payloads. Causal
+    /// stamps form a simple chain: event i has `seq == i + 1` and
+    /// `cause == i`, exercising both the zero (root) and non-zero cases.
     pub fn sample_events() -> Vec<TimedEvent> {
-        let ev = |t_s: f64, node: u32, event: Event| TimedEvent { t_s, node, event };
+        let ev = |t_s: f64, node: u32, event: Event| TimedEvent {
+            t_s,
+            node,
+            seq: 0,
+            cause: 0,
+            event,
+        };
         vec![
             ev(0.0, 3, Event::NodeUp),
             ev(0.5, 1, Event::ClientLaunch { client: 1 }),
@@ -651,7 +707,7 @@ mod tests {
                 },
             ),
             ev(13.5, 0, Event::LeaseExpire { client: 2 }),
-            ev(13.6, 0, Event::JournalAppend { seq: 41, lag: 3 }),
+            ev(13.6, 0, Event::JournalAppend { record: 41, lag: 3 }),
             ev(13.7, 5, Event::JournalReplay { records: 42 }),
             ev(13.8, 1, Event::StandbyPromote { records: 42 }),
             ev(
@@ -671,6 +727,14 @@ mod tests {
                 },
             ),
         ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut e)| {
+            e.seq = i as u64 + 1;
+            e.cause = i as u64;
+            e
+        })
+        .collect()
     }
 
     #[test]
@@ -705,12 +769,46 @@ mod tests {
         let ev = TimedEvent {
             t_s: 1.5,
             node: 2,
+            seq: 9,
+            cause: 4,
             event: Event::Conflict { level: 4 },
         };
         assert_eq!(
             ev.to_json_line(),
-            r#"{"t":1.5,"node":2,"kind":"conflict","level":4}"#
+            r#"{"t":1.5,"node":2,"seq":9,"cause":4,"kind":"conflict","level":4}"#
         );
+    }
+
+    #[test]
+    fn pre_causal_lines_decode_with_zero_stamps() {
+        // PR-1-era traces carry no seq/cause fields at all.
+        let ev = TimedEvent::from_json_line(r#"{"t":1.5,"node":2,"kind":"conflict","level":4}"#)
+            .unwrap();
+        assert_eq!(ev.seq, 0);
+        assert_eq!(ev.cause, 0);
+        assert_eq!(ev.event, Event::Conflict { level: 4 });
+    }
+
+    #[test]
+    fn pre_causal_journal_append_keeps_seq_as_the_record() {
+        // the old journal_append payload named its record index "seq" —
+        // that must land in the payload, not the Lamport stamp
+        let ev = TimedEvent::from_json_line(
+            r#"{"t":2,"node":0,"kind":"journal_append","seq":41,"lag":3}"#,
+        )
+        .unwrap();
+        assert_eq!(ev.seq, 0);
+        assert_eq!(ev.event, Event::JournalAppend { record: 41, lag: 3 });
+        // and the modern form round-trips with both
+        let modern = TimedEvent {
+            t_s: 2.0,
+            node: 0,
+            seq: 7,
+            cause: 6,
+            event: Event::JournalAppend { record: 41, lag: 3 },
+        };
+        let back = TimedEvent::from_json_line(&modern.to_json_line()).unwrap();
+        assert_eq!(back, modern);
     }
 
     #[test]

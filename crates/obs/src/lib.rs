@@ -18,16 +18,27 @@
 //! - [`fold_utilization`] / [`UtilizationReport`]: folds a trace into
 //!   per-client busy spans and the paper-style utilization summary
 //!   rendered by the `trace_report` binary.
+//! - [`critical_path`] / [`CriticalPath`] / [`analyze`]: walks the
+//!   causal `seq`/`cause` stamps backward from the final answer and
+//!   attributes every second of the run to solve / wire / master-queue
+//!   / retransmit; [`detect_anomalies`] flags the failure signatures
+//!   (lease churn, retransmit storms, wedged runs, relay rebuild loops)
+//!   rendered by the `grid_report` binary.
 //!
 //! No external dependencies: the crate is pure `std` so it can sit under
 //! the solver's hot path and build offline.
 
+pub mod critical;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 
+pub use critical::{
+    analyze, critical_path, detect_anomalies, Anomaly, CriticalPath, Segment, SegmentKind,
+    TraceAnalysis,
+};
 pub use event::{from_jsonl, to_jsonl, DecodeError, DropReason, Event, TimedEvent};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{fold_utilization, ClientUsage, Span, UtilizationReport};

@@ -30,6 +30,13 @@ impl Histogram {
         Histogram::with_bounds((0..=16).map(|i| f64::from(1u32 << i)).collect())
     }
 
+    /// Doubling latency bounds from 100 µs to ~104 s — the right scale
+    /// for the control-plane latencies (queue waits, service times) this
+    /// codebase measures in seconds.
+    pub fn latency_s() -> Histogram {
+        Histogram::with_bounds((0..=20).map(|i| 1e-4 * f64::from(1u32 << i)).collect())
+    }
+
     pub fn with_bounds(bounds: Vec<f64>) -> Histogram {
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
         let n = bounds.len();
@@ -83,6 +90,69 @@ impl Histogram {
             out.push((bound, acc));
         }
         out
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
+    /// interpolating linearly within the bucket that crosses the target
+    /// rank (the standard Prometheus `histogram_quantile` estimate). An
+    /// empty histogram reports 0; a quantile landing in the +Inf
+    /// overflow bucket is clamped to the highest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = acc;
+            acc += c;
+            if (acc as f64) < rank || c == 0 {
+                continue;
+            }
+            return match self.bounds.get(i) {
+                Some(&hi) => {
+                    let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                    lo + (hi - lo) * ((rank - prev as f64) / c as f64)
+                }
+                // +Inf bucket: no upper edge to interpolate toward
+                None => self.bounds.last().copied().unwrap_or(0.0),
+            };
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram's observations into this one. Both sides
+    /// must share the same bucket bounds (true for the fixed
+    /// constructors); merging is how a promoted standby absorbs the old
+    /// master's telemetry.
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.bounds, other.bounds, "merge needs equal bounds");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
     }
 }
 
@@ -140,6 +210,14 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Install a fully-populated histogram under `name` (merging into an
+    /// existing one is not supported — last insert wins). Used to bridge
+    /// histograms aggregated outside the registry, like the master's
+    /// control-plane latency telemetry.
+    pub fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_string(), h);
+    }
+
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
@@ -169,6 +247,9 @@ impl MetricsRegistry {
             }
             let _ = writeln!(out, "{name}_sum {}", h.sum());
             let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_p50 {}", h.p50());
+            let _ = writeln!(out, "{name}_p90 {}", h.p90());
+            let _ = writeln!(out, "{name}_p99 {}", h.p99());
         }
         out
     }
@@ -201,6 +282,10 @@ impl MetricsRegistry {
             write_escaped(&mut out, name);
             let _ = write!(out, ":{{\"count\":{},\"sum\":", h.count());
             write_f64(&mut out, h.sum());
+            for (label, v) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
+                let _ = write!(out, ",\"{label}\":");
+                write_f64(&mut out, v);
+            }
             out.push_str(",\"buckets\":[");
             for (j, (bound, cum)) in h.cumulative().iter().enumerate() {
                 if j > 0 {
@@ -308,5 +393,88 @@ mod tests {
     fn name_sanitization() {
         assert_eq!(sanitize("a.b-c d"), "a_b_c_d");
         assert_eq!(sanitize("0bad"), "_0bad");
+    }
+
+    #[test]
+    fn quantiles_on_a_uniform_distribution() {
+        // 100 observations spread evenly over (0, 100] with bounds every
+        // 10: the quantile estimate should match the ideal value exactly
+        // because interpolation is linear and the buckets are uniform.
+        let mut h = Histogram::with_bounds((1..=10).map(|i| f64::from(i) * 10.0).collect());
+        for i in 1..=100 {
+            h.observe(f64::from(i));
+        }
+        assert_eq!(h.p50(), 50.0);
+        assert_eq!(h.p90(), 90.0);
+        assert_eq!(h.p99(), 99.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.mean(), 50.5);
+    }
+
+    #[test]
+    fn quantiles_on_a_skewed_distribution() {
+        // 90 fast observations in (0, 1], 10 slow ones in (9, 10].
+        let mut h = Histogram::with_bounds(vec![1.0, 2.0, 5.0, 10.0]);
+        for _ in 0..90 {
+            h.observe(0.5);
+        }
+        for _ in 0..10 {
+            h.observe(9.5);
+        }
+        // p50 lands mid-bucket-one: rank 50 of 90 in (0, 1]
+        assert!((h.p50() - 50.0 / 90.0).abs() < 1e-12);
+        // p90 is exactly the edge of the fast bucket
+        assert_eq!(h.p90(), 1.0);
+        // p99 interpolates within (5, 10]: rank 99, bucket holds 91..=100
+        assert!((h.p99() - (5.0 + 5.0 * (99.0 - 90.0) / 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::pow2();
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+        // everything in the +Inf overflow bucket clamps to the highest
+        // finite bound rather than reporting infinity
+        let mut over = Histogram::with_bounds(vec![1.0, 2.0]);
+        over.observe(100.0);
+        assert_eq!(over.p50(), 2.0);
+        assert_eq!(over.p99(), 2.0);
+    }
+
+    #[test]
+    fn merge_folds_counts_sum_and_quantiles() {
+        let mut a = Histogram::latency_s();
+        let mut b = Histogram::latency_s();
+        for _ in 0..10 {
+            a.observe(0.001);
+        }
+        for _ in 0..10 {
+            b.observe(0.1);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert!((a.sum() - (10.0 * 0.001 + 10.0 * 0.1)).abs() < 1e-9);
+        // half the mass is at ~1ms, half at ~100ms: p90 lands high
+        assert!(a.p90() > 0.05, "p90 = {}", a.p90());
+        assert!(a.p50() <= 0.0512, "p50 = {}", a.p50());
+    }
+
+    #[test]
+    fn quantiles_in_expositions() {
+        let mut r = MetricsRegistry::new();
+        let mut h = Histogram::with_bounds(vec![1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(0.5);
+        r.insert_histogram("lat", h);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_p50 0.5"));
+        assert!(text.contains("lat_p90 0.9"));
+        assert!(text.contains("lat_p99 0.99"));
+        let json = r.render_json();
+        assert!(
+            json.contains("\"lat\":{\"count\":2,\"sum\":1,\"p50\":0.5,\"p90\":0.9,\"p99\":0.99,")
+        );
     }
 }

@@ -5,7 +5,11 @@
 //!
 //! Busy spans open on `assign` (master dispatch), `split` (the peer
 //! starts solving) and `migrate` (the target takes over); they close on
-//! `result`, `migrate` (the source lets go), `node_down` and `outcome`.
+//! `result`, `migrate` (the source lets go), `node_down`, `lease_expire`
+//! (the master declared the client dead — its work is re-dispatched and
+//! reopens a span wherever it lands), `standby_promote` (the promoting
+//! node hands its own subproblem back to the queue and stops solving as
+//! a client), and `outcome`.
 
 use crate::event::{Event, TimedEvent};
 use std::collections::BTreeMap;
@@ -214,6 +218,32 @@ pub fn fold_utilization(events: &[TimedEvent]) -> UtilizationReport {
                     ev.t_s,
                 );
             }
+            Event::LeaseExpire { client } => {
+                // the master declared the client dead; its subproblem is
+                // re-dispatched and a span reopens on whoever adopts it
+                end(
+                    &mut open,
+                    &mut active,
+                    &mut report.spans,
+                    &mut seen,
+                    *client,
+                    ev.t_s,
+                );
+            }
+            Event::StandbyPromote { .. } => {
+                // the promoting standby absorbs its own client and hands
+                // its subproblem back to the queue: from here on the node
+                // is mastering, not solving, so its busy span ends (it
+                // reopens only on a fresh assign)
+                end(
+                    &mut open,
+                    &mut active,
+                    &mut report.spans,
+                    &mut seen,
+                    ev.node,
+                    ev.t_s,
+                );
+            }
             Event::Outcome { .. } => {
                 for c in open.keys().copied().collect::<Vec<_>>() {
                     end(
@@ -260,7 +290,13 @@ mod tests {
     use super::*;
 
     fn ev(t_s: f64, node: u32, event: Event) -> TimedEvent {
-        TimedEvent { t_s, node, event }
+        TimedEvent {
+            t_s,
+            node,
+            seq: 0,
+            cause: 0,
+            event,
+        }
     }
 
     #[test]
@@ -412,6 +448,72 @@ mod tests {
         let text = r.render_text();
         assert!(text.contains("peak active clients: 1"));
         assert!(text.contains("n3"));
+    }
+
+    #[test]
+    fn standby_promotion_closes_the_promoted_nodes_span() {
+        // failover trace: client 1 and the standby's co-located client
+        // (node 2) both solving; the master dies silently, node 2
+        // promotes at t=10 and requeues its own subproblem. Before the
+        // fix its span ran to the outcome, overcounting 2's busy time.
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(2.0, 0, Event::Assign { client: 2 }),
+            ev(10.0, 2, Event::StandbyPromote { records: 17 }),
+            ev(12.0, 2, Event::Assign { client: 1 }),
+            ev(
+                20.0,
+                2,
+                Event::Outcome {
+                    outcome: "UNSAT".into(),
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        let two = r.clients.iter().find(|c| c.client == 2).unwrap();
+        assert_eq!(two.busy_s, 8.0, "span must close at the promotion");
+        assert_eq!(two.spans, 1);
+        // the re-assigned client keeps one continuous span (Vacant keeps
+        // the original start), busy for the whole run
+        let one = r.clients.iter().find(|c| c.client == 1).unwrap();
+        assert_eq!(one.busy_s, 20.0);
+        assert_eq!(one.spans, 1);
+    }
+
+    #[test]
+    fn lease_expiry_closes_the_dead_clients_span() {
+        // partition without a node_down: the master expires the lease at
+        // t=5 and recovers the work onto client 2; client 1's span must
+        // not run to the horizon.
+        let events = vec![
+            ev(0.0, 0, Event::Assign { client: 1 }),
+            ev(5.0, 0, Event::LeaseExpire { client: 1 }),
+            ev(6.0, 0, Event::Assign { client: 2 }),
+            ev(
+                9.0,
+                0,
+                Event::ResultReport {
+                    client: 2,
+                    sat: false,
+                },
+            ),
+            ev(
+                9.0,
+                0,
+                Event::Outcome {
+                    outcome: "UNSAT".into(),
+                },
+            ),
+        ];
+        let r = fold_utilization(&events);
+        assert_eq!(
+            r.clients.iter().find(|c| c.client == 1).unwrap().busy_s,
+            5.0
+        );
+        assert_eq!(
+            r.clients.iter().find(|c| c.client == 2).unwrap().busy_s,
+            3.0
+        );
     }
 
     #[test]

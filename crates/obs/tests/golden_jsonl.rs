@@ -6,10 +6,21 @@
 use gridsat_obs::{from_jsonl, to_jsonl, DropReason, Event, TimedEvent};
 
 const GOLDEN: &str = include_str!("golden_trace.jsonl");
+/// The same trace as written before the causal upgrade (no `seq`/`cause`
+/// fields): the decoder must keep accepting it forever.
+const GOLDEN_V1: &str = include_str!("golden_trace_v1.jsonl");
 
 /// The exact events `golden_trace.jsonl` encodes — one of every kind.
+/// Line `i` carries `seq == i + 1` and `cause == i` (a simple chain), so
+/// both the zero and non-zero stamp encodings are covered.
 fn golden_events() -> Vec<TimedEvent> {
-    let ev = |t_s: f64, node: u32, event: Event| TimedEvent { t_s, node, event };
+    let ev = |t_s: f64, node: u32, event: Event| TimedEvent {
+        t_s,
+        node,
+        seq: 0,
+        cause: 0,
+        event,
+    };
     vec![
         ev(0.0, 3, Event::NodeUp),
         ev(0.5, 1, Event::ClientLaunch { client: 1 }),
@@ -139,7 +150,7 @@ fn golden_events() -> Vec<TimedEvent> {
             },
         ),
         ev(13.5, 0, Event::LeaseExpire { client: 2 }),
-        ev(13.6, 0, Event::JournalAppend { seq: 41, lag: 3 }),
+        ev(13.6, 0, Event::JournalAppend { record: 41, lag: 3 }),
         ev(13.7, 5, Event::JournalReplay { records: 42 }),
         ev(13.8, 1, Event::StandbyPromote { records: 42 }),
         ev(
@@ -159,6 +170,14 @@ fn golden_events() -> Vec<TimedEvent> {
             },
         ),
     ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, mut e)| {
+        e.seq = i as u64 + 1;
+        e.cause = i as u64;
+        e
+    })
+    .collect()
 }
 
 #[test]
@@ -184,4 +203,19 @@ fn golden_file_survives_a_full_round_trip() {
     let parsed = from_jsonl(GOLDEN).unwrap();
     let re_encoded = to_jsonl(&parsed);
     assert_eq!(re_encoded, GOLDEN, "re-encoding must be byte-stable");
+}
+
+#[test]
+fn pre_causal_golden_file_still_decodes() {
+    let parsed = from_jsonl(GOLDEN_V1).expect("PR-1-era traces must keep decoding");
+    // same events, but every causal stamp defaults to the unstamped 0
+    let expected: Vec<TimedEvent> = golden_events()
+        .into_iter()
+        .map(|mut e| {
+            e.seq = 0;
+            e.cause = 0;
+            e
+        })
+        .collect();
+    assert_eq!(parsed, expected);
 }

@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== grid_report causal smoke (13-client sim, anomaly/path gate)"
+cargo run --release -p gridsat-bench --bin grid_report -- --sim --check > /dev/null
+
 # Opt-in: the chaos soak takes a few minutes at full width, so it runs
 # in its own CI job and only here when explicitly requested.
 if [[ "${CHECK_CHAOS:-0}" == "1" ]]; then
