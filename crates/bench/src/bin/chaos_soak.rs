@@ -5,12 +5,20 @@
 //! mismatch fails the sweep.
 //!
 //! Usage: cargo run --release -p gridsat-bench --bin chaos_soak \
-//!            [--fast] [--seeds N]
+//!            [--fast] [--seeds N] [--plan NAME] [--repro]
 //!
 //! `--fast` is the CI profile (few seeds); the default sweeps 20 seeds
-//! over all five fault plans and three instance families. The
+//! over all six fault plans and three instance families. The
 //! `master-gone` plan runs under the failover profile (standby + journal
 //! + conservation auditor); the rest use the chaos-hardened profile.
+//!
+//! `--plan NAME` restricts the sweep to one fault plan. `--repro`
+//! prints one machine-readable JSON line per failing run —
+//! `{"plan":...,"seed":...,"instance":...}` — so a red sweep can be
+//! replayed as `chaos_soak --plan <plan> --seeds <seed+1>` without
+//! rerunning the whole matrix; a run that panics (e.g. a conservation
+//! audit violation) is caught and reported the same way instead of
+//! killing the sweep.
 
 use gridsat::chaos::FaultPlan;
 use gridsat::{experiment, GridConfig, GridOutcome};
@@ -66,12 +74,25 @@ fn failover_config() -> GridConfig {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let repro = args.iter().any(|a| a == "--repro");
     let mut seeds: u64 = if fast { 5 } else { 20 };
     if let Some(i) = args.iter().position(|a| a == "--seeds") {
         seeds = args
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .expect("--seeds N");
+    }
+    let only_plan: Option<String> = args
+        .iter()
+        .position(|a| a == "--plan")
+        .map(|i| args.get(i + 1).expect("--plan NAME").clone());
+    if let Some(name) = &only_plan {
+        let roster = FaultPlan::roster(0);
+        if !roster.iter().any(|p| p.name == *name) {
+            let known: Vec<&str> = roster.iter().map(|p| p.name.as_str()).collect();
+            eprintln!("chaos soak: unknown plan {name:?}; known plans: {known:?}");
+            std::process::exit(2);
+        }
     }
 
     let mut runs = 0u64;
@@ -85,6 +106,9 @@ fn main() {
             let f = (family.gen)(seed);
             let want = gridsat_solver::driver::decide(&f);
             for plan in FaultPlan::roster(seed.wrapping_mul(31).wrapping_add(7)) {
+                if only_plan.as_deref().is_some_and(|name| plan.name != name) {
+                    continue;
+                }
                 runs += 1;
                 let config = if plan.name == "master-gone" {
                     failover_config()
@@ -92,31 +116,62 @@ fn main() {
                     chaos_config()
                 };
                 let cap = config.overall_timeout;
-                let mut sim = build(&f, config);
-                plan.apply(&mut sim);
-                sim.run_until(cap + 60.0);
-                let r = experiment::report(&sim, cap);
-                retransmits += r.reliable.retransmits;
-                recoveries += r.master.recoveries;
-                requeues += r.master.requeues + r.reliable.expired;
                 let label = format!("{}/seed{}/{}", family.name, seed, plan.name);
-                match (want, &r.outcome) {
-                    (SolveStatus::Sat, GridOutcome::Sat(model)) => {
-                        if !f.is_satisfied_by(model) {
-                            failures.push(format!("{label}: SAT model does not verify"));
+                // a panicking run (conservation-audit violation, decoder
+                // bug) must not kill the sweep before the repro line
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut sim = build(&f, config);
+                    plan.apply(&mut sim);
+                    sim.run_until(cap + 60.0);
+                    experiment::report(&sim, cap)
+                }));
+                let failed = match run {
+                    Err(panic) => {
+                        let what = panic
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| panic.downcast_ref::<&str>().copied())
+                            .unwrap_or("panic");
+                        failures.push(format!("{label}: panicked: {what}"));
+                        true
+                    }
+                    Ok(r) => {
+                        retransmits += r.reliable.retransmits;
+                        recoveries += r.master.recoveries;
+                        requeues += r.master.requeues + r.reliable.expired;
+                        match (want, &r.outcome) {
+                            (SolveStatus::Sat, GridOutcome::Sat(model)) => {
+                                if f.is_satisfied_by(model) {
+                                    false
+                                } else {
+                                    failures.push(format!("{label}: SAT model does not verify"));
+                                    true
+                                }
+                            }
+                            (SolveStatus::Unsat, GridOutcome::Unsat) => false,
+                            (want, got) => {
+                                failures.push(format!("{label}: oracle {want:?}, grid {got:?}"));
+                                true
+                            }
                         }
                     }
-                    (SolveStatus::Unsat, GridOutcome::Unsat) => {}
-                    (want, got) => {
-                        failures.push(format!("{label}: oracle {want:?}, grid {got:?}"));
-                    }
+                };
+                if failed && repro {
+                    println!(
+                        "{{\"plan\":\"{}\",\"seed\":{},\"instance\":\"{}\"}}",
+                        plan.name, seed, family.name
+                    );
                 }
             }
         }
     }
 
+    let plans = match &only_plan {
+        Some(name) => format!("plan {name}"),
+        None => format!("{} plans", FaultPlan::roster(0).len()),
+    };
     println!(
-        "chaos soak: {runs} runs ({} families x {seeds} seeds x 5 plans)",
+        "chaos soak: {runs} runs ({} families x {seeds} seeds x {plans})",
         FAMILIES.len()
     );
     println!("  retransmits={retransmits} recoveries={recoveries} requeues={requeues}");

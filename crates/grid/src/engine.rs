@@ -39,6 +39,12 @@ pub struct SimStats {
     pub dropped_dead_peer: u64,
     /// Dropped by injected chaos ([`Sim::set_net_chaos`] loss).
     pub dropped_chaos: u64,
+    /// Scalar-only messages dropped by injected corruption (modeled
+    /// header damage: nothing to deliver mangled).
+    pub dropped_corrupt: u64,
+    /// Messages whose byte payload was bit-flipped in flight and
+    /// delivered mangled (the receiver's checksum must catch them).
+    pub corrupted_payloads: u64,
     /// Messages hit by an injected delay spike (delivered late, not lost).
     pub delay_spikes: u64,
     pub ticks: u64,
@@ -48,7 +54,11 @@ pub struct SimStats {
 impl SimStats {
     /// Total messages dropped, across all reasons.
     pub fn messages_dropped(&self) -> u64 {
-        self.dropped_capacity + self.dropped_link_down + self.dropped_dead_peer + self.dropped_chaos
+        self.dropped_capacity
+            + self.dropped_link_down
+            + self.dropped_dead_peer
+            + self.dropped_chaos
+            + self.dropped_corrupt
     }
 
     /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
@@ -62,6 +72,8 @@ impl SimStats {
             dropped_link_down,
             dropped_dead_peer,
             dropped_chaos,
+            dropped_corrupt,
+            corrupted_payloads,
             delay_spikes,
             ticks,
             events,
@@ -72,6 +84,8 @@ impl SimStats {
         reg.counter_add(&format!("{prefix}.dropped.link_down"), dropped_link_down);
         reg.counter_add(&format!("{prefix}.dropped.dead_peer"), dropped_dead_peer);
         reg.counter_add(&format!("{prefix}.dropped.chaos"), dropped_chaos);
+        reg.counter_add(&format!("{prefix}.dropped.corrupt"), dropped_corrupt);
+        reg.counter_add(&format!("{prefix}.corrupted_payloads"), corrupted_payloads);
         reg.counter_add(&format!("{prefix}.delay_spikes"), delay_spikes);
         reg.counter_add(&format!("{prefix}.ticks"), ticks);
         reg.counter_add(&format!("{prefix}.events"), events);
@@ -101,6 +115,10 @@ pub struct NetChaos {
     pub delay_prob: f64,
     /// Extra delivery delay of a spike, seconds.
     pub delay_extra_s: f64,
+    /// Probability that a send has payload bits flipped in flight
+    /// ([`MessageSize::corrupt`]). Messages without a byte payload are
+    /// dropped instead (modeled header corruption).
+    pub corrupt_prob: f64,
     /// RNG seed; same seed + same run = same faults.
     pub seed: u64,
 }
@@ -111,6 +129,7 @@ impl Default for NetChaos {
             loss_prob: 0.0,
             delay_prob: 0.0,
             delay_extra_s: 5.0,
+            corrupt_prob: 0.0,
             seed: 1,
         }
     }
@@ -561,7 +580,7 @@ impl<P: Process> Sim<P> {
                     }));
                     self.seq += 1;
                 }
-                Action::Send { to, msg } => {
+                Action::Send { to, mut msg } => {
                     let bytes = msg.size_bytes();
                     if self.links_down.contains(&norm_pair(node, to)) {
                         self.stats.dropped_link_down += 1;
@@ -585,6 +604,29 @@ impl<P: Process> Sim<P> {
                                 reason: DropReason::Chaos,
                             });
                             continue;
+                        }
+                        if ch.corrupt_prob > 0.0 && self.chaos_u01() < ch.corrupt_prob {
+                            let seed = self.chaos_rng;
+                            if msg.corrupt(seed) {
+                                // real byte payload mangled: deliver it and
+                                // let the receiver's checksum do its job
+                                self.stats.corrupted_payloads += 1;
+                                self.obs.emit(self.now(), node.0, || ObsEvent::FaultInject {
+                                    what: format!("bit_flip {}-{}", node.0, to.0),
+                                });
+                            } else {
+                                // scalar-only message: model header
+                                // corruption as a loss
+                                self.stats.dropped_corrupt += 1;
+                                self.obs.emit(self.now(), node.0, || ObsEvent::MsgDrop {
+                                    from: node.0,
+                                    to: to.0,
+                                    label: msg.label(),
+                                    bytes: bytes as u64,
+                                    reason: DropReason::Corrupt,
+                                });
+                                continue;
+                            }
                         }
                     }
                     let inflight = self.inflight.entry(to).or_insert(0);

@@ -17,6 +17,24 @@ pub trait MessageSize {
     fn label(&self) -> String {
         "msg".into()
     }
+
+    /// Fault injection: flip bits of this message's byte payload, chosen
+    /// by `seed`. Returns `true` if the message carries real bytes that
+    /// were damaged (deliver it mangled — the receiver's checksum must
+    /// catch it), `false` if it is scalar-only (the engine then models
+    /// header corruption by dropping the whole message). Default: no
+    /// byte payload.
+    fn corrupt(&mut self, seed: u64) -> bool {
+        let _ = seed;
+        false
+    }
+
+    /// Receiver-side integrity check of the byte payload, if any.
+    /// Messages without a byte payload are vacuously intact. The
+    /// reliability layer consults this before acknowledging.
+    fn payload_intact(&self) -> bool {
+        true
+    }
 }
 
 /// What a process can ask its environment to do.

@@ -84,6 +84,22 @@ impl<M: MessageSize> MessageSize for Wire<M> {
             Wire::Ack { .. } => "ack".into(),
         }
     }
+
+    fn corrupt(&mut self, seed: u64) -> bool {
+        match self {
+            // the envelope adds no byte payload of its own; flipping
+            // bits of an ack is modeled as losing it (retransmit covers)
+            Wire::Plain(m) | Wire::Data { msg: m, .. } => m.corrupt(seed),
+            Wire::Ack { .. } => false,
+        }
+    }
+
+    fn payload_intact(&self) -> bool {
+        match self {
+            Wire::Plain(m) | Wire::Data { msg: m, .. } => m.payload_intact(),
+            Wire::Ack { .. } => true,
+        }
+    }
 }
 
 /// Counters of one wrapper (aggregated across nodes in reports).
@@ -97,6 +113,10 @@ pub struct ReliableStats {
     pub acks_received: u64,
     /// Duplicate deliveries suppressed by the dedup window.
     pub dup_drops: u64,
+    /// Deliveries discarded because the payload failed its checksum.
+    /// Tracked data is not acked (the sender retransmits the clean
+    /// original); fire-and-forget traffic is simply lost.
+    pub corrupt_drops: u64,
     /// Messages that exhausted their retry budget (or whose destination
     /// was torn down) and were handed to `on_undeliverable`.
     pub expired: u64,
@@ -111,12 +131,14 @@ impl ReliableStats {
             retransmits,
             acks_received,
             dup_drops,
+            corrupt_drops,
             expired,
         } = *other;
         self.data_sent += data_sent;
         self.retransmits += retransmits;
         self.acks_received += acks_received;
         self.dup_drops += dup_drops;
+        self.corrupt_drops += corrupt_drops;
         self.expired += expired;
     }
 
@@ -127,12 +149,14 @@ impl ReliableStats {
             retransmits,
             acks_received,
             dup_drops,
+            corrupt_drops,
             expired,
         } = *self;
         reg.counter_add(&format!("{prefix}.data_sent"), data_sent);
         reg.counter_add(&format!("{prefix}.retransmits"), retransmits);
         reg.counter_add(&format!("{prefix}.acks_received"), acks_received);
         reg.counter_add(&format!("{prefix}.dup_drops"), dup_drops);
+        reg.counter_add(&format!("{prefix}.corrupt_drops"), corrupt_drops);
         reg.counter_add(&format!("{prefix}.expired"), expired);
     }
 }
@@ -148,6 +172,14 @@ pub trait ReliableProcess: Process {
     /// protocol decides whether to re-route, requeue, or drop.
     fn on_undeliverable(&mut self, to: NodeId, msg: Self::Msg, ctx: &mut Ctx<Self::Msg>) {
         let _ = (to, msg, ctx);
+    }
+
+    /// A delivery from `from` failed its payload checksum and was
+    /// discarded by the wrapper (before any ack). The inner protocol can
+    /// track per-peer misbehavior; delivery recovery is the wrapper's
+    /// job (retransmit for tracked data, nothing for fire-and-forget).
+    fn on_corrupt(&mut self, from: NodeId, label: &str, ctx: &mut Ctx<Self::Msg>) {
+        let _ = (from, label, ctx);
     }
 }
 
@@ -410,6 +442,21 @@ impl<P: ReliableProcess> Reliable<P> {
         }
         true
     }
+
+    /// Count and report a delivery whose payload failed its checksum,
+    /// then let the inner protocol note the misbehaving peer.
+    fn discard_corrupt(&mut self, from: NodeId, msg: &P::Msg, ctx: &mut Ctx<Wire<P::Msg>>) {
+        self.stats.corrupt_drops += 1;
+        let label = msg.label();
+        let me = ctx.me().0;
+        self.obs.emit(ctx.now(), me, || ObsEvent::CorruptDrop {
+            from: from.0,
+            label: label.clone(),
+        });
+        let mut ictx = Ctx::new(ctx.info);
+        self.inner.on_corrupt(from, &label, &mut ictx);
+        self.translate(&mut ictx, ctx);
+    }
 }
 
 impl<P: ReliableProcess> Process for Reliable<P> {
@@ -442,11 +489,24 @@ impl<P: ReliableProcess> Process for Reliable<P> {
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<Self::Msg>) {
         match msg {
             Wire::Plain(m) => {
+                if !m.payload_intact() {
+                    // fire-and-forget traffic is lossy by design: a
+                    // mangled payload is discarded like a lost message
+                    self.discard_corrupt(from, &m, ctx);
+                    return;
+                }
                 let mut ictx = Ctx::new(ctx.info);
                 self.inner.on_message(from, m, &mut ictx);
                 self.translate(&mut ictx, ctx);
             }
             Wire::Data { seq, epoch, msg } => {
+                if !msg.payload_intact() {
+                    // treat as a drop: no ack, no dedup-window advance, so
+                    // the sender's retransmission of the clean stored
+                    // original recovers the transfer
+                    self.discard_corrupt(from, &msg, ctx);
+                    return;
+                }
                 // ack unconditionally: dups mean our previous ack was lost
                 ctx.send(from, Wire::Ack { seq, epoch });
                 if !self.accept(from, seq, epoch) {
@@ -521,6 +581,12 @@ mod tests {
     enum ToyMsg {
         Ctl(u32),
         Lossy(u32),
+        /// Carries a checksummed payload: `intact` is what its
+        /// receiver-side verification will report.
+        Blob {
+            v: u32,
+            intact: bool,
+        },
     }
     impl MessageSize for ToyMsg {
         fn size_bytes(&self) -> usize {
@@ -530,6 +596,22 @@ mod tests {
             match self {
                 ToyMsg::Ctl(_) => "ctl".into(),
                 ToyMsg::Lossy(_) => "lossy".into(),
+                ToyMsg::Blob { .. } => "blob".into(),
+            }
+        }
+        fn corrupt(&mut self, _seed: u64) -> bool {
+            match self {
+                ToyMsg::Blob { intact, .. } => {
+                    *intact = false;
+                    true
+                }
+                _ => false,
+            }
+        }
+        fn payload_intact(&self) -> bool {
+            match self {
+                ToyMsg::Blob { intact, .. } => *intact,
+                _ => true,
             }
         }
     }
@@ -540,6 +622,7 @@ mod tests {
         send_lossy: u32,
         received: Vec<ToyMsg>,
         undeliverable: Vec<(NodeId, ToyMsg)>,
+        corrupt_from: Vec<(NodeId, String)>,
     }
 
     impl Toy {
@@ -549,6 +632,7 @@ mod tests {
                 send_lossy: lossy,
                 received: Vec::new(),
                 undeliverable: Vec::new(),
+                corrupt_from: Vec::new(),
             }
         }
         fn receiver() -> Toy {
@@ -578,6 +662,9 @@ mod tests {
         }
         fn on_undeliverable(&mut self, to: NodeId, msg: ToyMsg, _ctx: &mut Ctx<ToyMsg>) {
             self.undeliverable.push((to, msg));
+        }
+        fn on_corrupt(&mut self, from: NodeId, label: &str, _ctx: &mut Ctx<ToyMsg>) {
+            self.corrupt_from.push((from, label.into()));
         }
     }
 
@@ -701,6 +788,86 @@ mod tests {
                 }
             )));
         }
+    }
+
+    #[test]
+    fn corrupt_tracked_data_is_not_acked_so_retransmission_recovers_it() {
+        let info = |now: f64| NodeInfo {
+            id: NodeId(1),
+            speed: 1000.0,
+            memory: 1 << 20,
+            now,
+            availability: 1.0,
+        };
+        let mut rx = Reliable::new(Toy::receiver(), Some(fast_cfg()));
+        let mut mangled = ToyMsg::Blob { v: 7, intact: true };
+        assert!(mangled.corrupt(1));
+        let mut ctx = Ctx::new(info(0.0));
+        rx.on_message(
+            NodeId(0),
+            Wire::Data {
+                seq: 1,
+                epoch: 0,
+                msg: mangled,
+            },
+            &mut ctx,
+        );
+        assert!(rx.inner().received.is_empty(), "mangled payload delivered");
+        assert_eq!(rx.stats.corrupt_drops, 1);
+        assert_eq!(rx.inner().corrupt_from, vec![(NodeId(0), "blob".into())]);
+        assert!(
+            !ctx.take_actions()
+                .iter()
+                .any(|a| matches!(a, Action::Send { .. })),
+            "a corrupt delivery must not be acked"
+        );
+        // the sender's retransmission of the clean stored original lands
+        let mut ctx2 = Ctx::new(info(1.5));
+        rx.on_message(
+            NodeId(0),
+            Wire::Data {
+                seq: 1,
+                epoch: 0,
+                msg: ToyMsg::Blob { v: 7, intact: true },
+            },
+            &mut ctx2,
+        );
+        assert_eq!(
+            rx.inner().received,
+            vec![ToyMsg::Blob { v: 7, intact: true }]
+        );
+        assert_eq!(rx.stats.dup_drops, 0, "corrupt drop must not advance dedup");
+        assert!(ctx2.take_actions().iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Wire::Ack { seq: 1, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn corrupt_fire_and_forget_traffic_is_discarded_and_counted() {
+        let info = NodeInfo {
+            id: NodeId(1),
+            speed: 1000.0,
+            memory: 1 << 20,
+            now: 0.0,
+            availability: 1.0,
+        };
+        let mut rx = Reliable::new(Toy::receiver(), Some(fast_cfg()));
+        let mut mangled = ToyMsg::Blob { v: 3, intact: true };
+        assert!(mangled.corrupt(2));
+        let mut ctx = Ctx::new(info);
+        rx.on_message(NodeId(0), Wire::Plain(mangled), &mut ctx);
+        assert!(rx.inner().received.is_empty());
+        assert_eq!(rx.stats.corrupt_drops, 1);
+        assert_eq!(rx.inner().corrupt_from.len(), 1);
+        // no ack, no recovery: lossy traffic is lossy
+        assert!(!ctx
+            .take_actions()
+            .iter()
+            .any(|a| matches!(a, Action::Send { .. })));
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub struct FaultPlan {
     pub delay_prob: f64,
     /// Extra latency of a delay spike, seconds.
     pub delay_extra_s: f64,
-    /// Seed for the loss/delay draws.
+    /// Per-send probability of payload bit flips (scalar-only messages
+    /// are dropped instead, modeling header corruption).
+    #[serde(default)]
+    pub corrupt_prob: f64,
+    /// Seed for the loss/delay/corruption draws.
     pub seed: u64,
 }
 
@@ -57,11 +61,12 @@ impl FaultPlan {
     /// across testbed sizes.
     pub fn apply(&self, sim: &mut GridSim) {
         let n = sim.num_nodes() as u32;
-        if self.loss_prob > 0.0 || self.delay_prob > 0.0 {
+        if self.loss_prob > 0.0 || self.delay_prob > 0.0 || self.corrupt_prob > 0.0 {
             sim.set_net_chaos(NetChaos {
                 loss_prob: self.loss_prob,
                 delay_prob: self.delay_prob,
                 delay_extra_s: self.delay_extra_s,
+                corrupt_prob: self.corrupt_prob,
                 seed: self.seed,
             });
         }
@@ -187,6 +192,21 @@ impl FaultPlan {
         }
     }
 
+    /// Bytes arrive mangled, not just late or never: every message kind
+    /// sees bit flips, on top of a little loss. Exercises the wire
+    /// checksums end to end — corrupted control traffic must be caught
+    /// and retransmitted, corrupted shares and journal records discarded
+    /// and re-requested, never acted on.
+    pub fn bit_rot(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "bit-rot".into(),
+            loss_prob: 0.02,
+            corrupt_prob: 0.06,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
     /// The standard sweep roster for soak runs.
     pub fn roster(seed: u64) -> Vec<FaultPlan> {
         vec![
@@ -195,6 +215,7 @@ impl FaultPlan {
             FaultPlan::crash_restart(seed),
             FaultPlan::master_blink(seed),
             FaultPlan::master_gone(seed),
+            FaultPlan::bit_rot(seed),
         ]
     }
 }
@@ -281,7 +302,7 @@ mod tests {
     }
 
     #[test]
-    fn roster_covers_the_five_failure_modes() {
+    fn roster_covers_the_six_failure_modes() {
         let plans = FaultPlan::roster(1);
         let names: Vec<&str> = plans.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(
@@ -291,8 +312,26 @@ mod tests {
                 "flaky-links",
                 "crash-restart",
                 "master-blink",
-                "master-gone"
+                "master-gone",
+                "bit-rot"
             ]
         );
+    }
+
+    #[test]
+    fn a_bit_rotted_network_still_reaches_the_right_answer() {
+        for seed in 0..2 {
+            let plan = FaultPlan::bit_rot(17 + seed);
+            let f = gridsat_satgen::random_ksat::random_ksat(30, 126, 3, seed);
+            let want = gridsat_solver::driver::decide(&f);
+            let (outcome, _, _) = run_plan(&plan, seed);
+            match (want, outcome) {
+                (gridsat_solver::SolveStatus::Sat, GridOutcome::Sat(m)) => {
+                    assert!(f.is_satisfied_by(&m));
+                }
+                (gridsat_solver::SolveStatus::Unsat, GridOutcome::Unsat) => {}
+                (want, got) => panic!("seed {seed}: oracle {want:?}, bit-rot run {got:?}"),
+            }
+        }
     }
 }

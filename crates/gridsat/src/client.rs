@@ -5,7 +5,7 @@
 use crate::audit::Audit;
 use crate::config::{CheckpointMode, GridConfig, ShareTuning};
 use crate::msg::{Checkpoint, GridMsg, ProblemId, SubResult};
-use crate::wire::{self, EncodedBatch};
+use crate::wire::{EncodedBatch, SpecFrame};
 use gridsat_grid::{Ctx, NodeId, Process};
 use gridsat_obs::{Event, MetricsRegistry, Obs};
 use gridsat_solver::{FpWindow, Solver, SolverConfig, SplitSpec, Step};
@@ -608,8 +608,24 @@ impl Process for Client {
                     }
                     return;
                 }
+                // the reliable layer already dropped checksum-failing
+                // frames; a frame that will not open is unrecoverable
+                // here — hand it back rather than adopt garbage
+                let opened = match spec.open() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        ctx.send(
+                            self.master,
+                            GridMsg::Requeue {
+                                spec,
+                                problem: Some(problem),
+                            },
+                        );
+                        return;
+                    }
+                };
                 self.transfer_time = 0.0; // master-local dispatch, no estimate yet
-                self.adopt_problem(&spec, problem, ctx);
+                self.adopt_problem(&opened, problem, ctx);
                 self.checkpoint_now(ctx);
             }
             GridMsg::Subproblem {
@@ -641,8 +657,33 @@ impl Process for Client {
                     );
                     return;
                 }
+                let opened = match spec.open() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // refuse the unreadable transfer and hand the
+                        // frame back so the search space is not lost
+                        ctx.send(
+                            self.master,
+                            GridMsg::SplitDone {
+                                requester: from,
+                                peer: ctx.me(),
+                                ok: false,
+                                problem: Some(problem),
+                                checkpoint: None,
+                            },
+                        );
+                        ctx.send(
+                            self.master,
+                            GridMsg::Requeue {
+                                spec,
+                                problem: Some(problem),
+                            },
+                        );
+                        return;
+                    }
+                };
                 self.transfer_time = (ctx.now() - sent_at).max(0.0);
-                self.adopt_problem(&spec, problem, ctx);
+                self.adopt_problem(&opened, problem, ctx);
                 // Figure 3 message (4): receiver confirms the transfer.
                 // The initial recovery image rides along so the master
                 // never marks us Busy without one — a separate upload
@@ -683,16 +724,16 @@ impl Process for Client {
                         // the pivot we keep is the negation of the peer
                         // half's last (deepest) assumption
                         let keep_pivot = spec.assumptions.last().map(|&(lit, _)| !lit);
+                        let frame = SpecFrame::seal(&spec);
                         // "a client records the time it required to SEND or
                         // receive a problem": estimate the send cost so the
                         // split time-out backs off as the database grows
-                        let est = wire::spec_wire_bytes(&spec) as f64
-                            / self.config.assumed_bw_bytes_per_s;
+                        let est = frame.wire_len() as f64 / self.config.assumed_bw_bytes_per_s;
                         self.transfer_time = self.transfer_time.max(est);
                         ctx.send(
                             peer,
                             GridMsg::Subproblem {
-                                spec: Box::new(spec),
+                                spec: Box::new(frame),
                                 sent_at: ctx.now(),
                                 problem: new_id,
                             },
@@ -734,7 +775,7 @@ impl Process for Client {
                     ctx.send(
                         peer,
                         GridMsg::Subproblem {
-                            spec: Box::new(spec),
+                            spec: Box::new(SpecFrame::seal(&spec)),
                             sent_at: ctx.now(),
                             problem,
                         },
@@ -948,6 +989,11 @@ mod tests {
         }
     }
 
+    /// Seal a spec the way the wire does.
+    fn framed(spec: &SplitSpec) -> Box<SpecFrame> {
+        Box::new(SpecFrame::seal(spec))
+    }
+
     /// Build a Share message the way a peer would: fingerprint each
     /// clause and encode the batch once.
     pub(crate) fn share_msg(from: NodeId, clauses: Vec<gridsat_cnf::Clause>) -> GridMsg {
@@ -1100,7 +1146,7 @@ mod tests {
         c.on_message(
             NodeId(0),
             GridMsg::Solve {
-                spec: Box::new(whole_problem()),
+                spec: framed(&whole_problem()),
                 problem: ProblemId::new(NodeId(0), 1),
             },
             &mut cx,
@@ -1165,7 +1211,7 @@ mod tests {
         c.on_message(
             NodeId(0),
             GridMsg::Solve {
-                spec: Box::new(spec),
+                spec: framed(&spec),
                 problem: ProblemId::new(NodeId(0), 1),
             },
             &mut cx,
@@ -1233,7 +1279,7 @@ mod tests {
         c.on_message(
             NodeId(0),
             GridMsg::Solve {
-                spec: Box::new(whole_problem()),
+                spec: framed(&whole_problem()),
                 problem: ProblemId::new(NodeId(0), 1),
             },
             &mut cx,
@@ -1413,7 +1459,7 @@ mod tests {
         c.on_message(
             NodeId(0),
             GridMsg::Solve {
-                spec: Box::new(whole_problem()),
+                spec: framed(&whole_problem()),
                 problem: ProblemId::new(NodeId(0), 1),
             },
             &mut cx,
@@ -1442,7 +1488,7 @@ mod tests {
         c.on_message(
             NodeId(0),
             GridMsg::Solve {
-                spec: Box::new(whole_problem()),
+                spec: framed(&whole_problem()),
                 problem: ProblemId::new(NodeId(0), 1),
             },
             &mut cx,
@@ -1452,7 +1498,7 @@ mod tests {
         c.on_message(
             NodeId(3),
             GridMsg::Subproblem {
-                spec: Box::new(whole_problem()),
+                spec: framed(&whole_problem()),
                 sent_at: 0.5,
                 problem: ProblemId::new(NodeId(3), 1),
             },
@@ -1484,7 +1530,7 @@ mod tests {
         c.on_undeliverable(
             NodeId(7),
             GridMsg::Subproblem {
-                spec: Box::new(whole_problem()),
+                spec: framed(&whole_problem()),
                 sent_at: 0.0,
                 problem: ProblemId::new(NodeId(1), 1),
             },
@@ -1523,7 +1569,7 @@ mod tests {
         c.on_message(
             NodeId(0),
             GridMsg::Solve {
-                spec: Box::new(whole_problem()),
+                spec: framed(&whole_problem()),
                 problem: ProblemId::new(NodeId(0), 1),
             },
             &mut cx,
@@ -1550,6 +1596,10 @@ mod adaptive_tests {
     use crate::config::ShareTuning;
     use gridsat_grid::NodeInfo;
     use gridsat_solver::SplitSpec;
+
+    fn framed(spec: &SplitSpec) -> Box<SpecFrame> {
+        Box::new(SpecFrame::seal(spec))
+    }
 
     fn ctx(now: f64) -> Ctx<GridMsg> {
         Ctx::new(NodeInfo {
@@ -1584,7 +1634,7 @@ mod adaptive_tests {
         c.on_message(
             NodeId(0),
             GridMsg::Solve {
-                spec: Box::new(spec),
+                spec: framed(&spec),
                 problem: ProblemId::new(NodeId(0), 1),
             },
             &mut cx,

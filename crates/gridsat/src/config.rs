@@ -60,6 +60,17 @@ pub struct ReliabilityConfig {
     /// Consecutive missed heartbeats before the master expires a
     /// client's lease and treats it as lost.
     pub lease_misses: u32,
+    /// Checksum-failing deliveries attributed to one peer before the
+    /// master quarantines it (deregisters it and recovers its work) —
+    /// a link that mangles this much traffic is indistinguishable from
+    /// a byzantine or dying host. High enough that ambient bit rot on a
+    /// healthy peer never trips it within a run (integrity extension).
+    #[serde(default = "default_quarantine_strikes")]
+    pub quarantine_strikes: u32,
+}
+
+fn default_quarantine_strikes() -> u32 {
+    40
 }
 
 impl Default for ReliabilityConfig {
@@ -72,6 +83,7 @@ impl Default for ReliabilityConfig {
             jitter_frac: 0.1,
             heartbeat_period: 10.0,
             lease_misses: 3,
+            quarantine_strikes: default_quarantine_strikes(),
         }
     }
 }

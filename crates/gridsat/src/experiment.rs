@@ -68,6 +68,14 @@ impl ReliableProcess for GridNode {
             GridNode::Standby(s) => s.on_undeliverable(to, msg, ctx),
         }
     }
+
+    fn on_corrupt(&mut self, from: NodeId, _label: &str, ctx: &mut Ctx<GridMsg>) {
+        // only the master tracks per-peer corruption (quarantine);
+        // clients and the standby rely on the reliable layer's recovery
+        if let GridNode::Master(m) = self {
+            m.on_corrupt(from, ctx);
+        }
+    }
 }
 
 /// The simulation type for a GridSAT run: every node is wrapped in the
@@ -531,6 +539,66 @@ mod tests {
             .any(|(k, s)| k == "split_request" && s.count > 0));
         let sw = r.telemetry.split_wait_summary();
         assert_eq!(sw.count, snap.split_wait.count);
+    }
+
+    #[test]
+    fn torn_master_journal_recovers_and_reaches_the_oracle_answer() {
+        use crate::chaos::{CrashWindow, FaultPlan};
+        // the master crashes mid-run; while it is down, the tail of its
+        // on-disk journal is torn off at an arbitrary byte boundary (a
+        // lost disk append — deeper tears lose whole committed records).
+        // The restart must truncate to the verified prefix, observably,
+        // and the grid must still converge on the oracle answer.
+        let f = satgen::php::php(7, 6); // oracle: UNSAT, runs well past the crash
+        for depth in 0..4u64 {
+            let config = GridConfig {
+                min_split_timeout: 0.2,
+                work_quantum_s: 0.1,
+                ..GridConfig::chaos_hardened()
+            };
+            let cap = config.overall_timeout;
+            let (obs, ring) = Obs::ring(1 << 16);
+            let mut sim = build_sim_obs(&f, tb(4), config, obs);
+            FaultPlan {
+                name: "torn-journal".into(),
+                crashes: vec![CrashWindow {
+                    node: 0,
+                    down_at: 2.0,
+                    up_at: Some(5.0),
+                }],
+                ..FaultPlan::default()
+            }
+            .apply(&mut sim);
+            sim.run_until(3.0);
+            assert!(
+                !matches!(sim.last_run_end(), Some(RunEnd::Shutdown)),
+                "depth {depth}: the run must still be going at the tear point"
+            );
+            if let GridNode::Master(m) = sim.process_mut(NodeId(0)).inner_mut() {
+                let disk = m.journal_mut();
+                let len = disk.log_bytes().len();
+                let keep = len.saturating_sub(2 + 11 * depth as usize).max(1);
+                assert!(disk.len() > 1, "depth {depth}: journal too short to tear");
+                disk.tear_log(keep);
+            }
+            // check the restart's truncate report right after the node
+            // comes back, before a long run cycles it out of the ring
+            sim.run_until(6.0);
+            assert!(
+                ring.lock()
+                    .unwrap()
+                    .to_jsonl()
+                    .contains("\"kind\":\"journal_truncate\""),
+                "depth {depth}: the torn tail must be reported on restart"
+            );
+            sim.run_until(cap + 60.0);
+            let r = report(&sim, cap);
+            assert!(
+                matches!(r.outcome, GridOutcome::Unsat),
+                "depth {depth}: oracle UNSAT, torn-journal run {:?}",
+                r.outcome
+            );
+        }
     }
 
     #[test]

@@ -19,11 +19,14 @@
 use crate::config::{CheckpointMode, GridConfig};
 use crate::master::{ClientState, GrantKind};
 use crate::msg::{Checkpoint, ProblemId};
+use crate::wire::{self, WireError};
+use gridsat_cnf::{Clause, Lit};
 use gridsat_grid::NodeId;
 use gridsat_nws::{Adaptive, Forecaster};
 use gridsat_solver::SplitSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
 /// A recovered or requeued subproblem awaiting an idle client, plus the
 /// identity of the instance it re-covers (for audit provenance: the
@@ -131,44 +134,576 @@ pub enum JournalRecord {
     Promoted { node: NodeId, at: f64 },
 }
 
-impl JournalRecord {
-    /// Wire-size contribution of this record inside a
-    /// [`crate::msg::GridMsg::JournalBatch`], under the same cost model
-    /// as the rest of the protocol.
-    pub fn approx_bytes(&self) -> usize {
-        fn cp_bytes(cp: &Checkpoint) -> usize {
-            match cp {
-                Checkpoint::Light { level0 } => 8 + level0.len() * 5,
-                Checkpoint::Heavy { level0, learned } => {
-                    8 + level0.len() * 5 + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
-                }
-            }
-        }
+// ----------------------------------------------------------------------
+// Byte-serialized records (data-integrity extension)
+// ----------------------------------------------------------------------
+
+/// Why a sealed journal record failed to decode. `Checksum` and
+/// `BadSeq` are integrity verdicts (the bytes parsed but are not
+/// trustworthy); `Wire` and `BadTag` are malformed-bytes verdicts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// Malformed payload bytes: truncation, overflow, trailing garbage.
+    Wire(WireError),
+    /// The per-record CRC32 does not match the payload.
+    Checksum,
+    /// Unknown record tag byte (future version or corruption that
+    /// happened to pass the CRC of a different payload).
+    BadTag(u8),
+    /// The sequence stamp does not continue the verified prefix.
+    BadSeq { want: u64, got: u64 },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JournalRecord::Launch { .. } => 48,
-            JournalRecord::Deregister { .. }
-            | JournalRecord::BacklogPush { .. }
-            | JournalRecord::BacklogRemove { .. }
-            | JournalRecord::ClientIdle { .. }
-            | JournalRecord::MigrateSent { .. }
-            | JournalRecord::LeaseExpired { .. }
-            | JournalRecord::Promoted { .. } => 16,
-            JournalRecord::AssignWhole { .. }
-            | JournalRecord::AssignRecovery { .. }
-            | JournalRecord::ProblemLearned { .. }
-            | JournalRecord::SplitKept { .. }
-            | JournalRecord::EarlyResultNote { .. }
-            | JournalRecord::EarlyResultConsume { .. } => 24,
-            JournalRecord::GrantOpen { .. } | JournalRecord::GrantClose { .. } => 24,
-            JournalRecord::TransferIn { checkpoint, .. } => {
-                32 + checkpoint.as_ref().map_or(0, cp_bytes)
+            RecordError::Wire(e) => write!(f, "record payload: {e}"),
+            RecordError::Checksum => write!(f, "record checksum mismatch"),
+            RecordError::BadTag(tag) => write!(f, "unknown record tag {tag}"),
+            RecordError::BadSeq { want, got } => {
+                write!(f, "record sequence {got} where {want} expected")
             }
-            JournalRecord::CheckpointAccept { checkpoint, .. } => 32 + cp_bytes(checkpoint),
-            JournalRecord::AdoptClaim { checkpoint, .. } => {
-                64 + checkpoint.as_ref().map_or(0, cp_bytes)
-            }
-            JournalRecord::RecoveryQueued { recovery } => 16 + recovery.spec.approx_message_bytes(),
         }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<WireError> for RecordError {
+    fn from(e: WireError) -> RecordError {
+        RecordError::Wire(e)
+    }
+}
+
+fn put_node(n: NodeId, out: &mut Vec<u8>) {
+    wire::write_varint(u64::from(n.0), out);
+}
+
+fn get_node(buf: &[u8], pos: &mut usize) -> Result<NodeId, RecordError> {
+    let v = wire::read_varint(buf, pos)?;
+    if v > u64::from(u32::MAX) {
+        return Err(WireError::Overflow.into());
+    }
+    Ok(NodeId(v as u32))
+}
+
+fn put_problem(p: ProblemId, out: &mut Vec<u8>) {
+    wire::write_varint(p.0, out);
+}
+
+fn get_problem(buf: &[u8], pos: &mut usize) -> Result<ProblemId, RecordError> {
+    Ok(ProblemId(wire::read_varint(buf, pos)?))
+}
+
+fn put_f64(v: f64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, RecordError> {
+    if buf.len().saturating_sub(*pos) < 8 {
+        return Err(WireError::Truncated.into());
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[*pos..*pos + 8]);
+    *pos += 8;
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+fn put_bool(v: bool, out: &mut Vec<u8>) {
+    out.push(u8::from(v));
+}
+
+fn get_bool(buf: &[u8], pos: &mut usize) -> Result<bool, RecordError> {
+    match buf.get(*pos) {
+        Some(&b @ (0 | 1)) => {
+            *pos += 1;
+            Ok(b == 1)
+        }
+        Some(_) => Err(WireError::Overflow.into()),
+        None => Err(WireError::Truncated.into()),
+    }
+}
+
+fn put_pairs(pairs: &[(Lit, bool)], out: &mut Vec<u8>) {
+    wire::write_varint(pairs.len() as u64, out);
+    for &(lit, flag) in pairs {
+        wire::write_varint((lit.code() as u64) << 1 | u64::from(flag), out);
+    }
+}
+
+fn get_pairs(buf: &[u8], pos: &mut usize) -> Result<Vec<(Lit, bool)>, RecordError> {
+    let n = wire::read_varint(buf, pos)?;
+    if n > buf.len() as u64 {
+        return Err(WireError::Truncated.into());
+    }
+    let mut pairs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let packed = wire::read_varint(buf, pos)?;
+        let code = packed >> 1;
+        if code > u64::from(u32::MAX) {
+            return Err(WireError::Overflow.into());
+        }
+        pairs.push((Lit::from_code(code as usize), packed & 1 == 1));
+    }
+    Ok(pairs)
+}
+
+fn put_clauses(clauses: &[Clause], out: &mut Vec<u8>) {
+    wire::write_varint(clauses.len() as u64, out);
+    for clause in clauses {
+        let codes: Vec<u32> = clause.iter().map(|l| l.code() as u32).collect();
+        wire::encode_codes(&codes, out);
+    }
+}
+
+fn get_clauses(buf: &[u8], pos: &mut usize) -> Result<Vec<Clause>, RecordError> {
+    let n = wire::read_varint(buf, pos)?;
+    if n > buf.len() as u64 {
+        return Err(WireError::Truncated.into());
+    }
+    let mut clauses = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        clauses.push(wire::decode_clause(buf, pos)?);
+    }
+    Ok(clauses)
+}
+
+fn put_checkpoint(cp: &Checkpoint, out: &mut Vec<u8>) {
+    match cp {
+        Checkpoint::Light { level0 } => {
+            out.push(0);
+            put_pairs(level0, out);
+        }
+        Checkpoint::Heavy { level0, learned } => {
+            out.push(1);
+            put_pairs(level0, out);
+            put_clauses(learned, out);
+        }
+    }
+}
+
+fn get_checkpoint(buf: &[u8], pos: &mut usize) -> Result<Checkpoint, RecordError> {
+    match buf.get(*pos) {
+        Some(0) => {
+            *pos += 1;
+            Ok(Checkpoint::Light {
+                level0: get_pairs(buf, pos)?,
+            })
+        }
+        Some(1) => {
+            *pos += 1;
+            Ok(Checkpoint::Heavy {
+                level0: get_pairs(buf, pos)?,
+                learned: get_clauses(buf, pos)?,
+            })
+        }
+        Some(_) => Err(WireError::Overflow.into()),
+        None => Err(WireError::Truncated.into()),
+    }
+}
+
+fn put_opt<T>(v: &Option<T>, put: impl Fn(&T, &mut Vec<u8>), out: &mut Vec<u8>) {
+    match v {
+        None => out.push(0),
+        Some(inner) => {
+            out.push(1);
+            put(inner, out);
+        }
+    }
+}
+
+fn get_opt<T>(
+    buf: &[u8],
+    pos: &mut usize,
+    get: impl Fn(&[u8], &mut usize) -> Result<T, RecordError>,
+) -> Result<Option<T>, RecordError> {
+    Ok(if get_bool(buf, pos)? {
+        Some(get(buf, pos)?)
+    } else {
+        None
+    })
+}
+
+/// Specs are embedded length-prefixed because [`wire::decode_spec`]
+/// demands full consumption of its buffer.
+fn put_spec(spec: &SplitSpec, out: &mut Vec<u8>) {
+    let body = wire::encode_spec(spec);
+    wire::write_varint(body.len() as u64, out);
+    out.extend_from_slice(&body);
+}
+
+fn get_spec(buf: &[u8], pos: &mut usize) -> Result<SplitSpec, RecordError> {
+    let len = wire::read_varint(buf, pos)?;
+    if len > buf.len().saturating_sub(*pos) as u64 {
+        return Err(WireError::Truncated.into());
+    }
+    let end = *pos + len as usize;
+    let spec = wire::decode_spec(&buf[*pos..end])?;
+    *pos = end;
+    Ok(spec)
+}
+
+/// Serialize one record: a tag byte (the variant's declaration index)
+/// followed by its fields.
+fn encode_record(rec: &JournalRecord, out: &mut Vec<u8>) {
+    match rec {
+        JournalRecord::Launch {
+            client,
+            memory,
+            speed,
+            availability,
+            at,
+        } => {
+            out.push(0);
+            put_node(*client, out);
+            wire::write_varint(*memory as u64, out);
+            put_f64(*speed, out);
+            put_f64(*availability, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::Deregister { client } => {
+            out.push(1);
+            put_node(*client, out);
+        }
+        JournalRecord::AssignWhole {
+            client,
+            problem,
+            at,
+        } => {
+            out.push(2);
+            put_node(*client, out);
+            put_problem(*problem, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::AssignRecovery {
+            client,
+            problem,
+            at,
+        } => {
+            out.push(3);
+            put_node(*client, out);
+            put_problem(*problem, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::ProblemLearned { client, problem } => {
+            out.push(4);
+            put_node(*client, out);
+            put_problem(*problem, out);
+        }
+        JournalRecord::BacklogPush { client } => {
+            out.push(5);
+            put_node(*client, out);
+        }
+        JournalRecord::BacklogRemove { client } => {
+            out.push(6);
+            put_node(*client, out);
+        }
+        JournalRecord::GrantOpen {
+            requester,
+            peer,
+            kind,
+        } => {
+            out.push(7);
+            put_node(*requester, out);
+            put_node(*peer, out);
+            out.push(match kind {
+                GrantKind::Split => 0,
+                GrantKind::Migrate => 1,
+            });
+        }
+        JournalRecord::GrantClose {
+            requester,
+            free_peer,
+        } => {
+            out.push(8);
+            put_node(*requester, out);
+            put_bool(*free_peer, out);
+        }
+        JournalRecord::SplitKept { requester, at } => {
+            out.push(9);
+            put_node(*requester, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::MigrateSent { requester } => {
+            out.push(10);
+            put_node(*requester, out);
+        }
+        JournalRecord::TransferIn {
+            peer,
+            problem,
+            checkpoint,
+            at,
+        } => {
+            out.push(11);
+            put_node(*peer, out);
+            put_opt(problem, |p, o| put_problem(*p, o), out);
+            put_opt(checkpoint, put_checkpoint, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::CheckpointAccept {
+            client,
+            problem,
+            checkpoint,
+            learn_problem,
+        } => {
+            out.push(12);
+            put_node(*client, out);
+            put_problem(*problem, out);
+            put_checkpoint(checkpoint, out);
+            put_bool(*learn_problem, out);
+        }
+        JournalRecord::ClientIdle { client } => {
+            out.push(13);
+            put_node(*client, out);
+        }
+        JournalRecord::EarlyResultNote { client, problem } => {
+            out.push(14);
+            put_node(*client, out);
+            put_problem(*problem, out);
+        }
+        JournalRecord::EarlyResultConsume { client, problem } => {
+            out.push(15);
+            put_node(*client, out);
+            put_problem(*problem, out);
+        }
+        JournalRecord::RecoveryQueued { recovery } => {
+            out.push(16);
+            put_spec(&recovery.spec, out);
+            put_opt(&recovery.source, |p, o| put_problem(*p, o), out);
+        }
+        JournalRecord::LeaseExpired { client } => {
+            out.push(17);
+            put_node(*client, out);
+        }
+        JournalRecord::AdoptClaim {
+            client,
+            memory,
+            speed,
+            availability,
+            busy,
+            problem,
+            checkpoint,
+            at,
+        } => {
+            out.push(18);
+            put_node(*client, out);
+            wire::write_varint(*memory as u64, out);
+            put_f64(*speed, out);
+            put_f64(*availability, out);
+            put_bool(*busy, out);
+            put_opt(problem, |p, o| put_problem(*p, o), out);
+            put_opt(checkpoint, put_checkpoint, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::Promoted { node, at } => {
+            out.push(19);
+            put_node(*node, out);
+            put_f64(*at, out);
+        }
+    }
+}
+
+/// Decode one record payload. Inverse of [`encode_record`]; the whole
+/// buffer must be consumed.
+fn decode_record(buf: &[u8]) -> Result<JournalRecord, RecordError> {
+    let mut pos = 0usize;
+    let Some(&tag) = buf.first() else {
+        return Err(WireError::Truncated.into());
+    };
+    pos += 1;
+    let rec = match tag {
+        0 => JournalRecord::Launch {
+            client: get_node(buf, &mut pos)?,
+            memory: wire::read_varint(buf, &mut pos)? as usize,
+            speed: get_f64(buf, &mut pos)?,
+            availability: get_f64(buf, &mut pos)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        1 => JournalRecord::Deregister {
+            client: get_node(buf, &mut pos)?,
+        },
+        2 => JournalRecord::AssignWhole {
+            client: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        3 => JournalRecord::AssignRecovery {
+            client: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        4 => JournalRecord::ProblemLearned {
+            client: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+        },
+        5 => JournalRecord::BacklogPush {
+            client: get_node(buf, &mut pos)?,
+        },
+        6 => JournalRecord::BacklogRemove {
+            client: get_node(buf, &mut pos)?,
+        },
+        7 => JournalRecord::GrantOpen {
+            requester: get_node(buf, &mut pos)?,
+            peer: get_node(buf, &mut pos)?,
+            kind: match buf.get(pos) {
+                Some(0) => {
+                    pos += 1;
+                    GrantKind::Split
+                }
+                Some(1) => {
+                    pos += 1;
+                    GrantKind::Migrate
+                }
+                Some(_) => return Err(WireError::Overflow.into()),
+                None => return Err(WireError::Truncated.into()),
+            },
+        },
+        8 => JournalRecord::GrantClose {
+            requester: get_node(buf, &mut pos)?,
+            free_peer: get_bool(buf, &mut pos)?,
+        },
+        9 => JournalRecord::SplitKept {
+            requester: get_node(buf, &mut pos)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        10 => JournalRecord::MigrateSent {
+            requester: get_node(buf, &mut pos)?,
+        },
+        11 => JournalRecord::TransferIn {
+            peer: get_node(buf, &mut pos)?,
+            problem: get_opt(buf, &mut pos, get_problem)?,
+            checkpoint: get_opt(buf, &mut pos, get_checkpoint)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        12 => JournalRecord::CheckpointAccept {
+            client: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+            checkpoint: get_checkpoint(buf, &mut pos)?,
+            learn_problem: get_bool(buf, &mut pos)?,
+        },
+        13 => JournalRecord::ClientIdle {
+            client: get_node(buf, &mut pos)?,
+        },
+        14 => JournalRecord::EarlyResultNote {
+            client: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+        },
+        15 => JournalRecord::EarlyResultConsume {
+            client: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+        },
+        16 => JournalRecord::RecoveryQueued {
+            recovery: RecoverySpec {
+                spec: get_spec(buf, &mut pos)?,
+                source: get_opt(buf, &mut pos, get_problem)?,
+            },
+        },
+        17 => JournalRecord::LeaseExpired {
+            client: get_node(buf, &mut pos)?,
+        },
+        18 => JournalRecord::AdoptClaim {
+            client: get_node(buf, &mut pos)?,
+            memory: wire::read_varint(buf, &mut pos)? as usize,
+            speed: get_f64(buf, &mut pos)?,
+            availability: get_f64(buf, &mut pos)?,
+            busy: get_bool(buf, &mut pos)?,
+            problem: get_opt(buf, &mut pos, get_problem)?,
+            checkpoint: get_opt(buf, &mut pos, get_checkpoint)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        19 => JournalRecord::Promoted {
+            node: get_node(buf, &mut pos)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        other => return Err(RecordError::BadTag(other)),
+    };
+    if pos != buf.len() {
+        return Err(WireError::TrailingBytes.into());
+    }
+    Ok(rec)
+}
+
+/// One journal record in its durable/wire form:
+/// `varint(seq) · varint(payload_len) · check(seq, payload) LE · payload`.
+/// The sequence stamp ties the record to its position in the log, the
+/// checksum makes a bit flip or torn write detectable, and the length
+/// prefix lets a reader skip to the next record without decoding the
+/// payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedRecord {
+    bytes: Vec<u8>,
+}
+
+/// The stored checksum mixes the sequence stamp into the payload CRC
+/// (splitmix-style fold), so a bit flip in the stamp's own varint is as
+/// detectable as one in the payload.
+fn record_check(seq: u64, payload: &[u8]) -> u32 {
+    wire::crc32(payload) ^ (seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u32
+}
+
+/// Parse one sealed record starting at `start`; returns the sequence
+/// stamp, the record, and the offset one past its final byte.
+fn parse_sealed(buf: &[u8], start: usize) -> Result<(u64, JournalRecord, usize), RecordError> {
+    let mut pos = start;
+    let seq = wire::read_varint(buf, &mut pos)?;
+    let len = wire::read_varint(buf, &mut pos)?;
+    if buf.len().saturating_sub(pos) < 4 {
+        return Err(WireError::Truncated.into());
+    }
+    let mut crc = [0u8; 4];
+    crc.copy_from_slice(&buf[pos..pos + 4]);
+    pos += 4;
+    if len > buf.len().saturating_sub(pos) as u64 {
+        return Err(WireError::Truncated.into());
+    }
+    let payload = &buf[pos..pos + len as usize];
+    if record_check(seq, payload) != u32::from_le_bytes(crc) {
+        return Err(RecordError::Checksum);
+    }
+    let rec = decode_record(payload)?;
+    Ok((seq, rec, pos + len as usize))
+}
+
+impl SealedRecord {
+    /// Serialize, stamp, and checksum one record.
+    pub fn seal(seq: u64, rec: &JournalRecord) -> SealedRecord {
+        let mut payload = Vec::new();
+        encode_record(rec, &mut payload);
+        let mut bytes = Vec::with_capacity(payload.len() + 14);
+        wire::write_varint(seq, &mut bytes);
+        wire::write_varint(payload.len() as u64, &mut bytes);
+        bytes.extend_from_slice(&record_check(seq, &payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        SealedRecord { bytes }
+    }
+
+    /// Adopt raw wire bytes (receiver/fuzzer entry).
+    pub fn from_wire(bytes: Vec<u8>) -> SealedRecord {
+        SealedRecord { bytes }
+    }
+
+    /// Verify the checksum and decode the stamped record.
+    pub fn open(&self) -> Result<(u64, JournalRecord), RecordError> {
+        let (seq, rec, next) = parse_sealed(&self.bytes, 0)?;
+        if next != self.bytes.len() {
+            return Err(WireError::TrailingBytes.into());
+        }
+        Ok((seq, rec))
+    }
+
+    /// Integrity check without keeping the decoded record.
+    pub fn intact(&self) -> bool {
+        self.open().is_ok()
+    }
+
+    /// Bytes on the wire / on disk.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Fault injection: flip one bit, chosen by `seed`.
+    pub fn corrupt_bit(&mut self, seed: u64) {
+        wire::flip_bit(&mut self.bytes, seed);
     }
 }
 
@@ -529,12 +1064,41 @@ impl MasterCore {
     }
 }
 
+/// Outcome of [`MasterJournal::recover`]: how much of the byte log was
+/// verified, how much was cut, and why the scan stopped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverReport {
+    /// Records whose checksum and sequence stamp verified.
+    pub recovered: u64,
+    /// Bytes discarded past the verified prefix (0 on a clean log).
+    pub truncated_bytes: usize,
+    /// The failure that ended the scan, if the log was not clean.
+    pub error: Option<RecordError>,
+}
+
+impl RecoverReport {
+    pub fn is_clean(&self) -> bool {
+        self.truncated_bytes == 0 && self.error.is_none()
+    }
+}
+
 /// The append-only record log. The live master appends before applying;
 /// a standby receives suffixes piggybacked on control traffic and can
 /// fold them at any time.
+///
+/// Alongside the typed records the journal maintains `log`, the
+/// byte-serialized durable image: every record sealed
+/// ([`SealedRecord`]) and concatenated, exactly what a real master
+/// would have on disk. A crashed master restarts from those bytes via
+/// [`MasterJournal::recover`], which truncates any torn or corrupt
+/// tail instead of trusting it.
 #[derive(Default)]
 pub struct MasterJournal {
     records: Vec<JournalRecord>,
+    /// Simulated disk image: concatenated sealed records.
+    log: Vec<u8>,
+    /// Byte offset of each record in `log`.
+    offsets: Vec<usize>,
 }
 
 impl MasterJournal {
@@ -544,13 +1108,21 @@ impl MasterJournal {
 
     /// Rebuild a journal from shipped records (standby side).
     pub fn from_records(records: Vec<JournalRecord>) -> MasterJournal {
-        MasterJournal { records }
+        let mut j = MasterJournal::new();
+        for rec in records {
+            j.append(rec);
+        }
+        j
     }
 
     /// Append one record; returns its 0-based sequence number.
     pub fn append(&mut self, rec: JournalRecord) -> u64 {
+        let seq = self.records.len() as u64;
+        let sealed = SealedRecord::seal(seq, &rec);
+        self.offsets.push(self.log.len());
+        self.log.extend_from_slice(&sealed.bytes);
         self.records.push(rec);
-        (self.records.len() - 1) as u64
+        seq
     }
 
     pub fn len(&self) -> u64 {
@@ -569,6 +1141,75 @@ impl MasterJournal {
     pub fn slice_from(&self, start: u64) -> &[JournalRecord] {
         let start = (start as usize).min(self.records.len());
         &self.records[start..]
+    }
+
+    /// The suffix starting at `start`, in sealed wire form (what a
+    /// `JournalBatch` actually carries).
+    pub fn sealed_from(&self, start: u64) -> Vec<SealedRecord> {
+        let start = (start as usize).min(self.records.len());
+        (start..self.records.len())
+            .map(|i| {
+                let end = self.offsets.get(i + 1).copied().unwrap_or(self.log.len());
+                SealedRecord {
+                    bytes: self.log[self.offsets[i]..end].to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// The durable byte image (simulated disk contents).
+    pub fn log_bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Simulated-disk fault: tear the byte log at an arbitrary byte
+    /// boundary, as a crash mid-append would. Only the disk image is
+    /// damaged; the in-memory records stand in for the state lost with
+    /// the crashed process and are discarded by the restart's
+    /// [`MasterJournal::recover`].
+    pub fn tear_log(&mut self, keep_bytes: usize) {
+        self.log.truncate(keep_bytes.min(self.log.len()));
+    }
+
+    /// Simulated-disk fault: flip one pseudo-random bit of the byte
+    /// log, chosen by `seed` (bit rot / partial sector write).
+    pub fn flip_log_bit(&mut self, seed: u64) {
+        wire::flip_bit(&mut self.log, seed);
+    }
+
+    /// Rebuild a journal from a durable byte image, truncating at the
+    /// first record that fails its checksum, sequence check, or parse.
+    /// Everything before the failure is verified good; everything from
+    /// it on is discarded (the report says how much and why).
+    pub fn recover(bytes: &[u8]) -> (MasterJournal, RecoverReport) {
+        let mut j = MasterJournal::new();
+        let mut pos = 0usize;
+        let mut error = None;
+        while pos < bytes.len() {
+            match parse_sealed(bytes, pos) {
+                Ok((seq, rec, next)) => {
+                    let want = j.records.len() as u64;
+                    if seq != want {
+                        error = Some(RecordError::BadSeq { want, got: seq });
+                        break;
+                    }
+                    j.offsets.push(pos);
+                    j.records.push(rec);
+                    pos = next;
+                }
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        j.log.extend_from_slice(&bytes[..pos]);
+        let report = RecoverReport {
+            recovered: j.records.len() as u64,
+            truncated_bytes: bytes.len() - pos,
+            error,
+        };
+        (j, report)
     }
 
     /// Fold a record sequence into the scheduling state it encodes.
@@ -771,6 +1412,241 @@ mod tests {
             },
             learn_problem: false,
         };
-        assert!(big.approx_bytes() > small.approx_bytes());
+        assert!(SealedRecord::seal(0, &big).wire_len() > SealedRecord::seal(0, &small).wire_len());
+    }
+
+    /// One of every record variant, with every optional field exercised
+    /// in both polarities across the set.
+    fn sample_records() -> Vec<JournalRecord> {
+        let cp_light = Checkpoint::Light {
+            level0: vec![(Lit::pos(0), false), (Lit::neg(3), true)],
+        };
+        let cp_heavy = Checkpoint::Heavy {
+            level0: vec![(Lit::neg(1), false)],
+            learned: vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(2)]),
+                Clause::new(vec![Lit::pos(4)]),
+            ],
+        };
+        let spec = SplitSpec {
+            num_vars: 6,
+            assumptions: vec![(Lit::pos(2), true)],
+            clauses: vec![Clause::new(vec![Lit::neg(0), Lit::pos(5)])],
+        };
+        vec![
+            JournalRecord::Launch {
+                client: NodeId(1),
+                memory: 1 << 30,
+                speed: 123.5,
+                availability: 0.875,
+                at: 1.25,
+            },
+            JournalRecord::Deregister { client: NodeId(2) },
+            JournalRecord::AssignWhole {
+                client: NodeId(1),
+                problem: ProblemId::new(NodeId(0), 1),
+                at: 2.0,
+            },
+            JournalRecord::AssignRecovery {
+                client: NodeId(3),
+                problem: ProblemId::new(NodeId(0), 2),
+                at: 3.0,
+            },
+            JournalRecord::ProblemLearned {
+                client: NodeId(3),
+                problem: ProblemId::new(NodeId(3), 7),
+            },
+            JournalRecord::BacklogPush { client: NodeId(4) },
+            JournalRecord::BacklogRemove { client: NodeId(4) },
+            JournalRecord::GrantOpen {
+                requester: NodeId(1),
+                peer: NodeId(3),
+                kind: GrantKind::Split,
+            },
+            JournalRecord::GrantClose {
+                requester: NodeId(1),
+                free_peer: true,
+            },
+            JournalRecord::SplitKept {
+                requester: NodeId(1),
+                at: 4.5,
+            },
+            JournalRecord::MigrateSent {
+                requester: NodeId(5),
+            },
+            JournalRecord::TransferIn {
+                peer: NodeId(3),
+                problem: Some(ProblemId::new(NodeId(1), 2)),
+                checkpoint: Some(cp_light.clone()),
+                at: 5.0,
+            },
+            JournalRecord::TransferIn {
+                peer: NodeId(6),
+                problem: None,
+                checkpoint: None,
+                at: 5.5,
+            },
+            JournalRecord::CheckpointAccept {
+                client: NodeId(3),
+                problem: ProblemId::new(NodeId(1), 2),
+                checkpoint: cp_heavy.clone(),
+                learn_problem: true,
+            },
+            JournalRecord::ClientIdle { client: NodeId(3) },
+            JournalRecord::EarlyResultNote {
+                client: NodeId(5),
+                problem: ProblemId::new(NodeId(5), 1),
+            },
+            JournalRecord::EarlyResultConsume {
+                client: NodeId(5),
+                problem: ProblemId::new(NodeId(5), 1),
+            },
+            JournalRecord::RecoveryQueued {
+                recovery: RecoverySpec {
+                    spec,
+                    source: Some(ProblemId::new(NodeId(3), 9)),
+                },
+            },
+            JournalRecord::LeaseExpired { client: NodeId(6) },
+            JournalRecord::AdoptClaim {
+                client: NodeId(7),
+                memory: 1 << 20,
+                speed: 42.0,
+                availability: 0.5,
+                busy: true,
+                problem: Some(ProblemId::new(NodeId(7), 3)),
+                checkpoint: Some(cp_heavy),
+                at: 6.0,
+            },
+            JournalRecord::Promoted {
+                node: NodeId(9),
+                at: 7.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_variant_round_trips_sealed() {
+        for (i, rec) in sample_records().into_iter().enumerate() {
+            let sealed = SealedRecord::seal(i as u64, &rec);
+            assert!(sealed.intact());
+            let (seq, back) = sealed.open().expect("clean record opens");
+            assert_eq!(seq, i as u64);
+            assert_eq!(back, rec, "variant {i} round-trips");
+        }
+    }
+
+    #[test]
+    fn sealed_record_rejects_any_single_bit_flip() {
+        let rec = JournalRecord::CheckpointAccept {
+            client: NodeId(3),
+            problem: ProblemId::new(NodeId(1), 2),
+            checkpoint: Checkpoint::Light {
+                level0: vec![(Lit::pos(1), false)],
+            },
+            learn_problem: false,
+        };
+        let sealed = SealedRecord::seal(5, &rec);
+        for bit in 0..sealed.wire_len() * 8 {
+            let mut bad = sealed.clone();
+            bad.bytes[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                bad.open().is_err(),
+                "bit {bit} flipped but the record still opened"
+            );
+        }
+    }
+
+    #[test]
+    fn open_rejects_wrong_tag_trailing_bytes_and_truncation() {
+        let sealed = SealedRecord::seal(0, &JournalRecord::ClientIdle { client: NodeId(1) });
+        // truncation at every prefix length
+        for cut in 0..sealed.wire_len() {
+            let torn = SealedRecord::from_wire(sealed.bytes[..cut].to_vec());
+            assert!(torn.open().is_err(), "prefix of {cut} bytes opened");
+        }
+        // trailing garbage after a valid record
+        let mut padded = sealed.bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            SealedRecord::from_wire(padded).open(),
+            Err(RecordError::Wire(WireError::TrailingBytes))
+        );
+        // unknown tag, re-sealed with a valid CRC
+        let mut payload = vec![200u8];
+        payload.push(1);
+        let mut bytes = Vec::new();
+        wire::write_varint(0, &mut bytes);
+        wire::write_varint(payload.len() as u64, &mut bytes);
+        bytes.extend_from_slice(&record_check(0, &payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            SealedRecord::from_wire(bytes).open(),
+            Err(RecordError::BadTag(200))
+        );
+    }
+
+    #[test]
+    fn journal_maintains_a_recoverable_byte_log() {
+        let mut j = MasterJournal::new();
+        for rec in sample_records() {
+            j.append(rec);
+        }
+        assert_eq!(j.sealed_from(0).len(), j.records().len());
+        assert!(j.sealed_from(0).iter().all(SealedRecord::intact));
+        let (back, report) = MasterJournal::recover(j.log_bytes());
+        assert!(report.is_clean());
+        assert_eq!(report.recovered, j.len());
+        assert_eq!(back.records(), j.records());
+        assert_eq!(back.log_bytes(), j.log_bytes());
+    }
+
+    #[test]
+    fn recover_truncates_a_torn_tail_at_any_byte_boundary() {
+        let mut j = MasterJournal::new();
+        for rec in sample_records() {
+            j.append(rec);
+        }
+        let full = j.log_bytes().to_vec();
+        for cut in 0..full.len() {
+            let (back, report) = MasterJournal::recover(&full[..cut]);
+            // the verified prefix is a whole number of records and a
+            // strict prefix of the original sequence
+            assert!(back.len() <= j.len());
+            assert_eq!(
+                back.records(),
+                &j.records()[..back.len() as usize],
+                "cut at {cut}"
+            );
+            // clean iff the cut landed exactly on a record boundary
+            assert_eq!(report.is_clean(), cut == back.log_bytes().len());
+        }
+    }
+
+    #[test]
+    fn recover_truncates_at_a_flipped_bit_and_reports_it() {
+        let mut j = MasterJournal::new();
+        for rec in sample_records() {
+            j.append(rec);
+        }
+        let clean_len = j.len();
+        j.flip_log_bit(0xdead_beef);
+        let (back, report) = MasterJournal::recover(j.log_bytes());
+        assert!(back.len() < clean_len);
+        assert!(!report.is_clean());
+        assert!(report.error.is_some());
+        assert!(report.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn recover_rejects_replayed_sequence_numbers() {
+        let mut j = MasterJournal::new();
+        j.append(JournalRecord::ClientIdle { client: NodeId(1) });
+        // splice record 0 in again: valid CRC, stale stamp
+        let mut doctored = j.log_bytes().to_vec();
+        doctored.extend_from_slice(j.log_bytes());
+        let (back, report) = MasterJournal::recover(&doctored);
+        assert_eq!(back.len(), 1);
+        assert_eq!(report.error, Some(RecordError::BadSeq { want: 1, got: 0 }));
     }
 }

@@ -19,6 +19,7 @@ use crate::audit::Audit;
 use crate::config::{CheckpointMode, GridConfig, SchedPolicy};
 use crate::journal::{ClientInfo, JournalRecord, MasterCore, MasterJournal, RecoverySpec};
 use crate::msg::{Checkpoint, EndReason, GridMsg, ProblemId, SubResult};
+use crate::wire::SpecFrame;
 use gridsat_cnf::{Assignment, Formula};
 use gridsat_grid::{Ctx, NodeId, Process, Site};
 use gridsat_nws::Forecaster;
@@ -83,6 +84,12 @@ pub struct MasterStats {
     /// Subproblems taken back after an undeliverable assignment or
     /// transfer (reliability extension).
     pub requeues: u64,
+    /// Checksum-failing deliveries attributed to a peer (integrity
+    /// extension).
+    pub corrupt_msgs: u64,
+    /// Clients deregistered for exceeding the corruption threshold
+    /// (integrity extension).
+    pub quarantines: u64,
 }
 
 impl MasterStats {
@@ -100,6 +107,8 @@ impl MasterStats {
             recoveries,
             lease_expiries,
             requeues,
+            corrupt_msgs,
+            quarantines,
         } = *other;
         self.max_active_clients = self.max_active_clients.max(max_active_clients);
         self.splits += splits;
@@ -110,6 +119,8 @@ impl MasterStats {
         self.recoveries += recoveries;
         self.lease_expiries += lease_expiries;
         self.requeues += requeues;
+        self.corrupt_msgs += corrupt_msgs;
+        self.quarantines += quarantines;
     }
 
     /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
@@ -124,6 +135,8 @@ impl MasterStats {
             recoveries,
             lease_expiries,
             requeues,
+            corrupt_msgs,
+            quarantines,
         } = *self;
         reg.gauge_set(
             &format!("{prefix}.max_active_clients"),
@@ -140,6 +153,8 @@ impl MasterStats {
         reg.counter_add(&format!("{prefix}.recoveries"), recoveries);
         reg.counter_add(&format!("{prefix}.lease_expiries"), lease_expiries);
         reg.counter_add(&format!("{prefix}.requeues"), requeues);
+        reg.counter_add(&format!("{prefix}.corrupt_msgs"), corrupt_msgs);
+        reg.counter_add(&format!("{prefix}.quarantines"), quarantines);
     }
 }
 
@@ -351,6 +366,10 @@ pub struct Master {
     /// unanswered request, causal stamp of its delivery). Not journaled —
     /// it feeds telemetry and trace causality, never scheduling.
     pending_split_req: BTreeMap<NodeId, (f64, u64)>,
+    /// Per-peer count of checksum-failing deliveries (integrity
+    /// extension). Not journaled: strikes are evidence about the live
+    /// network path, worthless to a replay.
+    corrupt_strikes: BTreeMap<NodeId, u32>,
     /// Event-tracing handle (disabled by default).
     obs: Obs,
 }
@@ -477,6 +496,7 @@ impl Master {
             stats: MasterStats::default(),
             telemetry: MasterTelemetry::default(),
             pending_split_req: BTreeMap::new(),
+            corrupt_strikes: BTreeMap::new(),
             obs: Obs::default(),
         }
     }
@@ -592,6 +612,14 @@ impl Master {
         self.audit = audit;
     }
 
+    /// Direct access to the write-ahead journal, for fault injection:
+    /// chaos tests damage the simulated disk image
+    /// ([`MasterJournal::tear_log`], [`MasterJournal::flip_log_bit`])
+    /// while the master is "down", then let the restart recover it.
+    pub fn journal_mut(&mut self) -> &mut MasterJournal {
+        &mut self.journal
+    }
+
     /// The run's outcome, once decided.
     pub fn outcome(&self) -> Option<&GridOutcome> {
         self.outcome.as_ref()
@@ -672,7 +700,7 @@ impl Master {
         let Some(link) = &self.standby else { return };
         let start = link.sent;
         let to = link.node;
-        let records = self.journal.slice_from(start).to_vec();
+        let records = self.journal.sealed_from(start);
         if records.is_empty() && !keepalive {
             return;
         }
@@ -1055,8 +1083,18 @@ impl Master {
             ClientState::Idle => {
                 // "When an idle client is killed ... the master becomes
                 // aware of it and marks the resource as free."
+                //
+                // An idle client can still be the requester of an open
+                // grant: it went idle after asking to split (its result
+                // beat the grant), and the SplitDone that would have
+                // closed the handshake died with it. The grant — and the
+                // Receiving reservation it pinned on the peer — must not
+                // outlive the client, or the all-idle UNSAT condition is
+                // blocked forever.
                 self.commit(ctx.now(), JournalRecord::Deregister { client: node });
+                self.drop_grants_involving(node, ctx.now());
                 self.broadcast_peers(ctx);
+                self.drain_backlog(ctx);
             }
             ClientState::Receiving if self.config.reliability.is_some() => {
                 // nothing to recover: the requester still holds the whole
@@ -1122,7 +1160,10 @@ impl Master {
         match msg {
             GridMsg::Solve { spec, problem } => {
                 // the assignment never arrived: take the subproblem back
-                // and hand it to someone else
+                // and hand it to someone else. The returned frame is our
+                // own stored clean copy, so it always opens; a frame that
+                // somehow does not carries no search space to recover.
+                let Ok(spec) = spec.open() else { return };
                 if self
                     .core
                     .clients
@@ -1135,7 +1176,7 @@ impl Master {
                     ctx.now(),
                     JournalRecord::RecoveryQueued {
                         recovery: RecoverySpec {
-                            spec: *spec,
+                            spec,
                             source: Some(problem),
                         },
                     },
@@ -1173,6 +1214,42 @@ impl Master {
         self.ship_journal(ctx, false);
     }
 
+    /// A delivery from `from` failed its payload checksum (integrity
+    /// extension). Delivery recovery is the reliable layer's business;
+    /// here we track the per-peer strike count and quarantine a peer
+    /// whose path mangles so much traffic that it cannot be trusted:
+    /// deregister it exactly like an expired lease, recovering its
+    /// subproblem from the last checkpoint.
+    pub fn on_corrupt(&mut self, from: NodeId, ctx: &mut Ctx<GridMsg>) {
+        if self.outcome.is_some() {
+            return;
+        }
+        self.stats.corrupt_msgs += 1;
+        let strikes = self.corrupt_strikes.entry(from).or_insert(0);
+        *strikes += 1;
+        let strikes = u64::from(*strikes);
+        let limit = self
+            .config
+            .reliability
+            .map_or(u64::MAX, |r| u64::from(r.quarantine_strikes.max(1)));
+        if strikes < limit || !self.core.clients.contains_key(&from) {
+            return;
+        }
+        self.corrupt_strikes.remove(&from);
+        self.stats.quarantines += 1;
+        let now = ctx.now();
+        let node = self.me.0;
+        self.obs.emit(now, node, || Event::PeerQuarantine {
+            client: from.0,
+            strikes,
+        });
+        // same exit as a lease expiry: the journal records the loss, and
+        // the client's work is recovered or requeued
+        self.commit(now, JournalRecord::LeaseExpired { client: from });
+        self.handle_client_loss(from, ctx);
+        self.ship_journal(ctx, false);
+    }
+
     /// Hand queued recovered subproblems to idle clients.
     fn dispatch_recoveries(&mut self, ctx: &mut Ctx<GridMsg>) {
         while !self.core.pending_recovery.is_empty() {
@@ -1196,7 +1273,7 @@ impl Master {
             ctx.send(
                 target,
                 GridMsg::Solve {
-                    spec: Box::new(rec.spec),
+                    spec: Box::new(SpecFrame::seal(&rec.spec)),
                     problem,
                 },
             );
@@ -1212,30 +1289,89 @@ impl Process for Master {
 
     fn on_start(&mut self, ctx: &mut Ctx<GridMsg>) {
         if self.started {
-            // restart: rebuild the scheduling state from the write-ahead
-            // journal and self-check the fold against the live state,
-            // then give every lease a fresh start (clients kept
-            // heartbeating into the void while we were down)
+            // restart: all that survived the crash is the on-disk journal
+            // image. Recover it (truncating any torn or bit-rotted tail
+            // at the first record that fails its checksum or sequence
+            // stamp), rebuild the scheduling state as the fold of the
+            // verified prefix, and give every lease a fresh start
+            // (clients kept heartbeating into the void while we were
+            // down).
             let now = ctx.now();
-            let replayed =
-                MasterJournal::replay(&self.formula, &self.config, self.journal.records());
-            debug_assert_eq!(
-                replayed.image(),
-                self.core.image(),
-                "journal replay must reproduce the live scheduling state"
-            );
-            self.core = replayed;
+            let node = self.me.0;
+            let (recovered, report) = MasterJournal::recover(self.journal.log_bytes());
+            // a tear at an exact record boundary parses clean and leaves
+            // no byte residue — only the pre-crash in-memory length
+            // (which the simulation retains) tells it apart from "those
+            // records were never written", so `dropped_bytes` is 0 there
+            let boundary_tear = report.is_clean() && recovered.len() < self.journal.len();
+            if report.is_clean() && !boundary_tear {
+                // with an undamaged log the fold must reproduce the
+                // pre-crash live state exactly
+                debug_assert_eq!(
+                    MasterJournal::replay(&self.formula, &self.config, recovered.records()).image(),
+                    self.core.image(),
+                    "journal replay must reproduce the live scheduling state"
+                );
+            } else {
+                let kept = recovered.len();
+                let dropped_bytes = report.truncated_bytes as u64;
+                self.obs.emit(now, node, || Event::JournalTruncate {
+                    kept,
+                    dropped_bytes,
+                });
+            }
+            self.journal = recovered;
+            self.core = MasterJournal::replay(&self.formula, &self.config, self.journal.records());
             for info in self.core.clients.values_mut() {
                 info.last_seen = now;
             }
             let records = self.journal.len();
-            let node = self.me.0;
             self.obs
                 .emit(now, node, || Event::JournalReplay { records });
             self.last_replay = Some(now);
-            // anything shipped but unacked may have died with us
+            // anything shipped but unacked may have died with us — and a
+            // truncated journal may now be shorter than what was acked
             if let Some(link) = self.standby.as_mut() {
-                link.sent = link.acked;
+                link.sent = link.acked.min(records);
+                link.acked = link.acked.min(records);
+            }
+            if !report.is_clean() || boundary_tear {
+                // the fold lost committed state: assignments, idles, or
+                // whole registrations may be gone, and nobody will
+                // resend them unprompted. Ask every host to re-announce
+                // its in-progress work — the same Takeover → Adopt
+                // resync a promoted standby uses — so the roster
+                // reconverges on reality instead of wedging on a client
+                // the master no longer remembers (or remembers wrong).
+                //
+                // Replayed in-flight grants are stale by construction
+                // (the live run had moved past them before the crash):
+                // an open grant whose GrantClose was in the torn tail
+                // would pin its Receiving peer and block the all-idle
+                // UNSAT condition forever. Drop them all, exactly as a
+                // promoted standby does — the adoption round
+                // re-establishes who actually holds what.
+                for requester in self.core.grants.keys().copied().collect::<Vec<_>>() {
+                    self.commit(
+                        now,
+                        JournalRecord::GrantClose {
+                            requester,
+                            free_peer: true,
+                        },
+                    );
+                }
+                for id in self.host_info.keys().copied().collect::<Vec<_>>() {
+                    if id != self.me {
+                        ctx.send(id, GridMsg::Takeover);
+                    }
+                }
+                // hold the UNSAT verdict until the Adopt replies have
+                // had time to land: right after a deep tear the fold
+                // may show every client idle even though some are still
+                // mid-cube
+                self.reconcile_until = self
+                    .reconcile_until
+                    .max(now + self.config.failover.map_or(2.0, |f| f.promote_grace_s));
             }
         }
         self.started = true;
@@ -1300,7 +1436,7 @@ impl Process for Master {
                     ctx.send(
                         from,
                         GridMsg::Solve {
-                            spec: Box::new(rec.spec),
+                            spec: Box::new(SpecFrame::seal(&rec.spec)),
                             problem,
                         },
                     );
@@ -1565,7 +1701,14 @@ impl Process for Master {
             GridMsg::Heartbeat => {}
             GridMsg::Requeue { spec, problem } => {
                 // a client could not deliver a subproblem transfer; take
-                // the search space back so it is not lost
+                // the search space back so it is not lost. The reliable
+                // layer already discarded checksum-failing frames, so a
+                // frame that does not open here is a decoder-level defect
+                // in the sender — strike it and wait for its retry.
+                let Ok(spec) = spec.open() else {
+                    self.on_corrupt(from, ctx);
+                    return;
+                };
                 if self.core.grants.contains_key(&from) {
                     self.commit(
                         ctx.now(),
@@ -1579,7 +1722,7 @@ impl Process for Master {
                     ctx.now(),
                     JournalRecord::RecoveryQueued {
                         recovery: RecoverySpec {
-                            spec: *spec,
+                            spec,
                             source: problem,
                         },
                     },
@@ -1625,7 +1768,15 @@ impl Process for Master {
             GridMsg::JournalAck { next } => {
                 if let Some(link) = self.standby.as_mut() {
                     if link.node == from {
-                        link.acked = link.acked.max(next);
+                        if next > link.acked {
+                            link.acked = next;
+                        } else if next == link.acked && next < link.sent {
+                            // duplicate ack with records outstanding: the
+                            // standby rejected something past `next` (a
+                            // corrupt record, or a gap) and is asking for
+                            // the suffix again — rewind the ship cursor
+                            link.sent = next;
+                        }
                     }
                 }
             }
@@ -1669,12 +1820,16 @@ impl Process for Master {
             // master brokered the split): recover the cube instead of
             // dropping it
             GridMsg::Subproblem { spec, problem, .. } => {
+                let Ok(spec) = spec.open() else {
+                    self.on_corrupt(from, ctx);
+                    return;
+                };
                 self.stats.recoveries += 1;
                 self.commit(
                     ctx.now(),
                     JournalRecord::RecoveryQueued {
                         recovery: RecoverySpec {
-                            spec: *spec,
+                            spec,
                             source: Some(problem),
                         },
                     },

@@ -1,4 +1,6 @@
 use super::*;
+use crate::client::Client;
+use crate::journal::SealedRecord;
 use gridsat_cnf::Clause;
 use gridsat_grid::{Action, NodeInfo};
 use gridsat_solver::SplitSpec;
@@ -51,7 +53,7 @@ fn first_registrant_gets_the_whole_problem() {
     assert!(actions.iter().any(|a| matches!(
         a,
         Action::Send { to: NodeId(2), msg: GridMsg::Solve { spec, .. } }
-            if spec.assumptions.is_empty() && spec.clauses.len() == 9
+            if spec.open().is_ok_and(|s| s.assumptions.is_empty() && s.clauses.len() == 9)
     )));
     // second registrant gets peers but no problem
     let actions = register(&mut m, 3, 1.0);
@@ -258,11 +260,11 @@ fn requeue_message_returns_a_lost_transfer() {
     m.on_message(
         NodeId(1),
         GridMsg::Requeue {
-            spec: Box::new(SplitSpec {
+            spec: Box::new(SpecFrame::seal(&SplitSpec {
                 num_vars: 1,
                 assumptions: vec![(gridsat_cnf::Lit::pos(0), true)],
                 clauses: vec![],
-            }),
+            })),
             problem: None,
         },
         &mut cx,
@@ -459,6 +461,7 @@ fn double_crash_recovers_from_light_then_heavy_checkpoint() {
             _ => None,
         })
         .expect("recovery dispatched");
+    let spec = spec.open().expect("frame verifies");
     assert_eq!(spec.assumptions, light_level0);
     assert_eq!(spec.clauses.len(), 9); // light = original clauses
     assert_eq!(m.core.clients[&NodeId(2)].state, ClientState::Busy);
@@ -508,6 +511,7 @@ fn double_crash_recovers_from_light_then_heavy_checkpoint() {
             _ => None,
         })
         .expect("second recovery dispatched");
+    let spec = spec.open().expect("frame verifies");
     // heavy = deeper guiding path plus the learned clauses
     assert_eq!(spec.assumptions, heavy_level0);
     assert_eq!(spec.clauses, learned);
@@ -625,6 +629,8 @@ fn master_stats_absorb_is_lossless() {
         recoveries: 7,
         lease_expiries: 8,
         requeues: 9,
+        corrupt_msgs: 10,
+        quarantines: 11,
     };
     let mut acc = MasterStats::default();
     acc.absorb(&full);
@@ -641,6 +647,8 @@ fn master_stats_absorb_is_lossless() {
             recoveries: 14,
             lease_expiries: 16,
             requeues: 18,
+            corrupt_msgs: 20,
+            quarantines: 22,
         }
     );
     let mut reg = MetricsRegistry::new();
@@ -763,6 +771,57 @@ fn master_restart_replays_its_journal() {
 }
 
 #[test]
+fn torn_journal_restart_rebuilds_from_the_verified_prefix() {
+    let f = gridsat_cnf::paper::fig1_formula();
+    let cfg = GridConfig::chaos_hardened();
+    let (obs, ring) = Obs::ring(256);
+    let mut m = Master::new(f.clone(), cfg.clone(), speeds(4));
+    m.set_obs(obs);
+    let mut cx = ctx(0.0);
+    m.on_start(&mut cx);
+    register(&mut m, 1, 0.0); // busy with the whole problem
+    register(&mut m, 2, 0.0);
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::SplitRequest {
+            problem: ProblemId::new(NodeId(0), 1),
+        },
+        &mut cx,
+    );
+    let records = m.journal.records().to_vec();
+    assert!(records.len() >= 3);
+    // the crash tears the last disk append mid-record: every record but
+    // the final one survives verification
+    let torn_at = m.journal.log_bytes().len() - 2;
+    m.journal.tear_log(torn_at);
+    let mut cx = ctx(50.0);
+    m.on_start(&mut cx);
+    assert_eq!(m.journal.len() as usize, records.len() - 1);
+    assert_eq!(
+        m.core.image(),
+        MasterJournal::replay(&f, &cfg, &records[..records.len() - 1]).image(),
+        "rebuilt state must be the fold of the verified prefix"
+    );
+    let events = ring.lock().unwrap().events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e.event,
+            Event::JournalTruncate {
+                kept,
+                dropped_bytes,
+            } if kept as usize == records.len() - 1 && dropped_bytes > 0
+        )),
+        "the truncation must be observable"
+    );
+    // the master stays live: the next registrant is still served
+    let actions = register(&mut m, 5, 51.0);
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, Action::Send { to: NodeId(5), .. })));
+}
+
+#[test]
 fn journal_ships_and_acks_trim_the_standby_lag() {
     let mut m = Master::new(
         gridsat_cnf::paper::fig1_formula(),
@@ -811,6 +870,92 @@ fn journal_ships_and_acks_trim_the_standby_lag() {
 }
 
 #[test]
+fn standby_rejects_a_corrupted_record_and_the_dup_ack_re_requests_it() {
+    use crate::standby::StandbyNode;
+
+    fn batches_to_standby(actions: &[Action<GridMsg>]) -> Vec<(u64, Vec<SealedRecord>)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to: NodeId(1),
+                    msg: GridMsg::JournalBatch { start, records },
+                } if !records.is_empty() => Some((*start, records.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    let f = gridsat_cnf::paper::fig1_formula();
+    let cfg = GridConfig::failover_hardened();
+    let mut m = Master::new(f.clone(), cfg.clone(), speeds(4));
+    let mut cx = ctx(0.0);
+    m.on_start(&mut cx);
+    let mut batches = batches_to_standby(&register(&mut m, 2, 0.0));
+    batches.extend(batches_to_standby(&register(&mut m, 3, 0.5)));
+    assert!(!batches.is_empty());
+    let total: usize = batches.iter().map(|(_, r)| r.len()).sum();
+
+    let mut s = StandbyNode::new(
+        Client::new(NodeId(1), cfg.clone()),
+        f,
+        cfg,
+        speeds(4),
+        Obs::default(),
+        Audit::default(),
+    );
+    // first batch arrives with one record mangled in flight: nothing
+    // past the damage may be applied, and the ack repeats the last
+    // verified position instead of covering the batch
+    let (start, mut records) = batches[0].clone();
+    assert_eq!(start, 0);
+    records[0].corrupt_bit(7);
+    let mut cx = ctx_at(1, 1.0);
+    s.on_message(NodeId(0), GridMsg::JournalBatch { start, records }, &mut cx);
+    assert_eq!(s.rejected(), 1);
+    assert_eq!(s.tailed(), 0, "a rejected record is never applied");
+    let acks: Vec<u64> = cx
+        .take_actions()
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::JournalAck { next },
+            } => Some(*next),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        acks,
+        vec![0],
+        "the withheld ack repeats the verified prefix"
+    );
+
+    // the duplicate ack rewinds the master's ship cursor, and the same
+    // delivery immediately re-ships from the gap
+    let mut cx = ctx(1.5);
+    m.on_message(NodeId(1), GridMsg::JournalAck { next: 0 }, &mut cx);
+    let reshipped = batches_to_standby(&cx.take_actions());
+    assert!(
+        reshipped.iter().any(|(start, _)| *start == 0),
+        "the master must re-ship from the rejected record"
+    );
+
+    // the clean re-ship catches the standby up completely
+    for (start, records) in reshipped {
+        let mut cx = ctx_at(1, 6.0);
+        s.on_message(NodeId(0), GridMsg::JournalBatch { start, records }, &mut cx);
+    }
+    assert_eq!(s.tailed(), total);
+    assert_eq!(s.rejected(), 1);
+
+    // with the journal intact, a quiet feed still promotes cleanly
+    let mut cx = ctx_at(1, 100.0);
+    s.on_tick(&mut cx);
+    assert!(s.promoted_master().is_some(), "standby takes over");
+}
+
+#[test]
 fn promoted_standby_resumes_from_shipped_records() {
     fn harvest(actions: &[Action<GridMsg>], shipped: &mut Vec<JournalRecord>) {
         for a in actions {
@@ -821,7 +966,11 @@ fn promoted_standby_resumes_from_shipped_records() {
             {
                 // batches arrive gapless and in order on a healthy link
                 assert_eq!(*start, shipped.len() as u64);
-                shipped.extend(records.iter().cloned());
+                shipped.extend(records.iter().enumerate().map(|(i, sealed)| {
+                    let (seq, rec) = sealed.open().expect("sealed record verifies");
+                    assert_eq!(seq, start + i as u64);
+                    rec
+                }));
             }
         }
     }
@@ -840,7 +989,7 @@ fn promoted_standby_resumes_from_shipped_records() {
             Action::Send {
                 to: NodeId(1),
                 msg: GridMsg::Solve { spec, .. },
-            } => Some((**spec).clone()),
+            } => Some(spec.open().expect("frame verifies")),
             _ => None,
         })
         .expect("first registrant gets the problem");

@@ -5,11 +5,10 @@
 //! which is why it travels client-to-client rather than through the
 //! master.
 
-use crate::journal::JournalRecord;
-use crate::wire::{self, EncodedBatch};
+use crate::journal::SealedRecord;
+use crate::wire::{EncodedBatch, SpecFrame};
 use gridsat_cnf::{Clause, Lit};
 use gridsat_grid::{MessageSize, NodeId};
-use gridsat_solver::SplitSpec;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -112,15 +111,16 @@ pub enum GridMsg {
     /// `problem` names the lost instance when the sender knows it, so
     /// the re-dispatch can be attributed to the original subproblem.
     Requeue {
-        spec: Box<SplitSpec>,
+        spec: Box<SpecFrame>,
         problem: Option<ProblemId>,
     },
 
     // ---- master -> client ----
     /// Assign a (sub)problem; the first registered client receives the
-    /// entire problem this way.
+    /// entire problem this way. The spec travels as a checksummed
+    /// [`SpecFrame`]; the receiver verifies before decoding.
     Solve {
-        spec: Box<SplitSpec>,
+        spec: Box<SpecFrame>,
         problem: ProblemId,
     },
     /// Figure 3 message (2): the master grants a split and names the
@@ -145,7 +145,7 @@ pub enum GridMsg {
     /// `problem` is the subproblem's identity, minted by its creator
     /// (splits mint a fresh id; migrations keep the old one).
     Subproblem {
-        spec: Box<SplitSpec>,
+        spec: Box<SpecFrame>,
         sent_at: f64,
         problem: ProblemId,
     },
@@ -164,10 +164,13 @@ pub enum GridMsg {
     // ---- master <-> standby (durability extension) ----
     /// Journal records `start..start+records.len()` shipped from the
     /// active master to the standby so a promotion can replay scheduling
-    /// history it never witnessed.
+    /// history it never witnessed. Each record travels sealed (stamped
+    /// and checksummed); the standby verifies record by record and acks
+    /// only the verified contiguous prefix, so one mangled record never
+    /// poisons the replayed history.
     JournalBatch {
         start: u64,
-        records: Vec<JournalRecord>,
+        records: Vec<SealedRecord>,
     },
     /// Standby's cumulative ack: it holds every record below `next`.
     /// Lossy by design — a missed ack only inflates the reported lag.
@@ -268,27 +271,24 @@ impl MessageSize for GridMsg {
             } => 40 + lits.len() * 5,
             GridMsg::LoadReport { .. } => 32,
             GridMsg::Heartbeat => 24,
-            GridMsg::Requeue { spec, .. } => 24 + wire::spec_wire_bytes(spec),
+            GridMsg::Requeue { spec, .. } => 24 + spec.wire_len(),
             GridMsg::CheckpointMsg { checkpoint, .. } => match checkpoint.as_ref() {
                 Checkpoint::Light { level0 } => 40 + level0.len() * 5,
                 Checkpoint::Heavy { level0, learned } => {
                     40 + level0.len() * 5 + learned.iter().map(|c| 8 + c.len() * 4).sum::<usize>()
                 }
             },
-            GridMsg::Solve { spec, .. } => 24 + wire::spec_wire_bytes(spec),
+            GridMsg::Solve { spec, .. } => 24 + spec.wire_len(),
             GridMsg::SplitGrant { .. } => 32,
             GridMsg::Migrate { .. } => 32,
             GridMsg::Peers { peers, .. } => 24 + peers.len() * 4,
             GridMsg::Terminate(_) => 32,
-            GridMsg::Subproblem { spec, .. } => 24 + wire::spec_wire_bytes(spec),
+            GridMsg::Subproblem { spec, .. } => 24 + spec.wire_len(),
             // 24-byte frame (origin + epoch + framing) plus the actual
             // encoded batch — the real cost the bandwidth model charges
             GridMsg::Share { batch, .. } => 24 + batch.wire_len(),
             GridMsg::JournalBatch { records, .. } => {
-                24 + records
-                    .iter()
-                    .map(JournalRecord::approx_bytes)
-                    .sum::<usize>()
+                24 + records.iter().map(SealedRecord::wire_len).sum::<usize>()
             }
             GridMsg::JournalAck { .. } => 24,
             GridMsg::Takeover => 24,
@@ -337,11 +337,53 @@ impl MessageSize for GridMsg {
             GridMsg::Adopt { .. } => "adopt".into(),
         }
     }
+
+    /// Flip one bit in the message's real byte payload, if it has one.
+    /// Scalar-only messages return `false` and are dropped by the engine
+    /// instead (header corruption: the frame itself is unreadable).
+    fn corrupt(&mut self, seed: u64) -> bool {
+        match self {
+            GridMsg::Requeue { spec, .. }
+            | GridMsg::Solve { spec, .. }
+            | GridMsg::Subproblem { spec, .. } => {
+                spec.corrupt_bit(seed);
+                true
+            }
+            // copy-on-write: the relay fan-out shares this buffer, and
+            // only this delivery saw the flipped bit
+            GridMsg::Share { batch, .. } => {
+                Arc::make_mut(batch).corrupt_bit(seed);
+                true
+            }
+            GridMsg::JournalBatch { records, .. } if !records.is_empty() => {
+                let victim = (seed as usize) % records.len();
+                records[victim].corrupt_bit(seed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn payload_intact(&self) -> bool {
+        match self {
+            GridMsg::Requeue { spec, .. }
+            | GridMsg::Solve { spec, .. }
+            | GridMsg::Subproblem { spec, .. } => spec.intact(),
+            GridMsg::Share { batch, .. } => batch.intact(),
+            // journal batches are deliberately let through: records are
+            // sealed individually, and the standby rejects bad ones and
+            // withholds its ack so the master re-sends from the last
+            // verified record
+            _ => true,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{self, FRAME_HEADER_BYTES};
+    use gridsat_solver::SplitSpec;
 
     fn share_of(clauses: Vec<Clause>) -> GridMsg {
         let shares: Vec<(Clause, u64)> = clauses
@@ -373,14 +415,63 @@ mod tests {
             clauses: vec![Clause::new([Lit::pos(1), Lit::pos(2)])],
         };
         let sub = GridMsg::Subproblem {
-            spec: Box::new(spec.clone()),
+            spec: Box::new(SpecFrame::seal(&spec)),
             sent_at: 0.0,
             problem: ProblemId::new(NodeId(1), 1),
         };
-        // the size model is the exact encoded length plus the frame —
-        // and tighter than the old approximate model for short clauses
-        assert_eq!(sub.size_bytes(), 24 + wire::spec_wire_bytes(&spec));
+        // the size model is the exact encoded length plus the checksum
+        // frame — still tighter than the old approximate model
+        assert_eq!(
+            sub.size_bytes(),
+            24 + FRAME_HEADER_BYTES + wire::spec_wire_bytes(&spec)
+        );
         assert!(sub.size_bytes() < 24 + spec.approx_message_bytes());
+    }
+
+    #[test]
+    fn corruption_mangles_real_payloads_and_receivers_notice() {
+        let spec = SplitSpec {
+            num_vars: 10,
+            assumptions: vec![(Lit::pos(0), true)],
+            clauses: vec![Clause::new([Lit::pos(1), Lit::pos(2)])],
+        };
+        let mut sub = GridMsg::Subproblem {
+            spec: Box::new(SpecFrame::seal(&spec)),
+            sent_at: 0.0,
+            problem: ProblemId::new(NodeId(1), 1),
+        };
+        assert!(sub.payload_intact());
+        assert!(sub.corrupt(7), "spec transfers carry real bytes");
+        assert!(!sub.payload_intact(), "a flipped bit must fail the check");
+
+        let mut share = share_of(vec![Clause::new([Lit::pos(0)])]);
+        assert!(share.corrupt(9));
+        assert!(!share.payload_intact());
+
+        // scalar-only control: no byte payload to flip — dropped instead
+        let mut hb = GridMsg::Heartbeat;
+        assert!(!hb.corrupt(3));
+        assert!(hb.payload_intact());
+    }
+
+    #[test]
+    fn a_corrupted_journal_batch_is_delivered_for_per_record_rejection() {
+        use crate::journal::{JournalRecord, SealedRecord};
+        let records = vec![
+            SealedRecord::seal(0, &JournalRecord::ClientIdle { client: NodeId(1) }),
+            SealedRecord::seal(1, &JournalRecord::ClientIdle { client: NodeId(2) }),
+        ];
+        let mut batch = GridMsg::JournalBatch { start: 0, records };
+        assert!(batch.corrupt(5), "journal batches carry real bytes");
+        assert!(
+            batch.payload_intact(),
+            "the batch still travels: the standby rejects record by record"
+        );
+        let GridMsg::JournalBatch { records, .. } = batch else {
+            unreachable!()
+        };
+        let bad = records.iter().filter(|r| !r.intact()).count();
+        assert_eq!(bad, 1, "exactly one record took the flipped bit");
     }
 
     #[test]
@@ -426,7 +517,7 @@ mod tests {
             clauses: vec![],
         };
         assert!(GridMsg::Subproblem {
-            spec: Box::new(spec),
+            spec: Box::new(SpecFrame::seal(&spec)),
             sent_at: 0.0,
             problem: ProblemId::new(NodeId(1), 2)
         }

@@ -16,12 +16,12 @@
 use crate::audit::Audit;
 use crate::client::Client;
 use crate::config::GridConfig;
-use crate::journal::JournalRecord;
+use crate::journal::{JournalRecord, SealedRecord};
 use crate::master::Master;
 use crate::msg::GridMsg;
 use gridsat_cnf::Formula;
 use gridsat_grid::{Ctx, NodeId, Process, Site};
-use gridsat_obs::Obs;
+use gridsat_obs::{Event, Obs};
 use std::collections::BTreeMap;
 
 /// A client that doubles as the journal-tailing standby master.
@@ -30,10 +30,14 @@ pub struct StandbyNode {
     formula: Formula,
     config: GridConfig,
     host_info: BTreeMap<NodeId, (f64, Site)>,
-    /// Contiguous journal prefix received so far.
+    /// Contiguous journal prefix received so far — every record opened,
+    /// checksum-verified, and stamp-checked before it was appended.
     records: Vec<JournalRecord>,
-    /// Out-of-order batches, keyed by their start sequence.
-    staged: BTreeMap<u64, Vec<JournalRecord>>,
+    /// Out-of-order batches, keyed by their start sequence; verified
+    /// record by record when they become contiguous.
+    staged: BTreeMap<u64, Vec<SealedRecord>>,
+    /// Sealed records rejected for a bad checksum or sequence stamp.
+    rejected: u64,
     /// Simulated second of the last journal batch (keepalives count).
     last_feed: f64,
     /// Set once this standby has taken over; every callback delegates
@@ -59,6 +63,7 @@ impl StandbyNode {
             host_info,
             records: Vec::new(),
             staged: BTreeMap::new(),
+            rejected: 0,
             last_feed: 0.0,
             promoted: None,
             obs,
@@ -81,6 +86,12 @@ impl StandbyNode {
         self.records.len()
     }
 
+    /// Sealed journal records rejected for failing verification (test
+    /// introspection).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
     fn grace(&self) -> f64 {
         self.config
             .failover
@@ -90,13 +101,17 @@ impl StandbyNode {
     /// Fold a batch into the contiguous prefix; stage it when it starts
     /// beyond what we hold (an earlier batch was lost and will be
     /// re-shipped once the master notices the undeliverable).
-    fn absorb_batch(&mut self, start: u64, batch: Vec<JournalRecord>) {
+    fn absorb_batch(
+        &mut self,
+        from: NodeId,
+        start: u64,
+        batch: Vec<SealedRecord>,
+        now: f64,
+        me: u32,
+    ) {
         let have = self.records.len() as u64;
         if start <= have {
-            let skip = (have - start) as usize;
-            if skip < batch.len() {
-                self.records.extend(batch.into_iter().skip(skip));
-            }
+            self.verify_extend(from, start, batch, now, me);
         } else {
             self.staged.insert(start, batch);
         }
@@ -109,9 +124,36 @@ impl StandbyNode {
                 break;
             }
             let batch = self.staged.remove(&s).expect("key just observed");
-            let skip = (have - s) as usize;
-            if skip < batch.len() {
-                self.records.extend(batch.into_iter().skip(skip));
+            self.verify_extend(from, s, batch, now, me);
+        }
+    }
+
+    /// Open each sealed record, verify its checksum and sequence stamp,
+    /// and append it. A record that fails verification must never enter
+    /// the replayed history: it and the rest of its batch are dropped,
+    /// and the resulting withheld ack (a duplicate of the last one) is
+    /// what tells the master to re-ship from the gap.
+    fn verify_extend(
+        &mut self,
+        from: NodeId,
+        start: u64,
+        batch: Vec<SealedRecord>,
+        now: f64,
+        me: u32,
+    ) {
+        let skip = (self.records.len() as u64 - start) as usize;
+        for (i, sealed) in batch.into_iter().enumerate().skip(skip) {
+            let want = start + i as u64;
+            match sealed.open() {
+                Ok((seq, rec)) if seq == want => self.records.push(rec),
+                _ => {
+                    self.rejected += 1;
+                    self.obs.emit(now, me, || Event::CorruptDrop {
+                        from: from.0,
+                        label: "journal-record".into(),
+                    });
+                    return;
+                }
             }
         }
     }
@@ -169,7 +211,9 @@ impl Process for StandbyNode {
         match msg {
             GridMsg::JournalBatch { start, records } => {
                 self.last_feed = ctx.now();
-                self.absorb_batch(start, records);
+                self.absorb_batch(from, start, records, ctx.now(), ctx.me().0);
+                // acked on every batch, even a rejected or gapped one:
+                // repeating the last ack is the re-request signal
                 ctx.send(
                     from,
                     GridMsg::JournalAck {

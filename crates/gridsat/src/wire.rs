@@ -36,13 +36,29 @@
 //! [`spec_wire_bytes`] computes a spec's encoded length without
 //! materializing the buffer; it replaces the old hand-waved
 //! `approx_message_bytes` cost model in the message layer.
+//!
+//! ## Framing
+//!
+//! Both bulk payloads travel inside a versioned, checksummed frame:
+//!
+//! ```text
+//! 'G' 'S' · version(1 byte) · payload_len(u32 LE) · crc32(u32 LE) · payload
+//! ```
+//!
+//! The chaos harness flips payload bits in flight
+//! ([`NetChaos::corrupt_prob`](gridsat_grid::NetChaos)), so every decode
+//! path verifies the CRC before touching the payload and returns a typed
+//! [`WireError`] on any mangled, truncated or over-length input — no
+//! decoder in this module can panic on external bytes.
 
 use gridsat_cnf::{Clause, Lit};
 use gridsat_solver::SplitSpec;
 use std::fmt;
 
-/// Decoding failure. The simulator never corrupts payloads, so hitting
-/// one of these indicates an encoder/decoder mismatch, not line noise.
+/// Decoding failure on a wire payload: line noise (the chaos harness
+/// corrupts frames in flight), truncation, or an encoder/decoder
+/// mismatch. Every variant is recoverable — the receiver counts the
+/// frame as dropped and relies on retransmission or periodic re-send.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// Input ended mid-value.
@@ -50,6 +66,14 @@ pub enum WireError {
     /// A varint exceeded 64 bits or a literal code exceeded the
     /// representable range.
     Overflow,
+    /// Frame did not start with the `GS` magic bytes.
+    BadMagic,
+    /// Frame version is newer than this decoder understands.
+    BadVersion(u8),
+    /// Payload bytes did not hash to the frame's CRC32.
+    Checksum,
+    /// The buffer carries more bytes than the frame header declares.
+    TrailingBytes,
 }
 
 impl fmt::Display for WireError {
@@ -57,15 +81,107 @@ impl fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "wire payload truncated"),
             WireError::Overflow => write!(f, "wire varint overflow"),
+            WireError::BadMagic => write!(f, "frame magic mismatch"),
+            WireError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            WireError::Checksum => write!(f, "frame checksum mismatch"),
+            WireError::TrailingBytes => write!(f, "bytes beyond the framed payload"),
         }
     }
+}
+
+impl std::error::Error for WireError {}
+
+// ----------------------------------------------------------------------
+// CRC32 (IEEE, reflected) — hand-rolled: the build environment has no
+// crates.io access, so the checksum ships with the codec.
+// ----------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ----------------------------------------------------------------------
+// Frame header
+// ----------------------------------------------------------------------
+
+const FRAME_MAGIC: [u8; 2] = *b"GS";
+
+/// Current frame version. Decoders accept this version only; a bumped
+/// version is a protocol change and must stay backwards-readable by
+/// matching on the version byte here.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Bytes of the frame header preceding the payload.
+pub const FRAME_HEADER_BYTES: usize = 11;
+
+/// Wrap `payload` in a versioned, checksummed frame.
+pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify a frame and return its payload. Rejects short buffers, wrong
+/// magic, unknown versions, length mismatches in either direction, and
+/// any payload whose CRC32 does not match the header.
+pub fn open_frame(buf: &[u8]) -> Result<&[u8], WireError> {
+    let header = buf.get(..FRAME_HEADER_BYTES).ok_or(WireError::Truncated)?;
+    if header[..2] != FRAME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if header[2] != FRAME_VERSION {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let len = u32::from_le_bytes([header[3], header[4], header[5], header[6]]) as usize;
+    let want = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    let payload = &buf[FRAME_HEADER_BYTES..];
+    match payload.len() {
+        n if n < len => return Err(WireError::Truncated),
+        n if n > len => return Err(WireError::TrailingBytes),
+        _ => {}
+    }
+    if crc32(payload) != want {
+        return Err(WireError::Checksum);
+    }
+    Ok(payload)
 }
 
 // ----------------------------------------------------------------------
 // Varint primitives
 // ----------------------------------------------------------------------
 
-fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+pub(crate) fn write_varint(mut v: u64, out: &mut Vec<u8>) {
     while v >= 0x80 {
         out.push((v as u8) | 0x80);
         v >>= 7;
@@ -73,7 +189,7 @@ fn write_varint(mut v: u64, out: &mut Vec<u8>) {
     out.push(v as u8);
 }
 
-fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -94,7 +210,7 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
 }
 
 /// Encoded length of `v` as a varint, without encoding it.
-fn varint_len(v: u64) -> usize {
+pub(crate) fn varint_len(v: u64) -> usize {
     // ceil(bits/7) where bits = 64 - leading_zeros, at least one byte
     ((70 - (v | 1).leading_zeros()) / 7) as usize
 }
@@ -115,7 +231,7 @@ fn unzigzag(v: u64) -> i64 {
 
 /// Encode literal codes in the given order (first absolute, rest
 /// delta-coded). Callers canonicalize when they want canonical form.
-fn encode_codes(codes: &[u32], out: &mut Vec<u8>) {
+pub(crate) fn encode_codes(codes: &[u32], out: &mut Vec<u8>) {
     write_varint(codes.len() as u64, out);
     let mut prev = 0i64;
     for (i, &c) in codes.iter().enumerate() {
@@ -126,7 +242,7 @@ fn encode_codes(codes: &[u32], out: &mut Vec<u8>) {
     }
 }
 
-fn clause_wire_len(clause: &Clause) -> usize {
+pub(crate) fn clause_wire_len(clause: &Clause) -> usize {
     let mut n = varint_len(clause.len() as u64);
     let mut prev = 0i64;
     for (i, l) in clause.iter().enumerate() {
@@ -138,7 +254,7 @@ fn clause_wire_len(clause: &Clause) -> usize {
     n
 }
 
-fn decode_clause(buf: &[u8], pos: &mut usize) -> Result<Clause, WireError> {
+pub(crate) fn decode_clause(buf: &[u8], pos: &mut usize) -> Result<Clause, WireError> {
     let len = read_varint(buf, pos)?;
     if len > buf.len() as u64 {
         // each literal takes ≥ 1 byte; an impossible count means garbage
@@ -176,30 +292,41 @@ pub struct EncodedBatch {
 }
 
 impl EncodedBatch {
-    /// Serialize `(clause, fingerprint)` pairs into one buffer.
+    /// Serialize `(clause, fingerprint)` pairs into one framed buffer.
     pub fn encode(shares: &[(Clause, u64)]) -> EncodedBatch {
-        let mut bytes = Vec::new();
-        write_varint(shares.len() as u64, &mut bytes);
+        let mut payload = Vec::new();
+        write_varint(shares.len() as u64, &mut payload);
         let mut fingerprints = Vec::with_capacity(shares.len());
         for (clause, fp) in shares {
             let mut codes: Vec<u32> = clause.iter().map(|l| l.code() as u32).collect();
             codes.sort_unstable();
             codes.dedup();
-            encode_codes(&codes, &mut bytes);
+            encode_codes(&codes, &mut payload);
             fingerprints.push(*fp);
         }
         EncodedBatch {
-            bytes,
+            bytes: seal_frame(&payload),
             fingerprints,
         }
     }
 
-    /// Decode back into `(clause, fingerprint)` pairs. Fingerprints are
-    /// recomputed from the canonical decoded literals, so they agree
-    /// with what [`encode`](EncodedBatch::encode) was handed as long as
-    /// the sender used [`Clause::fingerprint`].
+    /// Adopt raw wire bytes as a batch, as a receiver (or fuzzer) would:
+    /// no fingerprints are known until [`decode`](EncodedBatch::decode)
+    /// verifies the frame and recomputes them.
+    pub fn from_wire(bytes: Vec<u8>) -> EncodedBatch {
+        EncodedBatch {
+            bytes,
+            fingerprints: Vec::new(),
+        }
+    }
+
+    /// Decode back into `(clause, fingerprint)` pairs after verifying
+    /// the frame checksum. Fingerprints are recomputed from the
+    /// canonical decoded literals, so they agree with what
+    /// [`encode`](EncodedBatch::encode) was handed as long as the sender
+    /// used [`Clause::fingerprint`].
     pub fn decode(&self) -> Result<Vec<(Clause, u64)>, WireError> {
-        let buf = &self.bytes;
+        let buf = open_frame(&self.bytes)?;
         let mut pos = 0usize;
         let count = read_varint(buf, &mut pos)?;
         if count > buf.len() as u64 {
@@ -211,7 +338,22 @@ impl EncodedBatch {
             let fp = clause.fingerprint();
             out.push((clause, fp));
         }
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
         Ok(out)
+    }
+
+    /// Cheap integrity check: does the frame header still match the
+    /// payload? The reliability layer calls this on receipt to treat a
+    /// corrupted batch as a drop without decoding the clauses.
+    pub fn intact(&self) -> bool {
+        open_frame(&self.bytes).is_ok()
+    }
+
+    /// Fault injection: flip one payload/header bit, chosen by `seed`.
+    pub fn corrupt_bit(&mut self, seed: u64) {
+        flip_bit(&mut self.bytes, seed);
     }
 
     /// Number of clauses in the batch.
@@ -229,11 +371,25 @@ impl EncodedBatch {
         &self.fingerprints
     }
 
-    /// Bytes on the wire: the encoded buffer length (fingerprints are
-    /// in-memory only).
+    /// Bytes on the wire: frame header plus encoded payload
+    /// (fingerprints are in-memory only).
     pub fn wire_len(&self) -> usize {
         self.bytes.len()
     }
+}
+
+/// Flip one pseudo-random bit of `bytes`, chosen by `seed` (splitmix64
+/// finalizer, so consecutive engine seeds scatter well).
+pub(crate) fn flip_bit(bytes: &mut [u8], seed: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let bit = z % (bytes.len() as u64 * 8);
+    bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
 }
 
 // ----------------------------------------------------------------------
@@ -283,6 +439,9 @@ pub fn decode_spec(buf: &[u8]) -> Result<SplitSpec, WireError> {
     for _ in 0..n_clauses {
         clauses.push(decode_clause(buf, &mut pos)?);
     }
+    if pos != buf.len() {
+        return Err(WireError::TrailingBytes);
+    }
     Ok(SplitSpec {
         num_vars: num_vars as usize,
         assumptions,
@@ -290,9 +449,55 @@ pub fn decode_spec(buf: &[u8]) -> Result<SplitSpec, WireError> {
     })
 }
 
+/// A subproblem spec sealed in a checksummed frame — the form `Solve`,
+/// `Subproblem` and `Requeue` messages actually carry. Encoding happens
+/// once at send; the receiver verifies the CRC and decodes, so a
+/// bit-flipped transfer surfaces as a typed error instead of a mangled
+/// search space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecFrame {
+    bytes: Vec<u8>,
+}
+
+impl SpecFrame {
+    /// Encode and frame a spec.
+    pub fn seal(spec: &SplitSpec) -> SpecFrame {
+        SpecFrame {
+            bytes: seal_frame(&encode_spec(spec)),
+        }
+    }
+
+    /// Adopt raw wire bytes (receiver/fuzzer entry).
+    pub fn from_wire(bytes: Vec<u8>) -> SpecFrame {
+        SpecFrame { bytes }
+    }
+
+    /// Verify the frame and decode the spec.
+    pub fn open(&self) -> Result<SplitSpec, WireError> {
+        decode_spec(open_frame(&self.bytes)?)
+    }
+
+    /// Frame-level integrity check without decoding the spec.
+    pub fn intact(&self) -> bool {
+        open_frame(&self.bytes).is_ok()
+    }
+
+    /// Bytes on the wire: frame header plus encoded payload.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Fault injection: flip one payload/header bit, chosen by `seed`.
+    pub fn corrupt_bit(&mut self, seed: u64) {
+        flip_bit(&mut self.bytes, seed);
+    }
+}
+
 /// Exact [`encode_spec`] output length, computed without allocating the
-/// buffer. This is the transfer-size model for `Solve` / `Subproblem` /
-/// `Requeue` messages and the NWS transfer-time forecasts.
+/// buffer. This is the payload half of the transfer-size model for
+/// `Solve` / `Subproblem` / `Requeue` messages and the NWS
+/// transfer-time forecasts; [`SpecFrame::wire_len`] adds the frame
+/// header.
 pub fn spec_wire_bytes(spec: &SplitSpec) -> usize {
     let mut n = varint_len(spec.num_vars as u64);
     n += varint_len(spec.assumptions.len() as u64);
@@ -381,12 +586,106 @@ mod tests {
         let eleven = [0xffu8; 11];
         let mut pos = 0;
         assert_eq!(read_varint(&eleven, &mut pos), Err(WireError::Overflow));
-        // a batch whose count field promises more clauses than bytes
-        let batch = EncodedBatch {
-            bytes: vec![0x05, 0x02],
-            fingerprints: vec![],
-        };
+        // a correctly framed batch whose count field promises more
+        // clauses than bytes
+        let batch = EncodedBatch::from_wire(seal_frame(&[0x05, 0x02]));
         assert!(batch.decode().is_err());
+        // unframed garbage never reaches the clause decoder
+        let garbage = EncodedBatch::from_wire(vec![0x05, 0x02]);
+        assert_eq!(garbage.decode(), Err(WireError::Truncated));
+        assert!(!garbage.intact());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // standard IEEE test vectors
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn frames_open_cleanly_and_reject_every_mangling() {
+        let payload = b"framed payload".to_vec();
+        let framed = seal_frame(&payload);
+        assert_eq!(framed.len(), FRAME_HEADER_BYTES + payload.len());
+        assert_eq!(open_frame(&framed), Ok(&payload[..]));
+
+        // short buffer
+        assert_eq!(open_frame(&framed[..5]), Err(WireError::Truncated));
+        // wrong magic
+        let mut bad = framed.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(open_frame(&bad), Err(WireError::BadMagic));
+        // unknown version
+        let mut bad = framed.clone();
+        bad[2] = 9;
+        assert_eq!(open_frame(&bad), Err(WireError::BadVersion(9)));
+        // truncated payload
+        assert_eq!(
+            open_frame(&framed[..framed.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        // over-length payload
+        let mut long = framed.clone();
+        long.push(0);
+        assert_eq!(open_frame(&long), Err(WireError::TrailingBytes));
+        // flipped payload bit
+        let mut bad = framed.clone();
+        *bad.last_mut().unwrap() ^= 0x10;
+        assert_eq!(open_frame(&bad), Err(WireError::Checksum));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let shares: Vec<(Clause, u64)> = (0..4u32)
+            .map(|i| {
+                let c = Clause::new([Lit::pos(i * 3), Lit::neg(i * 3 + 1)]);
+                let fp = c.fingerprint();
+                (c, fp)
+            })
+            .collect();
+        let clean = EncodedBatch::encode(&shares);
+        assert!(clean.intact());
+        // CRC32 detects every single-bit error; header damage trips the
+        // magic/version/length checks instead
+        for bit in 0..(clean.wire_len() * 8) {
+            let mut bad = clean.clone();
+            bad.bytes[bit / 8] ^= 1 << (bit % 8);
+            assert!(!bad.intact(), "flip of bit {bit} went undetected");
+            assert!(bad.decode().is_err());
+        }
+        // deterministic: the same seed flips the same bit
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        a.corrupt_bit(42);
+        b.corrupt_bit(42);
+        assert_eq!(a, b);
+        assert!(!a.intact(), "a flipped bit must fail the CRC");
+        assert!(a.decode().is_err());
+    }
+
+    #[test]
+    fn spec_frames_round_trip_and_reject_corruption() {
+        let spec = SplitSpec {
+            num_vars: 40,
+            assumptions: vec![(Lit::pos(3), true), (Lit::neg(7), false)],
+            clauses: vec![Clause::new([Lit::pos(1), Lit::neg(2), Lit::pos(9)])],
+        };
+        let frame = SpecFrame::seal(&spec);
+        assert!(frame.intact());
+        assert_eq!(
+            frame.wire_len(),
+            FRAME_HEADER_BYTES + spec_wire_bytes(&spec)
+        );
+        assert_eq!(frame.open(), Ok(spec));
+        let mut bad = frame.clone();
+        bad.corrupt_bit(7);
+        assert!(bad.open().is_err());
+        assert!(SpecFrame::from_wire(vec![1, 2, 3]).open().is_err());
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Seed-driven decode fuzzing: every decoder that faces external bytes
+//! must return an error on mangled input — never panic — and must
+//! round-trip clean input exactly. Covers the three wire decoders:
+//! checksummed frames ([`wire::open_frame`]), clause-share batches
+//! ([`EncodedBatch`]), and sealed journal records ([`SealedRecord`]).
+//!
+//! The generator is a plain xorshift so failures reproduce from the
+//! printed seed alone (`DECODE_FUZZ_SEED=<n>`), and the iteration count
+//! scales down with `DECODE_FUZZ_ITERS` for smoke runs.
+
+use gridsat::journal::{JournalRecord, SealedRecord};
+use gridsat::msg::{Checkpoint, ProblemId};
+use gridsat::wire::{self, EncodedBatch, SpecFrame};
+use gridsat_cnf::{Clause, Lit};
+use gridsat_grid::NodeId;
+use gridsat_solver::SplitSpec;
+
+const DEFAULT_ITERS: u64 = 10_000;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn iters() -> u64 {
+    std::env::var("DECODE_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS)
+}
+
+fn seed() -> u64 {
+    std::env::var("DECODE_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5eed_cafe)
+}
+
+/// A random clause already in the codec's canonical form (distinct
+/// variables, ascending), so an encode/decode round-trip is exact.
+fn random_clause(rng: &mut Rng) -> Clause {
+    let len = 1 + rng.below(6);
+    let mut vars: Vec<u32> = (0..len).map(|_| rng.below(40) as u32).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    Clause::new(vars.into_iter().map(|var| {
+        if rng.next() & 1 == 0 {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }))
+}
+
+fn random_spec(rng: &mut Rng) -> SplitSpec {
+    SplitSpec {
+        num_vars: 40,
+        assumptions: (0..rng.below(5))
+            .map(|_| (Lit::pos(rng.below(40) as u32), rng.next() & 1 == 0))
+            .collect(),
+        clauses: (0..rng.below(8)).map(|_| random_clause(rng)).collect(),
+    }
+}
+
+fn random_record(rng: &mut Rng) -> JournalRecord {
+    match rng.below(4) {
+        0 => JournalRecord::ClientIdle {
+            client: NodeId(rng.below(9) as u32),
+        },
+        1 => JournalRecord::Launch {
+            client: NodeId(rng.below(9) as u32),
+            memory: rng.below(1 << 20),
+            speed: rng.below(4000) as f64,
+            availability: 0.5,
+            at: rng.below(1000) as f64,
+        },
+        2 => JournalRecord::BacklogPush {
+            client: NodeId(rng.below(9) as u32),
+        },
+        _ => JournalRecord::CheckpointAccept {
+            client: NodeId(rng.below(9) as u32),
+            problem: ProblemId::new(NodeId(1), rng.next() as u32 & 0xffff),
+            checkpoint: Checkpoint::Heavy {
+                level0: vec![(Lit::pos(rng.below(40) as u32), false)],
+                learned: (0..rng.below(3)).map(|_| random_clause(rng)).collect(),
+            },
+            learn_problem: rng.next() & 1 == 0,
+        },
+    }
+}
+
+/// Mangle `clean` one of three ways: truncate, flip 1–8 bits, or
+/// replace with unstructured garbage.
+fn mangle(rng: &mut Rng, clean: &[u8]) -> Vec<u8> {
+    match rng.below(3) {
+        0 => clean[..rng.below(clean.len().max(1))].to_vec(),
+        1 => {
+            let mut bad = clean.to_vec();
+            if !bad.is_empty() {
+                for _ in 0..1 + rng.below(8) {
+                    let bit = rng.below(bad.len() * 8);
+                    bad[bit / 8] ^= 1 << (bit % 8);
+                }
+            }
+            bad
+        }
+        _ => (0..rng.below(200)).map(|_| rng.next() as u8).collect(),
+    }
+}
+
+/// Mangled frames must error (or, when a bit flip happens to leave the
+/// header parseable but touch nothing checked, still decode to *some*
+/// payload without panicking — CRC32 catches every 1–8 bit flip, so in
+/// practice only the identity mangle survives).
+#[test]
+fn fuzz_frame_decoder_never_panics() {
+    let mut rng = Rng(seed() | 1);
+    for i in 0..iters() {
+        let payload: Vec<u8> = (0..rng.below(64)).map(|_| rng.next() as u8).collect();
+        let clean = wire::seal_frame(&payload);
+        assert_eq!(
+            wire::open_frame(&clean).expect("clean frame opens"),
+            &payload[..],
+            "iter {i}: clean round-trip"
+        );
+        let bad = mangle(&mut rng, &clean);
+        if bad != clean {
+            assert!(
+                wire::open_frame(&bad).is_err(),
+                "iter {i}: mangled frame decoded (seed {})",
+                seed()
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_share_batch_decoder_never_panics() {
+    let mut rng = Rng(seed() | 1);
+    for i in 0..iters() {
+        let shares: Vec<(Clause, u64)> = (0..rng.below(6))
+            .map(|_| {
+                let c = random_clause(&mut rng);
+                let fp = c.fingerprint();
+                (c, fp)
+            })
+            .collect();
+        let clean = EncodedBatch::encode(&shares);
+        assert_eq!(
+            clean.decode().expect("clean batch decodes"),
+            shares,
+            "iter {i}: clean round-trip"
+        );
+        let mut bad = clean.clone();
+        bad.corrupt_bit(rng.next());
+        // a single flipped bit must never pass the CRC
+        assert!(
+            bad.decode().is_err(),
+            "iter {i}: bit-flipped batch decoded (seed {})",
+            seed()
+        );
+        // unstructured garbage must error, not panic
+        let garbage =
+            EncodedBatch::from_wire((0..rng.below(200)).map(|_| rng.next() as u8).collect());
+        let _ = garbage.decode();
+    }
+}
+
+#[test]
+fn fuzz_spec_frame_decoder_never_panics() {
+    let mut rng = Rng(seed() | 1);
+    for i in 0..iters() {
+        let spec = random_spec(&mut rng);
+        let clean = SpecFrame::seal(&spec);
+        assert_eq!(
+            clean.open().expect("clean spec opens"),
+            spec,
+            "iter {i}: clean round-trip"
+        );
+        let mut bad = clean.clone();
+        bad.corrupt_bit(rng.next());
+        assert!(
+            bad.open().is_err(),
+            "iter {i}: bit-flipped spec frame opened (seed {})",
+            seed()
+        );
+        let garbage = SpecFrame::from_wire((0..rng.below(200)).map(|_| rng.next() as u8).collect());
+        let _ = garbage.open();
+    }
+}
+
+#[test]
+fn fuzz_sealed_record_decoder_never_panics() {
+    let mut rng = Rng(seed() | 1);
+    for i in 0..iters() {
+        let rec = random_record(&mut rng);
+        let seq = rng.next() & 0xffff_ffff;
+        let clean = SealedRecord::seal(seq, &rec);
+        let (got_seq, got_rec) = clean.open().expect("clean record opens");
+        assert_eq!(
+            (got_seq, &got_rec),
+            (seq, &rec),
+            "iter {i}: clean round-trip"
+        );
+        let mut bad = clean.clone();
+        bad.corrupt_bit(rng.next());
+        assert!(
+            bad.open().is_err(),
+            "iter {i}: bit-flipped record opened (seed {})",
+            seed()
+        );
+        let garbage =
+            SealedRecord::from_wire((0..rng.below(200)).map(|_| rng.next() as u8).collect());
+        let _ = garbage.open();
+    }
+}

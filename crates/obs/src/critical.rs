@@ -293,7 +293,8 @@ pub fn critical_path(events: &[TimedEvent]) -> Option<CriticalPath> {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Anomaly {
     /// Stable machine-readable code (`lease_churn`, `retransmit_storm`,
-    /// `wedged`, `relay_rebuild_loop`).
+    /// `wedged`, `relay_rebuild_loop`, `corrupt_storm`,
+    /// `journal_truncated`, `peer_quarantined`).
     pub code: &'static str,
     pub detail: String,
 }
@@ -307,6 +308,10 @@ pub fn detect_anomalies(events: &[TimedEvent]) -> Vec<Anomaly> {
     let mut rebuild_epochs = std::collections::BTreeSet::new();
     let mut outcome: Option<&str> = None;
     let mut any_assign = false;
+    let mut corrupt_drops = 0u64;
+    let mut truncations = 0u64;
+    let mut truncated_bytes = 0u64;
+    let mut quarantined = Vec::new();
     for e in events {
         match &e.event {
             Event::LeaseExpire { .. } => lease_expiries += 1,
@@ -317,6 +322,12 @@ pub fn detect_anomalies(events: &[TimedEvent]) -> Vec<Anomaly> {
             }
             Event::Outcome { outcome: o } => outcome = Some(o),
             Event::Assign { .. } => any_assign = true,
+            Event::CorruptDrop { .. } => corrupt_drops += 1,
+            Event::JournalTruncate { dropped_bytes, .. } => {
+                truncations += 1;
+                truncated_bytes += dropped_bytes;
+            }
+            Event::PeerQuarantine { client, .. } => quarantined.push(*client),
             _ => {}
         }
     }
@@ -352,6 +363,31 @@ pub fn detect_anomalies(events: &[TimedEvent]) -> Vec<Anomaly> {
                 "{rebuilds} relay-tree rebuilds over {} epochs",
                 rebuild_epochs.len()
             ),
+        });
+    }
+    // a handful of checksum drops is survivable noise (the reliable
+    // layer retransmits); a steady stream means a path is actively
+    // mangling traffic
+    if corrupt_drops >= 10 {
+        out.push(Anomaly {
+            code: "corrupt_storm",
+            detail: format!("{corrupt_drops} payloads dropped on checksum failure"),
+        });
+    }
+    // any journal truncation is data loss on the master's disk — always
+    // worth a flag, even though recovery is designed to survive it
+    if truncations > 0 {
+        out.push(Anomaly {
+            code: "journal_truncated",
+            detail: format!(
+                "{truncations} torn-tail recoveries discarded {truncated_bytes} journal bytes"
+            ),
+        });
+    }
+    if !quarantined.is_empty() {
+        out.push(Anomaly {
+            code: "peer_quarantined",
+            detail: format!("clients {quarantined:?} deregistered for corrupting traffic"),
         });
     }
     out
@@ -784,6 +820,69 @@ mod tests {
             .map(|a| a.code)
             .collect();
         assert_eq!(codes, ["wedged"]);
+    }
+
+    #[test]
+    fn integrity_anomalies() {
+        // a few corrupt drops stay below the storm threshold
+        let mut quiet = vec![
+            ev(0.0, 0, 1, 0, Event::Assign { client: 1 }),
+            outcome(1.0, 0, 2, 1),
+        ];
+        for _ in 0..9 {
+            quiet.push(ev(
+                0.5,
+                0,
+                0,
+                0,
+                Event::CorruptDrop {
+                    from: 2,
+                    label: "share".into(),
+                },
+            ));
+        }
+        assert!(detect_anomalies(&quiet).is_empty());
+
+        // a storm of drops, any truncation, and any quarantine all flag
+        let mut bad = quiet.clone();
+        bad.push(ev(
+            0.6,
+            0,
+            0,
+            0,
+            Event::CorruptDrop {
+                from: 2,
+                label: "share".into(),
+            },
+        ));
+        bad.push(ev(
+            0.7,
+            0,
+            0,
+            0,
+            Event::JournalTruncate {
+                kept: 40,
+                dropped_bytes: 17,
+            },
+        ));
+        bad.push(ev(
+            0.8,
+            0,
+            0,
+            0,
+            Event::PeerQuarantine {
+                client: 2,
+                strikes: 40,
+            },
+        ));
+        let found = detect_anomalies(&bad);
+        let codes: Vec<&str> = found.iter().map(|a| a.code).collect();
+        assert_eq!(
+            codes,
+            ["corrupt_storm", "journal_truncated", "peer_quarantined"]
+        );
+        assert!(found[1].detail.contains("17 journal bytes"));
+        assert!(found[2].detail.contains("[2]"));
     }
 
     #[test]

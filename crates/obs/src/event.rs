@@ -24,6 +24,9 @@ pub enum DropReason {
     DeadPeer,
     /// The chaos-injection layer lost the message (seeded fault plan).
     Chaos,
+    /// The chaos-injection layer corrupted a scalar-only message
+    /// (modeled header damage: nothing to deliver mangled).
+    Corrupt,
 }
 
 impl DropReason {
@@ -33,6 +36,7 @@ impl DropReason {
             DropReason::LinkDown => "link_down",
             DropReason::DeadPeer => "dead_peer",
             DropReason::Chaos => "chaos",
+            DropReason::Corrupt => "corrupt",
         }
     }
 
@@ -42,6 +46,7 @@ impl DropReason {
             "link_down" => Some(DropReason::LinkDown),
             "dead_peer" => Some(DropReason::DeadPeer),
             "chaos" => Some(DropReason::Chaos),
+            "corrupt" => Some(DropReason::Corrupt),
             _ => None,
         }
     }
@@ -104,8 +109,15 @@ pub enum Event {
     Acked { peer: u32 },
     /// A duplicate delivery was suppressed by the receiver's dedup window.
     DupDrop { from: u32, label: String },
+    /// A delivered message failed its payload checksum and was discarded
+    /// by the receiver (control traffic recovers by retransmit;
+    /// fire-and-forget streams just lose the message).
+    CorruptDrop { from: u32, label: String },
     /// The master's heartbeat lease on a client ran out.
     LeaseExpire { client: u32 },
+    /// A peer exceeded the corruption-strike threshold and was
+    /// deregistered, its work requeued from checkpoint.
+    PeerQuarantine { client: u32, strikes: u64 },
 
     // ---- master ----
     /// A client registered with the master.
@@ -137,6 +149,9 @@ pub enum Event {
     JournalAppend { record: u64, lag: u64 },
     /// A restarted master rebuilt its state by folding the journal.
     JournalReplay { records: u64 },
+    /// Journal recovery cut a torn or corrupt tail off the durable byte
+    /// log: `kept` records verified, `dropped_bytes` discarded.
+    JournalTruncate { kept: u64, dropped_bytes: u64 },
     /// A standby promoted itself to master after the lease lapsed.
     StandbyPromote { records: u64 },
     /// The search-space conservation auditor found a leaked or
@@ -170,7 +185,9 @@ impl Event {
             Event::Retransmit { .. } => "retransmit",
             Event::Acked { .. } => "ack",
             Event::DupDrop { .. } => "dup_drop",
+            Event::CorruptDrop { .. } => "corrupt_drop",
             Event::LeaseExpire { .. } => "lease_expire",
+            Event::PeerQuarantine { .. } => "peer_quarantine",
             Event::ClientLaunch { .. } => "client_launch",
             Event::Assign { .. } => "assign",
             Event::Split { .. } => "split",
@@ -182,6 +199,7 @@ impl Event {
             Event::Outcome { .. } => "outcome",
             Event::JournalAppend { .. } => "journal_append",
             Event::JournalReplay { .. } => "journal_replay",
+            Event::JournalTruncate { .. } => "journal_truncate",
             Event::StandbyPromote { .. } => "standby_promote",
             Event::AuditViolation { .. } => "audit_violation",
             Event::ShareDedup { .. } => "share_dedup",
@@ -346,11 +364,14 @@ impl TimedEvent {
             Event::Acked { peer } => {
                 w.u64("peer", u64::from(*peer));
             }
-            Event::DupDrop { from, label } => {
+            Event::DupDrop { from, label } | Event::CorruptDrop { from, label } => {
                 w.u64("from", u64::from(*from)).str("label", label);
             }
             Event::LeaseExpire { client } => {
                 w.u64("client", u64::from(*client));
+            }
+            Event::PeerQuarantine { client, strikes } => {
+                w.u64("client", u64::from(*client)).u64("strikes", *strikes);
             }
             Event::ClientLaunch { client } | Event::Assign { client } => {
                 w.u64("client", u64::from(*client));
@@ -379,6 +400,12 @@ impl TimedEvent {
             }
             Event::JournalReplay { records } | Event::StandbyPromote { records } => {
                 w.u64("records", *records);
+            }
+            Event::JournalTruncate {
+                kept,
+                dropped_bytes,
+            } => {
+                w.u64("kept", *kept).u64("dropped_bytes", *dropped_bytes);
             }
             Event::AuditViolation { path } => {
                 w.str("path", path);
@@ -457,8 +484,16 @@ impl TimedEvent {
                 from: u32f(&m, "from")?,
                 label: string(&m, "label")?,
             },
+            "corrupt_drop" => Event::CorruptDrop {
+                from: u32f(&m, "from")?,
+                label: string(&m, "label")?,
+            },
             "lease_expire" => Event::LeaseExpire {
                 client: u32f(&m, "client")?,
+            },
+            "peer_quarantine" => Event::PeerQuarantine {
+                client: u32f(&m, "client")?,
+                strikes: u64f(&m, "strikes")?,
             },
             "client_launch" => Event::ClientLaunch {
                 client: u32f(&m, "client")?,
@@ -513,6 +548,10 @@ impl TimedEvent {
             }
             "journal_replay" => Event::JournalReplay {
                 records: u64f(&m, "records")?,
+            },
+            "journal_truncate" => Event::JournalTruncate {
+                kept: u64f(&m, "kept")?,
+                dropped_bytes: u64f(&m, "dropped_bytes")?,
             },
             "standby_promote" => Event::StandbyPromote {
                 records: u64f(&m, "records")?,
@@ -706,9 +745,33 @@ mod tests {
                     label: "result(UNSAT)".into(),
                 },
             ),
+            ev(
+                13.45,
+                0,
+                Event::CorruptDrop {
+                    from: 2,
+                    label: "share".into(),
+                },
+            ),
+            ev(
+                13.47,
+                0,
+                Event::PeerQuarantine {
+                    client: 2,
+                    strikes: 25,
+                },
+            ),
             ev(13.5, 0, Event::LeaseExpire { client: 2 }),
             ev(13.6, 0, Event::JournalAppend { record: 41, lag: 3 }),
             ev(13.7, 5, Event::JournalReplay { records: 42 }),
+            ev(
+                13.75,
+                0,
+                Event::JournalTruncate {
+                    kept: 40,
+                    dropped_bytes: 17,
+                },
+            ),
             ev(13.8, 1, Event::StandbyPromote { records: 42 }),
             ev(
                 13.9,

@@ -149,9 +149,33 @@ fn golden_events() -> Vec<TimedEvent> {
                 label: "result(UNSAT)".into(),
             },
         ),
+        ev(
+            13.45,
+            0,
+            Event::CorruptDrop {
+                from: 2,
+                label: "share".into(),
+            },
+        ),
+        ev(
+            13.47,
+            0,
+            Event::PeerQuarantine {
+                client: 2,
+                strikes: 25,
+            },
+        ),
         ev(13.5, 0, Event::LeaseExpire { client: 2 }),
         ev(13.6, 0, Event::JournalAppend { record: 41, lag: 3 }),
         ev(13.7, 5, Event::JournalReplay { records: 42 }),
+        ev(
+            13.75,
+            0,
+            Event::JournalTruncate {
+                kept: 40,
+                dropped_bytes: 17,
+            },
+        ),
         ev(13.8, 1, Event::StandbyPromote { records: 42 }),
         ev(
             13.9,
@@ -184,7 +208,7 @@ fn golden_events() -> Vec<TimedEvent> {
 fn golden_file_covers_every_event_kind() {
     let kinds: std::collections::BTreeSet<&str> =
         golden_events().iter().map(|e| e.event.kind()).collect();
-    assert_eq!(kinds.len(), 30, "update the golden trace when adding kinds");
+    assert_eq!(kinds.len(), 33, "update the golden trace when adding kinds");
 }
 
 #[test]

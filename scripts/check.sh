@@ -25,6 +25,17 @@ if [[ "${CHECK_CHAOS:-0}" == "1" ]]; then
   cargo run --release -p gridsat-bench --bin chaos_soak -- --fast
 fi
 
+# Opt-in: the data-integrity gate — a decode-fuzz smoke pass over every
+# wire decoder (reduced iteration count; the full 10k runs in the normal
+# test suite) plus a bit-rot-only soak: every payload kind sees bit
+# flips and the runs must still end with the oracle's answer.
+if [[ "${CHECK_CORRUPT:-0}" == "1" ]]; then
+  echo "== decode fuzz smoke (truncation / bit flips / garbage)"
+  DECODE_FUZZ_ITERS=2000 cargo test --release -q -p gridsat --test decode_fuzz
+  echo "== bit-rot soak (fast profile)"
+  cargo run --release -p gridsat-bench --bin chaos_soak -- --fast --plan bit-rot --repro
+fi
+
 # Opt-in: the search-space conservation audit — journal/auditor unit
 # tests plus the failover integration tests with the auditor armed
 # (any lost or double-assigned cube panics the run).
