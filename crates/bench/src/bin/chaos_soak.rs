@@ -8,9 +8,11 @@
 //!            [--fast] [--seeds N] [--plan NAME] [--repro]
 //!
 //! `--fast` is the CI profile (few seeds); the default sweeps 20 seeds
-//! over all six fault plans and three instance families. The
-//! `master-gone` plan runs under the failover profile (standby + journal
-//! + conservation auditor); the rest use the chaos-hardened profile.
+//! over all seven fault plans and three instance families. The
+//! `master-gone` plan runs under the failover profile (standby, journal,
+//! conservation auditor), `submaster-loss` under the hierarchical
+//! profile on a two-site testbed; the rest use the chaos-hardened
+//! profile on a flat one.
 //!
 //! `--plan NAME` restricts the sweep to one fault plan. `--repro`
 //! prints one machine-readable JSON line per failing run —
@@ -71,6 +73,19 @@ fn failover_config() -> GridConfig {
     }
 }
 
+/// Losing a sub-master only means something on a hierarchical testbed:
+/// brokers on nodes 1..=sites, clients behind them, audit on so a steal
+/// that slips through recovery trips the conservation auditor.
+fn hierarchy_config() -> GridConfig {
+    GridConfig {
+        min_split_timeout: 0.2,
+        work_quantum_s: 0.1,
+        audit: true,
+        ..GridConfig::chaos_hardened()
+    }
+    .hierarchical()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -110,17 +125,18 @@ fn main() {
                     continue;
                 }
                 runs += 1;
-                let config = if plan.name == "master-gone" {
-                    failover_config()
-                } else {
-                    chaos_config()
+                let config = match plan.name.as_str() {
+                    "master-gone" => failover_config(),
+                    "submaster-loss" => hierarchy_config(),
+                    _ => chaos_config(),
                 };
                 let cap = config.overall_timeout;
                 let label = format!("{}/seed{}/{}", family.name, seed, plan.name);
                 // a panicking run (conservation-audit violation, decoder
                 // bug) must not kill the sweep before the repro line
+                let hierarchical = config.hierarchy.is_some();
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut sim = build(&f, config);
+                    let mut sim = build(&f, config, hierarchical);
                     plan.apply(&mut sim);
                     sim.run_until(cap + 60.0);
                     experiment::report(&sim, cap)
@@ -186,6 +202,13 @@ fn main() {
     }
 }
 
-fn build(f: &gridsat_cnf::Formula, config: GridConfig) -> gridsat::GridSim {
-    experiment::build_sim(f, Testbed::uniform(4, 1000.0, 3 << 20), config)
+fn build(f: &gridsat_cnf::Formula, config: GridConfig, hierarchical: bool) -> gridsat::GridSim {
+    let testbed = if hierarchical {
+        // root on node 0, brokers on 1..=2, four clients behind them;
+        // submaster-loss crashes nodes 1 and 2 — the brokers themselves
+        Testbed::scaling(4, 2, true)
+    } else {
+        Testbed::uniform(4, 1000.0, 3 << 20)
+    };
+    experiment::build_sim(f, testbed, config)
 }

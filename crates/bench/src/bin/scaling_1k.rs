@@ -1,0 +1,294 @@
+//! Control-plane scaling to 1000 clients: flat (every client talks to
+//! the root master) vs hierarchical (per-site sub-masters broker split
+//! traffic and steal tickets locally, escalating rate-limited). Hard
+//! UNSAT instances sized to the fleet (weak scaling, so 1000 slow
+//! clients stay busy), swept over testbed sizes; the headline number is the
+//! root master's peak queue depth — backlogged split requests plus
+//! recovered subproblems — which grows O(n) flat and stays O(sites)
+//! hierarchical. Control-plane bytes (everything that is not a solver
+//! payload) and the load-report coalescing counters are read off the
+//! deterministic engine trace and the client stats, for
+//! `BENCH_scale.json` at the repo root.
+//!
+//! Usage: cargo run --release -p gridsat-bench --bin scaling_1k \
+//!            [--fast] [--check] [--out PATH]
+//!
+//! `--fast` sweeps n ∈ {12, 100} (the CI smoke profile); the default
+//! adds n = 1000. `--check` exits nonzero unless every run reaches the
+//! oracle answer (the instance family is UNSAT by construction), the
+//! conservation auditor stays silent, and the hierarchical peak queue
+//! depth honors its O(sites) bound.
+
+use gridsat::{experiment, GridConfig, GridOutcome};
+use gridsat_grid::Testbed;
+use gridsat_satgen as satgen;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Message kinds that carry solver payloads; everything else is
+/// control-plane chatter (registrations, split handshakes, load reports,
+/// heartbeats, steal tickets, journal acks, site status).
+const PAYLOAD_KINDS: &[&str] = &["subproblem", "share", "solve", "checkpoint", "adopt"];
+
+/// Commodity-grid solver speed (work units per simulated second; the
+/// root and brokers stay at 1000). Slow clients hold each cube longer,
+/// so split demand outruns capacity at every sweep size and the bench
+/// measures control-plane behavior in the saturated regime — the one
+/// where the root's queue is the bottleneck.
+const CLIENT_SPEED: f64 = 400.0;
+
+struct Row {
+    n: usize,
+    sites: usize,
+    instance: String,
+    mode: &'static str,
+    outcome: &'static str,
+    sim_s: f64,
+    wall_ms: f64,
+    peak_queue: u64,
+    mean_queue: f64,
+    messages: u64,
+    wire_bytes: u64,
+    control_bytes: u64,
+    control_msgs: u64,
+    load_reports_sent: u64,
+    load_reports_suppressed: u64,
+    splits: u64,
+    steals_settled: u64,
+    escalations: u64,
+    tickets: u64,
+}
+
+fn config(hierarchical: bool, check: bool) -> GridConfig {
+    let base = GridConfig {
+        // small quanta force real split pressure at every testbed size
+        min_split_timeout: 0.5,
+        work_quantum_s: 0.25,
+        // report fast enough that the coalescing actually has traffic
+        // to suppress within a run
+        load_report_period: 5.0,
+        // the auditor panics the run on any lost or double-assigned
+        // cube, which --check reports as a failure
+        audit: check,
+        ..GridConfig::default()
+    };
+    if hierarchical {
+        base.hierarchical()
+    } else {
+        base
+    }
+}
+
+fn run_one(
+    f: &gridsat_cnf::Formula,
+    n: usize,
+    sites: usize,
+    hierarchical: bool,
+    check: bool,
+) -> Row {
+    let cfg = config(hierarchical, check);
+    let cap = cfg.overall_timeout;
+    let tb = Testbed::scaling(n, sites, hierarchical).with_client_speed(CLIENT_SPEED);
+    let mut sim = experiment::build_sim(f, tb, cfg);
+    sim.enable_trace();
+    let wall = Instant::now();
+    sim.run_until(cap + 60.0);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let r = experiment::report(&sim, cap);
+    let (mut control_bytes, mut control_msgs) = (0u64, 0u64);
+    for ev in sim.trace_events() {
+        if !PAYLOAD_KINDS.contains(&ev.label.as_str()) {
+            control_bytes += ev.bytes as u64;
+            control_msgs += 1;
+        }
+    }
+    Row {
+        n,
+        sites,
+        instance: f.name().unwrap_or("?").to_string(),
+        mode: if hierarchical { "hierarchical" } else { "flat" },
+        outcome: match r.outcome {
+            GridOutcome::Sat(_) => "SAT",
+            GridOutcome::Unsat => "UNSAT",
+            _ => "OTHER",
+        },
+        sim_s: r.seconds,
+        wall_ms,
+        peak_queue: r.telemetry.queue_depth_max,
+        mean_queue: r.telemetry.mean_queue_depth(),
+        messages: r.sim.messages_delivered,
+        wire_bytes: r.sim.bytes_delivered,
+        control_bytes,
+        control_msgs,
+        load_reports_sent: r.clients.load_reports_sent,
+        load_reports_suppressed: r.clients.load_reports_suppressed,
+        splits: r.master.splits,
+        steals_settled: r.master.steals_settled,
+        escalations: r.master.escalations,
+        tickets: r.submasters.tickets,
+    }
+}
+
+fn json_row(out: &mut String, row: &Row) {
+    let _ = write!(
+        out,
+        concat!(
+            "    {{\"n\":{},\"sites\":{},\"instance\":\"{}\",\"mode\":\"{}\",\"outcome\":\"{}\",",
+            "\"sim_s\":{:.1},\"wall_ms\":{:.0},",
+            "\"peak_queue\":{},\"mean_queue\":{:.2},",
+            "\"messages\":{},\"wire_bytes\":{},",
+            "\"control_bytes\":{},\"control_msgs\":{},",
+            "\"load_reports_sent\":{},\"load_reports_suppressed\":{},",
+            "\"splits\":{},\"steals_settled\":{},\"escalations\":{},\"tickets\":{}}}"
+        ),
+        row.n,
+        row.sites,
+        row.instance,
+        row.mode,
+        row.outcome,
+        row.sim_s,
+        row.wall_ms,
+        row.peak_queue,
+        row.mean_queue,
+        row.messages,
+        row.wire_bytes,
+        row.control_bytes,
+        row.control_msgs,
+        row.load_reports_sent,
+        row.load_reports_suppressed,
+        row.splits,
+        row.steals_settled,
+        row.escalations,
+        row.tickets,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out PATH").clone());
+
+    // weak scaling: the instance grows with the fleet so total work
+    // keeps 1000 slow clients occupied — hard UNSAT XOR chains (same
+    // family as the `scaling` bench) sized so split pressure, and with
+    // it the flat root's backlog, saturates at every tier. Flat and
+    // hierarchical always see the same instance at the same n, which
+    // is the comparison that matters.
+    let sweep: &[(usize, usize, usize)] = if fast {
+        &[(12, 2, 16), (100, 4, 16)]
+    } else {
+        &[(12, 2, 16), (100, 4, 16), (1000, 10, 20)]
+    };
+
+    println!("instance family: urquhart(size, 38) per tier | modes: flat vs hierarchical\n");
+    println!(
+        "{:>6} {:>6} {:>11} {:>13} {:>8} {:>9} {:>10} {:>10} {:>11} {:>8} {:>7}",
+        "n",
+        "sites",
+        "instance",
+        "mode",
+        "outcome",
+        "sim (s)",
+        "peak q",
+        "mean q",
+        "ctl bytes",
+        "splits",
+        "steals"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(n, sites, size) in sweep {
+        let f = satgen::xor::urquhart(size, 38);
+        for hierarchical in [false, true] {
+            let row = run_one(&f, n, sites, hierarchical, check);
+            println!(
+                "{:>6} {:>6} {:>11} {:>13} {:>8} {:>9.1} {:>10} {:>10.2} {:>11} {:>8} {:>7}",
+                row.n,
+                row.sites,
+                row.instance,
+                row.mode,
+                row.outcome,
+                row.sim_s,
+                row.peak_queue,
+                row.mean_queue,
+                row.control_bytes,
+                row.splits,
+                row.steals_settled,
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"scaling_1k\",\n");
+    let _ = writeln!(
+        json,
+        "  \"source\": \"cargo run --release -p gridsat-bench --bin scaling_1k{}\",",
+        if fast { " --fast" } else { "" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"weak-scaling urquhart UNSAT refutations (instance per row), client speed {} (saturated regime); flat = every client talks to the root, hierarchical = per-site sub-masters broker splits and steal tickets; control bytes = all non-payload traffic off the engine trace\",",
+        CLIENT_SPEED
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json_row(&mut json, row);
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]");
+    for (n, _, _) in sweep {
+        let flat = rows.iter().find(|r| r.n == *n && r.mode == "flat");
+        let hier = rows.iter().find(|r| r.n == *n && r.mode == "hierarchical");
+        if let (Some(flat), Some(hier)) = (flat, hier) {
+            let _ = write!(
+                json,
+                ",\n  \"peak_queue_reduction_n{}\": {:.2}",
+                n,
+                flat.peak_queue as f64 / (hier.peak_queue.max(1)) as f64
+            );
+        }
+    }
+    json.push_str("\n}\n");
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).expect("write BENCH_scale.json");
+        println!("\nwrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+
+    if check {
+        let mut failures: Vec<String> = Vec::new();
+        for row in &rows {
+            if row.outcome != "UNSAT" {
+                failures.push(format!(
+                    "{} n={}: expected UNSAT (instance family is UNSAT by construction), got {}",
+                    row.mode, row.n, row.outcome
+                ));
+            }
+            if row.mode == "hierarchical" {
+                // the whole point of the hierarchy: the root's backlog
+                // is bounded by escalation traffic, O(sites) not O(n)
+                let bound = (8 * row.sites + 16) as u64;
+                if row.peak_queue > bound {
+                    failures.push(format!(
+                        "hierarchical n={}: peak root queue {} exceeds O(sites) bound {}",
+                        row.n, row.peak_queue, bound
+                    ));
+                }
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("scaling_1k: FAIL {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("scaling_1k: all gates passed");
+    }
+}

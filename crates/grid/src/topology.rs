@@ -35,6 +35,9 @@ pub enum Site {
     Ucsd,
     Ucsb,
     BlueHorizon,
+    /// Synthetic site for scaling studies beyond the paper's five real
+    /// locations (`Testbed::scaling` builds grids of hundreds of these).
+    Grid(u16),
 }
 
 /// Static description of one host.
@@ -53,6 +56,10 @@ pub struct HostSpec {
     pub up_at: f64,
     /// Simulated second when the host goes away (`f64::INFINITY` = never).
     pub down_at: f64,
+    /// Host runs a site sub-master (hierarchical control plane) instead
+    /// of a solver client.
+    #[serde(default)]
+    pub broker: bool,
 }
 
 impl HostSpec {
@@ -65,11 +72,17 @@ impl HostSpec {
             load: Some(TraceConfig::default()),
             up_at: 0.0,
             down_at: f64::INFINITY,
+            broker: false,
         }
     }
 
     pub fn dedicated(mut self) -> HostSpec {
         self.load = None;
+        self
+    }
+
+    pub fn as_broker(mut self) -> HostSpec {
+        self.broker = true;
         self
     }
 
@@ -271,6 +284,50 @@ impl Testbed {
         self
     }
 
+    /// A synthetic scaling testbed: the root master alone on `Grid(0)`,
+    /// `clients` dedicated solver hosts round-robined across `sites`
+    /// synthetic sites, and — when `brokers` is true — one dedicated
+    /// sub-master host per site placed right after the root. Every
+    /// client-to-root hop crosses the WAN; client-to-sub-master hops
+    /// stay on the site LAN, which is what the hierarchical control
+    /// plane exploits.
+    pub fn scaling(clients: usize, sites: usize, brokers: bool) -> Testbed {
+        assert!(sites >= 1 && sites <= u16::MAX as usize);
+        let mut hosts = vec![HostSpec::new("root", Site::Grid(0), 1000.0, 3 << 20).dedicated()];
+        if brokers {
+            for s in 0..sites {
+                hosts.push(
+                    HostSpec::new(format!("sm{s}"), Site::Grid(s as u16 + 1), 1000.0, 3 << 20)
+                        .dedicated()
+                        .as_broker(),
+                );
+            }
+        }
+        for i in 0..clients {
+            let site = Site::Grid((i % sites) as u16 + 1);
+            hosts.push(HostSpec::new(format!("c{i}"), site, 1000.0, 3 << 20).dedicated());
+        }
+        Testbed {
+            hosts,
+            net: NetModel::default(),
+            load_seed: 0x5ca1e,
+        }
+    }
+
+    /// Rescale every solver host's speed, leaving the root and any
+    /// brokers at full tilt. Slow clients model commodity grid nodes:
+    /// each cube occupies its host longer, so demand outruns capacity
+    /// and the control plane — not solver throughput — becomes the
+    /// bottleneck under test.
+    pub fn with_client_speed(mut self, speed: f64) -> Testbed {
+        for h in self.hosts.iter_mut().skip(1) {
+            if !h.broker {
+                h.speed = speed;
+            }
+        }
+        self
+    }
+
     /// A small uniform testbed for tests and examples.
     pub fn uniform(workers: usize, speed: f64, memory: usize) -> Testbed {
         let mut hosts = vec![HostSpec::new("master", Site::Ucsd, speed, memory).dedicated()];
@@ -317,6 +374,86 @@ mod tests {
         assert_eq!(node.up_at, 118_800.0);
         assert_eq!(node.down_at, 162_000.0);
         assert!(node.load.is_none(), "batch nodes run dedicated");
+    }
+
+    #[test]
+    fn site_membership_by_testbed() {
+        // every paper testbed keeps each host on exactly one known site,
+        // and cluster naming matches its site assignment
+        for t in [Testbed::grads(), Testbed::set2()] {
+            for h in &t.hosts {
+                let prefix_ok = match h.site {
+                    Site::Utk => h.name.starts_with("utk"),
+                    Site::Uiuc => h.name.starts_with("uiuc"),
+                    Site::Ucsd => h.name.starts_with("ucsd") || h.name.contains("@ucsd"),
+                    Site::Ucsb => h.name.starts_with("ucsb") || h.name.contains("@ucsb"),
+                    Site::BlueHorizon => h.name.starts_with("bh"),
+                    Site::Grid(_) => false,
+                };
+                assert!(prefix_ok, "{} on {:?}", h.name, h.site);
+                assert!(!h.broker, "paper testbeds have no sub-masters");
+            }
+        }
+        // grads spans exactly three sites
+        let sites: std::collections::HashSet<_> =
+            Testbed::grads().hosts.iter().map(|h| h.site).collect();
+        assert_eq!(sites.len(), 3);
+    }
+
+    #[test]
+    fn intra_vs_inter_site_latency() {
+        let net = NetModel::default();
+        // synthetic grid sites obey the same LAN/WAN rule as real ones
+        assert_eq!(net.link(Site::Grid(3), Site::Grid(3)), net.lan);
+        assert_eq!(net.link(Site::Grid(3), Site::Grid(4)), net.wan);
+        assert_eq!(net.link(Site::Grid(1), Site::Ucsd), net.wan);
+        assert!(net.lan.latency_s < net.wan.latency_s);
+        // transfer time is monotone in message size on both link classes
+        for link in [net.lan, net.wan] {
+            assert!(link.transfer_time(2_000) > link.transfer_time(1_000));
+        }
+    }
+
+    #[test]
+    fn scaling_testbed_shape() {
+        let flat = Testbed::scaling(100, 8, false);
+        assert_eq!(flat.num_hosts(), 101);
+        assert!(flat.hosts.iter().all(|h| !h.broker));
+        // root is alone on Grid(0): all client traffic to it is WAN
+        assert!(flat.hosts[1..].iter().all(|h| h.site != Site::Grid(0)));
+
+        let hier = Testbed::scaling(100, 8, true);
+        assert_eq!(hier.num_hosts(), 109);
+        assert_eq!(hier.hosts.iter().filter(|h| h.broker).count(), 8);
+        // sub-masters occupy nodes 1..=8, one per site
+        for s in 0..8u16 {
+            let h = &hier.hosts[1 + s as usize];
+            assert!(h.broker);
+            assert_eq!(h.site, Site::Grid(s + 1));
+        }
+        // each site holds the same ±1 number of clients
+        let mut per_site = std::collections::HashMap::new();
+        for h in hier.hosts.iter().filter(|h| !h.broker).skip(1) {
+            *per_site.entry(h.site).or_insert(0usize) += 1;
+        }
+        assert_eq!(per_site.len(), 8);
+        assert!(per_site.values().all(|&n| n == 12 || n == 13));
+        // every host is dedicated so scaling runs are deterministic
+        assert!(hier.hosts.iter().all(|h| h.load.is_none()));
+    }
+
+    #[test]
+    fn client_speed_rescale_spares_the_control_plane() {
+        let tb = Testbed::scaling(20, 4, true).with_client_speed(250.0);
+        // root and the four brokers keep full speed
+        assert_eq!(tb.hosts[0].speed, 1000.0);
+        for h in tb.hosts.iter().filter(|h| h.broker) {
+            assert_eq!(h.speed, 1000.0);
+        }
+        // every solver host slows down
+        for h in tb.hosts[1..].iter().filter(|h| !h.broker) {
+            assert_eq!(h.speed, 250.0);
+        }
     }
 
     #[test]

@@ -207,6 +207,33 @@ impl FaultPlan {
         }
     }
 
+    /// A per-site sub-master blinks out and later a second one dies for
+    /// good, on a lossy network. Brokers hold only soft state, so the
+    /// hierarchy must degrade gracefully: idle clients fall back to the
+    /// root after the broker-retry cooldown, in-flight steals abort or
+    /// settle through the root ledger, and the verdict stays exact.
+    /// Meant for hierarchical testbeds where nodes 1..=sites are brokers.
+    pub fn submaster_loss(seed: u64) -> FaultPlan {
+        FaultPlan {
+            name: "submaster-loss".into(),
+            crashes: vec![
+                CrashWindow {
+                    node: 1,
+                    down_at: 5.0,
+                    up_at: Some(20.0),
+                },
+                CrashWindow {
+                    node: 2,
+                    down_at: 12.0,
+                    up_at: None,
+                },
+            ],
+            loss_prob: 0.02,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
     /// The standard sweep roster for soak runs.
     pub fn roster(seed: u64) -> Vec<FaultPlan> {
         vec![
@@ -216,6 +243,7 @@ impl FaultPlan {
             FaultPlan::master_blink(seed),
             FaultPlan::master_gone(seed),
             FaultPlan::bit_rot(seed),
+            FaultPlan::submaster_loss(seed),
         ]
     }
 }
@@ -302,7 +330,7 @@ mod tests {
     }
 
     #[test]
-    fn roster_covers_the_six_failure_modes() {
+    fn roster_covers_the_seven_failure_modes() {
         let plans = FaultPlan::roster(1);
         let names: Vec<&str> = plans.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(
@@ -313,9 +341,37 @@ mod tests {
                 "crash-restart",
                 "master-blink",
                 "master-gone",
-                "bit-rot"
+                "bit-rot",
+                "submaster-loss"
             ]
         );
+    }
+
+    #[test]
+    fn submaster_loss_on_a_hierarchical_testbed_stays_exact() {
+        for seed in 0..2 {
+            let plan = FaultPlan::submaster_loss(29 + seed);
+            let f = gridsat_satgen::random_ksat::random_ksat(30, 126, 3, seed);
+            let want = gridsat_solver::driver::decide(&f);
+            let config = GridConfig {
+                min_split_timeout: 0.2,
+                work_quantum_s: 0.1,
+                ..GridConfig::chaos_hardened()
+            }
+            .hierarchical();
+            let cap = config.overall_timeout;
+            let mut sim = build_sim(&f, Testbed::scaling(4, 2, true), config);
+            plan.apply(&mut sim);
+            sim.run_until(cap + 60.0);
+            let r = report(&sim, cap);
+            match (want, r.outcome) {
+                (gridsat_solver::SolveStatus::Sat, GridOutcome::Sat(m)) => {
+                    assert!(f.is_satisfied_by(&m));
+                }
+                (gridsat_solver::SolveStatus::Unsat, GridOutcome::Unsat) => {}
+                (want, got) => panic!("seed {seed}: oracle {want:?}, submaster-loss run {got:?}"),
+            }
+        }
     }
 
     #[test]

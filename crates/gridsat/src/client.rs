@@ -45,6 +45,13 @@ pub struct ClientStats {
     pub migrations: u64,
     /// Adaptive share-limit adjustments (extension).
     pub share_limit_changes: u64,
+    /// Splits performed as a steal donor (hierarchy extension): work
+    /// handed to an idle sibling without a master grant.
+    pub steals: u64,
+    /// Load reports actually sent to the master.
+    pub load_reports_sent: u64,
+    /// Load reports suppressed by the delta/staleness coalescer.
+    pub load_reports_suppressed: u64,
 }
 
 impl ClientStats {
@@ -65,6 +72,9 @@ impl ClientStats {
             results,
             migrations,
             share_limit_changes,
+            steals,
+            load_reports_sent,
+            load_reports_suppressed,
         } = *other;
         self.subproblems += subproblems;
         self.splits += splits;
@@ -78,6 +88,9 @@ impl ClientStats {
         self.results += results;
         self.migrations += migrations;
         self.share_limit_changes += share_limit_changes;
+        self.steals += steals;
+        self.load_reports_sent += load_reports_sent;
+        self.load_reports_suppressed += load_reports_suppressed;
     }
 
     /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
@@ -95,6 +108,9 @@ impl ClientStats {
             results,
             migrations,
             share_limit_changes,
+            steals,
+            load_reports_sent,
+            load_reports_suppressed,
         } = *self;
         reg.counter_add(&format!("{prefix}.subproblems"), subproblems);
         reg.counter_add(&format!("{prefix}.splits"), splits);
@@ -110,6 +126,12 @@ impl ClientStats {
         reg.counter_add(
             &format!("{prefix}.share_limit_changes"),
             share_limit_changes,
+        );
+        reg.counter_add(&format!("{prefix}.steals"), steals);
+        reg.counter_add(&format!("{prefix}.load_reports_sent"), load_reports_sent);
+        reg.counter_add(
+            &format!("{prefix}.load_reports_suppressed"),
+            load_reports_suppressed,
         );
     }
 }
@@ -171,6 +193,18 @@ fn tuned_share_limit(
     }
 }
 
+/// How long a client routes split traffic back to the root after its
+/// sub-master proved unreachable (hierarchy extension).
+const BROKER_RETRY_COOLDOWN_S: f64 = 120.0;
+
+/// Availability must move by this much before a fresh load report is
+/// worth a message (load-report coalescing).
+const LOAD_REPORT_DELTA: f64 = 0.05;
+
+/// Even an unchanged availability is re-reported after this many
+/// report periods, so the master's forecasters never starve.
+const LOAD_REPORT_STALE_FACTOR: f64 = 4.0;
+
 enum State {
     /// No problem assigned.
     Idle,
@@ -203,7 +237,19 @@ pub struct Client {
     transfer_time: f64,
     /// Pending split request (avoid flooding the master).
     split_requested_at: Option<f64>,
+    /// Site sub-master brokering splits locally (hierarchy extension).
+    broker: Option<NodeId>,
+    /// When the broker was last found unreachable; split traffic falls
+    /// back to the root until the cooldown expires.
+    broker_down_at: Option<f64>,
+    /// Last idle announcement to the broker (hierarchy extension).
+    last_idle_announce: f64,
     last_load_report: f64,
+    /// Availability value in the last load report actually sent; the
+    /// coalescer suppresses reports that would repeat it.
+    last_sent_availability: Option<f64>,
+    /// When the last load report was actually sent (staleness refresh).
+    last_load_report_sent: f64,
     last_checkpoint: f64,
     /// Last lease renewal sent to the master (reliability extension).
     last_heartbeat: f64,
@@ -237,7 +283,12 @@ impl Client {
             problem_started: 0.0,
             transfer_time: 0.0,
             split_requested_at: None,
+            broker: None,
+            broker_down_at: None,
+            last_idle_announce: f64::NEG_INFINITY,
             last_load_report: 0.0,
+            last_sent_availability: None,
+            last_load_report_sent: f64::NEG_INFINITY,
             last_checkpoint: 0.0,
             last_heartbeat: 0.0,
             share_limit_now,
@@ -263,6 +314,59 @@ impl Client {
         if let Some(solver) = &mut self.solver {
             // node id is unknown outside a Ctx; adopt_problem refreshes it
             solver.set_obs(self.obs.clone(), 0);
+        }
+    }
+
+    /// Point this client at its site sub-master; split requests and idle
+    /// announcements go there instead of the root (hierarchy extension).
+    pub fn set_broker(&mut self, broker: NodeId) {
+        self.broker = Some(broker);
+    }
+
+    /// The broker to talk to right now, or `None` when hierarchy is off,
+    /// no broker is wired, or the broker is inside its failure cooldown.
+    fn broker_target(&mut self, now: f64) -> Option<NodeId> {
+        self.config.hierarchy?;
+        let broker = self.broker?;
+        if let Some(down) = self.broker_down_at {
+            if now - down < BROKER_RETRY_COOLDOWN_S {
+                return None;
+            }
+            self.broker_down_at = None;
+        }
+        Some(broker)
+    }
+
+    /// Tell the sub-master this client is idle and wants stolen work.
+    fn announce_idle(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let Some(broker) = self.broker_target(ctx.now()) else {
+            return;
+        };
+        self.last_idle_announce = ctx.now();
+        ctx.send(broker, GridMsg::StealRequest);
+    }
+
+    /// Re-announce idleness when the steal period has elapsed; the
+    /// announcement is best-effort soft state, so it is simply repeated.
+    fn maybe_announce_idle(&mut self, ctx: &mut Ctx<GridMsg>) {
+        let Some(h) = self.config.hierarchy else {
+            return;
+        };
+        if ctx.now() - self.last_idle_announce >= h.steal_period_s {
+            self.announce_idle(ctx);
+        }
+    }
+
+    /// Transition to waiting-for-work. Without the hierarchy extension an
+    /// idle client parks (reliability keeps it ticking for heartbeats);
+    /// with it, the client announces itself to the sub-master and keeps
+    /// ticking so the announcement refreshes.
+    fn enter_idle(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if let Some(h) = self.config.hierarchy {
+            self.announce_idle(ctx);
+            ctx.schedule_tick(h.steal_period_s);
+        } else {
+            ctx.idle();
         }
     }
 
@@ -373,6 +477,7 @@ impl Client {
             | GridMsg::Result { .. }
             | GridMsg::CheckpointMsg { .. }
             | GridMsg::Requeue { .. }
+            | GridMsg::StealNotice { .. }
             | GridMsg::Adopt { .. } => {
                 // soundness-critical reports to the master: keep trying
                 // with a fresh retry budget, toward the *current* master —
@@ -381,8 +486,14 @@ impl Client {
                 debug_assert!(to == self.master || self.config.failover.is_some());
                 ctx.send(self.master, msg);
             }
-            // split requests re-arise from the time-out heuristic, and the
-            // rest is best-effort
+            // the request itself re-arises from the time-out heuristic;
+            // but an unreachable sub-master means split traffic should
+            // fall back to the root for a while
+            GridMsg::SplitRequest { .. } if Some(to) == self.broker && to != self.master => {
+                self.broker_down_at = Some(ctx.now());
+            }
+            // steal tickets/announcements are soft state (re-issued), and
+            // the rest is best-effort
             _ => {}
         }
     }
@@ -397,7 +508,7 @@ impl Client {
         self.split_requested_at = None;
         // the subproblem is over; later events must not chain to it
         self.obs.clear_anchor(ctx.me().0);
-        ctx.idle();
+        self.enter_idle(ctx);
     }
 
     /// Where a batch goes next from this node: our children in the relay
@@ -470,7 +581,10 @@ impl Client {
             return;
         }
         let problem = self.current_problem.expect("solving a problem");
-        ctx.send(self.master, GridMsg::SplitRequest { problem });
+        // under the hierarchy the site sub-master brokers the split
+        // locally; only it escalates to the root when the site is busy
+        let target = self.broker_target(now).unwrap_or(self.master);
+        ctx.send(target, GridMsg::SplitRequest { problem });
         self.split_requested_at = Some(now);
         self.stats.split_requests += 1;
     }
@@ -586,6 +700,12 @@ impl Process for Client {
             // idle clients must keep ticking to renew their lease
             ctx.schedule_tick(rel.heartbeat_period);
         }
+        if let Some(h) = self.config.hierarchy {
+            // announce idleness to the site sub-master (once the driver
+            // has wired one) and keep ticking to refresh it
+            self.announce_idle(ctx);
+            ctx.schedule_tick(h.steal_period_s);
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
@@ -632,6 +752,7 @@ impl Process for Client {
                 spec,
                 sent_at,
                 problem,
+                stolen,
             } => {
                 if matches!(self.state, State::Solving) {
                     // already working (e.g. the master falsely expired our
@@ -646,6 +767,7 @@ impl Process for Client {
                             ok: false,
                             problem: Some(problem),
                             checkpoint: None,
+                            stolen,
                         },
                     );
                     ctx.send(
@@ -670,6 +792,7 @@ impl Process for Client {
                                 ok: false,
                                 problem: Some(problem),
                                 checkpoint: None,
+                                stolen,
                             },
                         );
                         ctx.send(
@@ -697,6 +820,7 @@ impl Process for Client {
                         ok: true,
                         problem: Some(problem),
                         checkpoint: self.build_checkpoint(),
+                        stolen,
                     },
                 );
             }
@@ -709,6 +833,7 @@ impl Process for Client {
                     ok,
                     problem: None,
                     checkpoint: None,
+                    stolen: false,
                 };
                 // stale grant: meant for a subproblem we no longer hold
                 if self.current_problem != Some(problem) {
@@ -736,6 +861,7 @@ impl Process for Client {
                                 spec: Box::new(frame),
                                 sent_at: ctx.now(),
                                 problem: new_id,
+                                stolen: false,
                             },
                         );
                         // Figure 3 message (5): requester reports success
@@ -764,6 +890,7 @@ impl Process for Client {
                     ok,
                     problem: None,
                     checkpoint: None,
+                    stolen: false,
                 };
                 if self.current_problem != Some(problem) {
                     // stale: this migration was meant for a previous problem
@@ -778,6 +905,7 @@ impl Process for Client {
                             spec: Box::new(SpecFrame::seal(&spec)),
                             sent_at: ctx.now(),
                             problem,
+                            stolen: false,
                         },
                     );
                     self.solver = None;
@@ -785,7 +913,7 @@ impl Process for Client {
                     self.state = State::Idle;
                     self.stats.migrations += 1;
                     ctx.send(self.master, done(true));
-                    ctx.idle();
+                    self.enter_idle(ctx);
                 } else {
                     ctx.send(self.master, done(false));
                 }
@@ -868,6 +996,75 @@ impl Process for Client {
                     },
                 );
             }
+            GridMsg::StealTicket { donor, problem } => {
+                // the sub-master paired us with a loaded sibling; only an
+                // idle client takes stolen work (we may have grown busy
+                // since announcing — the ticket is then simply dropped and
+                // the donor's offer expires at the broker)
+                if matches!(self.state, State::Idle) && donor != ctx.me() {
+                    ctx.send(donor, GridMsg::Steal { problem });
+                }
+            }
+            GridMsg::Steal { problem } => {
+                // a ticketed sibling asks for half our guiding path. The
+                // ticket is advisory: honor it only if we still hold that
+                // subproblem and it is still splittable; a refusal sends
+                // the thief straight back to its broker instead of
+                // leaving it to wait out a full idle period.
+                if !matches!(self.state, State::Solving)
+                    || self.current_problem != Some(problem)
+                    || !self.solver.as_ref().is_some_and(Solver::can_split)
+                {
+                    ctx.send(from, GridMsg::StealRefused { problem });
+                    return;
+                }
+                let new_id = self.mint_problem_id(ctx);
+                let Some(solver) = &mut self.solver else {
+                    unreachable!("current_problem implies a solver");
+                };
+                let Some(spec) = solver.split_off() else {
+                    ctx.send(from, GridMsg::StealRefused { problem });
+                    return;
+                };
+                let keep_pivot = spec.assumptions.last().map(|&(lit, _)| !lit);
+                let frame = SpecFrame::seal(&spec);
+                let est = frame.wire_len() as f64 / self.config.assumed_bw_bytes_per_s;
+                self.transfer_time = self.transfer_time.max(est);
+                ctx.send(
+                    from,
+                    GridMsg::Subproblem {
+                        spec: Box::new(frame),
+                        sent_at: ctx.now(),
+                        problem: new_id,
+                        stolen: true,
+                    },
+                );
+                // the root learns of the delegated split before any later
+                // message of ours about this problem: same FIFO channel
+                ctx.send(
+                    self.master,
+                    GridMsg::StealNotice {
+                        thief: from,
+                        problem: new_id,
+                        at: ctx.now(),
+                    },
+                );
+                self.stats.steals += 1;
+                if let Some(pivot) = keep_pivot {
+                    self.audit.split(ctx.now(), problem, new_id, pivot);
+                }
+                // the remaining half is a fresh, smaller problem
+                self.problem_started = ctx.now();
+                self.split_requested_at = None;
+                self.checkpoint_now(ctx);
+            }
+            GridMsg::StealRefused { .. } => {
+                // our ticket was stale; go straight back on the broker's
+                // idle list so the next offer can pair with us
+                if matches!(self.state, State::Idle) {
+                    self.announce_idle(ctx);
+                }
+            }
             GridMsg::Terminate(_) => {
                 self.state = State::Done;
                 self.solver = None;
@@ -886,6 +1083,11 @@ impl Process for Client {
             | GridMsg::CheckpointMsg { .. }
             | GridMsg::JournalBatch { .. }
             | GridMsg::JournalAck { .. }
+            | GridMsg::StealRequest
+            | GridMsg::StealNotice { .. }
+            | GridMsg::SplitEscalate { .. }
+            | GridMsg::OfferSolicit
+            | GridMsg::SiteStatus { .. }
             | GridMsg::Adopt { .. } => {
                 debug_assert!(
                     false,
@@ -899,10 +1101,19 @@ impl Process for Client {
     fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
         if !matches!(self.state, State::Solving) {
             if matches!(self.state, State::Idle) {
+                // nothing to solve, but periodic duties may remain: lease
+                // renewal (reliability) and idle announcements (hierarchy)
+                let mut next = f64::INFINITY;
                 if let Some(rel) = self.config.reliability {
-                    // nothing to solve, but the lease must stay alive
                     self.maybe_heartbeat(ctx);
-                    ctx.schedule_tick(rel.heartbeat_period);
+                    next = next.min(rel.heartbeat_period);
+                }
+                if let Some(h) = self.config.hierarchy {
+                    self.maybe_announce_idle(ctx);
+                    next = next.min(h.steal_period_s);
+                }
+                if next.is_finite() {
+                    ctx.schedule_tick(next);
                     return;
                 }
             }
@@ -949,15 +1160,26 @@ impl Process for Client {
 
         self.maybe_tune_share_limit(ctx);
 
-        // periodic NWS measurement for the master's forecasters
+        // periodic NWS measurement for the master's forecasters — but
+        // coalesced: a report goes out only when availability moved by a
+        // meaningful delta or the master's copy has gone stale
         if ctx.now() - self.last_load_report >= self.config.load_report_period {
             self.last_load_report = ctx.now();
-            ctx.send(
-                self.master,
-                GridMsg::LoadReport {
-                    availability: ctx.info.availability,
-                },
-            );
+            let availability = ctx.info.availability;
+            let moved = match self.last_sent_availability {
+                None => true,
+                Some(prev) => (availability - prev).abs() >= LOAD_REPORT_DELTA,
+            };
+            let stale = ctx.now() - self.last_load_report_sent
+                >= LOAD_REPORT_STALE_FACTOR * self.config.load_report_period;
+            if moved || stale {
+                self.last_load_report_sent = ctx.now();
+                self.last_sent_availability = Some(availability);
+                self.stats.load_reports_sent += 1;
+                ctx.send(self.master, GridMsg::LoadReport { availability });
+            } else {
+                self.stats.load_reports_suppressed += 1;
+            }
         }
         self.maybe_checkpoint(ctx);
         self.maybe_heartbeat(ctx);
@@ -1026,6 +1248,9 @@ mod tests {
             results: 7,
             migrations: 8,
             share_limit_changes: 9,
+            steals: 13,
+            load_reports_sent: 14,
+            load_reports_suppressed: 15,
         };
         let mut acc = ClientStats::default();
         acc.absorb(&full);
@@ -1046,6 +1271,9 @@ mod tests {
                 results: 14,
                 migrations: 16,
                 share_limit_changes: 18,
+                steals: 26,
+                load_reports_sent: 28,
+                load_reports_suppressed: 30,
             }
         );
 
@@ -1055,9 +1283,11 @@ mod tests {
         assert_eq!(reg.counter("client.dup_share_drops"), 10);
         assert_eq!(reg.counter("client.share_bytes_sent"), 12);
         assert_eq!(reg.counter("client.share_limit_changes"), 9);
+        assert_eq!(reg.counter("client.steals"), 13);
+        assert_eq!(reg.counter("client.load_reports_suppressed"), 15);
         assert_eq!(
             reg.render_prometheus().matches("# TYPE client_").count(),
-            12
+            15
         );
     }
 
@@ -1501,6 +1731,7 @@ mod tests {
                 spec: framed(&whole_problem()),
                 sent_at: 0.5,
                 problem: ProblemId::new(NodeId(3), 1),
+                stolen: false,
             },
             &mut cx,
         );
@@ -1533,6 +1764,7 @@ mod tests {
                 spec: framed(&whole_problem()),
                 sent_at: 0.0,
                 problem: ProblemId::new(NodeId(1), 1),
+                stolen: false,
             },
             &mut cx,
         );
@@ -1587,6 +1819,340 @@ mod tests {
         c.on_tick(&mut cx);
         let actions = cx.take_actions();
         assert_eq!(actions.len(), 1); // just the Idle
+    }
+
+    /// Satellite guarantee at scale: one share batch on a 1000-node
+    /// roster is exactly n-1 relay messages, every client receives it
+    /// once, per-hop fan-out never exceeds the branch factor, and the
+    /// tree depth stays logarithmic.
+    #[test]
+    fn relay_tree_spans_a_1000_node_roster_with_bounded_fanout() {
+        use std::collections::HashSet;
+        let n = 1000usize;
+        let peers: Vec<NodeId> = (1..=n as u32).map(NodeId).collect();
+        for branch in [2usize, 4, 8] {
+            for &origin in &[peers[0], peers[1], peers[499], peers[999]] {
+                let mut seen: HashSet<NodeId> = HashSet::new();
+                seen.insert(origin);
+                let mut frontier = vec![origin];
+                let mut edges = 0usize;
+                let mut depth = 0usize;
+                while !frontier.is_empty() {
+                    depth += 1;
+                    let mut next = Vec::new();
+                    for &node in &frontier {
+                        let kids = relay_children(&peers, origin, node, branch);
+                        assert!(kids.len() <= branch, "fan-out stays bounded per hop");
+                        for kid in kids {
+                            assert!(seen.insert(kid), "{kid:?} received the batch twice");
+                            edges += 1;
+                            next.push(kid);
+                        }
+                    }
+                    frontier = next;
+                }
+                assert_eq!(seen.len(), n, "every client receives the batch");
+                assert_eq!(edges, n - 1, "exactly n-1 relay messages per batch");
+                let bound = ((n as f64).ln() / (branch as f64).ln()).ceil() as usize + 2;
+                assert!(depth <= bound, "depth {depth} exceeds log bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_client_announces_idle_to_its_broker() {
+        let mut c = Client::new(NodeId(0), GridConfig::default().hierarchical());
+        c.set_broker(NodeId(9));
+        let mut cx = ctx(0.0);
+        c.on_start(&mut cx);
+        let actions = cx.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(9),
+                msg: GridMsg::StealRequest
+            }
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, gridsat_grid::Action::ScheduleTick { .. })));
+        // idle ticks re-announce once the steal period has elapsed
+        let period = c.config.hierarchy.unwrap().steal_period_s;
+        let mut cx = ctx(period + 1.0);
+        c.on_tick(&mut cx);
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(9),
+                msg: GridMsg::StealRequest
+            }
+        )));
+        // hierarchy mode without a wired broker keeps ticking but sends
+        // no announcements
+        let mut lone = Client::new(NodeId(0), GridConfig::default().hierarchical());
+        let mut cx = ctx(0.0);
+        lone.on_start(&mut cx);
+        assert!(!cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                msg: GridMsg::StealRequest,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn steal_ticket_is_only_honored_while_idle() {
+        let pid = ProblemId::new(NodeId(2), 1);
+        let mut c = Client::new(NodeId(0), GridConfig::default().hierarchical());
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(9),
+            GridMsg::StealTicket {
+                donor: NodeId(5),
+                problem: pid,
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(5),
+                msg: GridMsg::Steal { .. }
+            }
+        )));
+        // never steal from ourselves (we are NodeId(1))
+        let mut cx = ctx(0.1);
+        c.on_message(
+            NodeId(9),
+            GridMsg::StealTicket {
+                donor: NodeId(1),
+                problem: pid,
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().is_empty());
+        // a client that grew busy since announcing drops the ticket
+        let mut cx = ctx(0.5);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: framed(&whole_problem()),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        let mut cx = ctx(1.0);
+        c.on_message(
+            NodeId(9),
+            GridMsg::StealTicket {
+                donor: NodeId(5),
+                problem: pid,
+            },
+            &mut cx,
+        );
+        assert!(cx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn steal_splits_the_donor_and_notifies_the_root() {
+        let mut c = Client::new(NodeId(0), GridConfig::default().hierarchical());
+        let f = gridsat_satgen::php::php(6, 5);
+        let spec = SplitSpec {
+            num_vars: f.num_vars(),
+            assumptions: vec![],
+            clauses: f.clauses().to_vec(),
+        };
+        let pid = ProblemId::new(NodeId(0), 1);
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: framed(&spec),
+                problem: pid,
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        // a little work so the solver has an open decision to split at
+        let mut cx = ctx(1.0);
+        c.on_tick(&mut cx);
+        let _ = cx.take_actions();
+
+        // a stale steal (wrong problem id) is refused so the thief can
+        // re-announce itself instead of waiting out a full steal period
+        let stale = ProblemId::new(NodeId(0), 9);
+        let mut cx = ctx(2.0);
+        c.on_message(NodeId(7), GridMsg::Steal { problem: stale }, &mut cx);
+        let actions = cx.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            gridsat_grid::Action::Send {
+                to: NodeId(7),
+                msg: GridMsg::StealRefused { problem }
+            } if problem == stale
+        ));
+        assert_eq!(c.stats.steals, 0);
+
+        // the real one ships half the guiding path straight to the thief
+        // and tells the root master about the delegated split
+        let mut cx = ctx(3.0);
+        c.on_message(NodeId(7), GridMsg::Steal { problem: pid }, &mut cx);
+        let actions = cx.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(7),
+                msg: GridMsg::Subproblem { stolen: true, .. }
+            }
+        )));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::StealNotice {
+                    thief: NodeId(7),
+                    ..
+                }
+            }
+        )));
+        assert_eq!(c.stats.steals, 1);
+        assert!(c.is_solving(), "the donor keeps its own half");
+    }
+
+    #[test]
+    fn split_requests_go_to_the_broker_then_fall_back_on_failure() {
+        let mut c = Client::new(NodeId(0), GridConfig::default().hierarchical());
+        c.set_broker(NodeId(9));
+        let f = gridsat_satgen::php::php(6, 5);
+        let spec = SplitSpec {
+            num_vars: f.num_vars(),
+            assumptions: vec![],
+            clauses: f.clauses().to_vec(),
+        };
+        let pid = ProblemId::new(NodeId(0), 1);
+        let mut cx = ctx(0.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: framed(&spec),
+                problem: pid,
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+        let mut cx = ctx(1.0);
+        c.on_tick(&mut cx);
+        let _ = cx.take_actions();
+
+        let mut cx = ctx(200.0);
+        c.maybe_request_split(&mut cx);
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(9),
+                msg: GridMsg::SplitRequest { .. }
+            }
+        )));
+
+        // the broker proves unreachable: split traffic falls back to the
+        // root for the cooldown window
+        let mut cx = ctx(210.0);
+        c.on_undeliverable(NodeId(9), GridMsg::SplitRequest { problem: pid }, &mut cx);
+        assert!(cx.take_actions().is_empty());
+        c.split_requested_at = None;
+        let mut cx = ctx(220.0);
+        c.maybe_request_split(&mut cx);
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(0),
+                msg: GridMsg::SplitRequest { .. }
+            }
+        )));
+
+        // cooldown expiry restores the broker route
+        c.split_requested_at = None;
+        let mut cx = ctx(210.0 + BROKER_RETRY_COOLDOWN_S + 1.0);
+        c.maybe_request_split(&mut cx);
+        assert!(cx.take_actions().iter().any(|a| matches!(
+            a,
+            gridsat_grid::Action::Send {
+                to: NodeId(9),
+                msg: GridMsg::SplitRequest { .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn load_reports_are_coalesced_by_delta_and_staleness() {
+        fn cx_with(now: f64, availability: f64) -> Ctx<GridMsg> {
+            Ctx::new(NodeInfo {
+                id: NodeId(1),
+                speed: 1000.0,
+                memory: 3 << 20,
+                now,
+                availability,
+            })
+        }
+        let report_sent = |actions: &[gridsat_grid::Action<GridMsg>]| {
+            actions.iter().any(|a| {
+                matches!(
+                    a,
+                    gridsat_grid::Action::Send {
+                        msg: GridMsg::LoadReport { .. },
+                        ..
+                    }
+                )
+            })
+        };
+        let mut c = Client::new(
+            NodeId(0),
+            GridConfig {
+                load_report_period: 1.0,
+                ..GridConfig::default()
+            },
+        );
+        // a problem big enough that six bounded quanta never finish it
+        let f = gridsat_satgen::php::php(9, 8);
+        let spec = SplitSpec {
+            num_vars: f.num_vars(),
+            assumptions: vec![],
+            clauses: f.clauses().to_vec(),
+        };
+        let mut cx = cx_with(0.0, 1.0);
+        c.on_message(
+            NodeId(0),
+            GridMsg::Solve {
+                spec: framed(&spec),
+                problem: ProblemId::new(NodeId(0), 1),
+            },
+            &mut cx,
+        );
+        let _ = cx.take_actions();
+
+        // the first report always goes out
+        let mut cx = cx_with(1.0, 1.0);
+        c.on_tick(&mut cx);
+        assert!(report_sent(&cx.take_actions()));
+        // unchanged availability is suppressed...
+        for t in [2.0, 3.0, 4.0] {
+            let mut cx = cx_with(t, 1.0);
+            c.on_tick(&mut cx);
+            assert!(!report_sent(&cx.take_actions()), "t={t} should coalesce");
+        }
+        // ...until the staleness refresh kicks in after four periods
+        let mut cx = cx_with(5.0, 1.0);
+        c.on_tick(&mut cx);
+        assert!(report_sent(&cx.take_actions()));
+        // and a genuine availability move is reported immediately
+        let mut cx = cx_with(6.0, 0.5);
+        c.on_tick(&mut cx);
+        assert!(report_sent(&cx.take_actions()));
+        assert_eq!(c.stats.load_reports_sent, 3);
+        assert_eq!(c.stats.load_reports_suppressed, 3);
     }
 }
 

@@ -110,6 +110,34 @@ impl Default for FailoverConfig {
     }
 }
 
+/// Hierarchical control plane (scaling extension): per-site sub-masters
+/// broker split traffic locally via steal tickets, escalating to the
+/// root master only when a site has no idle capacity. The root still
+/// owns the journal, the conservation audit, and the global verdict.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Period at which an idle client (re-)announces itself to its
+    /// sub-master, seconds. Also the cadence of its idle housekeeping
+    /// tick while stealing is possible.
+    pub steal_period_s: f64,
+    /// Minimum spacing between a sub-master's escalations of unmatched
+    /// split offers to the root, seconds. Rate-limits the root-bound
+    /// control stream when a whole site is saturated.
+    pub escalate_period_s: f64,
+    /// Period of sub-master site-status telemetry to the root, seconds.
+    pub status_period_s: f64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            steal_period_s: 10.0,
+            escalate_period_s: 60.0,
+            status_period_s: 120.0,
+        }
+    }
+}
+
 /// Tunables of a GridSAT run. Defaults reproduce the paper's first
 /// experiment set (share limit 10, 100-second split time-out floor).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -167,6 +195,11 @@ pub struct GridConfig {
     /// paper's behaviour) means a dead master wedges the run.
     #[serde(default)]
     pub failover: Option<FailoverConfig>,
+    /// Hierarchical control plane: per-site sub-masters + intra-site
+    /// work stealing. `None` (the default, and the paper's behaviour)
+    /// routes every split request through the root master.
+    #[serde(default)]
+    pub hierarchy: Option<HierarchyConfig>,
     /// Run the search-space conservation auditor alongside the run,
     /// panicking with a counterexample guiding path if the outstanding
     /// cubes ever stop partitioning the search space exactly.
@@ -200,6 +233,7 @@ impl Default for GridConfig {
             share_relay_branch: default_share_relay_branch(),
             reliability: None,
             failover: None,
+            hierarchy: None,
             audit: false,
         }
     }
@@ -238,6 +272,12 @@ impl GridConfig {
             checkpoint_period: 30.0,
             ..GridConfig::default()
         }
+    }
+
+    /// Turn on the hierarchical control plane with default periods.
+    pub fn hierarchical(mut self) -> GridConfig {
+        self.hierarchy = Some(HierarchyConfig::default());
+        self
     }
 
     /// Chaos profile that also survives losing the master: node 1 tails
@@ -284,5 +324,12 @@ mod tests {
         let fo = failover.failover.expect("failover preset sets a standby");
         assert_eq!(fo.standby_node, 1);
         assert!(fo.promote_grace_s > 0.0);
+
+        // the paper's control plane is flat; hierarchy is opt-in
+        assert!(e1.hierarchy.is_none());
+        let h = GridConfig::default().hierarchical();
+        let hc = h.hierarchy.expect("hierarchical() sets the plane");
+        assert!(hc.steal_period_s > 0.0);
+        assert!(hc.escalate_period_s >= hc.steal_period_s);
     }
 }

@@ -7,6 +7,7 @@ use crate::config::GridConfig;
 use crate::master::{GridOutcome, Master, MasterStats, MasterTelemetry};
 use crate::msg::GridMsg;
 use crate::standby::StandbyNode;
+use crate::submaster::{SubMaster, SubMasterStats};
 use gridsat_cnf::Formula;
 use gridsat_grid::{
     Ctx, NodeId, Process, Reliable, ReliableConfig, ReliableProcess, ReliableStats, RunEnd, Sim,
@@ -21,6 +22,9 @@ pub enum GridNode {
     Client(Box<Client>),
     /// A client doubling as the journal-tailing standby master.
     Standby(Box<StandbyNode>),
+    /// A per-site sub-master brokering splits locally (hierarchy
+    /// extension); pure soft state, holds no search space.
+    SubMaster(Box<SubMaster>),
 }
 
 impl Process for GridNode {
@@ -31,6 +35,7 @@ impl Process for GridNode {
             GridNode::Master(m) => m.on_start(ctx),
             GridNode::Client(c) => c.on_start(ctx),
             GridNode::Standby(s) => s.on_start(ctx),
+            GridNode::SubMaster(b) => b.on_start(ctx),
         }
     }
     fn on_message(&mut self, from: NodeId, msg: GridMsg, ctx: &mut Ctx<GridMsg>) {
@@ -38,6 +43,7 @@ impl Process for GridNode {
             GridNode::Master(m) => m.on_message(from, msg, ctx),
             GridNode::Client(c) => c.on_message(from, msg, ctx),
             GridNode::Standby(s) => s.on_message(from, msg, ctx),
+            GridNode::SubMaster(b) => b.on_message(from, msg, ctx),
         }
     }
     fn on_tick(&mut self, ctx: &mut Ctx<GridMsg>) {
@@ -45,6 +51,7 @@ impl Process for GridNode {
             GridNode::Master(m) => m.on_tick(ctx),
             GridNode::Client(c) => c.on_tick(ctx),
             GridNode::Standby(s) => s.on_tick(ctx),
+            GridNode::SubMaster(b) => b.on_tick(ctx),
         }
     }
     fn on_node_down(&mut self, node: NodeId, ctx: &mut Ctx<GridMsg>) {
@@ -52,6 +59,7 @@ impl Process for GridNode {
             GridNode::Master(m) => m.on_node_down(node, ctx),
             GridNode::Client(c) => c.on_node_down(node, ctx),
             GridNode::Standby(s) => s.on_node_down(node, ctx),
+            GridNode::SubMaster(b) => b.on_node_down(node, ctx),
         }
     }
 }
@@ -66,6 +74,7 @@ impl ReliableProcess for GridNode {
             GridNode::Master(m) => m.on_undeliverable(to, msg, ctx),
             GridNode::Client(c) => c.on_undeliverable(to, msg, ctx),
             GridNode::Standby(s) => s.on_undeliverable(to, msg, ctx),
+            GridNode::SubMaster(b) => b.on_undeliverable(to, msg, ctx),
         }
     }
 
@@ -106,6 +115,9 @@ pub struct GridReport {
     pub master: MasterStats,
     /// Aggregated client counters.
     pub clients: ClientStats,
+    /// Aggregated sub-master counters (all zero without the hierarchy
+    /// extension).
+    pub submasters: SubMasterStats,
     /// Aggregated reliability-layer counters (all zero when the layer is
     /// off or the network was fault-free).
     pub reliable: ReliableStats,
@@ -133,6 +145,7 @@ impl GridReport {
         self.master.export_metrics(&mut reg, "master");
         self.telemetry.export_metrics(&mut reg, "master");
         self.clients.export_metrics(&mut reg, "client");
+        self.submasters.export_metrics(&mut reg, "submaster");
         self.reliable.export_metrics(&mut reg, "reliable");
         self.sim.export_metrics(&mut reg, "sim");
         reg
@@ -168,16 +181,40 @@ pub fn build_sim_obs(formula: &Formula, testbed: Testbed, config: GridConfig, ob
         .failover
         .map(|fo| NodeId(fo.standby_node))
         .filter(|&id| id != master_id);
+    // hierarchy wiring: hosts marked as brokers become per-site
+    // sub-masters, and every solver client is pointed at its site's one
+    let brokers: std::collections::HashMap<gridsat_grid::Site, NodeId> =
+        if config.hierarchy.is_some() {
+            testbed
+                .hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.broker)
+                .map(|(i, h)| (h.site, NodeId(i as u32)))
+                .collect()
+        } else {
+            Default::default()
+        };
+    debug_assert!(
+        standby_id.is_none_or(|id| !brokers.values().any(|&b| b == id)),
+        "the standby host cannot double as a sub-master"
+    );
     let mut sim = Sim::new(testbed, move |id| {
         let node = if id == master_id {
             let mut master = Master::new(formula.clone(), config.clone(), speeds.clone());
             master.set_obs(node_obs.clone());
             master.set_audit(audit.clone());
             GridNode::Master(Box::new(master))
+        } else if brokers.values().any(|&b| b == id) {
+            let hc = config.hierarchy.expect("brokers imply hierarchy");
+            GridNode::SubMaster(Box::new(SubMaster::new(master_id, hc)))
         } else {
             let mut client = Client::new(master_id, config.clone());
             client.set_obs(node_obs.clone());
             client.set_audit(audit.clone());
+            if let Some(&broker) = speeds.get(&id).and_then(|(_, site)| brokers.get(site)) {
+                client.set_broker(broker);
+            }
             if Some(id) == standby_id {
                 GridNode::Standby(Box::new(StandbyNode::new(
                     client,
@@ -217,12 +254,14 @@ pub fn report(sim: &GridSim, cap: f64) -> GridReport {
     let mut telemetry = master.telemetry.clone();
     let mut decided = master.outcome().cloned().map(|o| (o, master.finished_at()));
     let mut clients = ClientStats::default();
+    let mut submasters = SubMasterStats::default();
     let mut reliable = ReliableStats::default();
     for i in 0..sim.num_nodes() {
         let wrapper = sim.process(NodeId(i as u32));
         reliable.absorb(&wrapper.stats);
         match wrapper.inner() {
             GridNode::Client(c) => clients.absorb(&c.stats),
+            GridNode::SubMaster(b) => submasters.absorb(&b.stats),
             GridNode::Standby(s) => {
                 clients.absorb(&s.client().stats);
                 // a promoted standby carried the run after node 0 died:
@@ -257,6 +296,7 @@ pub fn report(sim: &GridSim, cap: f64) -> GridReport {
         seconds,
         master: master_stats,
         clients,
+        submasters,
         reliable,
         sim: sim.stats,
         telemetry,
@@ -354,6 +394,52 @@ mod tests {
         assert!(r.master.splits > 0, "expected at least one split");
         assert!(r.master.max_active_clients >= 2);
         assert!(r.clients.results >= 2, "both halves report");
+    }
+
+    #[test]
+    fn hierarchical_run_steals_work_and_matches_the_oracle() {
+        let f = satgen::php::php(9, 8);
+        let config = GridConfig {
+            min_split_timeout: 0.5,
+            work_quantum_s: 0.25,
+            hierarchy: Some(crate::config::HierarchyConfig {
+                steal_period_s: 1.0,
+                escalate_period_s: 5.0,
+                status_period_s: 30.0,
+            }),
+            audit: true,
+            ..GridConfig::default()
+        };
+        let r = run(&f, Testbed::scaling(6, 2, true), config);
+        assert_eq!(r.outcome, GridOutcome::Unsat);
+        assert_eq!(r.master.verification_failures, 0);
+        assert!(
+            r.master.steals_settled > 0,
+            "expected at least one settled steal, stats: settled={} aborted={} tickets={}",
+            r.master.steals_settled,
+            r.master.steals_aborted,
+            r.submasters.tickets,
+        );
+        assert!(r.submasters.announcements > 0, "idle clients announce");
+        // `audit: true` wires the conservation auditor, which panics on any
+        // lost or double-assigned cube — reaching this line means it held.
+    }
+
+    #[test]
+    fn hierarchical_run_is_deterministic() {
+        let f = satgen::php::php(8, 7);
+        let config = GridConfig {
+            min_split_timeout: 0.5,
+            work_quantum_s: 0.25,
+            ..GridConfig::default()
+        }
+        .hierarchical();
+        let a = run(&f, Testbed::scaling(4, 2, true), config.clone());
+        let b = run(&f, Testbed::scaling(4, 2, true), config);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.master.steals_settled, b.master.steals_settled);
+        assert_eq!(a.sim.messages_delivered, b.sim.messages_delivered);
     }
 
     #[test]

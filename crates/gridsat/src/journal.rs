@@ -132,6 +132,28 @@ pub enum JournalRecord {
     },
     /// Narrative marker: `node` promoted itself to master at `at`.
     Promoted { node: NodeId, at: f64 },
+    /// A sub-master-brokered steal transfer is in flight (hierarchy
+    /// extension): `donor` is splitting `problem`'s extension off to
+    /// `thief` without a grant. Opened from the donor's notice, settled
+    /// or aborted by the thief's confirmation.
+    StealOpen {
+        donor: NodeId,
+        thief: NodeId,
+        problem: ProblemId,
+        at: f64,
+    },
+    /// The thief confirmed the stolen transfer: donor keeps its half on
+    /// a fresh clock, thief turns Busy with its bundled recovery image.
+    StealSettle {
+        donor: NodeId,
+        thief: NodeId,
+        problem: ProblemId,
+        checkpoint: Option<Checkpoint>,
+        at: f64,
+    },
+    /// The stolen transfer failed or its subproblem was requeued; the
+    /// steal stops gating termination.
+    StealAbort { problem: ProblemId },
 }
 
 // ----------------------------------------------------------------------
@@ -500,6 +522,36 @@ fn encode_record(rec: &JournalRecord, out: &mut Vec<u8>) {
             put_node(*node, out);
             put_f64(*at, out);
         }
+        JournalRecord::StealOpen {
+            donor,
+            thief,
+            problem,
+            at,
+        } => {
+            out.push(20);
+            put_node(*donor, out);
+            put_node(*thief, out);
+            put_problem(*problem, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::StealSettle {
+            donor,
+            thief,
+            problem,
+            checkpoint,
+            at,
+        } => {
+            out.push(21);
+            put_node(*donor, out);
+            put_node(*thief, out);
+            put_problem(*problem, out);
+            put_opt(checkpoint, put_checkpoint, out);
+            put_f64(*at, out);
+        }
+        JournalRecord::StealAbort { problem } => {
+            out.push(22);
+            put_problem(*problem, out);
+        }
     }
 }
 
@@ -614,6 +666,22 @@ fn decode_record(buf: &[u8]) -> Result<JournalRecord, RecordError> {
         19 => JournalRecord::Promoted {
             node: get_node(buf, &mut pos)?,
             at: get_f64(buf, &mut pos)?,
+        },
+        20 => JournalRecord::StealOpen {
+            donor: get_node(buf, &mut pos)?,
+            thief: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        21 => JournalRecord::StealSettle {
+            donor: get_node(buf, &mut pos)?,
+            thief: get_node(buf, &mut pos)?,
+            problem: get_problem(buf, &mut pos)?,
+            checkpoint: get_opt(buf, &mut pos, get_checkpoint)?,
+            at: get_f64(buf, &mut pos)?,
+        },
+        22 => JournalRecord::StealAbort {
+            problem: get_problem(buf, &mut pos)?,
         },
         other => return Err(RecordError::BadTag(other)),
     };
@@ -768,6 +836,8 @@ pub struct CoreImage {
     pub grants: Vec<(NodeId, NodeId, GrantKind)>,
     pub pending_recovery: Vec<RecoverySpec>,
     pub early_results: Vec<(NodeId, ProblemId)>,
+    pub pending_steals: Vec<(ProblemId, NodeId, NodeId)>,
+    pub seen_steals: Vec<ProblemId>,
     pub first_problem_sent: bool,
     pub peers_epoch: u64,
 }
@@ -786,6 +856,14 @@ pub(crate) struct MasterCore {
     /// Results that arrived before the transfer confirmation that would
     /// have marked their sender Busy (at-least-once delivery reorders).
     pub(crate) early_results: BTreeSet<(NodeId, ProblemId)>,
+    /// Steal transfers the root knows are in flight (hierarchy
+    /// extension): stolen problem -> (donor, thief). Gates the all-idle
+    /// termination check exactly like an open grant.
+    pub(crate) pending_steals: BTreeMap<ProblemId, (NodeId, NodeId)>,
+    /// Every steal ever opened, settled or aborted — dedups the
+    /// at-least-once redeliveries of notices and confirmations, which
+    /// can arrive in either order.
+    pub(crate) seen_steals: BTreeSet<ProblemId>,
     pub(crate) first_problem_sent: bool,
     /// Roster generation for the clause-share relay tree: bumped by every
     /// membership change, jumped far ahead on promotion so shares routed
@@ -1027,6 +1105,49 @@ impl MasterCore {
                 self.peers_epoch += 1;
                 None
             }
+            JournalRecord::StealOpen {
+                donor,
+                thief,
+                problem,
+                ..
+            } => {
+                // a notice redelivered after the settle/abort must not
+                // reopen the steal
+                if !self.seen_steals.contains(problem) {
+                    self.pending_steals.insert(*problem, (*donor, *thief));
+                }
+                None
+            }
+            JournalRecord::StealSettle {
+                donor,
+                thief,
+                problem,
+                checkpoint,
+                at,
+            } => {
+                self.pending_steals.remove(problem);
+                self.seen_steals.insert(*problem);
+                // donor kept its half on a fresh clock (like SplitKept)
+                if let Some(d) = self.clients.get_mut(donor) {
+                    d.problem_since = *at;
+                }
+                // thief is now busy with the stolen extension (like
+                // TransferIn, but no grant reserved it)
+                if let Some(t) = self.clients.get_mut(thief) {
+                    t.state = ClientState::Busy;
+                    t.problem_since = *at;
+                    t.problem = Some(*problem);
+                    if let Some(cp) = checkpoint {
+                        t.checkpoint = Some(cp.clone());
+                    }
+                }
+                None
+            }
+            JournalRecord::StealAbort { problem } => {
+                self.pending_steals.remove(problem);
+                self.seen_steals.insert(*problem);
+                None
+            }
         }
     }
 
@@ -1058,6 +1179,12 @@ impl MasterCore {
             grants: self.grants.iter().map(|(r, (p, k))| (*r, *p, *k)).collect(),
             pending_recovery: self.pending_recovery.iter().cloned().collect(),
             early_results: self.early_results.iter().copied().collect(),
+            pending_steals: self
+                .pending_steals
+                .iter()
+                .map(|(p, (d, t))| (*p, *d, *t))
+                .collect(),
+            seen_steals: self.seen_steals.iter().copied().collect(),
             first_problem_sent: self.first_problem_sent,
             peers_epoch: self.peers_epoch,
         }
@@ -1354,6 +1481,72 @@ mod tests {
     }
 
     #[test]
+    fn steal_records_fold_like_a_grantless_split() {
+        let f = gridsat_cnf::paper::fig1_formula();
+        let cfg = config();
+        let (donor, thief) = (NodeId(1), NodeId(2));
+        let stolen = ProblemId::new(donor, 5);
+        let mut core = MasterCore::default();
+        for (client, at) in [(donor, 0.0), (thief, 0.5)] {
+            core.apply(
+                &JournalRecord::Launch {
+                    client,
+                    memory: 1 << 20,
+                    speed: 100.0,
+                    availability: 1.0,
+                    at,
+                },
+                &f,
+                &cfg,
+            );
+        }
+        let open = JournalRecord::StealOpen {
+            donor,
+            thief,
+            problem: stolen,
+            at: 1.0,
+        };
+        core.apply(&open, &f, &cfg);
+        assert_eq!(core.pending_steals.get(&stolen), Some(&(donor, thief)));
+        core.apply(
+            &JournalRecord::StealSettle {
+                donor,
+                thief,
+                problem: stolen,
+                checkpoint: Some(Checkpoint::Light {
+                    level0: vec![(Lit::pos(0), false)],
+                }),
+                at: 2.0,
+            },
+            &f,
+            &cfg,
+        );
+        assert!(core.pending_steals.is_empty());
+        assert_eq!(core.clients[&thief].state, ClientState::Busy);
+        assert_eq!(core.clients[&thief].problem, Some(stolen));
+        assert_eq!(core.clients[&thief].problem_since, 2.0);
+        assert_eq!(core.clients[&donor].problem_since, 2.0, "fresh clock");
+        // a redelivered notice after the settle must not reopen the steal
+        core.apply(&open, &f, &cfg);
+        assert!(core.pending_steals.is_empty(), "seen-steals dedup holds");
+        // aborts settle the ledger too
+        let other = ProblemId::new(donor, 6);
+        core.apply(
+            &JournalRecord::StealOpen {
+                donor,
+                thief,
+                problem: other,
+                at: 3.0,
+            },
+            &f,
+            &cfg,
+        );
+        core.apply(&JournalRecord::StealAbort { problem: other }, &f, &cfg);
+        assert!(core.pending_steals.is_empty());
+        assert!(core.image().seen_steals.contains(&other));
+    }
+
+    #[test]
     fn images_ignore_forecast_but_compare_scheduling_state() {
         let f = gridsat_cnf::paper::fig1_formula();
         let cfg = config();
@@ -1521,6 +1714,22 @@ mod tests {
             JournalRecord::Promoted {
                 node: NodeId(9),
                 at: 7.0,
+            },
+            JournalRecord::StealOpen {
+                donor: NodeId(3),
+                thief: NodeId(4),
+                problem: ProblemId::new(NodeId(3), 11),
+                at: 8.0,
+            },
+            JournalRecord::StealSettle {
+                donor: NodeId(3),
+                thief: NodeId(4),
+                problem: ProblemId::new(NodeId(3), 11),
+                checkpoint: Some(cp_light),
+                at: 8.5,
+            },
+            JournalRecord::StealAbort {
+                problem: ProblemId::new(NodeId(3), 12),
             },
         ]
     }

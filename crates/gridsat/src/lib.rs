@@ -49,13 +49,16 @@ pub mod journal;
 pub mod master;
 pub mod msg;
 pub mod standby;
+pub mod submaster;
 pub mod wire;
 
 pub use audit::Audit;
 pub use campaign::{Comparison, ComparisonRow};
 pub use chaos::{CrashWindow, FaultPlan, LinkWindow};
 pub use client::Client;
-pub use config::{CheckpointMode, FailoverConfig, GridConfig, ReliabilityConfig, SchedPolicy};
+pub use config::{
+    CheckpointMode, FailoverConfig, GridConfig, HierarchyConfig, ReliabilityConfig, SchedPolicy,
+};
 pub use experiment::{run, GridNode, GridReport, GridSim};
 pub use journal::{JournalRecord, MasterJournal, RecoverySpec};
 pub use master::{
@@ -64,4 +67,5 @@ pub use master::{
 };
 pub use msg::{EndReason, GridMsg, SubResult};
 pub use standby::StandbyNode;
+pub use submaster::{SubMaster, SubMasterStats};
 pub use wire::{EncodedBatch, WireError};

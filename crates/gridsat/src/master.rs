@@ -25,7 +25,7 @@ use gridsat_grid::{Ctx, NodeId, Process, Site};
 use gridsat_nws::Forecaster;
 use gridsat_obs::{Event, Histogram, MetricsRegistry, Obs};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 #[cfg(doc)]
 use gridsat_solver::SplitSpec;
@@ -90,6 +90,14 @@ pub struct MasterStats {
     /// Clients deregistered for exceeding the corruption threshold
     /// (integrity extension).
     pub quarantines: u64,
+    /// Delegated steal splits settled (hierarchy extension): a
+    /// donor-to-thief transfer that completed without a master grant.
+    pub steals_settled: u64,
+    /// Delegated steal splits that failed and were rolled back.
+    pub steals_aborted: u64,
+    /// Split requests escalated to the root by a sub-master whose site
+    /// had no idle client to steal from.
+    pub escalations: u64,
 }
 
 impl MasterStats {
@@ -109,6 +117,9 @@ impl MasterStats {
             requeues,
             corrupt_msgs,
             quarantines,
+            steals_settled,
+            steals_aborted,
+            escalations,
         } = *other;
         self.max_active_clients = self.max_active_clients.max(max_active_clients);
         self.splits += splits;
@@ -121,6 +132,9 @@ impl MasterStats {
         self.requeues += requeues;
         self.corrupt_msgs += corrupt_msgs;
         self.quarantines += quarantines;
+        self.steals_settled += steals_settled;
+        self.steals_aborted += steals_aborted;
+        self.escalations += escalations;
     }
 
     /// Bridge every counter into a [`MetricsRegistry`] under `prefix`.
@@ -137,6 +151,9 @@ impl MasterStats {
             requeues,
             corrupt_msgs,
             quarantines,
+            steals_settled,
+            steals_aborted,
+            escalations,
         } = *self;
         reg.gauge_set(
             &format!("{prefix}.max_active_clients"),
@@ -155,6 +172,9 @@ impl MasterStats {
         reg.counter_add(&format!("{prefix}.requeues"), requeues);
         reg.counter_add(&format!("{prefix}.corrupt_msgs"), corrupt_msgs);
         reg.counter_add(&format!("{prefix}.quarantines"), quarantines);
+        reg.counter_add(&format!("{prefix}.steals_settled"), steals_settled);
+        reg.counter_add(&format!("{prefix}.steals_aborted"), steals_aborted);
+        reg.counter_add(&format!("{prefix}.escalations"), escalations);
     }
 }
 
@@ -366,6 +386,11 @@ pub struct Master {
     /// unanswered request, causal stamp of its delivery). Not journaled —
     /// it feeds telemetry and trace causality, never scheduling.
     pending_split_req: BTreeMap<NodeId, (f64, u64)>,
+    /// Sub-masters that escalated an offer and may hold more: one solicit
+    /// credit each, spent when the root has idle capacity and an empty
+    /// backlog (hierarchy extension). Soft state — a lost solicit is
+    /// covered by the broker's periodic escalation.
+    solicit_credits: BTreeSet<NodeId>,
     /// Per-peer count of checksum-failing deliveries (integrity
     /// extension). Not journaled: strikes are evidence about the live
     /// network path, worthless to a replay.
@@ -496,6 +521,7 @@ impl Master {
             stats: MasterStats::default(),
             telemetry: MasterTelemetry::default(),
             pending_split_req: BTreeMap::new(),
+            solicit_credits: BTreeSet::new(),
             corrupt_strikes: BTreeMap::new(),
             obs: Obs::default(),
         }
@@ -804,6 +830,123 @@ impl Master {
         Some(id)
     }
 
+    /// A split request reached the root — directly from a client, or
+    /// escalated by a sub-master whose site had no idle sibling.
+    fn handle_split_request(&mut self, from: NodeId, problem: ProblemId, ctx: &mut Ctx<GridMsg>) {
+        let busy = self
+            .core
+            .clients
+            .get(&from)
+            .map(|c| c.state == ClientState::Busy)
+            .unwrap_or(false);
+        if busy {
+            if self.core.clients[&from].problem.is_none() {
+                // learn the requester's subproblem if we missed it
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::ProblemLearned {
+                        client: from,
+                        problem,
+                    },
+                );
+            }
+            // grant only when the request names the subproblem we
+            // believe the client holds: a retransmitted request
+            // can land long after that subproblem was finished,
+            // and taking its word would regress our view. The
+            // client re-requests periodically, so a skipped grant
+            // only delays the split.
+            if self.core.clients[&from].problem == Some(problem) {
+                // start the request->grant latency clock at the
+                // *first* unanswered request; periodic re-requests
+                // must not reset it
+                self.pending_split_req
+                    .entry(from)
+                    .or_insert((ctx.now(), self.obs.cause_of(self.me.0)));
+                self.grant_split(from, ctx);
+            }
+        }
+    }
+
+    /// A thief's report on a delegated (sub-master brokered) split. On
+    /// success the steal settles: the thief is Busy on the minted
+    /// subproblem and the donor's clock restarts — the exact effect of a
+    /// grant-brokered split, folded through the journal so standby
+    /// promotion and the conservation audit stay exact. On failure the
+    /// steal aborts; the search space comes back via the thief's Requeue.
+    fn handle_steal_done(
+        &mut self,
+        from: NodeId,
+        donor: NodeId,
+        ok: bool,
+        problem: Option<ProblemId>,
+        checkpoint: Option<Box<Checkpoint>>,
+        ctx: &mut Ctx<GridMsg>,
+    ) {
+        let Some(problem) = problem else {
+            debug_assert!(false, "stolen SplitDone always names the minted problem");
+            return;
+        };
+        if self.core.seen_steals.contains(&problem) {
+            return; // duplicate delivery of a settled/aborted steal
+        }
+        if ok {
+            if self.core.clients.contains_key(&from) {
+                let cp = if self.config.checkpoint != CheckpointMode::Off {
+                    checkpoint.map(|b| *b)
+                } else {
+                    None
+                };
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::StealSettle {
+                        donor,
+                        thief: from,
+                        problem,
+                        checkpoint: cp,
+                        at: ctx.now(),
+                    },
+                );
+                self.stats.steals_settled += 1;
+                let node = self.me.0;
+                self.obs.emit(ctx.now(), node, || Event::Split {
+                    requester: donor.0,
+                    peer: from.0,
+                });
+                self.note_activity();
+            } else if let Some(cp) = checkpoint {
+                // the thief's lease expired mid-steal and it was
+                // deregistered, yet it is solving the cube untracked:
+                // close the steal and re-dispatch from the bundled image
+                // (duplicated work beats losing sight of a search space)
+                self.commit(ctx.now(), JournalRecord::StealAbort { problem });
+                self.stats.steals_aborted += 1;
+                let spec = MasterCore::spec_from_checkpoint(&self.formula, *cp);
+                self.commit(
+                    ctx.now(),
+                    JournalRecord::RecoveryQueued {
+                        recovery: RecoverySpec {
+                            spec,
+                            source: Some(problem),
+                        },
+                    },
+                );
+                self.stats.recoveries += 1;
+                self.dispatch_recoveries(ctx);
+            } else {
+                // no image to recover from (checkpointing off)
+                self.finish(GridOutcome::ClientLost, EndReason::ClientLost, ctx);
+                return;
+            }
+        } else {
+            self.commit(ctx.now(), JournalRecord::StealAbort { problem });
+            self.stats.steals_aborted += 1;
+            // closing the ledger entry may release all-idle termination
+            self.check_termination(ctx);
+        }
+        self.drain_backlog(ctx);
+    }
+
     fn grant_split(&mut self, requester: NodeId, ctx: &mut Ctx<GridMsg>) -> bool {
         if self.core.grants.contains_key(&requester) {
             return false;
@@ -860,6 +1003,31 @@ impl Master {
                 client: requester.0,
                 depth,
             });
+        }
+        self.maybe_solicit(ctx);
+    }
+
+    /// Idle capacity with nothing backlogged: spend one solicit credit
+    /// pulling an offer from a work-surplus site, instead of letting a
+    /// freed client sit out a broker's escalate window (hierarchy
+    /// extension; a no-op in flat mode, where no credits ever accrue).
+    fn maybe_solicit(&mut self, ctx: &mut Ctx<GridMsg>) {
+        if self.solicit_credits.is_empty()
+            || self.outcome.is_some()
+            || !self.core.backlog.is_empty()
+        {
+            return;
+        }
+        let any_idle = self
+            .core
+            .clients
+            .values()
+            .any(|c| c.state == ClientState::Idle);
+        if !any_idle {
+            return;
+        }
+        if let Some(broker) = self.solicit_credits.pop_first() {
+            ctx.send(broker, GridMsg::OfferSolicit);
         }
     }
 
@@ -996,6 +1164,7 @@ impl Master {
             && self.core.busy_count() == 0
             && self.core.grants.is_empty()
             && self.core.pending_recovery.is_empty()
+            && self.core.pending_steals.is_empty()
             && ctx.now() >= self.reconcile_until
         {
             self.finish(GridOutcome::Unsat, EndReason::Unsat, ctx);
@@ -1449,47 +1618,52 @@ impl Process for Master {
                 self.note_activity();
             }
             GridMsg::SplitRequest { problem } => {
-                let busy = self
-                    .core
-                    .clients
-                    .get(&from)
-                    .map(|c| c.state == ClientState::Busy)
-                    .unwrap_or(false);
-                if busy {
-                    if self.core.clients[&from].problem.is_none() {
-                        // learn the requester's subproblem if we missed it
-                        self.commit(
-                            ctx.now(),
-                            JournalRecord::ProblemLearned {
-                                client: from,
-                                problem,
-                            },
-                        );
-                    }
-                    // grant only when the request names the subproblem we
-                    // believe the client holds: a retransmitted request
-                    // can land long after that subproblem was finished,
-                    // and taking its word would regress our view. The
-                    // client re-requests periodically, so a skipped grant
-                    // only delays the split.
-                    if self.core.clients[&from].problem == Some(problem) {
-                        // start the request->grant latency clock at the
-                        // *first* unanswered request; periodic re-requests
-                        // must not reset it
-                        self.pending_split_req
-                            .entry(from)
-                            .or_insert((ctx.now(), self.obs.cause_of(self.me.0)));
-                        self.grant_split(from, ctx);
-                    }
+                self.handle_split_request(from, problem, ctx);
+            }
+            GridMsg::SplitEscalate { requester, problem } => {
+                // a sub-master had no idle client on its site and hands
+                // the split request up; broker the grant globally, exactly
+                // as if the requester had asked the root directly. The
+                // escalation also earns the broker a solicit credit: its
+                // site likely holds more unmatched offers, and the root
+                // will pull one the moment capacity frees elsewhere
+                self.stats.escalations += 1;
+                self.solicit_credits.insert(from);
+                self.handle_split_request(requester, problem, ctx);
+            }
+            GridMsg::StealNotice { thief, problem, at } => {
+                // a donor delegated a split inside its site; open the
+                // steal in the ledger so all-idle termination waits for
+                // the thief's report and standby promotion sees the cube
+                if !self.core.seen_steals.contains(&problem)
+                    && !self.core.pending_steals.contains_key(&problem)
+                {
+                    self.commit(
+                        ctx.now(),
+                        JournalRecord::StealOpen {
+                            donor: from,
+                            thief,
+                            problem,
+                            at,
+                        },
+                    );
                 }
             }
+            // per-site occupancy telemetry from a sub-master; advisory
+            // only — the root's scheduling state comes from the protocol
+            GridMsg::SiteStatus { .. } => {}
             GridMsg::SplitDone {
                 requester,
                 peer,
                 ok,
                 problem,
                 checkpoint,
+                stolen,
             } => {
+                if stolen {
+                    self.handle_steal_done(from, requester, ok, problem, checkpoint, ctx);
+                    return;
+                }
                 let grant = self.core.grants.get(&requester).copied();
                 if from == requester {
                     // Figure 3 message (5): the requester's report
@@ -1718,6 +1892,28 @@ impl Process for Master {
                         },
                     );
                 }
+                // a thief handing back a stolen transfer closes that
+                // steal (its SplitDone{ok:false} may still be in flight;
+                // seen_steals dedups whichever lands second)
+                if let Some(p) = problem {
+                    if self.core.pending_steals.contains_key(&p) {
+                        self.commit(ctx.now(), JournalRecord::StealAbort { problem: p });
+                        self.stats.steals_aborted += 1;
+                    }
+                    // the sender may be handing back the very assignment
+                    // we gave it — a Solve that raced with an intra-site
+                    // steal making the client busy first. Release the
+                    // roster entry, or all-idle termination waits forever
+                    // on a cube the client is not actually working
+                    if self
+                        .core
+                        .clients
+                        .get(&from)
+                        .is_some_and(|c| c.problem == Some(p))
+                    {
+                        self.commit(ctx.now(), JournalRecord::ClientIdle { client: from });
+                    }
+                }
                 self.commit(
                     ctx.now(),
                     JournalRecord::RecoveryQueued {
@@ -1840,11 +2036,16 @@ impl Process for Master {
             // can still be in flight when a standby promotes; sharing is
             // lossy best-effort traffic, so it is dropped, not an error
             GridMsg::Share { .. } => {}
-            // client-bound messages
+            // client- or sub-master-bound messages
             GridMsg::Solve { .. }
             | GridMsg::SplitGrant { .. }
             | GridMsg::Migrate { .. }
             | GridMsg::Peers { .. }
+            | GridMsg::StealRequest
+            | GridMsg::StealTicket { .. }
+            | GridMsg::Steal { .. }
+            | GridMsg::StealRefused { .. }
+            | GridMsg::OfferSolicit
             | GridMsg::Terminate(_) => {
                 debug_assert!(false, "master got client message from {from}");
             }
@@ -1879,6 +2080,8 @@ impl Process for Master {
         if self.outcome.is_some() {
             return;
         }
+        // a dead sub-master cannot answer a solicit
+        self.solicit_credits.remove(&node);
         self.handle_client_loss(node, ctx);
         self.ship_journal(ctx, false);
     }

@@ -157,6 +157,7 @@ fn failed_split_frees_the_peer() {
             ok: false,
             problem: None,
             checkpoint: None,
+            stolen: false,
         },
         &mut cx,
     );
@@ -282,6 +283,80 @@ fn requeue_message_returns_a_lost_transfer() {
 }
 
 #[test]
+fn requeued_assignment_releases_the_ghost_roster_entry() {
+    // A dispatched recovery can race with an intra-site steal: the Solve
+    // lands on a client that just went busy on a stolen cube, and the
+    // client hands the assignment straight back. The root must release
+    // its roster entry for that problem — otherwise a ghost Busy client
+    // blocks all-idle termination forever.
+    let mut m = Master::new(
+        gridsat_cnf::paper::fig1_formula(),
+        GridConfig::chaos_hardened(),
+        speeds(4),
+    );
+    register(&mut m, 1, 0.0); // gets the whole problem
+    register(&mut m, 2, 0.0); // idle
+    let spec = SplitSpec {
+        num_vars: 1,
+        assumptions: vec![(gridsat_cnf::Lit::pos(0), true)],
+        clauses: vec![],
+    };
+    // an orphaned half comes back; the root mints a recovery problem
+    // and dispatches it to the idle node 2
+    let mut cx = ctx(1.0);
+    m.on_message(
+        NodeId(1),
+        GridMsg::Requeue {
+            spec: Box::new(SpecFrame::seal(&spec)),
+            problem: None,
+        },
+        &mut cx,
+    );
+    let _ = cx.take_actions();
+    let ghost = m.core.clients[&NodeId(2)]
+        .problem
+        .expect("recovery dispatched");
+    // node 2 was already busy when the Solve arrived and hands it back
+    let mut cx = ctx(2.0);
+    m.on_message(
+        NodeId(2),
+        GridMsg::Requeue {
+            spec: Box::new(SpecFrame::seal(&spec)),
+            problem: Some(ghost),
+        },
+        &mut cx,
+    );
+    let _ = cx.take_actions();
+    // the ghost assignment is gone (the handler may re-dispatch the
+    // requeued space immediately, but never under the returned id)
+    assert_ne!(m.core.clients[&NodeId(2)].problem, Some(ghost));
+    // and the run can still terminate: close whatever is open
+    let mut cx = ctx(3.0);
+    if let Some(p) = m.core.clients[&NodeId(2)].problem {
+        m.on_message(
+            NodeId(2),
+            GridMsg::Result {
+                result: SubResult::Unsat,
+                problem: p,
+            },
+            &mut cx,
+        );
+    }
+    let p1 = m.core.clients[&NodeId(1)]
+        .problem
+        .expect("node 1 holds the root problem");
+    m.on_message(
+        NodeId(1),
+        GridMsg::Result {
+            result: SubResult::Unsat,
+            problem: p1,
+        },
+        &mut cx,
+    );
+    assert_eq!(m.outcome(), Some(&GridOutcome::Unsat));
+}
+
+#[test]
 fn successful_split_protocol_transitions() {
     let mut m = master();
     register(&mut m, 1, 0.0);
@@ -305,6 +380,7 @@ fn successful_split_protocol_transitions() {
             ok: true,
             problem: Some(ProblemId::new(NodeId(1), 1)),
             checkpoint: None,
+            stolen: false,
         },
         &mut cx,
     );
@@ -320,6 +396,7 @@ fn successful_split_protocol_transitions() {
             ok: true,
             problem: Some(ProblemId::new(NodeId(1), 1)),
             checkpoint: None,
+            stolen: false,
         },
         &mut cx,
     );
@@ -631,6 +708,9 @@ fn master_stats_absorb_is_lossless() {
         requeues: 9,
         corrupt_msgs: 10,
         quarantines: 11,
+        steals_settled: 12,
+        steals_aborted: 13,
+        escalations: 14,
     };
     let mut acc = MasterStats::default();
     acc.absorb(&full);
@@ -649,6 +729,9 @@ fn master_stats_absorb_is_lossless() {
             requeues: 18,
             corrupt_msgs: 20,
             quarantines: 22,
+            steals_settled: 24,
+            steals_aborted: 26,
+            escalations: 28,
         }
     );
     let mut reg = MetricsRegistry::new();
@@ -683,6 +766,7 @@ fn scheduling_events_reach_the_obs_sink() {
             ok: true,
             problem: Some(ProblemId::new(NodeId(1), 1)),
             checkpoint: None,
+            stolen: false,
         },
         &mut cx,
     );
@@ -1098,6 +1182,7 @@ fn randomized_schedules_replay_to_the_live_state() {
                                 ok: true,
                                 problem: Some(p_child),
                                 checkpoint: None,
+                                stolen: false,
                             },
                             &mut cx,
                         );
@@ -1110,6 +1195,7 @@ fn randomized_schedules_replay_to_the_live_state() {
                                 ok: true,
                                 problem: Some(p_child),
                                 checkpoint: Some(Box::new(Checkpoint::Light { level0: vec![] })),
+                                stolen: false,
                             },
                             &mut cx,
                         );

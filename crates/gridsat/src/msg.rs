@@ -86,6 +86,10 @@ pub enum GridMsg {
         /// checkpoint (a separate upload could be lost while the client
         /// dies, making the subproblem unrecoverable).
         checkpoint: Option<Box<Checkpoint>>,
+        /// The transfer was a sub-master-brokered steal, not a master
+        /// grant: the root settles it against its pending-steal ledger
+        /// instead of a grant entry (hierarchy extension).
+        stolen: bool,
     },
     /// Subproblem finished.
     Result {
@@ -148,6 +152,9 @@ pub enum GridMsg {
         spec: Box<SpecFrame>,
         sent_at: f64,
         problem: ProblemId,
+        /// Transfer originated from a work steal rather than a master
+        /// grant; the receiver echoes this in its [`GridMsg::SplitDone`].
+        stolen: bool,
     },
     /// Learned clauses broadcast to peers (paper Section 3.2). The batch
     /// is encoded once per drain ([`EncodedBatch`]) and shared by
@@ -186,6 +193,47 @@ pub enum GridMsg {
         problem: Option<ProblemId>,
         checkpoint: Option<Box<Checkpoint>>,
     },
+
+    // ---- hierarchical control plane (scaling extension) ----
+    /// Idle client announces itself to its site sub-master as a steal
+    /// target. Lossy by design: the client re-announces periodically
+    /// while idle, like a heartbeat.
+    StealRequest,
+    /// Sub-master pairs the idle announcer with a loaded sibling:
+    /// "steal `problem` from `donor`". The ticket is advisory — the
+    /// donor silently ignores a steal its subproblem has outgrown.
+    StealTicket { donor: NodeId, problem: ProblemId },
+    /// Thief presents the ticket to the donor, who splits off a
+    /// guiding-path extension directly to it (no master involved).
+    Steal { problem: ProblemId },
+    /// Donor declines a steal its subproblem has outgrown (finished,
+    /// migrated, or too shallow to split). The thief re-announces itself
+    /// immediately instead of waiting out its idle period.
+    StealRefused { problem: ProblemId },
+    /// Donor tells the root master a steal transfer is in flight, at the
+    /// instant it splits. Travels on the donor->root channel ahead of the
+    /// donor's own later results, so the root opens the steal before it
+    /// could ever see them.
+    StealNotice {
+        thief: NodeId,
+        problem: ProblemId,
+        at: f64,
+    },
+    /// Sub-master escalates an unmatched split offer to the root master
+    /// when its site has no idle capacity (rate-limited).
+    SplitEscalate {
+        requester: NodeId,
+        problem: ProblemId,
+    },
+    /// Root invites a sub-master that recently escalated to hand up its
+    /// next unmatched offer right away: the root has idle capacity and
+    /// an empty backlog, so a work-surplus site should not sit on its
+    /// escalate timer while another site drains. Best-effort — the
+    /// periodic escalation is the fallback.
+    OfferSolicit,
+    /// Periodic sub-master telemetry to the root: site occupancy and the
+    /// steals it brokered. Best-effort, feeds reporting only.
+    SiteStatus { idle: u32, busy: u32, steals: u64 },
 }
 
 impl GridMsg {
@@ -201,7 +249,15 @@ impl GridMsg {
             | GridMsg::LoadReport { .. }
             | GridMsg::Peers { .. }
             | GridMsg::JournalAck { .. }
-            | GridMsg::Heartbeat => false,
+            | GridMsg::Heartbeat
+            // idle announcements re-arise on the steal period, and
+            // site-status is pure telemetry
+            | GridMsg::StealRequest
+            // a refusal only shortcuts the thief's own retry timer
+            | GridMsg::StealRefused { .. }
+            // a solicit is re-armed by the next escalation
+            | GridMsg::OfferSolicit
+            | GridMsg::SiteStatus { .. } => false,
             GridMsg::Register { .. }
             | GridMsg::JournalBatch { .. }
             | GridMsg::Takeover
@@ -215,7 +271,11 @@ impl GridMsg {
             | GridMsg::Migrate { .. }
             | GridMsg::Terminate(_)
             | GridMsg::Subproblem { .. }
-            | GridMsg::Requeue { .. } => true,
+            | GridMsg::Requeue { .. }
+            | GridMsg::StealTicket { .. }
+            | GridMsg::Steal { .. }
+            | GridMsg::StealNotice { .. }
+            | GridMsg::SplitEscalate { .. } => true,
         }
     }
 
@@ -242,6 +302,14 @@ impl GridMsg {
             GridMsg::JournalAck { .. } => "journal_ack",
             GridMsg::Takeover => "takeover",
             GridMsg::Adopt { .. } => "adopt",
+            GridMsg::StealRequest => "steal_request",
+            GridMsg::StealTicket { .. } => "steal_ticket",
+            GridMsg::Steal { .. } => "steal",
+            GridMsg::StealRefused { .. } => "steal_refused",
+            GridMsg::StealNotice { .. } => "steal_notice",
+            GridMsg::SplitEscalate { .. } => "split_escalate",
+            GridMsg::OfferSolicit => "offer_solicit",
+            GridMsg::SiteStatus { .. } => "site_status",
         }
     }
 }
@@ -292,6 +360,14 @@ impl MessageSize for GridMsg {
             }
             GridMsg::JournalAck { .. } => 24,
             GridMsg::Takeover => 24,
+            GridMsg::StealRequest => 24,
+            GridMsg::StealTicket { .. } => 36,
+            GridMsg::Steal { .. } => 32,
+            GridMsg::StealRefused { .. } => 32,
+            GridMsg::StealNotice { .. } => 44,
+            GridMsg::SplitEscalate { .. } => 36,
+            GridMsg::OfferSolicit => 24,
+            GridMsg::SiteStatus { .. } => 36,
             GridMsg::Adopt { checkpoint, .. } => {
                 64 + match checkpoint.as_deref() {
                     None => 0,
@@ -335,6 +411,14 @@ impl MessageSize for GridMsg {
             GridMsg::JournalAck { .. } => "journal-ack".into(),
             GridMsg::Takeover => "takeover".into(),
             GridMsg::Adopt { .. } => "adopt".into(),
+            GridMsg::StealRequest => "steal-request".into(),
+            GridMsg::StealTicket { .. } => "steal-ticket".into(),
+            GridMsg::Steal { .. } => "steal".into(),
+            GridMsg::StealRefused { .. } => "steal-refused".into(),
+            GridMsg::StealNotice { .. } => "steal-notice".into(),
+            GridMsg::SplitEscalate { .. } => "split-escalate".into(),
+            GridMsg::OfferSolicit => "offer-solicit".into(),
+            GridMsg::SiteStatus { .. } => "site-status".into(),
         }
     }
 
@@ -418,6 +502,7 @@ mod tests {
             spec: Box::new(SpecFrame::seal(&spec)),
             sent_at: 0.0,
             problem: ProblemId::new(NodeId(1), 1),
+            stolen: false,
         };
         // the size model is the exact encoded length plus the checksum
         // frame — still tighter than the old approximate model
@@ -439,6 +524,7 @@ mod tests {
             spec: Box::new(SpecFrame::seal(&spec)),
             sent_at: 0.0,
             problem: ProblemId::new(NodeId(1), 1),
+            stolen: false,
         };
         assert!(sub.payload_intact());
         assert!(sub.corrupt(7), "spec transfers carry real bytes");
@@ -496,6 +582,42 @@ mod tests {
         }
         .is_control());
         assert!(!GridMsg::Heartbeat.is_control());
+        // steal protocol: tickets/steals/notices/escalations are load-
+        // bearing, idle announcements and site telemetry are lossy
+        let pid = ProblemId::new(NodeId(3), 1);
+        assert!(GridMsg::StealTicket {
+            donor: NodeId(3),
+            problem: pid
+        }
+        .is_control());
+        assert!(GridMsg::Steal { problem: pid }.is_control());
+        assert!(GridMsg::StealNotice {
+            thief: NodeId(4),
+            problem: pid,
+            at: 1.0
+        }
+        .is_control());
+        assert!(GridMsg::SplitEscalate {
+            requester: NodeId(3),
+            problem: pid
+        }
+        .is_control());
+        assert!(!GridMsg::StealRequest.is_control());
+        assert!(!GridMsg::SiteStatus {
+            idle: 1,
+            busy: 2,
+            steals: 3
+        }
+        .is_control());
+        // both ends of a lost pull recover on their own timers: a
+        // refused thief re-announces, a solicited broker re-escalates
+        assert!(!GridMsg::StealRefused { problem: pid }.is_control());
+        assert!(!GridMsg::OfferSolicit.is_control());
+        assert_eq!(
+            GridMsg::StealRefused { problem: pid }.kind_str(),
+            "steal_refused"
+        );
+        assert_eq!(GridMsg::OfferSolicit.kind_str(), "offer_solicit");
     }
 
     #[test]
@@ -519,7 +641,8 @@ mod tests {
         assert!(GridMsg::Subproblem {
             spec: Box::new(SpecFrame::seal(&spec)),
             sent_at: 0.0,
-            problem: ProblemId::new(NodeId(1), 2)
+            problem: ProblemId::new(NodeId(1), 2),
+            stolen: false
         }
         .label()
         .contains("(3)"));

@@ -95,11 +95,27 @@ impl Histogram {
     /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
     /// interpolating linearly within the bucket that crosses the target
     /// rank (the standard Prometheus `histogram_quantile` estimate). An
-    /// empty histogram reports 0; a quantile landing in the +Inf
+    /// empty histogram (or a NaN `q`) reports the 0.0 sentinel — never
+    /// NaN, never a panic — so summaries over idle components (e.g. a
+    /// sub-master that brokered nothing) stay finite. A one-sample
+    /// histogram reports the exact observed value rather than an
+    /// interpolated bucket position; a quantile landing in the +Inf
     /// overflow bucket is clamped to the highest finite bound.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// [`quantile`](Histogram::quantile) without the sentinel: `None`
+    /// when there is nothing to summarize (no observations, or a NaN
+    /// `q`), so callers can distinguish "idle" from "fast".
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || q.is_nan() {
+            return None;
+        }
+        if self.count == 1 {
+            // one observation: `sum` is that value, exactly — better
+            // than interpolating a rank through a single-entry bucket
+            return Some(self.sum);
         }
         let rank = q.clamp(0.0, 1.0) * self.count as f64;
         let mut acc = 0u64;
@@ -109,16 +125,16 @@ impl Histogram {
             if (acc as f64) < rank || c == 0 {
                 continue;
             }
-            return match self.bounds.get(i) {
+            return Some(match self.bounds.get(i) {
                 Some(&hi) => {
                     let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
                     lo + (hi - lo) * ((rank - prev as f64) / c as f64)
                 }
                 // +Inf bucket: no upper edge to interpolate toward
                 None => self.bounds.last().copied().unwrap_or(0.0),
-            };
+            });
         }
-        self.bounds.last().copied().unwrap_or(0.0)
+        self.bounds.last().copied()
     }
 
     pub fn p50(&self) -> f64 {
@@ -439,8 +455,41 @@ mod tests {
         // finite bound rather than reporting infinity
         let mut over = Histogram::with_bounds(vec![1.0, 2.0]);
         over.observe(100.0);
+        over.observe(100.0);
         assert_eq!(over.p50(), 2.0);
         assert_eq!(over.p99(), 2.0);
+    }
+
+    #[test]
+    fn empty_and_one_sample_histograms_never_yield_nan() {
+        // an idle sub-master's latency summary folds an empty histogram;
+        // every quantile must come back as the finite 0.0 sentinel
+        let empty = Histogram::latency_s();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0, f64::NAN] {
+            let v = empty.quantile(q);
+            assert_eq!(v, 0.0, "empty histogram, q={q}: got {v}");
+            assert!(empty.try_quantile(q).is_none());
+        }
+
+        // one observation: every quantile is that exact value, not an
+        // interpolated bucket position and never NaN — even when the
+        // sample overflows into the +Inf bucket
+        for v in [0.0007, 1.0, 3.5e5] {
+            let mut one = Histogram::latency_s();
+            one.observe(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(one.quantile(q), v, "one sample {v}, q={q}");
+                assert_eq!(one.try_quantile(q), Some(v));
+            }
+            assert!(one.try_quantile(f64::NAN).is_none(), "NaN q is refused");
+        }
+
+        // a degenerate histogram with no buckets at all still stays finite
+        let mut bare = Histogram::with_bounds(vec![]);
+        bare.observe(5.0);
+        bare.observe(7.0);
+        assert_eq!(bare.quantile(0.5), 0.0);
+        assert!(bare.quantile(0.5).is_finite());
     }
 
     #[test]

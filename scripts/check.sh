@@ -46,4 +46,12 @@ if [[ "${CHECK_AUDIT:-0}" == "1" ]]; then
     dead_master_fails_over_to_the_standby failover_preserves_sat_models
 fi
 
+# Opt-in: the control-plane scaling smoke — flat vs hierarchical at
+# n ∈ {12, 100} with the conservation auditor armed, gating on the
+# oracle outcome and the O(sites) root-queue bound.
+if [[ "${CHECK_SCALE:-0}" == "1" ]]; then
+  echo "== scaling smoke (scaling_1k --fast --check)"
+  cargo run --release -p gridsat-bench --bin scaling_1k -- --fast --check > /dev/null
+fi
+
 echo "OK"
